@@ -1,0 +1,434 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§4).
+
+     table2   — benchmark model inventory (paper Table 2)
+     table3   — SLDV vs SimCoTest vs CFTCG coverage (paper Table 3)
+     figure7  — decision coverage vs time (paper Figure 7)
+     figure8  — CFTCG vs Fuzz Only (paper Figure 8)
+     speed    — compiled vs interpreted iteration rate (§4 text)
+     ablation — CFTCG ingredient ablations (DESIGN.md §5)
+     uncovered — per-model list of decisions CFTCG left unreached
+
+   Usage: main.exe [experiment ...] [--budget SECONDS] [--reps N]
+          [--seed N] [--models A,B,C]
+   Default: every experiment at a small smoke budget. Absolute
+   numbers differ from the paper (simulated substrate, seconds-scale
+   budgets); shapes and orderings are the reproduction target. *)
+
+open Cftcg_model
+module Codegen = Cftcg_codegen.Codegen
+module Recorder = Cftcg_coverage.Recorder
+module Models = Cftcg_bench_models.Bench_models
+module Tools = Cftcg_baselines.Tools
+module Interp = Cftcg_interp.Interp
+module Layout = Cftcg_fuzz.Layout
+module Tt = Cftcg_util.Texttable
+
+(* ------------------------------------------------------------------ *)
+(* Options                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type options = {
+  mutable budget : float;  (** seconds per tool per model per rep *)
+  mutable reps : int;
+  mutable seed : int;
+  mutable models : string list option;
+  mutable experiments : string list;
+}
+
+let opts = { budget = 1.0; reps = 2; seed = 1; models = None; experiments = [] }
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--budget" :: v :: rest ->
+      opts.budget <- float_of_string v;
+      go rest
+    | "--reps" :: v :: rest ->
+      opts.reps <- int_of_string v;
+      go rest
+    | "--seed" :: v :: rest ->
+      opts.seed <- int_of_string v;
+      go rest
+    | "--models" :: v :: rest ->
+      opts.models <- Some (String.split_on_char ',' v);
+      go rest
+    | exp :: rest ->
+      opts.experiments <- opts.experiments @ [ exp ];
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let selected_models () =
+  match opts.models with
+  | None -> Models.all
+  | Some names ->
+    List.filter_map
+      (fun n ->
+        match Models.find n with
+        | Some e -> Some e
+        | None ->
+          Printf.eprintf "unknown model %S\n" n;
+          None)
+      names
+
+let print_table title t =
+  Printf.printf "\n== %s ==\n%s\n-- csv --\n%s" title (Tt.render t) (Tt.to_csv t);
+  flush stdout
+
+let pct f = Printf.sprintf "%.0f%%" f
+
+(* ------------------------------------------------------------------ *)
+(* Shared tool-campaign cache                                          *)
+(* ------------------------------------------------------------------ *)
+
+type campaign = {
+  report : Recorder.report;
+  series : (float * float) list;  (** decision coverage vs time *)
+}
+
+let cache : (string * string * int, campaign) Hashtbl.t = Hashtbl.create 64
+
+let run_tool (e : Models.entry) (tool : Tools.t) rep =
+  let key = (e.Models.name, tool.Tools.name, rep) in
+  match Hashtbl.find_opt cache key with
+  | Some c -> c
+  | None ->
+    let m = Lazy.force e.Models.model in
+    let seed = Int64.of_int (opts.seed + (1000 * rep) + Hashtbl.hash tool.Tools.name) in
+    let outcome = tool.Tools.generate m ~seed ~time_budget:opts.budget in
+    let prog = Codegen.lower ~mode:Codegen.Full m in
+    let suite = List.map (fun (tc : Tools.test_case) -> tc.Tools.data) outcome.Tools.suite in
+    let report = Cftcg.Evaluate.replay prog suite in
+    let timed =
+      List.map (fun (tc : Tools.test_case) -> (tc.Tools.data, tc.Tools.time)) outcome.Tools.suite
+    in
+    let series = Cftcg.Evaluate.decision_series prog timed in
+    let c = { report; series } in
+    Hashtbl.replace cache key c;
+    c
+
+let avg_report (e : Models.entry) tool =
+  let reps = List.init opts.reps (fun r -> (run_tool e tool r).report) in
+  let n = float_of_int (List.length reps) in
+  let mean f = List.fold_left (fun acc r -> acc +. f r) 0.0 reps /. n in
+  ( mean (fun (r : Recorder.report) -> r.Recorder.decision_pct),
+    mean (fun (r : Recorder.report) -> r.Recorder.condition_pct),
+    mean (fun (r : Recorder.report) -> r.Recorder.mcdc_pct) )
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  let t =
+    Tt.create [ "Model"; "Functionality"; "#Branch"; "#Block"; "paper #Branch"; "paper #Block" ]
+  in
+  List.iter
+    (fun (e : Models.entry) ->
+      let m = Lazy.force e.Models.model in
+      let prog = Codegen.lower ~mode:Codegen.Full m in
+      Tt.add_row t
+        [ e.Models.name; e.Models.functionality;
+          string_of_int (Recorder.branch_total prog);
+          string_of_int (Graph.block_count m);
+          string_of_int e.Models.paper_branches;
+          string_of_int e.Models.paper_blocks ])
+    (selected_models ());
+  print_table "Table 2: benchmark models" t
+
+(* ------------------------------------------------------------------ *)
+(* Table 3                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let comparison_tools = [ Tools.sldv; Tools.simcotest; Tools.cftcg ]
+
+let table3 () =
+  let t = Tt.create [ "Model"; "Tool"; "Decision"; "Condition"; "MCDC" ] in
+  let per_tool_scores = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Models.entry) ->
+      List.iter
+        (fun tool ->
+          let d, c, m = avg_report e tool in
+          Hashtbl.replace per_tool_scores (tool.Tools.name, e.Models.name) (d, c, m);
+          Tt.add_row t [ e.Models.name; tool.Tools.name; pct d; pct c; pct m ])
+        comparison_tools;
+      Tt.add_separator t)
+    (selected_models ());
+  (* average relative improvement of CFTCG over each baseline,
+     paper-style *)
+  let improvement baseline =
+    let models = selected_models () in
+    let ratios metric_ix =
+      List.filter_map
+        (fun (e : Models.entry) ->
+          let get name = Hashtbl.find_opt per_tool_scores (name, e.Models.name) in
+          match (get "CFTCG", get baseline) with
+          | Some c, Some b ->
+            let pick (d, co, m) =
+              match metric_ix with
+              | 0 -> d
+              | 1 -> co
+              | _ -> m
+            in
+            let cv = pick c and bv = pick b in
+            if bv > 0.5 then Some (100.0 *. (cv -. bv) /. bv) else None
+          | _ -> None)
+        models
+    in
+    let mean l =
+      if l = [] then 0.0 else List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+    in
+    (mean (ratios 0), mean (ratios 1), mean (ratios 2))
+  in
+  let add_improvement name =
+    let d, c, m = improvement name in
+    Tt.add_row t
+      [ "Avg improvement"; "vs " ^ name; Printf.sprintf "%+.1f%%" d; Printf.sprintf "%+.1f%%" c;
+        Printf.sprintf "%+.1f%%" m ]
+  in
+  add_improvement "SLDV";
+  add_improvement "SimCoTest";
+  print_table
+    (Printf.sprintf "Table 3: coverage comparison (budget %.1fs x %d reps)" opts.budget opts.reps)
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let figure7 () =
+  let buckets = 10 in
+  let header =
+    "Model" :: "Tool"
+    :: List.init buckets (fun i ->
+           Printf.sprintf "t=%.1fs" (opts.budget *. float_of_int (i + 1) /. float_of_int buckets))
+  in
+  let t = Tt.create header in
+  List.iter
+    (fun (e : Models.entry) ->
+      List.iter
+        (fun tool ->
+          let series = (run_tool e tool 0).series in
+          let at time =
+            List.fold_left (fun acc (ts, cov) -> if ts <= time then cov else acc) 0.0 series
+          in
+          let cells =
+            List.init buckets (fun i ->
+                pct (at (opts.budget *. float_of_int (i + 1) /. float_of_int buckets)))
+          in
+          Tt.add_row t (e.Models.name :: tool.Tools.name :: cells))
+        comparison_tools;
+      Tt.add_separator t)
+    (selected_models ());
+  print_table "Figure 7: decision coverage vs time" t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let figure8 () =
+  let t =
+    Tt.create
+      [ "Model"; "CFTCG Dec"; "FuzzOnly Dec"; "CFTCG Cond"; "FuzzOnly Cond"; "CFTCG MCDC";
+        "FuzzOnly MCDC" ]
+  in
+  List.iter
+    (fun (e : Models.entry) ->
+      let cd, cc, cm = avg_report e Tools.cftcg in
+      let fd, fc, fm = avg_report e Tools.fuzz_only in
+      Tt.add_row t [ e.Models.name; pct cd; pct fd; pct cc; pct fc; pct cm; pct fm ])
+    (selected_models ());
+  print_table "Figure 8: CFTCG vs Fuzz Only (without model orientation)" t
+
+(* ------------------------------------------------------------------ *)
+(* Speed (§4: 26,000 vs 6 iterations per second)                       *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_estimates tests =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name v acc ->
+      match Analyze.OLS.estimates v with
+      | Some (est :: _) -> (name, est) :: acc
+      | Some [] | None -> acc)
+    res []
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let speed () =
+  let e = Option.get (Models.find "SolarPV") in
+  let m = Lazy.force e.Models.model in
+  let prog_plain = Codegen.lower ~mode:Codegen.Plain m in
+  let prog_full = Codegen.lower ~mode:Codegen.Full m in
+  let layout = Layout.of_program prog_full in
+  let compiled = Cftcg_ir.Ir_compile.compile prog_plain in
+  Cftcg_ir.Ir_compile.reset compiled;
+  let curr = Bytes.make (max prog_full.Cftcg_ir.Ir.n_probes 1) '\000' in
+  let hooks = Cftcg_ir.Hooks.probes_only (fun id -> Bytes.unsafe_set curr id '\001') in
+  let instrumented = Cftcg_ir.Ir_compile.compile ~hooks prog_full in
+  Cftcg_ir.Ir_compile.reset instrumented;
+  let interp = Interp.create m in
+  Interp.reset interp;
+  let evaluator = Cftcg_ir.Ir_eval.create prog_plain in
+  Cftcg_ir.Ir_eval.reset evaluator;
+  let rng = Cftcg_util.Rng.create 5L in
+  let tuple = Layout.random_tuple_bytes layout rng in
+  let open Bechamel in
+  let feed_boxed set =
+    Array.iteri
+      (fun i (f : Layout.field) -> set i (Value.decode f.Layout.f_ty tuple f.Layout.f_offset))
+      layout.Layout.fields
+  in
+  let tests =
+    Test.make_grouped ~name:"step"
+      [ Test.make ~name:"compiled-plain"
+          (Staged.stage (fun () ->
+               Layout.load_tuple layout tuple ~tuple:0 compiled;
+               Cftcg_ir.Ir_compile.step compiled));
+        Test.make ~name:"compiled-instrumented"
+          (Staged.stage (fun () ->
+               Layout.load_tuple layout tuple ~tuple:0 instrumented;
+               Cftcg_ir.Ir_compile.step instrumented));
+        Test.make ~name:"ir-evaluator"
+          (Staged.stage (fun () ->
+               feed_boxed (Cftcg_ir.Ir_eval.set_input evaluator);
+               Cftcg_ir.Ir_eval.step evaluator));
+        Test.make ~name:"graph-interpreter"
+          (Staged.stage (fun () ->
+               feed_boxed (Interp.set_input interp);
+               Interp.step interp)) ]
+  in
+  let estimates = bechamel_estimates tests in
+  let find needle = List.find_opt (fun (name, _) -> contains ~needle name) estimates in
+  let t = Tt.create [ "Execution path"; "ns/iteration"; "iterations/s" ] in
+  List.iter
+    (fun label ->
+      match find label with
+      | Some (_, ns) -> Tt.add_row t [ label; Printf.sprintf "%.0f" ns; Printf.sprintf "%.0f" (1e9 /. ns) ]
+      | None -> Tt.add_row t [ label; "n/a"; "n/a" ])
+    [ "compiled-plain"; "compiled-instrumented"; "ir-evaluator"; "graph-interpreter" ];
+  (match (find "compiled-instrumented", find "graph-interpreter") with
+  | Some (_, c), Some (_, i) ->
+    Tt.add_row t [ "speedup compiled/interpreter"; Printf.sprintf "%.0fx" (i /. c); "" ]
+  | _ -> ());
+  print_table "Speed: SolarPV model iteration rate (paper: 26,000/s vs 6/s)" t;
+  (* fuzzing-loop component costs *)
+  let rng2 = Cftcg_util.Rng.create 9L in
+  let parent =
+    Bytes.concat Bytes.empty (List.init 16 (fun _ -> Layout.random_tuple_bytes layout rng2))
+  in
+  let dict = Cftcg_fuzz.Dictionary.of_program prog_full in
+  let component_tests =
+    let open Bechamel in
+    Test.make_grouped ~name:"fuzz"
+      [ Test.make ~name:"field-aware-mutation"
+          (Staged.stage (fun () ->
+               ignore
+                 (Cftcg_fuzz.Mutate.mutate ~dict layout rng2 parent ~other:parent ~max_tuples:256)));
+        Test.make ~name:"blind-mutation"
+          (Staged.stage (fun () ->
+               ignore (Cftcg_fuzz.Mutate.mutate_blind rng2 parent ~other:parent ~max_len:2304)));
+        Test.make ~name:"metric-replay-16-tuples"
+          (Staged.stage (fun () -> ignore (Cftcg_fuzz.Fuzzer.replay_metric prog_full parent))) ]
+  in
+  let comp = bechamel_estimates component_tests in
+  let t2 = Tt.create [ "Fuzzing-loop component"; "ns/op"; "ops/s" ] in
+  List.iter
+    (fun label ->
+      match List.find_opt (fun (name, _) -> contains ~needle:label name) comp with
+      | Some (_, ns) ->
+        Tt.add_row t2 [ label; Printf.sprintf "%.0f" ns; Printf.sprintf "%.0f" (1e9 /. ns) ]
+      | None -> Tt.add_row t2 [ label; "n/a"; "n/a" ])
+    [ "field-aware-mutation"; "blind-mutation"; "metric-replay-16-tuples" ];
+  print_table "Speed: fuzzing-loop components" t2
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  let variants =
+    [ Tools.cftcg;
+      Tools.cftcg_variant ~field_aware:false "CFTCG-noField";
+      Tools.cftcg_variant ~iteration_metric:false "CFTCG-noIterMetric";
+      Tools.cftcg_variant ~use_dictionary:false "CFTCG-noDict";
+      Tools.cftcg_hybrid;
+      Tools.fuzz_only ]
+  in
+  let t = Tt.create [ "Model"; "Variant"; "Decision"; "Condition"; "MCDC" ] in
+  List.iter
+    (fun (e : Models.entry) ->
+      List.iter
+        (fun tool ->
+          let d, c, m = avg_report e tool in
+          Tt.add_row t [ e.Models.name; tool.Tools.name; pct d; pct c; pct m ])
+        variants;
+      Tt.add_separator t)
+    (selected_models ());
+  print_table "Ablation: model-oriented ingredients" t
+
+(* ------------------------------------------------------------------ *)
+(* Uncovered-decision diagnostic (not a paper artifact)                *)
+(* ------------------------------------------------------------------ *)
+
+let uncovered () =
+  List.iter
+    (fun (e : Models.entry) ->
+      let m = Lazy.force e.Models.model in
+      let prog = Codegen.lower ~mode:Codegen.Full m in
+      let outcome = Tools.cftcg.Tools.generate m ~seed:(Int64.of_int opts.seed) ~time_budget:opts.budget in
+      let recorder = Recorder.create prog in
+      let compiled = Cftcg_ir.Ir_compile.compile ~hooks:(Recorder.hooks recorder) prog in
+      let layout = Layout.of_program prog in
+      List.iter
+        (fun (tc : Tools.test_case) ->
+          Cftcg_ir.Ir_compile.reset compiled;
+          let n = min (Layout.n_tuples layout tc.Tools.data) 4096 in
+          for tuple = 0 to n - 1 do
+            Layout.load_tuple layout tc.Tools.data ~tuple compiled;
+            Cftcg_ir.Ir_compile.step compiled
+          done)
+        outcome.Tools.suite;
+      Printf.printf "\n== uncovered decisions: %s ==\n" e.Models.name;
+      List.iter
+        (fun (block, desc, missing) ->
+          Printf.printf "  %-40s %-28s missing outcomes %s\n" block desc
+            (String.concat "," (List.map string_of_int missing)))
+        (Recorder.uncovered recorder))
+    (selected_models ());
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [ ("table2", table2); ("table3", table3); ("figure7", figure7); ("figure8", figure8);
+    ("speed", speed); ("ablation", ablation); ("uncovered", uncovered) ]
+
+let () =
+  parse_args ();
+  let chosen =
+    match opts.experiments with
+    | [] -> List.map fst all_experiments
+    | picked -> picked
+  in
+  Printf.printf "CFTCG benchmark harness — budget %.1fs, %d rep(s), seed %d\n" opts.budget opts.reps
+    opts.seed;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S (known: %s)\n" name
+          (String.concat ", " (List.map fst all_experiments)))
+    chosen

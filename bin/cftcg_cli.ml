@@ -1,0 +1,304 @@
+(* cftcg — command-line front end.
+
+   Subcommands:
+     fuzz      run a CFTCG campaign on a model file, emit CSV test cases
+     emit-c    print the generated C fuzz code + driver for a model
+     coverage  replay a CSV test suite and report coverage
+     convert   convert one binary (hex) test case to CSV or back
+     models    list / export the built-in benchmark models *)
+
+open Cmdliner
+open Cftcg_model
+module Codegen = Cftcg_codegen.Codegen
+module Fuzzer = Cftcg_fuzz.Fuzzer
+module Layout = Cftcg_fuzz.Layout
+module Recorder = Cftcg_coverage.Recorder
+module Testcase = Cftcg_testcase.Testcase
+module Models = Cftcg_bench_models.Bench_models
+
+let load_model path =
+  match Models.find path with
+  | Some e -> Lazy.force e.Models.model
+  | None -> (
+    try Slx.load_file path with
+    | Slx.Load_error msg ->
+      Printf.eprintf "cannot load %s: %s\n" path msg;
+      exit 1
+    | Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1)
+
+let model_arg =
+  let doc = "Model: a .slx.xml file or the name of a built-in benchmark (e.g. SolarPV)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed for the campaign.")
+
+(* ------------------------------------------------------------------ *)
+
+let parse_range spec =
+  match String.split_on_char '=' spec with
+  | [ name; range ] -> (
+    match String.split_on_char ':' range with
+    | [ lo; hi ] -> (
+      match (float_of_string_opt lo, float_of_string_opt hi) with
+      | Some lo, Some hi -> (name, lo, hi)
+      | _ ->
+        Printf.eprintf "bad range %S (expected Port=lo:hi)\n" spec;
+        exit 1)
+    | _ ->
+      Printf.eprintf "bad range %S (expected Port=lo:hi)\n" spec;
+      exit 1)
+  | _ ->
+    Printf.eprintf "bad range %S (expected Port=lo:hi)\n" spec;
+    exit 1
+
+let fuzz_cmd =
+  let run model_path seconds execs out_dir seed ranges seed_dir =
+    let model = load_model model_path in
+    let budget =
+      match execs with
+      | Some n -> Fuzzer.Exec_budget n
+      | None -> Fuzzer.Time_budget seconds
+    in
+    let seeds =
+      match seed_dir with
+      | None -> []
+      | Some dir ->
+        let layout = Layout.of_inports (Graph.inports model) in
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".csv")
+        |> List.map (Filename.concat dir)
+        |> Testcase.load_suite layout
+    in
+    let config =
+      { Fuzzer.default_config with
+        Fuzzer.seed = Int64.of_int seed;
+        ranges = List.map parse_range ranges;
+        seeds
+      }
+    in
+    let campaign = Cftcg.Pipeline.run_campaign ~config model budget in
+    let stats = campaign.Cftcg.Pipeline.fuzz.Fuzzer.stats in
+    Printf.printf "executions: %d\nmodel iterations: %d\niteration rate: %.0f/s\n"
+      stats.Fuzzer.executions stats.Fuzzer.iterations
+      (float_of_int stats.Fuzzer.iterations /. Float.max stats.Fuzzer.elapsed 1e-9);
+    Format.printf "coverage: %a@." Recorder.pp_report campaign.Cftcg.Pipeline.coverage;
+    let suite =
+      List.map
+        (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data)
+        campaign.Cftcg.Pipeline.fuzz.Fuzzer.test_suite
+    in
+    let paths =
+      Testcase.save_suite campaign.Cftcg.Pipeline.gen.Cftcg.Pipeline.layout ~dir:out_dir
+        ~prefix:model.Graph.model_name suite
+    in
+    Printf.printf "wrote %d test cases to %s\n" (List.length paths) out_dir
+  in
+  let seconds =
+    Arg.(value & opt float 5.0 & info [ "t"; "time" ] ~docv:"SECONDS" ~doc:"Time budget.")
+  in
+  let execs =
+    Arg.(value & opt (some int) None & info [ "execs" ] ~docv:"N" ~doc:"Execution budget (overrides time).")
+  in
+  let out_dir =
+    Arg.(value & opt string "testcases" & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let ranges =
+    Arg.(value & opt_all string [] & info [ "range" ] ~docv:"PORT=LO:HI" ~doc:"Constrain an inport's value range (repeatable).")
+  in
+  let seed_dir =
+    Arg.(value & opt (some dir) None & info [ "seeds" ] ~docv:"DIR" ~doc:"Seed corpus: directory of CSV test cases executed first.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run a CFTCG fuzzing campaign and emit CSV test cases.")
+    Term.(const run $ model_arg $ seconds $ execs $ out_dir $ seed_arg $ ranges $ seed_dir)
+
+let emit_c_cmd =
+  let run model_path branchless =
+    let model = load_model model_path in
+    let mode = if branchless then Codegen.Branchless else Codegen.Full in
+    let prog = Codegen.lower ~mode model in
+    print_string (Cftcg_ir.Cemit.emit_all prog)
+  in
+  let branchless =
+    Arg.(value & flag & info [ "branchless" ] ~doc:"Emit the Fuzz-Only (branchless) build instead.")
+  in
+  Cmd.v
+    (Cmd.info "emit-c" ~doc:"Print the generated C fuzz code and driver.")
+    Term.(const run $ model_arg $ branchless)
+
+let coverage_cmd =
+  let run model_path csvs detailed html_out =
+    let model = load_model model_path in
+    let prog = Codegen.lower ~mode:Codegen.Full model in
+    let layout = Layout.of_program prog in
+    let suite =
+      try Testcase.load_suite layout csvs with
+      | Testcase.Parse_error msg ->
+        Printf.eprintf "bad test case: %s\n" msg;
+        exit 1
+    in
+    if detailed || html_out <> None then begin
+      let recorder = Recorder.create prog in
+      let compiled = Cftcg_ir.Ir_compile.compile ~hooks:(Recorder.hooks recorder) prog in
+      List.iter
+        (fun data ->
+          Cftcg_ir.Ir_compile.reset compiled;
+          for tuple = 0 to min (Layout.n_tuples layout data) 4096 - 1 do
+            Layout.load_tuple layout data ~tuple compiled;
+            Cftcg_ir.Ir_compile.step compiled
+          done)
+        suite;
+      if detailed then print_string (Recorder.detailed recorder);
+      (match html_out with
+      | Some path ->
+        let ranges = Cftcg.Evaluate.signal_ranges prog suite in
+        Cftcg_coverage.Html_report.save ~model_name:model.Graph.model_name
+          ~signal_ranges:ranges recorder path;
+        Printf.printf "wrote HTML report to %s\n" path
+      | None -> ());
+      Format.printf "%a@." Recorder.pp_report (Recorder.report recorder)
+    end
+    else begin
+      let report = Cftcg.Evaluate.replay prog suite in
+      Format.printf "%a@." Recorder.pp_report report
+    end
+  in
+  let csvs = Arg.(value & pos_right 0 file [] & info [] ~docv:"CSV" ~doc:"Test case files.") in
+  let detailed = Arg.(value & flag & info [ "detailed" ] ~doc:"Per-decision breakdown.") in
+  let html_out =
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc:"Write a self-contained HTML coverage report.")
+  in
+  Cmd.v
+    (Cmd.info "coverage" ~doc:"Replay CSV test cases and report model coverage.")
+    Term.(const run $ model_arg $ csvs $ detailed $ html_out)
+
+let minimize_cmd =
+  let run model_path csvs out_dir =
+    let model = load_model model_path in
+    let prog = Codegen.lower ~mode:Codegen.Full model in
+    let layout = Layout.of_program prog in
+    let suite =
+      try Testcase.load_suite layout csvs with
+      | Testcase.Parse_error msg ->
+        Printf.eprintf "bad test case: %s\n" msg;
+        exit 1
+    in
+    let kept, stats = Cftcg_fuzz.Minimize.suite prog suite in
+    Printf.printf "kept %d, dropped %d (%d probe cells covered)\n" stats.Cftcg_fuzz.Minimize.kept
+      stats.Cftcg_fuzz.Minimize.dropped stats.Cftcg_fuzz.Minimize.probes_covered;
+    let paths = Testcase.save_suite layout ~dir:out_dir ~prefix:(model.Graph.model_name ^ "_min") kept in
+    Printf.printf "wrote %d test cases to %s\n" (List.length paths) out_dir
+  in
+  let csvs = Arg.(value & pos_right 0 file [] & info [] ~docv:"CSV" ~doc:"Test case files.") in
+  let out_dir =
+    Arg.(value & opt string "minimized" & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "minimize" ~doc:"Reduce a test suite while preserving its coverage.")
+    Term.(const run $ model_arg $ csvs $ out_dir)
+
+let convert_cmd =
+  let run model_path hex =
+    let model = load_model model_path in
+    let layout = Layout.of_inports (Graph.inports model) in
+    match hex with
+    | Some h ->
+      let data = Cftcg_util.Bytecodec.bytes_of_hex h in
+      print_string (Testcase.to_csv layout data)
+    | None ->
+      (* read CSV from stdin, print hex *)
+      let csv = In_channel.input_all stdin in
+      let data = Testcase.of_csv layout csv in
+      print_endline (Cftcg_util.Bytecodec.hex_of_bytes data)
+  in
+  let hex =
+    Arg.(value & opt (some string) None & info [ "hex" ] ~docv:"HEX" ~doc:"Binary test case as hex; without it, CSV is read from stdin and hex is printed.")
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Convert between binary (hex) and CSV test cases.")
+    Term.(const run $ model_arg $ hex)
+
+let simulate_cmd =
+  let run model_path csv trace_out =
+    let model = load_model model_path in
+    let prog = Codegen.lower ~mode:Codegen.Plain model in
+    let layout = Layout.of_program prog in
+    let data =
+      try
+        let ic = open_in csv in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Testcase.of_csv layout (really_input_string ic (in_channel_length ic)))
+      with
+      | Testcase.Parse_error msg ->
+        Printf.eprintf "bad test case: %s\n" msg;
+        exit 1
+    in
+    let compiled = Cftcg_ir.Ir_compile.compile prog in
+    Cftcg_ir.Ir_compile.reset compiled;
+    let out_names = Graph.outports model in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf ("step," ^ String.concat "," (Array.to_list out_names) ^ "\n");
+    for tuple = 0 to Layout.n_tuples layout data - 1 do
+      Layout.load_tuple layout data ~tuple compiled;
+      Cftcg_ir.Ir_compile.step compiled;
+      Buffer.add_string buf (string_of_int tuple);
+      Array.iteri
+        (fun o _ ->
+          let v = Cftcg_ir.Ir_compile.get_output compiled o in
+          Buffer.add_string buf ("," ^ Cftcg_model.Value.to_string v))
+        out_names;
+      Buffer.add_char buf '\n'
+    done;
+    match trace_out with
+    | None -> print_string (Buffer.contents buf)
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents buf));
+      Printf.printf "wrote trace to %s\n" path
+  in
+  let csv = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT.CSV" ~doc:"Input test case.") in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"OUT.CSV" ~doc:"Write the output trace to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one CSV test case through the model and print the output trace.")
+    Term.(const run $ model_arg $ csv $ trace_out)
+
+let models_cmd =
+  let run export_dir =
+    (match export_dir with
+    | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      List.iter
+        (fun (e : Models.entry) ->
+          let path = Filename.concat dir (e.Models.name ^ ".slx.xml") in
+          Slx.save_file (Lazy.force e.Models.model) path;
+          Printf.printf "wrote %s\n" path)
+        Models.all
+    | None -> ());
+    Printf.printf "%-8s  %-36s %8s %7s\n" "name" "functionality" "#branch" "#block";
+    List.iter
+      (fun (e : Models.entry) ->
+        let m = Lazy.force e.Models.model in
+        let prog = Codegen.lower ~mode:Codegen.Full m in
+        Printf.printf "%-8s  %-36s %8d %7d\n" e.Models.name e.Models.functionality
+          (Recorder.branch_total prog) (Graph.block_count m))
+      Models.all
+  in
+  let export =
+    Arg.(value & opt (some string) None & info [ "export" ] ~docv:"DIR" ~doc:"Also export every model as .slx.xml into DIR.")
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List (and optionally export) the built-in benchmark models.")
+    Term.(const run $ export)
+
+let () =
+  let info = Cmd.info "cftcg" ~version:"1.0.0" ~doc:"Fuzzing-based test case generation for Simulink-like models." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fuzz_cmd; emit_c_cmd; coverage_cmd; minimize_cmd; convert_cmd; simulate_cmd;
+            models_cmd ]))

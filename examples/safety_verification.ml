@@ -1,0 +1,62 @@
+(* Safety verification by fuzzing: Assertion blocks (Simulink's Model
+   Verification blocks) turn the fuzzer into a bug finder — a first
+   violation of each assertion is reported with the offending input.
+
+     dune exec examples/safety_verification.exe *)
+
+open Cftcg_model
+module B = Build
+module Fuzzer = Cftcg_fuzz.Fuzzer
+module Layout = Cftcg_fuzz.Layout
+module Testcase = Cftcg_testcase.Testcase
+
+(* A battery pre-charge controller with a subtle defect: the
+   pre-charge bypass engages on a voltage threshold, but the designer
+   compared against the *requested* current instead of the measured
+   one, so a high request during low measured flow closes the
+   contactor early — violating the inrush-current safety bound. *)
+let precharge_controller () =
+  let b = B.create "Precharge" in
+  let v_bus = B.inport b "BusVoltage" Dtype.UInt16 in
+  (* volts x10 *)
+  let i_req = B.inport b "RequestedAmps" Dtype.Int16 in
+  let i_meas = B.inport b "MeasuredAmps" Dtype.Int16 in
+  let v = B.gain b 0.1 (B.convert b Dtype.Float64 v_bus) in
+  let charged = B.compare_const b ~name:"VoltageOk" Graph.R_ge 350.0 v in
+  (* DEFECT: should gate on measured inrush, uses the request *)
+  let low_flow = B.compare_const b ~name:"LowFlow" Graph.R_lt 20.0 (B.convert b Dtype.Float64 i_req) in
+  let close_main = B.and_ b ~name:"CloseMain" charged low_flow in
+  (* plant: closing the main contactor passes the measured current *)
+  let inrush =
+    B.switch b ~name:"Inrush" (B.convert b Dtype.Float64 i_meas) close_main (B.const_f b 0.)
+  in
+  (* safety invariant: current through the main contactor stays
+     under 80 A *)
+  let safe = B.compare_const b ~name:"InrushBound" Graph.R_lt 80.0 (B.abs_ b inrush) in
+  B.assertion b ~name:"InrushSafety" "main contactor closed above 80A inrush" safe;
+  B.outport b "MainClosed" (B.convert b Dtype.Int32 close_main);
+  B.outport b "Inrush" inrush;
+  B.finish b
+
+let () =
+  let model = precharge_controller () in
+  let gen = Cftcg.Pipeline.generate model in
+  Printf.printf "Fuzzing %s with %d assertion(s) armed...\n" model.Graph.model_name
+    (Array.length gen.Cftcg.Pipeline.program.Cftcg_ir.Ir.assertions);
+  let result =
+    Fuzzer.run
+      ~config:{ Fuzzer.default_config with Fuzzer.seed = 13L }
+      gen.Cftcg.Pipeline.program (Fuzzer.Exec_budget 200_000)
+  in
+  Printf.printf "%d executions, %d test cases, %d violation(s)\n"
+    result.Fuzzer.stats.Fuzzer.executions
+    (List.length result.Fuzzer.test_suite)
+    (List.length result.Fuzzer.failures);
+  List.iter
+    (fun (f : Fuzzer.failure) ->
+      Printf.printf "\nVIOLATION after %.3fs: %s\n" f.Fuzzer.f_time f.Fuzzer.f_message;
+      print_string "reproducer:\n";
+      print_string (Testcase.to_csv gen.Cftcg.Pipeline.layout f.Fuzzer.f_data))
+    result.Fuzzer.failures;
+  if result.Fuzzer.failures = [] then
+    print_endline "no violations found — try a larger budget"

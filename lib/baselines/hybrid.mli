@@ -1,0 +1,37 @@
+(** CFTCG + constraint solving — the paper's future-work pipeline.
+
+    §5 of the paper: {i "we can first apply constraint solving to the
+    branches in the model to obtain the constraints between ports and
+    then generate input data accordingly"} — cross-inport constraints
+    (exact sequence-number matches, correlated thresholds) are the
+    one structural weakness of pure fuzzing.
+
+    This driver splits the budget: a CFTCG fuzzing campaign first
+    (cheap coverage of everything mutation can reach), then the
+    branch-distance solver ({!Cftcg_symexec.Symexec}) targeted at
+    exactly the probes the fuzzer left uncovered. The combined suite
+    is returned chronologically. *)
+
+open Cftcg_ir
+
+type config = {
+  seed : int64;
+  fuzz_fraction : float;  (** share of the budget given to the fuzzing phase (default 0.6) *)
+}
+
+val default_config : config
+
+type test_case = {
+  data : Bytes.t;
+  time : float;
+}
+
+type result = {
+  suite : test_case list;
+  fuzz_executions : int;
+  solver_executions : int;
+  solver_targets : int;  (** objectives handed to the solver *)
+  solver_solved : int;
+}
+
+val run : ?config:config -> Ir.program -> time_budget:float -> result

@@ -1,0 +1,153 @@
+open Cftcg_model
+module Rng = Cftcg_util.Rng
+module Layout = Cftcg_fuzz.Layout
+module Interp = Cftcg_interp.Interp
+
+type config = {
+  seed : int64;
+  horizon : int;
+  batch : int;
+}
+
+let default_config = { seed = 1L; horizon = 64; batch = 8 }
+
+type test_case = {
+  data : Bytes.t;
+  time : float;
+}
+
+type result = {
+  suite : test_case list;
+  executions : int;
+  iterations : int;
+}
+
+(* Input signal shapes, per SimCoTest's signal-based generation. *)
+type shape =
+  | Sig_constant of float
+  | Sig_step of int * float * float  (* switch time, before, after *)
+  | Sig_ramp of float * float  (* start, increment per step *)
+  | Sig_pulse of int * float * float  (* period, low, high *)
+
+let sample shape k =
+  match shape with
+  | Sig_constant v -> v
+  | Sig_step (t, a, b) -> if k < t then a else b
+  | Sig_ramp (v0, dv) -> v0 +. (dv *. float_of_int k)
+  | Sig_pulse (period, lo, hi) -> if k mod (2 * period) < period then lo else hi
+
+let random_shape rng ~horizon (ty : Dtype.t) =
+  let amp () =
+    if Dtype.equal ty Dtype.Bool then Rng.float rng 2.0 -. 0.5
+    else if Dtype.is_integer ty then float_of_int (Rng.int_in rng (-200) 200)
+    else Rng.float rng 200.0 -. 100.0
+  in
+  match Rng.int rng 4 with
+  | 0 -> Sig_constant (amp ())
+  | 1 -> Sig_step (Rng.int_in rng 1 (max 1 (horizon - 1)), amp (), amp ())
+  | 2 -> Sig_ramp (amp (), Rng.float rng 10.0 -. 5.0)
+  | _ -> Sig_pulse (Rng.int_in rng 1 8, amp (), amp ())
+
+(* Output-signal features: the diversity space SimCoTest searches
+   (signal-shape diversity of model outputs). *)
+let features outputs =
+  (* outputs.(k).(o): value of output o at step k *)
+  let horizon = Array.length outputs in
+  if horizon = 0 then [||]
+  else begin
+    let n_out = Array.length outputs.(0) in
+    let feats = ref [] in
+    for o = n_out - 1 downto 0 do
+      let mn = ref Float.infinity and mx = ref Float.neg_infinity in
+      let mean = ref 0.0 in
+      let flips = ref 0 in
+      for k = 0 to horizon - 1 do
+        let v = outputs.(k).(o) in
+        if v < !mn then mn := v;
+        if v > !mx then mx := v;
+        mean := !mean +. v;
+        if k > 0 then begin
+          let dv = v -. outputs.(k - 1).(o) in
+          let dv' = if k > 1 then outputs.(k - 1).(o) -. outputs.(k - 2).(o) else dv in
+          if (dv > 0.0 && dv' < 0.0) || (dv < 0.0 && dv' > 0.0) then incr flips
+        end
+      done;
+      let squash x = Float.atan x in
+      feats :=
+        squash !mn :: squash !mx
+        :: squash (!mean /. float_of_int horizon)
+        :: squash (float_of_int !flips)
+        :: squash outputs.(horizon - 1).(o)
+        :: !feats
+    done;
+    Array.of_list !feats
+  end
+
+let distance a b =
+  let n = min (Array.length a) (Array.length b) in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let run ?(config = default_config) (m : Graph.t) ~time_budget =
+  let layout = Layout.of_inports (Graph.inports m) in
+  let in_tys = Array.map snd (Graph.inports m) in
+  let n_in = Array.length in_tys in
+  let n_out = Array.length (Graph.outports m) in
+  let rng = Rng.create config.seed in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. time_budget in
+  let executions = ref 0 in
+  let iterations = ref 0 in
+  let archive = ref [] in
+  let suite = ref [] in
+  let simulate shapes =
+    (* each candidate is a fresh simulation run: the engine
+       re-initializes the model every time, as driving Simulink's
+       [sim()] does *)
+    let interp = Interp.create m in
+    Interp.reset interp;
+    incr executions;
+    let data = Bytes.make (config.horizon * layout.Layout.tuple_len) '\000' in
+    let outputs = Array.make config.horizon [||] in
+    for k = 0 to config.horizon - 1 do
+      for i = 0 to n_in - 1 do
+        let v = Value.of_float in_tys.(i) (sample shapes.(i) k) in
+        let v = Value.cast in_tys.(i) v in
+        Interp.set_input interp i v;
+        Layout.set_field layout data ~tuple:k ~field:i v
+      done;
+      Interp.step interp;
+      incr iterations;
+      outputs.(k) <- Array.init n_out (fun o -> Value.to_float (Interp.get_output interp o))
+    done;
+    (data, features outputs)
+  in
+  let novelty feats =
+    match !archive with
+    | [] -> Float.infinity
+    | arch -> List.fold_left (fun acc f -> Float.min acc (distance feats f)) Float.infinity arch
+  in
+  while Unix.gettimeofday () < deadline do
+    (* one selection round: simulate a batch, keep the most novel *)
+    let best = ref None in
+    let remaining = ref config.batch in
+    while !remaining > 0 && Unix.gettimeofday () < deadline do
+      decr remaining;
+      let shapes = Array.init n_in (fun i -> random_shape rng ~horizon:config.horizon in_tys.(i)) in
+      let data, feats = simulate shapes in
+      let nov = novelty feats in
+      match !best with
+      | Some (_, _, best_nov) when best_nov >= nov -> ()
+      | _ -> best := Some (data, feats, nov)
+    done;
+    match !best with
+    | Some (data, feats, _) ->
+      archive := feats :: !archive;
+      suite := { data; time = Unix.gettimeofday () -. start } :: !suite
+    | None -> ()
+  done;
+  { suite = List.rev !suite; executions = !executions; iterations = !iterations }

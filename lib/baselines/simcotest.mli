@@ -1,0 +1,41 @@
+(** Simulation-based test generation — the SimCoTest stand-in.
+
+    SimCoTest generates whole input {e signals} (not byte streams),
+    simulates the model, and uses meta-heuristic search maximizing
+    output-signal diversity to pick which candidates enter the test
+    suite. This module reproduces that design:
+
+    - each candidate assigns one signal shape (constant / step /
+      ramp / pulse) per inport over a simulation horizon;
+    - candidates are executed on the {e graph interpreter}
+      ({!Cftcg_interp.Interp}) — the genuinely slow simulation path
+      that bounds the method's throughput, as the paper measures
+      (6 iterations/second on SolarPV);
+    - a candidate joins the suite when its output-feature vector is
+      far from everything already archived (diversity objective).
+
+    Test cases are emitted as tuple byte streams so the same replay
+    harness evaluates every tool. *)
+
+open Cftcg_model
+
+type config = {
+  seed : int64;
+  horizon : int;  (** simulation steps per candidate *)
+  batch : int;  (** candidates considered per selection round *)
+}
+
+val default_config : config
+
+type test_case = {
+  data : Bytes.t;
+  time : float;
+}
+
+type result = {
+  suite : test_case list;
+  executions : int;  (** candidates simulated *)
+  iterations : int;  (** total interpreter steps *)
+}
+
+val run : ?config:config -> Graph.t -> time_budget:float -> result

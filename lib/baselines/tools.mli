@@ -1,0 +1,56 @@
+(** Uniform interface over the test-case generators the paper
+    compares — CFTCG, SLDV, SimCoTest, the "Fuzz Only" build — plus
+    the CFTCG+Solver hybrid of §5.
+
+    Every tool consumes a model and a wall-clock budget and produces
+    a timestamped suite of byte-stream test cases. Coverage is then
+    measured by one shared replay harness
+    ({!Cftcg.Evaluate}) on the fully instrumented program — the
+    fair-comparison setup the paper implements by converting test
+    cases to CSV and using Simulink's own coverage statistics. *)
+
+open Cftcg_model
+
+type test_case = {
+  data : Bytes.t;
+  time : float;  (** seconds since the tool started *)
+}
+
+type outcome = {
+  tool_name : string;
+  suite : test_case list;  (** chronological *)
+  executions : int;  (** generator-level executions/candidates *)
+  iterations : int;  (** model steps performed, when known; 0 otherwise *)
+}
+
+type t = {
+  name : string;
+  generate : Graph.t -> seed:int64 -> time_budget:float -> outcome;
+}
+
+val cftcg : t
+(** The paper's tool: full instrumentation + model-oriented loop. *)
+
+val sldv : t
+(** Constraint-driven bounded generation ({!Cftcg_symexec.Symexec}). *)
+
+val simcotest : t
+(** Signal-diversity search over the graph interpreter. *)
+
+val fuzz_only : t
+(** LibFuzzer-on-generated-code baseline: branchless boolean code,
+    code-level probes only, byte-blind mutations (paper Figure 8). *)
+
+val cftcg_variant :
+  ?field_aware:bool -> ?iteration_metric:bool -> ?use_dictionary:bool -> string -> t
+(** Ablation builds of CFTCG with individual ingredients disabled. *)
+
+val cftcg_hybrid : t
+(** The paper's future-work pipeline: fuzz first, then hand the
+    uncovered objectives to the branch-distance solver
+    ({!Hybrid}). *)
+
+val all : t list
+(** [cftcg; sldv; simcotest; fuzz_only; cftcg_hybrid]. *)
+
+val by_name : string -> t option

@@ -1,0 +1,57 @@
+(* AFC — engine air-fuel ratio control.
+
+   Classic structure: speed-density airflow estimate from MAP and
+   RPM lookup tables, open-loop base pulse width, closed-loop lambda
+   correction through a limited integrator, and an operating-mode
+   switch (startup enrichment / normal closed loop / power
+   enrichment / overrun cutoff). Deliberately the smallest benchmark
+   (paper Table 2: 35 branches). *)
+
+open Cftcg_model
+module B = Build
+
+let model () =
+  let b = B.create "AFC" in
+  let rpm = B.inport b "RPM" Dtype.UInt16 in
+  let map_kpa = B.inport b "MAP" Dtype.UInt8 in
+  let lambda = B.inport b "Lambda" Dtype.Int16 in
+  (* scaled x1000 *)
+  let throttle = B.inport b "Throttle" Dtype.UInt8 in
+  let rpm_f = B.convert b Dtype.Float64 rpm in
+  let ve =
+    B.lookup b ~name:"VeTable" ~xs:[| 500.; 1500.; 3000.; 4500.; 6500. |]
+      ~ys:[| 0.45; 0.75; 0.92; 0.88; 0.70 |] rpm_f
+  in
+  let airflow =
+    B.product b ~name:"Airflow" [ ve; B.convert b Dtype.Float64 map_kpa; B.gain b 0.001 rpm_f ]
+  in
+  let base_pw = B.gain b ~name:"BasePW" 0.35 airflow in
+  (* closed-loop correction: lambda error through a limited integrator *)
+  let lambda_err = B.sum b ~name:"LambdaErr" ~signs:"+-" [ B.const_f b 1000.; B.convert b Dtype.Float64 lambda ] in
+  let deadband = B.dead_zone b ~name:"LambdaDB" ~lower:(-30.) ~upper:30. lambda_err in
+  let trim =
+    B.integrator b ~name:"TrimInt" ~gain:0.002
+      ~limits:{ Graph.int_lower = -0.25; int_upper = 0.25 }
+      deadband
+  in
+  (* operating mode decisions *)
+  let cranking = B.compare_const b ~name:"Cranking" Graph.R_lt 500.0 rpm_f in
+  let overrun =
+    B.and_ b ~name:"Overrun"
+      (B.compare_const b Graph.R_lt 5.0 (B.convert b Dtype.Float64 throttle))
+      (B.compare_const b Graph.R_gt 2500.0 rpm_f)
+  in
+  let power_mode = B.compare_const b ~name:"PowerMode" Graph.R_gt 85.0 (B.convert b Dtype.Float64 throttle) in
+  let enrich = B.switch b ~name:"PowerEnrich" (B.const_f b 1.15) power_mode (B.const_f b 1.0) in
+  let closed_loop = B.product b [ base_pw; B.bias b 1.0 trim; enrich ] in
+  let startup = B.gain b ~name:"CrankEnrich" 1.6 base_pw in
+  let with_start = B.switch b ~name:"ModeSel" startup cranking closed_loop in
+  let pw = B.switch b ~name:"CutoffSel" (B.const_f b 0.) overrun with_start in
+  let pw_limited = B.saturation b ~name:"PwLimit" ~lower:0. ~upper:22. pw in
+  (* injector duty alarm *)
+  let duty = B.product b [ pw_limited; B.gain b (1. /. 60000.) rpm_f ] in
+  let alarm = B.compare_const b ~name:"DutyAlarm" Graph.R_gt 0.85 duty in
+  B.outport b "PulseWidth" pw_limited;
+  B.outport b "Trim" trim;
+  B.outport b "Alarm" (B.convert b Dtype.Int32 alarm);
+  B.finish b

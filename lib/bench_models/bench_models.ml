@@ -1,0 +1,71 @@
+open Cftcg_model
+
+type entry = {
+  name : string;
+  functionality : string;
+  model : Graph.t Lazy.t;
+  paper_branches : int;
+  paper_blocks : int;
+}
+
+let all =
+  [ {
+      name = "CPUTask";
+      functionality = "AutoSAR CPU task dispatch system";
+      model = lazy (Cpu_task.model ());
+      paper_branches = 107;
+      paper_blocks = 275;
+    };
+    {
+      name = "AFC";
+      functionality = "Engine air-fuel control system";
+      model = lazy (Afc.model ());
+      paper_branches = 35;
+      paper_blocks = 125;
+    };
+    {
+      name = "TCP";
+      functionality = "TCP three-way handshake protocol";
+      model = lazy (Tcp.model ());
+      paper_branches = 146;
+      paper_blocks = 330;
+    };
+    {
+      name = "RAC";
+      functionality = "Robotic arm controller";
+      model = lazy (Rac.model ());
+      paper_branches = 179;
+      paper_blocks = 667;
+    };
+    {
+      name = "EVCS";
+      functionality = "Electric vehicle charging system";
+      model = lazy (Evcs.model ());
+      paper_branches = 89;
+      paper_blocks = 152;
+    };
+    {
+      name = "TWC";
+      functionality = "Train wheel speed controller";
+      model = lazy (Twc.model ());
+      paper_branches = 80;
+      paper_blocks = 214;
+    };
+    {
+      name = "UTPC";
+      functionality = "Underwater thruster power control";
+      model = lazy (Utpc.model ());
+      paper_branches = 92;
+      paper_blocks = 214;
+    };
+    {
+      name = "SolarPV";
+      functionality = "Solar PV panel output control";
+      model = lazy (Solar_pv.model ());
+      paper_branches = 55;
+      paper_blocks = 131;
+    } ]
+
+let find name =
+  let lname = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = lname) all

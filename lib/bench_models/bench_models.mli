@@ -1,0 +1,25 @@
+(** The eight benchmark models of the paper's Table 2.
+
+    Industrial behaviour-alikes built from the public block library:
+    each reproduces the functional identity and the logic feature the
+    paper calls out (CPUTask's fill-the-queue-only branches, SolarPV's
+    per-panel charging states, TCP's deep handshake sequences, ...).
+    Sizes are reported by the Table 2 bench next to the paper's
+    numbers. *)
+
+open Cftcg_model
+
+type entry = {
+  name : string;
+  functionality : string;
+  model : Graph.t Lazy.t;
+  paper_branches : int;  (** #Branch reported in paper Table 2 *)
+  paper_blocks : int;  (** #Block reported in paper Table 2 *)
+}
+
+val all : entry list
+(** In the paper's table order: CPUTask, AFC, TCP, RAC, EVCS, TWC,
+    UTPC, SolarPV. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by name. *)

@@ -1,0 +1,178 @@
+(* CPUTask — AutoSAR CPU task dispatch system.
+
+   Commands arrive as (Cmd, TaskID, Priority) triples:
+     Cmd 1 = activate task, Cmd 2 = terminate task, Cmd 3 = scheduler
+     tick, anything else = no-op.
+   The dispatcher keeps a bounded ready queue per priority band
+   (high/mid/low, counted in chart locals). Some branches — the ones
+   the paper highlights — only fire when the ready queue is
+   completely full. *)
+
+open Cftcg_model
+module B = Build
+open Chart
+
+let queue_capacity = 8.
+
+(* Dispatcher chart. Inputs: cmd, prio (0..2), tick overload flag.
+   Locals: high/mid/low ready counts, running priority.
+   Outputs: running task priority band, queue length, overflow flag. *)
+let dispatcher =
+  let cmd = in_ 0 in
+  let prio = in_ 1 in
+  let overload = in_ 2 in
+  let high = local 0 in
+  let mid = local 1 in
+  let low = local 2 in
+  let qlen = high +: mid +: low in
+  let activate =
+    [ Set_local (0, high +: Bin (C_eq, prio, num 2.));
+      Set_local (1, mid +: Bin (C_eq, prio, num 1.));
+      Set_local (2, low +: Bin (C_eq, prio, num 0.)) ]
+  in
+  let publish =
+    [ Set_out (1, qlen);
+      Set_out (0, Bin (C_gt, high, num 0.) *: num 2.
+                  +: (not_ (Bin (C_gt, high, num 0.)) &&: (mid >: num 0.)) *: num 1.) ]
+  in
+  {
+    chart_name = "Dispatcher";
+    inputs = [| ("cmd", Dtype.Int8); ("prio", Dtype.Int8); ("overload", Dtype.Bool) |];
+    outputs =
+      [| ("running_band", Dtype.Int32); ("queue_len", Dtype.Int32); ("overflow", Dtype.Bool) |];
+    locals =
+      [| ("high", Dtype.Int32, 0.); ("mid", Dtype.Int32, 0.); ("low", Dtype.Int32, 0.) |];
+    states =
+      [| {
+           state_name = "Idle";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ Set_out (0, num 0.); Set_out (2, num 0.) ];
+           during = publish;
+           outgoing =
+             [ { guard = (cmd =: num 1.) &&: (qlen <: num queue_capacity);
+                 actions = activate; dst = 1 } ];
+         };
+         {
+           state_name = "Ready";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [];
+           during = publish;
+           outgoing =
+             [ { guard = (cmd =: num 1.) &&: (qlen >=: num queue_capacity);
+                 actions = [ Set_out (2, num 1.) ]; dst = 3 };
+               { guard = (cmd =: num 1.); actions = activate; dst = 1 };
+               { guard = cmd =: num 3.; actions = []; dst = 2 };
+               { guard = (cmd =: num 2.) &&: (qlen <=: num 1.);
+                 actions = [ Set_local (0, num 0.); Set_local (1, num 0.); Set_local (2, num 0.) ];
+                 dst = 0 };
+               { guard = cmd =: num 2.;
+                 actions =
+                   [ Set_local (0, Bin (C_max, high -: Bin (C_gt, high, num 0.), num 0.));
+                     Set_local (1, Bin (C_max,
+                        mid -: ((not_ (high >: num 0.)) &&: (mid >: num 0.)), num 0.)) ];
+                 dst = 1 } ];
+         };
+         {
+           state_name = "Dispatching";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = publish;
+           during = [];
+           outgoing =
+             [ (* preemption by overload interrupt *)
+               { guard = overload >: num 0.; actions = []; dst = 3 };
+               { guard = high >: num 0.;
+                 actions = [ Set_local (0, high -: num 1.) ]; dst = 1 };
+               { guard = mid >: num 0.;
+                 actions = [ Set_local (1, mid -: num 1.) ]; dst = 1 };
+               { guard = low >: num 0.;
+                 actions = [ Set_local (2, low -: num 1.) ]; dst = 1 };
+               (* queue was empty: idle after one hold step, so both
+                  arms of this guard stay reachable *)
+               { guard = State_time >=: num 1.; actions = []; dst = 0 } ];
+         };
+         {
+           state_name = "Overflowed";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ Set_out (2, num 1.) ];
+           during = [];
+           outgoing =
+             [ (* recovery: drain everything after a hold-off *)
+               { guard = State_time >=: num 3.;
+                 actions =
+                   [ Set_local (0, num 0.); Set_local (1, num 0.); Set_local (2, num 0.);
+                     Set_out (2, num 0.) ];
+                 dst = 0 } ];
+         } |];
+    init_state = 0;
+  }
+
+let model () =
+  let b = B.create "CPUTask" in
+  let cmd = B.inport b "Cmd" Dtype.Int8 in
+  let task_id = B.inport b "TaskID" Dtype.UInt8 in
+  let prio_raw = B.inport b "Priority" Dtype.Int8 in
+  (* priority normalization: clamp to the three bands *)
+  let prio = B.saturation b ~name:"PrioClamp" ~lower:0. ~upper:2. prio_raw in
+  (* CPU load model: ticks push load up, idle decays it; overload
+     fires with hysteresis *)
+  let is_tick = B.compare_const b ~name:"IsTick" Graph.R_eq 3.0 cmd in
+  let load_delta =
+    B.switch b ~name:"LoadDelta" (B.const_f b 7.) is_tick (B.const_f b (-2.))
+  in
+  let load =
+    B.integrator b ~name:"CpuLoad" ~limits:{ Graph.int_lower = 0.; int_upper = 100. } load_delta
+  in
+  let overload =
+    B.relay b ~name:"OverloadRelay" ~on_point:80. ~off_point:40. ~on_value:1. ~off_value:0. load
+  in
+  let overload_b = B.compare_const b Graph.R_gt 0.0 overload in
+  let outs =
+    B.chart b ~name:"DispatcherSM" dispatcher
+      [ cmd; B.convert b Dtype.Int8 prio; overload_b ]
+  in
+  let running_band = outs.(0) in
+  let queue_len = outs.(1) in
+  let overflow = outs.(2) in
+  (* watchdog: too many consecutive overload ticks trips emergency *)
+  let wd = B.counter b ~name:"Watchdog" 12 overload_b in
+  let emergency = B.compare_const b ~name:"WdTrip" Graph.R_ge 12.0 wd in
+  (* task-id based affinity: odd tasks to core 1 when not high band *)
+  let odd_task =
+    B.compare_const b Graph.R_eq 1.0
+      (B.sum b ~signs:"+-"
+         [ B.convert b Dtype.Float64 task_id;
+           B.gain b 2.
+             (B.rounding b Graph.R_floor (B.gain b 0.5 (B.convert b Dtype.Float64 task_id))) ])
+  in
+  let high_band = B.compare_const b Graph.R_ge 2.0 running_band in
+  let core = B.switch b ~name:"CoreSel" (B.const_i b Dtype.Int32 0) high_band
+      (B.convert b Dtype.Int32 odd_task)
+  in
+  let status =
+    B.multiport_switch b ~name:"Status"
+      (B.sum b
+         [ B.const_f b 1.;
+           B.convert b Dtype.Float64 emergency;
+           B.gain b 2. (B.convert b Dtype.Float64 overflow) ])
+      [ B.const_i b Dtype.Int32 0; (* normal *)
+        B.const_i b Dtype.Int32 1; (* emergency *)
+        B.const_i b Dtype.Int32 2; (* overflow *)
+        B.const_i b Dtype.Int32 3 (* both *) ]
+  in
+  B.outport b "RunningBand" (B.convert b Dtype.Int32 running_band);
+  B.outport b "QueueLen" (B.convert b Dtype.Int32 queue_len);
+  B.outport b "Core" core;
+  B.outport b "Status" status;
+  B.finish b

@@ -1,0 +1,164 @@
+(* EVCS — electric vehicle charging system.
+
+   CC/CV charging profile under a session state machine
+   (Idle / Authorizing / Plugged / ChargingCC / ChargingCV / Complete
+   / Fault), with thermal derating and an earth-leakage trip. *)
+
+open Cftcg_model
+module B = Build
+open Chart
+
+let session =
+  let plug = in_ 0 in
+  let auth_token = in_ 1 in
+  let soc = in_ 2 in
+  let fault_in = in_ 3 in
+  let set_phase v = Set_out (0, num v) in
+  {
+    chart_name = "Session";
+    inputs =
+      [| ("plugged", Dtype.Bool); ("token", Dtype.Int32); ("soc", Dtype.Int32);
+         ("fault", Dtype.Bool) |];
+    outputs = [| ("phase", Dtype.Int32); ("contactor", Dtype.Bool) |];
+    locals = [| ("auth_fail", Dtype.Int32, 0.) |];
+    states =
+      [| {
+           state_name = "Idle";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_phase 0.; Set_out (1, num 0.) ];
+           during = [];
+           outgoing = [ { guard = plug; actions = []; dst = 1 } ];
+         };
+         {
+           state_name = "Authorizing";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_phase 1. ];
+           during = [];
+           outgoing =
+             [ { guard = not_ plug; actions = []; dst = 0 };
+               (* a valid token is in the 4000..4999 range *)
+               { guard = (auth_token >=: num 4000.) &&: (auth_token <: num 5000.);
+                 actions = [ Set_local (0, num 0.) ]; dst = 2 };
+               { guard = (State_time >=: num 3.) &&: (local 0 >=: num 2.); actions = []; dst = 6 };
+               { guard = State_time >=: num 3.;
+                 actions = [ Set_local (0, local 0 +: num 1.) ]; dst = 1 } ];
+         };
+         {
+           state_name = "Plugged";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_phase 2.; Set_out (1, num 1.) ];
+           during = [];
+           outgoing =
+             [ { guard = not_ plug; actions = []; dst = 0 };
+               { guard = fault_in; actions = []; dst = 6 };
+               { guard = soc <: num 80.; actions = []; dst = 3 };
+               { guard = soc <: num 100.; actions = []; dst = 4 };
+               (* already full: complete after one settling step *)
+               { guard = State_time >=: num 1.; actions = []; dst = 5 } ];
+         };
+         {
+           state_name = "ChargingCC";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_phase 3. ];
+           during = [];
+           outgoing =
+             [ { guard = fault_in; actions = []; dst = 6 };
+               { guard = not_ plug; actions = []; dst = 0 };
+               { guard = soc >=: num 80.; actions = []; dst = 4 } ];
+         };
+         {
+           state_name = "ChargingCV";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_phase 4. ];
+           during = [];
+           outgoing =
+             [ { guard = fault_in; actions = []; dst = 6 };
+               { guard = not_ plug; actions = []; dst = 0 };
+               { guard = soc >=: num 100.; actions = []; dst = 5 } ];
+         };
+         {
+           state_name = "Complete";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_phase 5.; Set_out (1, num 0.) ];
+           during = [];
+           outgoing = [ { guard = not_ plug; actions = []; dst = 0 } ];
+         };
+         {
+           state_name = "Fault";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_phase 6.; Set_out (1, num 0.) ];
+           during = [];
+           outgoing =
+             [ { guard = (not_ plug) &&: (State_time >=: num 5.);
+                 actions = [ Set_local (0, num 0.) ]; dst = 0 } ];
+         } |];
+    init_state = 0;
+  }
+
+let model () =
+  let b = B.create "EVCS" in
+  let plugged = B.inport b "Plugged" Dtype.Bool in
+  let token = B.inport b "Token" Dtype.Int32 in
+  let soc = B.inport b "SoC" Dtype.UInt8 in
+  let temp = B.inport b "Temp" Dtype.Int16 in
+  let leakage = B.inport b "Leakage" Dtype.UInt16 in
+  (* protective trips *)
+  let overtemp =
+    B.relay b ~name:"TempRelay" ~on_point:70. ~off_point:55. ~on_value:1. ~off_value:0.
+      (B.convert b Dtype.Float64 temp)
+  in
+  let leak_trip = B.compare_const b ~name:"LeakTrip" Graph.R_gt 30.0 (B.convert b Dtype.Float64 leakage) in
+  let fault = B.or_ b ~name:"AnyTrip" (B.compare_const b Graph.R_gt 0.0 overtemp) leak_trip in
+  let soc_clamped = B.saturation b ~name:"SocClamp" ~lower:0. ~upper:100. (B.convert b Dtype.Float64 soc) in
+  let sess = B.chart b ~name:"SessionSM" session
+      [ plugged; token; B.convert b Dtype.Int32 soc_clamped; fault ]
+  in
+  let phase = sess.(0) in
+  let contactor = sess.(1) in
+  (* current command: CC phase → max current, CV phase → tapers with
+     SoC, derated by temperature *)
+  let cc = B.compare_const b Graph.R_eq 3.0 phase in
+  let cv = B.compare_const b Graph.R_eq 4.0 phase in
+  let taper =
+    B.lookup b ~name:"CvTaper" ~xs:[| 80.; 90.; 96.; 100. |] ~ys:[| 32.; 16.; 6.; 1. |]
+      soc_clamped
+  in
+  let derate =
+    B.lookup b ~name:"TempDerate" ~xs:[| 0.; 40.; 60.; 80. |] ~ys:[| 1.0; 1.0; 0.6; 0.2 |]
+      (B.convert b Dtype.Float64 temp)
+  in
+  let base_amps =
+    B.switch b ~name:"PhaseAmps" (B.const_f b 32.) cc (B.switch b taper cv (B.const_f b 0.))
+  in
+  let amps_cmd =
+    B.product b ~name:"AmpsCmd"
+      [ base_amps; derate; B.convert b Dtype.Float64 contactor ]
+  in
+  let ramped = B.rate_limiter b ~name:"AmpsRamp" ~rising:4. ~falling:(-16.) amps_cmd in
+  let energy = B.integrator b ~name:"EnergyMeter" ~gain:0.01 ramped in
+  B.outport b "Phase" (B.convert b Dtype.Int32 phase);
+  B.outport b "Amps" ramped;
+  B.outport b "Energy" energy;
+  B.outport b "Tripped" (B.convert b Dtype.Int32 fault);
+  B.finish b

@@ -1,0 +1,206 @@
+(* RAC — robotic arm controller.
+
+   Three joints, each with its own servo subsystem (error deadband,
+   limited-integrator PI, slew-rate limiting, travel limits), under a
+   supervisory mode chart (PowerOff / Homing / Tracking / Fault /
+   EStop). The largest benchmark by block count (paper Table 2). *)
+
+open Cftcg_model
+module B = Build
+open Chart
+
+(* One joint servo: inputs (enable, target, position) -> command.
+   Packaged as an enabled subsystem so disabling a joint holds its
+   last command — instrumentation mode (c). *)
+let joint_subsystem k =
+  let b = B.create (Printf.sprintf "Joint%d" k) in
+  let target = B.inport b "target" Dtype.Float64 in
+  let position = B.inport b "position" Dtype.Float64 in
+  let err = B.sum b ~name:"Err" ~signs:"+-" [ target; position ] in
+  let err_db = B.dead_zone b ~name:"ErrDB" ~lower:(-0.5) ~upper:0.5 err in
+  let p_term = B.gain b ~name:"Kp" 0.8 err_db in
+  let i_term =
+    B.integrator b ~name:"Ki" ~gain:0.05 ~limits:{ Graph.int_lower = -20.; int_upper = 20. }
+      err_db
+  in
+  let raw = B.sum b ~name:"PI" [ p_term; i_term ] in
+  let slewed = B.rate_limiter b ~name:"Slew" ~rising:2.5 ~falling:(-2.5) raw in
+  let cmd = B.saturation b ~name:"Travel" ~lower:(-90.) ~upper:90. slewed in
+  let moving = B.compare_const b ~name:"Moving" Graph.R_gt 0.1 (B.abs_ b err_db) in
+  B.outport b "cmd" cmd;
+  B.outport b "moving" (B.convert b Dtype.Float64 moving);
+  B.finish b
+
+let supervisor =
+  let power = in_ 0 in
+  let home_req = in_ 1 in
+  let fault_in = in_ 2 in
+  let estop = in_ 3 in
+  let all_homed = in_ 4 in
+  let set_mode v = Set_out (0, num v) in
+  {
+    chart_name = "Supervisor";
+    inputs =
+      [| ("power", Dtype.Bool); ("home_req", Dtype.Bool); ("fault", Dtype.Bool);
+         ("estop", Dtype.Bool); ("all_homed", Dtype.Bool) |];
+    outputs = [| ("mode", Dtype.Int32); ("enable", Dtype.Bool); ("fine", Dtype.Bool) |];
+    locals = [| ("fault_count", Dtype.Int32, 0.) |];
+    states =
+      [| {
+           state_name = "PowerOff";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 0.; Set_out (1, num 0.) ];
+           during = [];
+           outgoing = [ { guard = power; actions = []; dst = 1 } ];
+         };
+         {
+           state_name = "Homing";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 1.; Set_out (1, num 1.) ];
+           during = [];
+           outgoing =
+             [ { guard = estop; actions = []; dst = 4 };
+               { guard = not_ power; actions = []; dst = 0 };
+               { guard = fault_in; actions = [ Set_local (0, local 0 +: num 1.) ]; dst = 3 };
+               { guard = all_homed &&: (State_time >=: num 4.); actions = []; dst = 2 } ];
+         };
+         {
+           (* Tracking is hierarchical: coarse approach vs fine
+              positioning, switched on settling time *)
+           state_name = "Tracking";
+           exit_actions = [ Set_out (2, num 0.) ];
+           children =
+             [| {
+                  state_name = "Coarse";
+                  exit_actions = [];
+                  children = [||];
+                  init_child = 0;
+           parallel = false;
+                  entry = [ Set_out (2, num 0.) ];
+                  during = [];
+                  outgoing = [ { guard = State_time >=: num 6.; actions = []; dst = 1 } ];
+                };
+                {
+                  state_name = "Fine";
+                  exit_actions = [];
+                  children = [||];
+                  init_child = 0;
+           parallel = false;
+                  entry = [ Set_out (2, num 1.) ];
+                  during = [];
+                  outgoing = [ { guard = home_req; actions = []; dst = 0 } ];
+                } |];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 2.; Set_out (1, num 1.) ];
+           during = [];
+           outgoing =
+             [ { guard = estop; actions = []; dst = 4 };
+               { guard = not_ power; actions = []; dst = 0 };
+               { guard = fault_in; actions = [ Set_local (0, local 0 +: num 1.) ]; dst = 3 };
+               { guard = home_req &&: (State_time >=: num 20.); actions = []; dst = 1 } ];
+         };
+         {
+           state_name = "Fault";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 3.; Set_out (1, num 0.) ];
+           during = [];
+           outgoing =
+             [ { guard = estop; actions = []; dst = 4 };
+               (* three strikes latch into EStop *)
+               { guard = local 0 >=: num 3.; actions = []; dst = 4 };
+               { guard = (not_ fault_in) &&: (State_time >=: num 5.); actions = []; dst = 1 };
+               { guard = not_ power; actions = []; dst = 0 } ];
+         };
+         {
+           state_name = "EStop";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 4.; Set_out (1, num 0.) ];
+           during = [];
+           outgoing =
+             [ { guard = (not_ estop) &&: (not_ power) &&: (State_time >=: num 10.);
+                 actions = [ Set_local (0, num 0.) ]; dst = 0 } ];
+         } |];
+    init_state = 0;
+  }
+
+let model () =
+  let b = B.create "RAC" in
+  let power = B.inport b "Power" Dtype.Bool in
+  let estop = B.inport b "EStop" Dtype.Bool in
+  let home_req = B.inport b "HomeReq" Dtype.Bool in
+  let t1 = B.inport b "Target1" Dtype.Int16 in
+  let t2 = B.inport b "Target2" Dtype.Int16 in
+  let t3 = B.inport b "Target3" Dtype.Int16 in
+  (* simple plant feedback: position follows command through a filter *)
+  let joints =
+    List.mapi
+      (fun k target ->
+        let target_f = B.convert b Dtype.Float64 target in
+        let target_lim =
+          B.saturation b ~name:(Printf.sprintf "TLim%d" k) ~lower:(-90.) ~upper:90. target_f
+        in
+        (k, target_lim))
+      [ t1; t2; t3 ]
+  in
+  (* joint overspeed fault: any target jumping too fast *)
+  let fault =
+    let jumps =
+      List.map
+        (fun (k, target_lim) ->
+          let prev = B.memory b ~name:(Printf.sprintf "PrevT%d" k) target_lim in
+          let jump = B.abs_ b (B.sum b ~signs:"+-" [ target_lim; prev ]) in
+          B.compare_const b ~name:(Printf.sprintf "Jump%d" k) Graph.R_gt 45.0 jump)
+        joints
+    in
+    B.logic b ~name:"AnyJump" Graph.L_or jumps
+  in
+  (* homing progress: all joints near zero *)
+  let homed_list =
+    List.map
+      (fun (k, target_lim) ->
+        ignore target_lim;
+        let pos_fb = B.memory b ~name:(Printf.sprintf "PosFb%d" k) (B.const_f b 0.) in
+        B.compare_const b ~name:(Printf.sprintf "Homed%d" k) Graph.R_lt 1.0 (B.abs_ b pos_fb))
+      joints
+  in
+  let all_homed = B.logic b ~name:"AllHomed" Graph.L_and homed_list in
+  let sup = B.chart b ~name:"SupervisorSM" supervisor [ power; home_req; fault; estop; all_homed ] in
+  let mode = sup.(0) in
+  let enable = sup.(1) in
+  let fine = sup.(2) in
+  let cmds =
+    List.map
+      (fun (k, target_lim) ->
+        (* servo loop with plant feedback through a unit delay *)
+        let fb = B.unit_delay b ~name:(Printf.sprintf "Plant%d" k) target_lim in
+        let tracked =
+          B.subsystem b
+            ~name:(Printf.sprintf "Servo%d" k)
+            ~activation:Graph.Enabled (joint_subsystem k)
+            [ enable; target_lim; B.gain b 0.9 fb ]
+        in
+        tracked.(0))
+      joints
+  in
+  let any_moving =
+    B.compare_const b Graph.R_gt 0.5
+      (B.max_ b ~name:"MaxCmd" (List.map (fun c -> B.abs_ b c) cmds))
+  in
+  B.outport b "Mode" (B.convert b Dtype.Int32 mode);
+  B.outport b "FineMode" (B.convert b Dtype.Int32 fine);
+  List.iteri (fun k cmd -> B.outport b (Printf.sprintf "Cmd%d" (k + 1)) cmd) cmds;
+  B.outport b "Busy" (B.convert b Dtype.Int32 any_moving);
+  B.finish b

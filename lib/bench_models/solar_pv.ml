@@ -1,0 +1,157 @@
+(* SolarPV — Solar PV panel energy output control (paper Fig. 1).
+
+   The system manages several PV panels at once. Commands address one
+   panel (PanelID); each panel owns a charging-state chart (Off /
+   Standby / Charging / Full / Fault) driven by the reported output
+   power. The plant-level logic accumulates delivered power, switches
+   the storage path with hysteresis, and limits the feed-in level.
+
+   Inports mirror the paper's fuzz driver example (Fig. 3):
+   Enable int8, Power int32, PanelID int32. *)
+
+open Cftcg_model
+module B = Build
+open Chart
+
+let n_panels = 3
+
+(* Per-panel charging state machine. Inputs: enable, power (W).
+   Outputs: state code (0..4), delivered power. *)
+let panel_chart id =
+  let enable = in_ 0 in
+  let power = in_ 1 in
+  let set_code v = Set_out (0, num v) in
+  let deliver e = Set_out (1, e) in
+  {
+    chart_name = Printf.sprintf "Panel%d" id;
+    inputs = [| ("enable", Dtype.Bool); ("power", Dtype.Int32) |];
+    outputs = [| ("state_code", Dtype.Int32); ("delivered", Dtype.Int32) |];
+    locals = [| ("low_count", Dtype.Int32, 0.) |];
+    states =
+      [| {
+           state_name = "Off";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_code 0.; deliver (num 0.) ];
+           during = [ deliver (num 0.) ];
+           outgoing = [ { guard = enable >: num 0.; actions = []; dst = 1 } ];
+         };
+         {
+           state_name = "Standby";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_code 1.; Set_local (0, num 0.) ];
+           during = [ deliver (num 0.) ];
+           outgoing =
+             [ { guard = not_ (enable >: num 0.); actions = []; dst = 0 };
+               { guard = power >=: num 50.; actions = []; dst = 2 };
+               { guard = power <: num 0.; actions = []; dst = 4 } ];
+         };
+         {
+           state_name = "Charging";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_code 2. ];
+           during =
+             [ deliver power;
+               Set_local (0, Bin (C_add, local 0, Bin (C_lt, power, num 50.))) ];
+           outgoing =
+             [ { guard = not_ (enable >: num 0.); actions = []; dst = 0 };
+               { guard = power >: num 5000.; actions = []; dst = 4 };
+               (* full after sustained high output *)
+               { guard = (power >=: num 2000.) &&: (State_time >=: num 5.); actions = []; dst = 3 };
+               (* repeated low power drops back to standby *)
+               { guard = local 0 >=: num 4.; actions = []; dst = 1 } ];
+         };
+         {
+           state_name = "Full";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_code 3. ];
+           during = [ deliver (Bin (C_min, power, num 500.)) ];
+           outgoing =
+             [ { guard = not_ (enable >: num 0.); actions = []; dst = 0 };
+               { guard = power <: num 1000.; actions = []; dst = 2 } ];
+         };
+         {
+           state_name = "Fault";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_code 4.; deliver (num 0.) ];
+           during = [ deliver (num 0.) ];
+           outgoing =
+             [ (* operator must cycle enable off to clear the fault *)
+               { guard = not_ (enable >: num 0.); actions = []; dst = 0 } ];
+         } |];
+    init_state = 0;
+  }
+
+let model () =
+  let b = B.create "SolarPV" in
+  let enable = B.inport b "Enable" Dtype.Int8 in
+  let power = B.inport b "Power" Dtype.Int32 in
+  let panel_id = B.inport b "PanelID" Dtype.Int32 in
+  (* command routing: the addressed panel sees the live enable/power,
+     the others hold their previous command *)
+  let deliveries =
+    List.init n_panels (fun k ->
+        let addressed =
+          B.compare_const b ~name:(Printf.sprintf "IsPanel%d" k) Graph.R_eq (float_of_int k)
+            panel_id
+        in
+        let en_bool = B.compare_const b Graph.R_gt 0.0 enable in
+        let latched_en =
+          (* per-panel enable latch: update only when addressed *)
+          let held = B.memory b ~name:(Printf.sprintf "HeldEn%d" k) en_bool in
+          B.switch b ~name:(Printf.sprintf "EnSel%d" k) en_bool addressed held
+        in
+        let held_pw = B.memory b ~name:(Printf.sprintf "HeldPw%d" k) power in
+        let latched_pw = B.switch b ~name:(Printf.sprintf "PwSel%d" k) power addressed held_pw in
+        let outs =
+          B.chart b ~name:(Printf.sprintf "PanelSM%d" k) (panel_chart k) [ latched_en; latched_pw ]
+        in
+        (outs.(0), outs.(1)))
+  in
+  let total =
+    B.sum b ~name:"TotalPower" (List.map (fun (_, d) -> B.convert b Dtype.Float64 d) deliveries)
+  in
+  (* storage path selection with hysteresis: battery below 1 kW,
+     grid feed-in above 3 kW *)
+  let storage_mode =
+    B.relay b ~name:"StorageRelay" ~on_point:3000. ~off_point:1000. ~on_value:1. ~off_value:0.
+      total
+  in
+  (* feed-in limiter *)
+  let limited = B.saturation b ~name:"FeedLimit" ~lower:0. ~upper:8000. total in
+  let smoothed = B.filter b ~name:"FeedFilter" 0.4 limited in
+  (* return code: fault dominates, then full, then charging count *)
+  let fault_any =
+    let faults =
+      List.map (fun (code, _) -> B.compare_const b Graph.R_eq 4.0 code) deliveries
+    in
+    B.logic b ~name:"AnyFault" Graph.L_or faults
+  in
+  let charging_count =
+    B.sum b ~name:"ChargingCount"
+      (List.map
+         (fun (code, _) ->
+           B.convert b Dtype.Float64 (B.compare_const b Graph.R_eq 2.0 code))
+         deliveries)
+  in
+  let ret =
+    B.switch b ~name:"RetSel" (B.const_f b 100.) fault_any
+      (B.sum b [ charging_count; B.gain b 10. storage_mode ])
+  in
+  B.outport b "Ret" (B.convert b Dtype.Int32 ret);
+  B.outport b "FeedPower" (B.convert b Dtype.Int32 smoothed);
+  B.finish b

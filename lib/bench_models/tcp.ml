@@ -1,0 +1,244 @@
+(* TCP — three-way handshake / teardown protocol engine.
+
+   Input is a decoded segment: Flags (bit0 SYN, bit1 ACK, bit2 FIN,
+   bit3 RST), SeqNo, AckNo, plus an application command (1 = active
+   open, 2 = passive open, 3 = close, 4 = send).
+   The chart walks the RFC 793 connection state machine with sequence
+   number checking and retransmission timeouts. *)
+
+open Cftcg_model
+module B = Build
+open Chart
+
+(* flag bit extraction inside the chart: (flags / 2^k) mod 2 *)
+let bit flags k =
+  Bin (C_mod, Bin (C_div, flags, num (Float.of_int (1 lsl k))), num 2.) >=: num 1.
+
+let tcp_chart =
+  let flags = in_ 0 in
+  let seq_no = in_ 1 in
+  let ack_no = in_ 2 in
+  let cmd = in_ 3 in
+  let syn = bit flags 0 in
+  let ack = bit flags 1 in
+  let fin = bit flags 2 in
+  let rst = bit flags 3 in
+  let iss = local 0 (* our initial send sequence *) in
+  let irs = local 1 (* peer's sequence *) in
+  let retries = local 2 in
+  let set_state v = Set_out (0, num v) in
+  let good_ack = ack_no =: (iss +: num 1.) in
+  let reset_to_closed = { guard = rst; actions = []; dst = 0 } in
+  {
+    chart_name = "TcpSM";
+    inputs =
+      [| ("flags", Dtype.UInt8); ("seq", Dtype.Int32); ("ackno", Dtype.Int32); ("cmd", Dtype.Int8) |];
+    outputs = [| ("state_code", Dtype.Int32); ("tx_flags", Dtype.Int32); ("established", Dtype.Bool) |];
+    locals = [| ("iss", Dtype.Int32, 100.); ("irs", Dtype.Int32, 0.); ("retries", Dtype.Int32, 0.) |];
+    states =
+      [| {
+           (* 0 *)
+           state_name = "Closed";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 0.; Set_out (1, num 0.); Set_out (2, num 0.) ];
+           during = [];
+           outgoing =
+             [ { guard = cmd =: num 1.;
+                 actions = [ Set_out (1, num 1.) (* SYN *); Set_local (2, num 0.) ]; dst = 2 };
+               { guard = cmd =: num 2.; actions = []; dst = 1 } ];
+         };
+         {
+           (* 1 *)
+           state_name = "Listen";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 1. ];
+           during = [];
+           outgoing =
+             [ reset_to_closed;
+               { guard = syn &&: not_ ack;
+                 actions = [ Set_local (1, seq_no); Set_out (1, num 3.) (* SYN|ACK *) ];
+                 dst = 3 };
+               { guard = cmd =: num 3.; actions = []; dst = 0 } ];
+         };
+         {
+           (* 2 *)
+           state_name = "SynSent";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 2. ];
+           during = [];
+           outgoing =
+             [ reset_to_closed;
+               { guard = syn &&: ack &&: good_ack;
+                 actions = [ Set_local (1, seq_no); Set_out (1, num 2.) (* ACK *) ];
+                 dst = 4 };
+               { guard = syn &&: not_ ack;
+                 actions = [ Set_local (1, seq_no); Set_out (1, num 3.) ];
+                 dst = 3 };
+               (* retransmit SYN on timeout, give up after 4 tries *)
+               { guard = (State_time >=: num 6.) &&: (retries <: num 4.);
+                 actions = [ Set_local (2, retries +: num 1.); Set_out (1, num 1.) ];
+                 dst = 2 };
+               { guard = (State_time >=: num 6.) &&: (retries >=: num 4.); actions = []; dst = 0 } ];
+         };
+         {
+           (* 3 *)
+           state_name = "SynRcvd";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 3. ];
+           during = [];
+           outgoing =
+             [ reset_to_closed;
+               { guard = ack &&: good_ack; actions = []; dst = 4 };
+               { guard = fin; actions = [ Set_out (1, num 2.) ]; dst = 6 };
+               { guard = State_time >=: num 10.; actions = []; dst = 0 } ];
+         };
+         {
+           (* 4 *)
+           state_name = "Established";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 4.; Set_out (2, num 1.) ];
+           during = [];
+           outgoing =
+             [ reset_to_closed;
+               { guard = fin;
+                 actions = [ Set_out (1, num 2.); Set_out (2, num 0.) ]; dst = 6 };
+               { guard = cmd =: num 3.;
+                 actions = [ Set_out (1, num 4.) (* FIN *); Set_out (2, num 0.) ]; dst = 5 };
+               (* in-window data segment acknowledged *)
+               { guard = (cmd =: num 4.) &&: (seq_no =: (irs +: num 1.));
+                 actions = [ Set_local (1, seq_no); Set_out (1, num 2.) ]; dst = 4 } ];
+         };
+         {
+           (* 5 *)
+           state_name = "FinWait1";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 5. ];
+           during = [];
+           outgoing =
+             [ reset_to_closed;
+               { guard = ack &&: fin; actions = [ Set_out (1, num 2.) ]; dst = 8 };
+               { guard = ack &&: not_ fin; actions = []; dst = 7 };
+               { guard = fin; actions = [ Set_out (1, num 2.) ]; dst = 9 } ];
+         };
+         {
+           (* 6 *)
+           state_name = "CloseWait";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 6. ];
+           during = [];
+           outgoing =
+             [ reset_to_closed;
+               { guard = cmd =: num 3.; actions = [ Set_out (1, num 4.) ]; dst = 10 } ];
+         };
+         {
+           (* 7 *)
+           state_name = "FinWait2";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 7. ];
+           during = [];
+           outgoing =
+             [ reset_to_closed;
+               { guard = fin; actions = [ Set_out (1, num 2.) ]; dst = 8 } ];
+         };
+         {
+           (* 8 *)
+           state_name = "TimeWait";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 8. ];
+           during = [];
+           outgoing = [ { guard = State_time >=: num 8.; actions = []; dst = 0 } ] ;
+         };
+         {
+           (* 9 *)
+           state_name = "Closing";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 9. ];
+           during = [];
+           outgoing =
+             [ reset_to_closed;
+               { guard = ack; actions = []; dst = 8 } ];
+         };
+         {
+           (* 10 *)
+           state_name = "LastAck";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_state 10. ];
+           during = [];
+           outgoing =
+             [ reset_to_closed;
+               { guard = ack; actions = []; dst = 0 };
+               { guard = State_time >=: num 12.; actions = []; dst = 0 } ];
+         } |];
+    init_state = 0;
+  }
+
+let model () =
+  let b = B.create "TCP" in
+  let flags = B.inport b "Flags" Dtype.UInt8 in
+  let seq_no = B.inport b "SeqNo" Dtype.Int32 in
+  let ack_no = B.inport b "AckNo" Dtype.Int32 in
+  let cmd = B.inport b "Cmd" Dtype.Int8 in
+  let outs = B.chart b ~name:"TcpCore" tcp_chart [ flags; seq_no; ack_no; cmd ] in
+  let state_code = outs.(0) in
+  let tx_flags = outs.(1) in
+  let established = outs.(2) in
+  (* segment-rate accounting: count established-mode sends, window
+     backoff when rate trips a threshold *)
+  let sending =
+    B.and_ b ~name:"Sending" established (B.compare_const b Graph.R_eq 4.0 cmd)
+  in
+  let rate = B.filter b ~name:"SendRate" 0.25 (B.convert b Dtype.Float64 sending) in
+  let congested =
+    B.relay b ~name:"CongRelay" ~on_point:0.6 ~off_point:0.2 ~on_value:1. ~off_value:0. rate
+  in
+  let window =
+    B.saturation b ~name:"WndClamp" ~lower:1. ~upper:64.
+      (B.switch b (B.const_f b 4.) congested
+         (B.gain b 8. (B.bias b 1. (B.convert b Dtype.Float64 established))))
+  in
+  (* retransmission alarm: no progress while connecting *)
+  let connecting =
+    B.or_ b
+      (B.compare_const b Graph.R_eq 2.0 state_code)
+      (B.compare_const b Graph.R_eq 3.0 state_code)
+  in
+  let stuck = B.counter b ~name:"StuckTicks" 24 connecting in
+  let alarm = B.compare_const b ~name:"Alarm" Graph.R_ge 24.0 stuck in
+  B.outport b "StateCode" (B.convert b Dtype.Int32 state_code);
+  B.outport b "TxFlags" (B.convert b Dtype.Int32 tx_flags);
+  B.outport b "Window" (B.convert b Dtype.Int32 window);
+  B.outport b "Alarm" (B.convert b Dtype.Int32 alarm);
+  B.finish b

@@ -1,0 +1,143 @@
+(* TWC — train wheel speed controller (wheel-slide protection).
+
+   Compares wheel speed against train reference speed, classifies
+   slip severity through an adhesion state machine
+   (Normal / Slip / HeavySlip / Recovery / Emergency), and modulates
+   brake effort through a rate limiter and an adhesion lookup. *)
+
+open Cftcg_model
+module B = Build
+open Chart
+
+let slip_chart =
+  let slip_pct = in_ 0 in
+  let brake_demand = in_ 1 in
+  let set_mode v = Set_out (0, num v) in
+  {
+    chart_name = "SlipSM";
+    inputs = [| ("slip_pct", Dtype.Int32); ("brake_demand", Dtype.Bool) |];
+    outputs = [| ("mode", Dtype.Int32); ("release", Dtype.Bool) |];
+    locals = [| ("episodes", Dtype.Int32, 0.) |];
+    states =
+      [| {
+           state_name = "Normal";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 0.; Set_out (1, num 0.) ];
+           during = [];
+           outgoing =
+             [ { guard = (slip_pct >=: num 5.) &&: (slip_pct <: num 30.) &&: brake_demand;
+                 actions = [ Set_local (0, local 0 +: num 1.) ]; dst = 1 };
+               { guard = (slip_pct >=: num 30.) &&: brake_demand;
+                 actions = [ Set_local (0, local 0 +: num 1.) ]; dst = 2 } ];
+         };
+         {
+           state_name = "Slip";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 1.; Set_out (1, num 1.) ];
+           during = [];
+           outgoing =
+             [ { guard = slip_pct >=: num 30.; actions = []; dst = 2 };
+               { guard = slip_pct <: num 2.; actions = []; dst = 3 };
+               (* chronic slipping escalates *)
+               { guard = State_time >=: num 10.; actions = []; dst = 2 } ];
+         };
+         {
+           state_name = "HeavySlip";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 2.; Set_out (1, num 1.) ];
+           during = [];
+           outgoing =
+             [ { guard = local 0 >=: num 3.; actions = []; dst = 4 };
+               { guard = slip_pct <: num 2.; actions = []; dst = 3 };
+               { guard = State_time >=: num 12.; actions = []; dst = 4 } ];
+         };
+         {
+           state_name = "Recovery";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 3.; Set_out (1, num 0.) ];
+           during = [];
+           outgoing =
+             [ { guard = slip_pct >=: num 5.; actions = []; dst = 1 };
+               { guard = State_time >=: num 4.;
+                 actions = [ Set_local (0, Bin (C_max, local 0 -: num 1., num 0.)) ]; dst = 0 } ];
+         };
+         {
+           state_name = "Emergency";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 4.; Set_out (1, num 0.) ];
+           during = [];
+           outgoing =
+             [ { guard = (not_ brake_demand) &&: (slip_pct <: num 2.) &&: (State_time >=: num 8.);
+                 actions = [ Set_local (0, num 0.) ]; dst = 0 } ];
+         } |];
+    init_state = 0;
+  }
+
+let model () =
+  let b = B.create "TWC" in
+  let wheel = B.inport b "WheelSpeed" Dtype.UInt16 in
+  (* km/h x10 *)
+  let train = B.inport b "TrainSpeed" Dtype.UInt16 in
+  let brake_lvl = B.inport b "BrakeLevel" Dtype.UInt8 in
+  let rail_wet = B.inport b "RailWet" Dtype.Bool in
+  let wheel_f = B.gain b ~name:"WheelScale" 0.1 (B.convert b Dtype.Float64 wheel) in
+  let train_f = B.gain b ~name:"TrainScale" 0.1 (B.convert b Dtype.Float64 train) in
+  (* signed slip percentage: positive = wheel slide under braking,
+     negative = wheel spin; divide guarded at standstill *)
+  let diff = B.sum b ~name:"SpeedDiff" ~signs:"+-" [ train_f; wheel_f ] in
+  let moving = B.compare_const b ~name:"Moving" Graph.R_gt 5.0 train_f in
+  let slip_pct_raw =
+    B.product b ~name:"SlipPct" ~ops:"*/" [ B.gain b 100. diff; B.max_ b [ train_f; B.const_f b 1. ] ]
+  in
+  let slip_pct =
+    B.switch b ~name:"SlipGate" (B.saturation b ~lower:(-50.) ~upper:100. slip_pct_raw) moving
+      (B.const_f b 0.)
+  in
+  let brake_demand = B.compare_const b ~name:"Braking" Graph.R_gt 10.0 (B.convert b Dtype.Float64 brake_lvl) in
+  let sm = B.chart b ~name:"SlipControl" slip_chart
+      [ B.convert b Dtype.Int32 slip_pct; brake_demand ]
+  in
+  let mode = sm.(0) in
+  let release = sm.(1) in
+  (* adhesion-limited brake effort *)
+  let adhesion =
+    B.lookup b ~name:"AdhesionCurve" ~xs:[| 0.; 40.; 90.; 160. |] ~ys:[| 0.30; 0.22; 0.15; 0.10 |]
+      train_f
+  in
+  let wet_factor = B.switch b ~name:"WetDerate" (B.const_f b 0.6) rail_wet (B.const_f b 1.0) in
+  let max_effort = B.product b ~name:"MaxEffort" [ adhesion; wet_factor; B.const_f b 400. ] in
+  let demand = B.gain b ~name:"DemandScale" 1.2 (B.convert b Dtype.Float64 brake_lvl) in
+  let effort_target =
+    B.switch b ~name:"ReleaseSel" (B.gain b 0.3 demand) release (B.min_ b [ demand; max_effort ])
+  in
+  let emergency = B.compare_const b ~name:"IsEmergency" Graph.R_eq 4.0 mode in
+  let effort_target2 =
+    B.switch b ~name:"EmergencySel" max_effort emergency effort_target
+  in
+  let effort = B.rate_limiter b ~name:"EffortRamp" ~rising:25. ~falling:(-40.) effort_target2 in
+  let effort_lim = B.saturation b ~name:"EffortLimit" ~lower:5. ~upper:100. effort in
+  (* sanding when heavy slip persists *)
+  let heavy = B.compare_const b Graph.R_ge 2.0 mode in
+  let sand_timer = B.counter b ~name:"SandTimer" 12 heavy in
+  let sanding =
+    B.and_ b ~name:"Sanding" heavy (B.compare_const b Graph.R_ge 3.0 sand_timer)
+  in
+  B.outport b "Mode" (B.convert b Dtype.Int32 mode);
+  B.outport b "BrakeEffort" effort_lim;
+  B.outport b "Sanding" (B.convert b Dtype.Int32 sanding);
+  B.finish b

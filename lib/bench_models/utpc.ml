@@ -1,0 +1,164 @@
+(* UTPC — underwater thruster power control.
+
+   Joystick commands shape thruster power subject to a depth-derated
+   power budget, battery management, and an operating-mode machine
+   (Surface / Dive / Cruise / Boost / LowBattery / Fault). Boost mode
+   gates on a charge accumulator — a deep sequential branch. *)
+
+open Cftcg_model
+module B = Build
+open Chart
+
+let mode_chart =
+  let depth = in_ 0 in
+  let boost_req = in_ 1 in
+  let battery = in_ 2 in
+  let boost_bank = in_ 3 in
+  let fault_in = in_ 4 in
+  let set_mode v = Set_out (0, num v) in
+  {
+    chart_name = "ModeSM";
+    inputs =
+      [| ("depth", Dtype.Int32); ("boost_req", Dtype.Bool); ("battery", Dtype.Int32);
+         ("boost_bank", Dtype.Int32); ("fault", Dtype.Bool) |];
+    outputs = [| ("mode", Dtype.Int32); ("budget_scale", Dtype.Int32) |];
+    locals = [| ("boost_uses", Dtype.Int32, 0.) |];
+    states =
+      [| {
+           state_name = "Surface";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 0.; Set_out (1, num 60.) ];
+           during = [];
+           outgoing =
+             [ { guard = fault_in; actions = []; dst = 5 };
+               { guard = battery <: num 15.; actions = []; dst = 4 };
+               { guard = depth >: num 2.; actions = []; dst = 1 } ];
+         };
+         {
+           state_name = "Dive";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 1.; Set_out (1, num 100.) ];
+           during = [];
+           outgoing =
+             [ { guard = fault_in; actions = []; dst = 5 };
+               { guard = battery <: num 15.; actions = []; dst = 4 };
+               { guard = depth <=: num 2.; actions = []; dst = 0 };
+               { guard = State_time >=: num 8.; actions = []; dst = 2 } ];
+         };
+         {
+           state_name = "Cruise";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 2.; Set_out (1, num 80.) ];
+           during = [];
+           outgoing =
+             [ { guard = fault_in; actions = []; dst = 5 };
+               { guard = battery <: num 15.; actions = []; dst = 4 };
+               { guard = depth <=: num 2.; actions = []; dst = 0 };
+               (* boost needs a full charge bank, healthy battery and
+                  a bounded number of prior uses: deep to reach *)
+               { guard =
+                   boost_req &&: (boost_bank >=: num 95.) &&: (battery >: num 50.)
+                   &&: (local 0 <: num 3.);
+                 actions = [ Set_local (0, local 0 +: num 1.) ]; dst = 3 } ];
+         };
+         {
+           state_name = "Boost";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 3.; Set_out (1, num 150.) ];
+           during = [];
+           outgoing =
+             [ { guard = fault_in; actions = []; dst = 5 };
+               { guard = State_time >=: num 5.; actions = []; dst = 2 };
+               { guard = battery <: num 25.; actions = []; dst = 4 } ];
+         };
+         {
+           state_name = "LowBattery";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 4.; Set_out (1, num 30.) ];
+           during = [];
+           outgoing =
+             [ { guard = fault_in; actions = []; dst = 5 };
+               { guard = battery >: num 30.; actions = []; dst = 0 } ];
+         };
+         {
+           state_name = "Fault";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ set_mode 5.; Set_out (1, num 0.) ];
+           during = [];
+           outgoing =
+             [ { guard = (not_ fault_in) &&: (State_time >=: num 12.);
+                 actions = [ Set_local (0, num 0.) ]; dst = 0 } ];
+         } |];
+    init_state = 0;
+  }
+
+let model () =
+  let b = B.create "UTPC" in
+  let joy = B.inport b "Joystick" Dtype.Int8 in
+  (* -100..100 *)
+  let depth = B.inport b "Depth" Dtype.UInt16 in
+  (* meters *)
+  let boost_req = B.inport b "BoostReq" Dtype.Bool in
+  let temp = B.inport b "MotorTemp" Dtype.Int16 in
+  let joy_f = B.dead_zone b ~name:"JoyDB" ~lower:(-8.) ~upper:8. (B.convert b Dtype.Float64 joy) in
+  let depth_f = B.convert b Dtype.Float64 depth in
+  (* pressure-derated ceiling *)
+  let depth_derate =
+    B.lookup b ~name:"DepthDerate" ~xs:[| 0.; 50.; 150.; 300. |] ~ys:[| 1.0; 0.9; 0.7; 0.45 |]
+      depth_f
+  in
+  (* battery drains with commanded power, trickle-charges otherwise *)
+  let demand_pct = B.abs_ b ~name:"DemandPct" joy_f in
+  let drain = B.gain b ~name:"Drain" (-0.02) demand_pct in
+  let battery =
+    B.integrator b ~name:"Battery" ~init:90.
+      ~limits:{ Graph.int_lower = 0.; int_upper = 100. }
+      (B.bias b 0.5 drain)
+  in
+  (* boost bank charges only while demand is low *)
+  let low_demand = B.compare_const b ~name:"LowDemand" Graph.R_lt 20.0 demand_pct in
+  let bank_rate = B.switch b ~name:"BankRate" (B.const_f b 4.) low_demand (B.const_f b (-12.)) in
+  let boost_bank =
+    B.integrator b ~name:"BoostBank" ~limits:{ Graph.int_lower = 0.; int_upper = 100. } bank_rate
+  in
+  let overtemp =
+    B.relay b ~name:"TempTrip" ~on_point:95. ~off_point:70. ~on_value:1. ~off_value:0.
+      (B.convert b Dtype.Float64 temp)
+  in
+  let fault = B.compare_const b Graph.R_gt 0.0 overtemp in
+  let sm =
+    B.chart b ~name:"ModeControl" mode_chart
+      [ B.convert b Dtype.Int32 depth_f; boost_req; B.convert b Dtype.Int32 battery;
+        B.convert b Dtype.Int32 boost_bank; fault ]
+  in
+  let mode = sm.(0) in
+  let budget_scale = sm.(1) in
+  let budget = B.gain b ~name:"BudgetW" 10. (B.convert b Dtype.Float64 budget_scale) in
+  let request = B.product b ~name:"RequestW" [ B.gain b 15. joy_f; depth_derate ] in
+  let clipped = B.min_ b ~name:"PowerClip" [ B.abs_ b request; budget ] in
+  let signed_power =
+    B.product b ~name:"SignedPower" [ B.sign b joy_f; clipped ]
+  in
+  let smoothed = B.rate_limiter b ~name:"ThrustRamp" ~rising:120. ~falling:(-120.) signed_power in
+  B.outport b "Mode" (B.convert b Dtype.Int32 mode);
+  B.outport b "ThrustPower" smoothed;
+  B.outport b "Battery" battery;
+  B.finish b

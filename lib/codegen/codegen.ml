@@ -1,0 +1,1317 @@
+open Cftcg_model
+open Cftcg_ir
+
+type mode =
+  | Full
+  | Branchless
+  | Plain
+
+let mode_name = function
+  | Full -> "full"
+  | Branchless -> "branchless"
+  | Plain -> "plain"
+
+(* ------------------------------------------------------------------ *)
+(* Lowering context                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  mode : mode;
+  mutable n_vars : int;
+  mutable rev_states : Ir.var list;
+  mutable rev_init : Ir.stmt list;
+  mutable rev_decs : Ir.decision list;
+  mutable n_decs : int;
+  mutable n_probes : int;
+  mutable rev_assertions : (int * string) list;
+  mutable rev_lookups : (string * int array) list;
+}
+
+type buf = Ir.stmt list ref
+
+let emit (buf : buf) s = buf := s :: !buf
+let flush (buf : buf) = List.rev !buf
+
+let fresh_var ctx name ty =
+  let v = { Ir.vid = ctx.n_vars; vname = name; vty = ty } in
+  ctx.n_vars <- ctx.n_vars + 1;
+  v
+
+let state_var ctx name ty init_value =
+  let v = fresh_var ctx name ty in
+  ctx.rev_states <- v :: ctx.rev_states;
+  ctx.rev_init <- Ir.Assign (v, Ir.Const init_value) :: ctx.rev_init;
+  v
+
+let alloc_probe ctx =
+  let id = ctx.n_probes in
+  ctx.n_probes <- id + 1;
+  id
+
+let new_decision ctx ~block ~desc ~outcomes ~conds =
+  let outcome_probes = Array.init outcomes (fun _ -> alloc_probe ctx) in
+  let conditions =
+    Array.of_list
+      (List.mapi
+         (fun i cond_desc ->
+           { Ir.cond_ix = i; cond_desc; probe_true = alloc_probe ctx; probe_false = alloc_probe ctx })
+         conds)
+  in
+  let d =
+    {
+      Ir.dec_id = ctx.n_decs;
+      dec_block = block;
+      dec_desc = desc;
+      n_outcomes = outcomes;
+      outcome_probes;
+      conditions;
+    }
+  in
+  ctx.n_decs <- ctx.n_decs + 1;
+  ctx.rev_decs <- d :: ctx.rev_decs;
+  d
+
+(* Decision arm prologue: flat probe plus MCDC outcome record. *)
+let arm (d : Ir.decision) outcome =
+  [ Ir.Probe d.Ir.outcome_probes.(outcome); Ir.Record_decision { dec = d.Ir.dec_id; outcome } ]
+
+(* Condition observation: record for MCDC and hit both polarity
+   probes through an if/else, the instrumentation shape of Fig 4(a). *)
+let cond_stmts (d : Ir.decision) ix value_expr =
+  let c = d.Ir.conditions.(ix) in
+  [ Ir.Record_cond { dec = d.Ir.dec_id; cond_ix = ix; value = value_expr };
+    Ir.If
+      {
+        cond = value_expr;
+        dec = None;
+        then_ = [ Ir.Probe c.Ir.probe_true ];
+        else_ = [ Ir.Probe c.Ir.probe_false ];
+      } ]
+
+(* Code-level-only probe (Branchless mode): plain edge cell with no
+   decision bookkeeping, like LibFuzzer's own instrumentation. *)
+let code_arm ctx = [ Ir.Probe (alloc_probe ctx) ]
+
+(* ------------------------------------------------------------------ *)
+(* Signal type inference                                               *)
+(* ------------------------------------------------------------------ *)
+
+let promote_all tys = List.fold_left Dtype.promote (List.hd tys) (List.tl tys)
+
+let float_kind = function
+  | Dtype.Float32 -> Dtype.Float32
+  | _ -> Dtype.Float64
+
+(* Output type of a block kind given its input types. [sub_out] lazily
+   computes a subsystem's outport types. *)
+let kind_out_ty kind (in_tys : Dtype.t array) (sub_out : Graph.t -> Dtype.t array -> Dtype.t array)
+    port =
+  match kind with
+  | Graph.Inport { port_dtype; _ } -> port_dtype
+  | Graph.Constant v -> Value.dtype v
+  | Graph.Ground ty -> ty
+  | Graph.Outport _ | Graph.Terminator -> assert false
+  | Graph.Sum _ | Graph.Product _ | Graph.Min_max _ | Graph.Merge _ ->
+    promote_all (Array.to_list in_tys)
+  | Graph.Switch _ -> Dtype.promote in_tys.(0) in_tys.(2)
+  | Graph.Multiport_switch _ -> promote_all (List.tl (Array.to_list in_tys))
+  | Graph.Gain _ | Graph.Bias _ | Graph.Abs | Graph.Unary_minus | Graph.Rounding _
+  | Graph.Saturation _ | Graph.Dead_zone _ | Graph.Quantizer _ | Graph.Rate_limiter _ ->
+    in_tys.(0)
+  | Graph.Sign_block -> if Dtype.is_signed in_tys.(0) then in_tys.(0) else Dtype.Int8
+  | Graph.Math_func _ -> float_kind in_tys.(0)
+  | Graph.Relay _ -> Dtype.Float64
+  | Graph.Logic _ | Graph.Relational _ | Graph.Compare_to_constant _ | Graph.Compare_to_zero _
+  | Graph.Edge_detect _ | Graph.If_block _ -> Dtype.Bool
+  | Graph.Unit_delay _ | Graph.Delay _ | Graph.Memory_block _ -> in_tys.(0)
+  | Graph.Discrete_integrator _ | Graph.Discrete_filter _ -> float_kind in_tys.(0)
+  | Graph.Counter _ -> Dtype.Int32
+  | Graph.Lookup_1d _ -> float_kind in_tys.(0)
+  | Graph.Data_type_conversion ty -> ty
+  | Graph.Assertion _ -> assert false (* no outputs *)
+  | Graph.Chart_block ch -> snd ch.Chart.outputs.(port)
+  | Graph.Subsystem { sub; activation } ->
+    let data_in =
+      match activation with
+      | Graph.Always -> in_tys
+      | Graph.Enabled | Graph.Triggered _ -> Array.sub in_tys 1 (Array.length in_tys - 1)
+    in
+    (sub_out sub data_in).(port)
+
+(* Iteratively infer the dtype of every (block, port) signal in a
+   model given its inport types. Loop-breaking blocks default to
+   Float64 until their input type is known; a handful of rounds
+   settles all practical models. *)
+let rec infer_types (m : Graph.t) (input_tys : Dtype.t array) : (int * int, Dtype.t) Hashtbl.t =
+  let types = Hashtbl.create 64 in
+  let src_of = Hashtbl.create 64 in
+  Array.iter
+    (fun (l : Graph.line) ->
+      Hashtbl.replace src_of (l.Graph.dst_block, l.Graph.dst_port) (l.Graph.src_block, l.Graph.src_port))
+    m.Graph.lines;
+  let get bid port =
+    match Hashtbl.find_opt types (bid, port) with
+    | Some ty -> ty
+    | None -> Dtype.Float64
+  in
+  let in_ty bid port =
+    match Hashtbl.find_opt src_of (bid, port) with
+    | Some (sb, sp) -> get sb sp
+    | None -> Dtype.Float64
+  in
+  let outport_signal_ty sub inner i =
+    (* type of the signal feeding outport index i+1 in [sub] *)
+    let result = ref Dtype.Float64 in
+    Array.iter
+      (fun (b : Graph.block) ->
+        match b.Graph.kind with
+        | Graph.Outport { port_index } when port_index = i + 1 ->
+          Array.iter
+            (fun (l : Graph.line) ->
+              if l.Graph.dst_block = b.Graph.bid && l.Graph.dst_port = 0 then
+                match Hashtbl.find_opt inner (l.Graph.src_block, l.Graph.src_port) with
+                | Some ty -> result := ty
+                | None -> ())
+            sub.Graph.lines
+        | _ -> ())
+      sub.Graph.blocks;
+    !result
+  in
+  let sub_out sub data_tys =
+    let inner = infer_types sub data_tys in
+    Array.mapi (fun i _ -> outport_signal_ty sub inner i) (Graph.outports sub)
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 6 do
+    changed := false;
+    incr rounds;
+    Array.iter
+      (fun (b : Graph.block) ->
+        match b.Graph.kind with
+        | Graph.Outport _ | Graph.Terminator -> ()
+        | Graph.Inport { port_index; _ } ->
+          let ty =
+            if port_index - 1 < Array.length input_tys then input_tys.(port_index - 1)
+            else Dtype.Float64
+          in
+          if Hashtbl.find_opt types (b.Graph.bid, 0) <> Some ty then begin
+            Hashtbl.replace types (b.Graph.bid, 0) ty;
+            changed := true
+          end
+        | kind ->
+          let nin, nout = Graph.arity kind in
+          let in_tys = Array.init nin (fun p -> in_ty b.Graph.bid p) in
+          for port = 0 to nout - 1 do
+            let ty = kind_out_ty kind in_tys sub_out port in
+            if Hashtbl.find_opt types (b.Graph.bid, port) <> Some ty then begin
+              Hashtbl.replace types (b.Graph.bid, port) ty;
+              changed := true
+            end
+          done)
+      m.Graph.blocks
+  done;
+  types
+
+(* ------------------------------------------------------------------ *)
+(* Expression helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let f64 = Dtype.Float64
+let fconst f = Ir.float_const f64 f
+let read v = Ir.Read v
+
+let relop_binop = function
+  | Graph.R_eq -> Ir.B_eq
+  | Graph.R_ne -> Ir.B_ne
+  | Graph.R_lt -> Ir.B_lt
+  | Graph.R_le -> Ir.B_le
+  | Graph.R_gt -> Ir.B_gt
+  | Graph.R_ge -> Ir.B_ge
+
+let fold_logic op exprs =
+  let combine a b =
+    match op with
+    | Graph.L_and | Graph.L_nand -> Ir.Binop (Ir.B_and, f64, a, b)
+    | Graph.L_or | Graph.L_nor -> Ir.Binop (Ir.B_or, f64, a, b)
+    | Graph.L_xor -> Ir.Binop (Ir.B_ne, f64, a, b)
+    | Graph.L_not -> assert false
+  in
+  let folded =
+    match exprs with
+    | [] -> assert false
+    | first :: rest -> List.fold_left combine first rest
+  in
+  match op with
+  | Graph.L_nand | Graph.L_nor -> Ir.Unop (Ir.U_not, folded)
+  | Graph.L_and | Graph.L_or | Graph.L_xor -> folded
+  | Graph.L_not -> assert false
+
+let edge_cond kind ~curr ~prev =
+  match kind with
+  | Graph.E_rising -> Ir.Binop (Ir.B_and, f64, curr, Ir.Unop (Ir.U_not, prev))
+  | Graph.E_falling -> Ir.Binop (Ir.B_and, f64, Ir.Unop (Ir.U_not, curr), prev)
+  | Graph.E_either -> Ir.Binop (Ir.B_ne, f64, curr, prev)
+
+(* ------------------------------------------------------------------ *)
+(* Chart lowering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec chart_atoms (e : Chart.expr) =
+  match e with
+  | Chart.Bin ((Chart.C_and | Chart.C_or), a, b) -> chart_atoms a @ chart_atoms b
+  | Chart.Un (Chart.C_not, a) -> chart_atoms a
+  | e -> [ e ]
+
+type chart_vars = {
+  cv_inputs : Ir.var array;
+  cv_outputs : Ir.var array;
+  cv_locals : Ir.var array;
+}
+
+(* [time_var] is the timer State_time refers to in the current
+   context: the timer of the exclusive set the expression's state
+   belongs to (parallel regions share their parent set's timer). *)
+let rec lower_cexpr cv ~time_var (e : Chart.expr) : Ir.expr =
+  match e with
+  | Chart.In i -> read cv.cv_inputs.(i)
+  | Chart.Local i -> read cv.cv_locals.(i)
+  | Chart.Out i -> read cv.cv_outputs.(i)
+  | Chart.State_time -> read time_var
+  | Chart.Const f -> fconst f
+  | Chart.Un (Chart.C_neg, a) -> Ir.Binop (Ir.B_sub, f64, fconst 0.0, lower_cexpr cv ~time_var a)
+  | Chart.Un (Chart.C_not, a) -> Ir.Unop (Ir.U_not, Ir.truthy (lower_cexpr cv ~time_var a))
+  | Chart.Un (Chart.C_abs, a) ->
+    let la = lower_cexpr cv ~time_var a in
+    Ir.Binop (Ir.B_max, f64, la, Ir.Binop (Ir.B_sub, f64, fconst 0.0, la))
+  | Chart.Bin (op, a, b) ->
+    let la = lower_cexpr cv ~time_var a and lb = lower_cexpr cv ~time_var b in
+    let bin o = Ir.Binop (o, f64, la, lb) in
+    (match op with
+    | Chart.C_add -> bin Ir.B_add
+    | Chart.C_sub -> bin Ir.B_sub
+    | Chart.C_mul -> bin Ir.B_mul
+    | Chart.C_div -> bin Ir.B_div
+    | Chart.C_mod -> bin Ir.B_rem
+    | Chart.C_min -> bin Ir.B_min
+    | Chart.C_max -> bin Ir.B_max
+    | Chart.C_eq -> bin Ir.B_eq
+    | Chart.C_ne -> bin Ir.B_ne
+    | Chart.C_lt -> bin Ir.B_lt
+    | Chart.C_le -> bin Ir.B_le
+    | Chart.C_gt -> bin Ir.B_gt
+    | Chart.C_ge -> bin Ir.B_ge
+    | Chart.C_and -> Ir.Binop (Ir.B_and, f64, Ir.truthy la, Ir.truthy lb)
+    | Chart.C_or -> Ir.Binop (Ir.B_or, f64, Ir.truthy la, Ir.truthy lb))
+
+(* Rebuild a guard over pre-bound atom variables, popping them in the
+   same traversal order chart_atoms produced them. *)
+let rebuild_guard atom_vars guard =
+  let queue = ref atom_vars in
+  let pop () =
+    match !queue with
+    | [] -> assert false
+    | v :: rest ->
+      queue := rest;
+      v
+  in
+  let rec go (e : Chart.expr) : Ir.expr =
+    match e with
+    | Chart.Bin (Chart.C_and, a, b) ->
+      let la = go a in
+      let lb = go b in
+      Ir.Binop (Ir.B_and, f64, la, lb)
+    | Chart.Bin (Chart.C_or, a, b) ->
+      let la = go a in
+      let lb = go b in
+      Ir.Binop (Ir.B_or, f64, la, lb)
+    | Chart.Un (Chart.C_not, a) -> Ir.Unop (Ir.U_not, go a)
+    | _ -> read (pop ())
+  in
+  go guard
+
+(* Chart state tree annotated with the runtime variables of every
+   exclusive set (active child index + timer). Parallel regions have
+   no variables of their own: all regions run while the parent is
+   active, and State_time inside them reads the parent set's timer. *)
+type aset = {
+  sa_active : Ir.var;
+  sa_time : Ir.var;
+  sa_init : int;
+  sa_states : astate array;
+  sa_scope : string;
+}
+
+and astate = {
+  as_st : Chart.state;
+  as_sub : asub;
+}
+
+and asub =
+  | A_leaf
+  | A_exclusive of aset
+  | A_parallel of astate array  (* regions: no transitions *)
+
+let lower_chart ctx buf ~path (ch : Chart.t) ~(inputs : Ir.var array) : Ir.var array =
+  let name suffix = Printf.sprintf "%s%s_%s" path ch.Chart.chart_name suffix in
+  let cv =
+    {
+      cv_inputs = inputs;
+      cv_outputs =
+        Array.map (fun (n, ty) -> state_var ctx (name n) ty (Value.zero ty)) ch.Chart.outputs;
+      cv_locals =
+        Array.map
+          (fun (n, ty, init) -> state_var ctx (name n) ty (Value.of_float ty init))
+          ch.Chart.locals;
+    }
+  in
+  (* annotate the tree, allocating per-set variables *)
+  let set_counter = ref 0 in
+  let rec annotate_sub ~scope (st : Chart.state) : asub =
+    if Array.length st.Chart.children = 0 then A_leaf
+    else if st.Chart.parallel then
+      A_parallel
+        (Array.map
+           (fun c -> { as_st = c; as_sub = annotate_sub ~scope:(scope ^ "." ^ c.Chart.state_name) c })
+           st.Chart.children)
+    else
+      A_exclusive
+        (make_set ~scope:(scope ^ "." ^ st.Chart.state_name) st.Chart.children
+           ~init:st.Chart.init_child)
+  and make_set ~scope states ~init : aset =
+    let ix = !set_counter in
+    incr set_counter;
+    let sa_active =
+      state_var ctx (name (Printf.sprintf "state%d" ix)) Dtype.Int32 (Value.of_int Dtype.Int32 init)
+    in
+    let sa_time = state_var ctx (name (Printf.sprintf "time%d" ix)) Dtype.Int32 (Value.zero Dtype.Int32) in
+    {
+      sa_active;
+      sa_time;
+      sa_init = init;
+      sa_scope = scope;
+      sa_states =
+        Array.map
+          (fun c -> { as_st = c; as_sub = annotate_sub ~scope:(scope ^ "." ^ c.Chart.state_name) c })
+          states;
+    }
+  in
+  let top = make_set ~scope:(path ^ ch.Chart.chart_name) ch.Chart.states ~init:ch.Chart.init_state in
+  let lower_action ~time_var = function
+    | Chart.Set_local (i, e) -> Ir.Assign (cv.cv_locals.(i), lower_cexpr cv ~time_var e)
+    | Chart.Set_out (i, e) -> Ir.Assign (cv.cv_outputs.(i), lower_cexpr cv ~time_var e)
+  in
+  (* entering a state: its entry actions, then establish its children *)
+  let rec enter_state ~time_var (a : astate) =
+    List.map (lower_action ~time_var) a.as_st.Chart.entry
+    @
+    match a.as_sub with
+    | A_leaf -> []
+    | A_exclusive set ->
+      Ir.Assign (set.sa_active, Ir.int_const Dtype.Int32 set.sa_init)
+      :: Ir.Assign (set.sa_time, Ir.int_const Dtype.Int32 0)
+      :: enter_state ~time_var:set.sa_time set.sa_states.(set.sa_init)
+    | A_parallel regions ->
+      List.concat_map (enter_state ~time_var) (Array.to_list regions)
+  in
+  (* exiting: active descendants innermost-first, then own exits *)
+  let rec exit_state ~time_var (a : astate) =
+    let descendant_exits =
+      match a.as_sub with
+      | A_leaf -> []
+      | A_exclusive set ->
+        let n = Array.length set.sa_states in
+        let rec dispatch i =
+          if i = n - 1 then exit_state ~time_var:set.sa_time set.sa_states.(i)
+          else
+            [ Ir.If
+                {
+                  cond = Ir.Binop (Ir.B_eq, f64, read set.sa_active, Ir.int_const Dtype.Int32 i);
+                  dec = None;
+                  then_ = exit_state ~time_var:set.sa_time set.sa_states.(i);
+                  else_ = dispatch (i + 1);
+                } ]
+        in
+        dispatch 0
+      | A_parallel regions ->
+        List.concat_map (exit_state ~time_var) (List.rev (Array.to_list regions))
+    in
+    descendant_exits @ List.map (lower_action ~time_var) a.as_st.Chart.exit_actions
+  in
+  (* one step of the children of a state that did not transition *)
+  let rec step_sub ~time_var (sub : asub) =
+    match sub with
+    | A_leaf -> []
+    | A_exclusive set -> step_set set
+    | A_parallel regions ->
+      List.concat_map
+        (fun r -> List.map (lower_action ~time_var) r.as_st.Chart.during @ step_sub ~time_var r.as_sub)
+        (Array.to_list regions)
+  (* one exclusive set: dispatch, transitions, during, descend *)
+  and step_set (set : aset) : Ir.stmt list =
+    let nstates = Array.length set.sa_states in
+    let dec_act =
+      if ctx.mode = Full && nstates > 1 then
+        Some
+          (new_decision ctx ~block:set.sa_scope ~desc:"chart state activity" ~outcomes:nstates
+             ~conds:[])
+      else None
+    in
+    let lower_state s_ix (a : astate) =
+      let st = a.as_st in
+      let during =
+        List.map (lower_action ~time_var:set.sa_time) st.Chart.during
+        @ [ Ir.Assign
+              ( set.sa_time,
+                Ir.Binop (Ir.B_add, Dtype.Int32, read set.sa_time, Ir.int_const Dtype.Int32 1) ) ]
+        @ step_sub ~time_var:set.sa_time a.as_sub
+      in
+      let lower_tr (tr : Chart.transition) else_branch =
+        let atoms = chart_atoms tr.Chart.guard in
+        let atom_vars =
+          List.mapi
+            (fun i at ->
+              let v =
+                fresh_var ctx
+                  (Printf.sprintf "%s_g%d_s%d_a%d" (name "guard") !set_counter s_ix i)
+                  Dtype.Bool
+              in
+              (v, at))
+            atoms
+        in
+        let bind_stmts =
+          List.map
+            (fun (v, at) -> Ir.Assign (v, Ir.truthy (lower_cexpr cv ~time_var:set.sa_time at)))
+            atom_vars
+        in
+        let cond = rebuild_guard (List.map fst atom_vars) tr.Chart.guard in
+        let dst = set.sa_states.(tr.Chart.dst) in
+        let fire =
+          exit_state ~time_var:set.sa_time a
+          @ List.map (lower_action ~time_var:set.sa_time) tr.Chart.actions
+          @ [ Ir.Assign (set.sa_active, Ir.int_const Dtype.Int32 tr.Chart.dst);
+              Ir.Assign (set.sa_time, Ir.int_const Dtype.Int32 0) ]
+          @ enter_state ~time_var:set.sa_time dst
+        in
+        match ctx.mode with
+        | Full ->
+          let dec =
+            new_decision ctx
+              ~block:(Printf.sprintf "%s.%s" set.sa_scope st.Chart.state_name)
+              ~desc:(Printf.sprintf "transition to %s" dst.as_st.Chart.state_name)
+              ~outcomes:2
+              ~conds:(List.map Chart.expr_to_string atoms)
+          in
+          let recorded =
+            List.concat (List.mapi (fun i (v, _) -> cond_stmts dec i (read v)) atom_vars)
+          in
+          bind_stmts @ recorded
+          @ [ Ir.If
+                {
+                  cond;
+                  dec = Some dec.Ir.dec_id;
+                  then_ = arm dec 0 @ fire;
+                  else_ = arm dec 1 @ else_branch;
+                } ]
+        | Branchless ->
+          bind_stmts
+          @ [ Ir.If
+                { cond; dec = None; then_ = code_arm ctx @ fire; else_ = code_arm ctx @ else_branch }
+            ]
+        | Plain -> bind_stmts @ [ Ir.If { cond; dec = None; then_ = fire; else_ = else_branch } ]
+      in
+      let rec chain = function
+        | [] -> during
+        | tr :: rest -> lower_tr tr (chain rest)
+      in
+      let body = chain st.Chart.outgoing in
+      match dec_act with
+      | Some d -> arm d s_ix @ body
+      | None -> (match ctx.mode with Branchless -> code_arm ctx @ body | Full | Plain -> body)
+    in
+    let rec dispatch s_ix =
+      if s_ix = nstates - 1 then lower_state s_ix set.sa_states.(s_ix)
+      else
+        [ Ir.If
+            {
+              cond = Ir.Binop (Ir.B_eq, f64, read set.sa_active, Ir.int_const Dtype.Int32 s_ix);
+              dec = None;
+              then_ = lower_state s_ix set.sa_states.(s_ix);
+              else_ = dispatch (s_ix + 1);
+            } ]
+    in
+    dispatch 0
+  in
+  List.iter (emit buf) (step_set top);
+  cv.cv_outputs
+
+(* ------------------------------------------------------------------ *)
+(* Block lowering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Saturation shape shared by the Saturation block and integrator
+   limits: three-outcome decision per Fig 4(d). *)
+let emit_saturation ctx buf ~block ~lower ~upper ~input ~out ~ty =
+  let above, below, within =
+    match ctx.mode with
+    | Full ->
+      let dec = new_decision ctx ~block ~desc:"saturation region" ~outcomes:3 ~conds:[] in
+      (arm dec 0, arm dec 1, arm dec 2)
+    | Branchless -> (code_arm ctx, code_arm ctx, code_arm ctx)
+    | Plain -> ([], [], [])
+  in
+  let cast_to e = Ir.Unop (Ir.U_cast ty, e) in
+  emit buf
+    (Ir.If
+       {
+         cond = Ir.Binop (Ir.B_gt, f64, input, fconst upper);
+         dec = None;
+         then_ = above @ [ Ir.Assign (out, cast_to (fconst upper)) ];
+         else_ =
+           [ Ir.If
+               {
+                 cond = Ir.Binop (Ir.B_lt, f64, input, fconst lower);
+                 dec = None;
+                 then_ = below @ [ Ir.Assign (out, cast_to (fconst lower)) ];
+                 else_ = within @ [ Ir.Assign (out, cast_to input) ];
+               } ];
+       })
+
+(* A boolean-valued block outcome: two-outcome decision assigning
+   true/false to [out], or a branchless assignment. *)
+let emit_bool_decision ctx buf ~block ~desc ~conds_exprs ~cond_descs ~cond_combine ~out =
+  match ctx.mode with
+  | Full ->
+    let dec = new_decision ctx ~block ~desc ~outcomes:2 ~conds:cond_descs in
+    List.iteri (fun i e -> List.iter (emit buf) (cond_stmts dec i e)) conds_exprs;
+    emit buf
+      (Ir.If
+         {
+           cond = cond_combine;
+           dec = Some dec.Ir.dec_id;
+           then_ = arm dec 0 @ [ Ir.Assign (out, Ir.bool_const true) ];
+           else_ = arm dec 1 @ [ Ir.Assign (out, Ir.bool_const false) ];
+         })
+  | Branchless | Plain ->
+    (* jump-free boolean code: no model-level observability *)
+    emit buf (Ir.Assign (out, cond_combine))
+
+let rec lower_model ctx buf ~path (m : Graph.t) ~(inputs : Ir.var array) : Ir.var array =
+  let types = infer_types m (Array.map (fun (v : Ir.var) -> v.Ir.vty) inputs) in
+  let ty_of bid port =
+    match Hashtbl.find_opt types (bid, port) with
+    | Some ty -> ty
+    | None -> Dtype.Float64
+  in
+  let src_of = Hashtbl.create 64 in
+  Array.iter
+    (fun (l : Graph.line) ->
+      Hashtbl.replace src_of (l.Graph.dst_block, l.Graph.dst_port) (l.Graph.src_block, l.Graph.src_port))
+    m.Graph.lines;
+  let sigvar : (int * int, Ir.var) Hashtbl.t = Hashtbl.create 64 in
+  let in_var bid port =
+    match Hashtbl.find_opt src_of (bid, port) with
+    | Some key -> (
+      match Hashtbl.find_opt sigvar key with
+      | Some v -> v
+      | None ->
+        failwith
+          (Printf.sprintf "codegen: %s: signal for block %d port %d not ready (scheduling bug)"
+             m.Graph.model_name bid port))
+    | None ->
+      failwith (Printf.sprintf "codegen: %s: unconnected input %d:%d" m.Graph.model_name bid port)
+  in
+  let n_outports = Array.length (Graph.outports m) in
+  let outs = Array.make (max n_outports 1) None in
+  (* Phase A: loop-breaking blocks publish last step's state as their
+     output before anything else runs; updates run in phase C. *)
+  let deferred_updates : (unit -> unit) list ref = ref [] in
+  let defer f = deferred_updates := f :: !deferred_updates in
+  Array.iter
+    (fun (b : Graph.block) ->
+      let bid = b.Graph.bid in
+      let bpath = path ^ b.Graph.block_name in
+      match b.Graph.kind with
+      | Graph.Unit_delay init | Graph.Memory_block init ->
+        let ty = ty_of bid 0 in
+        let st = state_var ctx (bpath ^ "_state") ty (Value.of_float ty init) in
+        Hashtbl.replace sigvar (bid, 0) st;
+        defer (fun () -> emit buf (Ir.Assign (st, read (in_var bid 0))))
+      | Graph.Delay { delay_length; delay_init } ->
+        let ty = ty_of bid 0 in
+        let slots =
+          Array.init delay_length (fun i ->
+              state_var ctx (Printf.sprintf "%s_z%d" bpath i) ty (Value.of_float ty delay_init))
+        in
+        Hashtbl.replace sigvar (bid, 0) slots.(delay_length - 1);
+        defer (fun () ->
+            for i = delay_length - 1 downto 1 do
+              emit buf (Ir.Assign (slots.(i), read slots.(i - 1)))
+            done;
+            emit buf (Ir.Assign (slots.(0), read (in_var bid 0))))
+      | Graph.Discrete_integrator { int_gain; int_init; limits } ->
+        let ty = ty_of bid 0 in
+        let st = state_var ctx (bpath ^ "_acc") ty (Value.of_float ty int_init) in
+        Hashtbl.replace sigvar (bid, 0) st;
+        defer (fun () ->
+            let next =
+              Ir.Binop
+                ( Ir.B_add,
+                  ty,
+                  read st,
+                  Ir.Binop (Ir.B_mul, ty, fconst int_gain, read (in_var bid 0)) )
+            in
+            match limits with
+            | None -> emit buf (Ir.Assign (st, next))
+            | Some { Graph.int_lower; int_upper } ->
+              let tmp = fresh_var ctx (bpath ^ "_nx") ty in
+              emit buf (Ir.Assign (tmp, next));
+              emit_saturation ctx buf ~block:bpath ~lower:int_lower ~upper:int_upper
+                ~input:(read tmp) ~out:st ~ty)
+      | _ -> ())
+    m.Graph.blocks;
+  (* Phase B: blocks in schedule order. *)
+  let order = Schedule.order_exn m in
+  List.iter
+    (fun bid ->
+      let b = m.Graph.blocks.(bid) in
+      let bpath = path ^ b.Graph.block_name in
+      let in_exprs () =
+        let nin, _ = Graph.arity b.Graph.kind in
+        Array.init nin (fun p -> read (in_var bid p))
+      in
+      let mk_out port =
+        let v = fresh_var ctx (Printf.sprintf "%s_o%d" bpath port) (ty_of bid port) in
+        Hashtbl.replace sigvar (bid, port) v;
+        v
+      in
+      let set_out port v = Hashtbl.replace sigvar (bid, port) v in
+      match b.Graph.kind with
+      | Graph.Unit_delay _ | Graph.Memory_block _ | Graph.Delay _ | Graph.Discrete_integrator _ ->
+        ()
+      | Graph.Inport { port_index; _ } ->
+        let src = inputs.(port_index - 1) in
+        let want = ty_of bid 0 in
+        if Dtype.equal src.Ir.vty want then Hashtbl.replace sigvar (bid, 0) src
+        else begin
+          let v = mk_out 0 in
+          emit buf (Ir.Assign (v, Ir.Unop (Ir.U_cast want, read src)))
+        end
+      | Graph.Outport { port_index } ->
+        let src = in_var bid 0 in
+        let v = fresh_var ctx bpath src.Ir.vty in
+        emit buf (Ir.Assign (v, read src));
+        if port_index - 1 < Array.length outs then outs.(port_index - 1) <- Some v
+      | Graph.Terminator -> ()
+      | kind -> lower_block ctx buf ~bpath kind (in_exprs ()) ~mk_out ~set_out ~ty_of_port:(ty_of bid))
+    order;
+  (* Phase C: state updates. *)
+  List.iter (fun f -> f ()) (List.rev !deferred_updates);
+  Array.map
+    (function
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "codegen: %s: outport not lowered" m.Graph.model_name))
+    (Array.sub outs 0 n_outports)
+
+and lower_block ctx buf ~bpath kind ins ~mk_out ~set_out ~ty_of_port =
+  let out () = mk_out 0 in
+  let out_ty = ty_of_port 0 in
+  match kind with
+  | Graph.Inport _ | Graph.Outport _ | Graph.Terminator | Graph.Unit_delay _ | Graph.Delay _
+  | Graph.Memory_block _ | Graph.Discrete_integrator _ ->
+    assert false (* handled by caller *)
+  | Graph.Constant v -> emit buf (Ir.Assign (out (), Ir.Const v))
+  | Graph.Ground ty -> emit buf (Ir.Assign (out (), Ir.Const (Value.zero ty)))
+  | Graph.Sum signs ->
+    let o = out () in
+    let acc = ref None in
+    String.iteri
+      (fun i sign ->
+        let operand = ins.(i) in
+        acc :=
+          Some
+            (match (!acc, sign) with
+            | None, '+' -> Ir.Unop (Ir.U_cast out_ty, operand)
+            | None, _ -> Ir.Binop (Ir.B_sub, out_ty, Ir.int_const out_ty 0, operand)
+            | Some a, '+' -> Ir.Binop (Ir.B_add, out_ty, a, operand)
+            | Some a, _ -> Ir.Binop (Ir.B_sub, out_ty, a, operand)))
+      signs;
+    emit buf (Ir.Assign (o, Option.get !acc))
+  | Graph.Product ops ->
+    let o = out () in
+    let acc = ref None in
+    String.iteri
+      (fun i op ->
+        let operand = ins.(i) in
+        acc :=
+          Some
+            (match (!acc, op) with
+            | None, '*' -> Ir.Unop (Ir.U_cast out_ty, operand)
+            | None, _ -> Ir.Binop (Ir.B_div, out_ty, Ir.int_const out_ty 1, operand)
+            | Some a, '*' -> Ir.Binop (Ir.B_mul, out_ty, a, operand)
+            | Some a, _ -> Ir.Binop (Ir.B_div, out_ty, a, operand)))
+      ops;
+    emit buf (Ir.Assign (o, Option.get !acc))
+  | Graph.Gain g -> emit buf (Ir.Assign (out (), Ir.Binop (Ir.B_mul, f64, fconst g, ins.(0))))
+  | Graph.Bias bv -> emit buf (Ir.Assign (out (), Ir.Binop (Ir.B_add, f64, ins.(0), fconst bv)))
+  | Graph.Abs -> (
+    match ctx.mode with
+    | Full ->
+      let dec = new_decision ctx ~block:bpath ~desc:"abs sign" ~outcomes:2 ~conds:[] in
+      let o = out () in
+      emit buf
+        (Ir.If
+           {
+             cond = Ir.Binop (Ir.B_lt, f64, ins.(0), fconst 0.0);
+             dec = Some dec.Ir.dec_id;
+             then_ = arm dec 0 @ [ Ir.Assign (o, Ir.Unop (Ir.U_neg, ins.(0))) ];
+             else_ = arm dec 1 @ [ Ir.Assign (o, ins.(0)) ];
+           })
+    | Branchless | Plain -> emit buf (Ir.Assign (out (), Ir.Unop (Ir.U_abs, ins.(0)))))
+  | Graph.Unary_minus -> emit buf (Ir.Assign (out (), Ir.Unop (Ir.U_neg, ins.(0))))
+  | Graph.Sign_block ->
+    let o = out () in
+    let pos = Ir.int_const out_ty 1 in
+    let zero = Ir.int_const out_ty 0 in
+    let neg = Ir.int_const out_ty (-1) in
+    let gt = Ir.Binop (Ir.B_gt, f64, ins.(0), fconst 0.0) in
+    let lt = Ir.Binop (Ir.B_lt, f64, ins.(0), fconst 0.0) in
+    (match ctx.mode with
+    | Full ->
+      let dec = new_decision ctx ~block:bpath ~desc:"sign region" ~outcomes:3 ~conds:[] in
+      emit buf
+        (Ir.If
+           {
+             cond = gt;
+             dec = None;
+             then_ = arm dec 0 @ [ Ir.Assign (o, pos) ];
+             else_ =
+               [ Ir.If
+                   {
+                     cond = lt;
+                     dec = None;
+                     then_ = arm dec 1 @ [ Ir.Assign (o, neg) ];
+                     else_ = arm dec 2 @ [ Ir.Assign (o, zero) ];
+                   } ];
+           })
+    | Branchless | Plain ->
+      emit buf (Ir.Assign (o, Ir.Select (gt, pos, Ir.Select (lt, neg, zero)))))
+  | Graph.Math_func fn ->
+    let e =
+      match fn with
+      | Graph.F_square -> Ir.Binop (Ir.B_mul, out_ty, ins.(0), ins.(0))
+      | Graph.F_reciprocal -> Ir.Binop (Ir.B_div, out_ty, Ir.float_const out_ty 1.0, ins.(0))
+      | Graph.F_exp -> Ir.Unop (Ir.U_exp, ins.(0))
+      | Graph.F_log -> Ir.Unop (Ir.U_log, ins.(0))
+      | Graph.F_log10 -> Ir.Unop (Ir.U_log10, ins.(0))
+      | Graph.F_sqrt -> Ir.Unop (Ir.U_sqrt, ins.(0))
+      | Graph.F_sin -> Ir.Unop (Ir.U_sin, ins.(0))
+      | Graph.F_cos -> Ir.Unop (Ir.U_cos, ins.(0))
+    in
+    emit buf (Ir.Assign (out (), e))
+  | Graph.Rounding mode ->
+    let op =
+      match mode with
+      | Graph.R_floor -> Ir.U_floor
+      | Graph.R_ceil -> Ir.U_ceil
+      | Graph.R_round -> Ir.U_round
+      | Graph.R_fix -> Ir.U_trunc
+    in
+    emit buf (Ir.Assign (out (), Ir.Unop (op, ins.(0))))
+  | Graph.Min_max (op, n) ->
+    let binop = match op with Graph.MM_min -> Ir.B_min | Graph.MM_max -> Ir.B_max in
+    let acc = ref (Ir.Unop (Ir.U_cast out_ty, ins.(0))) in
+    for i = 1 to n - 1 do
+      acc := Ir.Binop (binop, out_ty, !acc, ins.(i))
+    done;
+    emit buf (Ir.Assign (out (), !acc))
+  | Graph.Saturation { sat_lower; sat_upper } ->
+    emit_saturation ctx buf ~block:bpath ~lower:sat_lower ~upper:sat_upper ~input:ins.(0)
+      ~out:(out ()) ~ty:out_ty
+  | Graph.Dead_zone { dz_lower; dz_upper } ->
+    let o = out () in
+    let cast_to e = Ir.Unop (Ir.U_cast out_ty, e) in
+    let above = Ir.Binop (Ir.B_gt, f64, ins.(0), fconst dz_upper) in
+    let below = Ir.Binop (Ir.B_lt, f64, ins.(0), fconst dz_lower) in
+    let shift c = cast_to (Ir.Binop (Ir.B_sub, f64, ins.(0), fconst c)) in
+    (match ctx.mode with
+    | Full ->
+      let dec = new_decision ctx ~block:bpath ~desc:"dead zone region" ~outcomes:3 ~conds:[] in
+      emit buf
+        (Ir.If
+           {
+             cond = above;
+             dec = None;
+             then_ = arm dec 0 @ [ Ir.Assign (o, shift dz_upper) ];
+             else_ =
+               [ Ir.If
+                   {
+                     cond = below;
+                     dec = None;
+                     then_ = arm dec 1 @ [ Ir.Assign (o, shift dz_lower) ];
+                     else_ = arm dec 2 @ [ Ir.Assign (o, cast_to (fconst 0.0)) ];
+                   } ];
+           })
+    | Branchless | Plain ->
+      emit buf
+        (Ir.Assign
+           (o, Ir.Select (above, shift dz_upper, Ir.Select (below, shift dz_lower, cast_to (fconst 0.0))))))
+  | Graph.Relay { on_point; off_point; on_value; off_value } ->
+    let st = state_var ctx (bpath ^ "_on") Dtype.Bool (Value.of_bool false) in
+    let o = out () in
+    let turn_on = Ir.Binop (Ir.B_ge, f64, ins.(0), fconst on_point) in
+    let turn_off = Ir.Binop (Ir.B_le, f64, ins.(0), fconst off_point) in
+    (match ctx.mode with
+    | Full ->
+      let dec = new_decision ctx ~block:bpath ~desc:"relay switching" ~outcomes:3 ~conds:[] in
+      emit buf
+        (Ir.If
+           {
+             cond = turn_on;
+             dec = None;
+             then_ = arm dec 0 @ [ Ir.Assign (st, Ir.bool_const true) ];
+             else_ =
+               [ Ir.If
+                   {
+                     cond = turn_off;
+                     dec = None;
+                     then_ = arm dec 1 @ [ Ir.Assign (st, Ir.bool_const false) ];
+                     else_ = arm dec 2;
+                   } ];
+           })
+    | Branchless | Plain ->
+      emit buf
+        (Ir.Assign
+           (st, Ir.Select (turn_on, Ir.bool_const true, Ir.Select (turn_off, Ir.bool_const false, read st)))));
+    emit buf (Ir.Assign (o, Ir.Select (read st, fconst on_value, fconst off_value)))
+  | Graph.Quantizer q ->
+    emit buf
+      (Ir.Assign
+         ( out (),
+           Ir.Binop
+             (Ir.B_mul, f64, fconst q, Ir.Unop (Ir.U_round, Ir.Binop (Ir.B_div, f64, ins.(0), fconst q)))
+         ))
+  | Graph.Rate_limiter { rising; falling } ->
+    let o = out () in
+    let prev = state_var ctx (bpath ^ "_prev") out_ty (Value.zero out_ty) in
+    let tmp = fresh_var ctx (bpath ^ "_delta") f64 in
+    emit buf (Ir.Assign (tmp, Ir.Binop (Ir.B_sub, f64, ins.(0), read prev)));
+    let cast_to e = Ir.Unop (Ir.U_cast out_ty, e) in
+    let up = Ir.Binop (Ir.B_gt, f64, read tmp, fconst rising) in
+    let down = Ir.Binop (Ir.B_lt, f64, read tmp, fconst falling) in
+    let limited_up = cast_to (Ir.Binop (Ir.B_add, f64, read prev, fconst rising)) in
+    let limited_down = cast_to (Ir.Binop (Ir.B_add, f64, read prev, fconst falling)) in
+    (match ctx.mode with
+    | Full ->
+      let dec = new_decision ctx ~block:bpath ~desc:"rate limit region" ~outcomes:3 ~conds:[] in
+      emit buf
+        (Ir.If
+           {
+             cond = up;
+             dec = None;
+             then_ = arm dec 0 @ [ Ir.Assign (o, limited_up) ];
+             else_ =
+               [ Ir.If
+                   {
+                     cond = down;
+                     dec = None;
+                     then_ = arm dec 1 @ [ Ir.Assign (o, limited_down) ];
+                     else_ = arm dec 2 @ [ Ir.Assign (o, cast_to ins.(0)) ];
+                   } ];
+           })
+    | Branchless | Plain ->
+      emit buf
+        (Ir.Assign (o, Ir.Select (up, limited_up, Ir.Select (down, limited_down, cast_to ins.(0))))));
+    emit buf (Ir.Assign (prev, read o))
+  | Graph.Logic (Graph.L_not, _) ->
+    emit buf (Ir.Assign (out (), Ir.Unop (Ir.U_not, Ir.truthy ins.(0))))
+  | Graph.Logic (op, n) ->
+    let o = out () in
+    let cond_vars =
+      Array.to_list
+        (Array.init n (fun i ->
+             let v = fresh_var ctx (Printf.sprintf "%s_c%d" bpath i) Dtype.Bool in
+             emit buf (Ir.Assign (v, Ir.truthy ins.(i)));
+             v))
+    in
+    let combined = fold_logic op (List.map read cond_vars) in
+    emit_bool_decision ctx buf ~block:bpath ~desc:"logic output"
+      ~conds_exprs:(List.map read cond_vars)
+      ~cond_descs:(List.mapi (fun i _ -> Printf.sprintf "u%d" (i + 1)) cond_vars)
+      ~cond_combine:combined ~out:o
+  | Graph.Relational op ->
+    let cmp = Ir.Binop (relop_binop op, f64, ins.(0), ins.(1)) in
+    emit_bool_decision ctx buf ~block:bpath ~desc:"relational operator" ~conds_exprs:[ cmp ]
+      ~cond_descs:[ "u1 op u2" ] ~cond_combine:cmp ~out:(out ())
+  | Graph.Compare_to_constant (op, c) ->
+    let cmp = Ir.Binop (relop_binop op, f64, ins.(0), fconst c) in
+    emit_bool_decision ctx buf ~block:bpath ~desc:"compare to constant" ~conds_exprs:[ cmp ]
+      ~cond_descs:[ Printf.sprintf "u1 op %g" c ] ~cond_combine:cmp ~out:(out ())
+  | Graph.Compare_to_zero op ->
+    let cmp = Ir.Binop (relop_binop op, f64, ins.(0), fconst 0.0) in
+    emit_bool_decision ctx buf ~block:bpath ~desc:"compare to zero" ~conds_exprs:[ cmp ]
+      ~cond_descs:[ "u1 op 0" ] ~cond_combine:cmp ~out:(out ())
+  | Graph.Switch criteria ->
+    let o = out () in
+    let pred =
+      match criteria with
+      | Graph.Ge_threshold t -> Ir.Binop (Ir.B_ge, f64, ins.(1), fconst t)
+      | Graph.Gt_threshold t -> Ir.Binop (Ir.B_gt, f64, ins.(1), fconst t)
+      | Graph.Ne_zero -> Ir.Binop (Ir.B_ne, f64, ins.(1), fconst 0.0)
+    in
+    let pass1 = Ir.Unop (Ir.U_cast out_ty, ins.(0)) in
+    let pass2 = Ir.Unop (Ir.U_cast out_ty, ins.(2)) in
+    (match ctx.mode with
+    | Full ->
+      let dec =
+        new_decision ctx ~block:bpath ~desc:"switch criteria" ~outcomes:2 ~conds:[ "control" ]
+      in
+      List.iter (emit buf) (cond_stmts dec 0 pred);
+      emit buf
+        (Ir.If
+           {
+             cond = pred;
+             dec = Some dec.Ir.dec_id;
+             then_ = arm dec 0 @ [ Ir.Assign (o, pass1) ];
+             else_ = arm dec 1 @ [ Ir.Assign (o, pass2) ];
+           })
+    | Branchless | Plain -> emit buf (Ir.Assign (o, Ir.Select (pred, pass1, pass2))))
+  | Graph.Multiport_switch n ->
+    let o = out () in
+    let sel = ins.(0) in
+    let dec =
+      match ctx.mode with
+      | Full ->
+        Some (new_decision ctx ~block:bpath ~desc:"multiport selection" ~outcomes:n ~conds:[])
+      | Branchless | Plain -> None
+    in
+    let case i = Ir.Assign (o, Ir.Unop (Ir.U_cast out_ty, ins.(i + 1))) in
+    let arm_of i =
+      match dec with
+      | Some d -> arm d i
+      | None -> (match ctx.mode with Branchless -> code_arm ctx | Full | Plain -> [])
+    in
+    let rec chain i =
+      if i = n - 1 then arm_of i @ [ case i ]
+      else
+        [ Ir.If
+            {
+              cond = Ir.Binop (Ir.B_le, f64, sel, fconst (float_of_int (i + 1)));
+              dec = (match dec with Some d -> Some d.Ir.dec_id | None -> None);
+              then_ = arm_of i @ [ case i ];
+              else_ = chain (i + 1);
+            } ]
+    in
+    List.iter (emit buf) (chain 0)
+  | Graph.Merge n ->
+    let o = out () in
+    (* last-writer-wins merge: any input that changed since the
+       previous step updates the held value *)
+    let held = state_var ctx (bpath ^ "_merged") out_ty (Value.zero out_ty) in
+    for i = 0 to n - 1 do
+      let prev = state_var ctx (Printf.sprintf "%s_prev%d" bpath i) out_ty (Value.zero out_ty) in
+      let cast_in = Ir.Unop (Ir.U_cast out_ty, ins.(i)) in
+      emit buf
+        (Ir.If
+           {
+             cond = Ir.Binop (Ir.B_ne, f64, cast_in, read prev);
+             dec = None;
+             then_ = [ Ir.Assign (held, cast_in); Ir.Assign (prev, cast_in) ];
+             else_ = [];
+           })
+    done;
+    emit buf (Ir.Assign (o, read held))
+  | Graph.If_block n ->
+    let outs = Array.init (n + 1) (fun p -> mk_out p) in
+    let cond_vars =
+      Array.init n (fun i ->
+          let v = fresh_var ctx (Printf.sprintf "%s_c%d" bpath i) Dtype.Bool in
+          emit buf (Ir.Assign (v, Ir.truthy ins.(i)));
+          v)
+    in
+    Array.iter (fun o -> emit buf (Ir.Assign (o, Ir.bool_const false))) outs;
+    let dec =
+      match ctx.mode with
+      | Full ->
+        Some
+          (new_decision ctx ~block:bpath ~desc:"if/elseif/else action" ~outcomes:(n + 1)
+             ~conds:(List.init n (fun i -> Printf.sprintf "u%d" (i + 1))))
+      | Branchless | Plain -> None
+    in
+    (match dec with
+    | Some d -> Array.iteri (fun i v -> List.iter (emit buf) (cond_stmts d i (read v))) cond_vars
+    | None -> ());
+    let arm_of i =
+      match dec with
+      | Some d -> arm d i
+      | None -> (match ctx.mode with Branchless -> code_arm ctx | Full | Plain -> [])
+    in
+    let rec chain i =
+      if i = n then arm_of n @ [ Ir.Assign (outs.(n), Ir.bool_const true) ]
+      else
+        [ Ir.If
+            {
+              cond = read cond_vars.(i);
+              dec = (match dec with Some d -> Some d.Ir.dec_id | None -> None);
+              then_ = arm_of i @ [ Ir.Assign (outs.(i), Ir.bool_const true) ];
+              else_ = chain (i + 1);
+            } ]
+    in
+    List.iter (emit buf) (chain 0)
+  | Graph.Discrete_filter { filt_coeff; filt_init } ->
+    let o = out () in
+    let prev = state_var ctx (bpath ^ "_y") out_ty (Value.of_float out_ty filt_init) in
+    emit buf
+      (Ir.Assign
+         ( o,
+           Ir.Binop
+             ( Ir.B_add,
+               out_ty,
+               Ir.Binop (Ir.B_mul, out_ty, fconst filt_coeff, ins.(0)),
+               Ir.Binop (Ir.B_mul, out_ty, fconst (1.0 -. filt_coeff), read prev) ) ));
+    emit buf (Ir.Assign (prev, read o))
+  | Graph.Counter { count_init; count_max; count_wrap } ->
+    let o = out () in
+    let st = state_var ctx (bpath ^ "_count") Dtype.Int32 (Value.of_int Dtype.Int32 count_init) in
+    let inc = Ir.Binop (Ir.B_add, Dtype.Int32, read st, Ir.int_const Dtype.Int32 1) in
+    let over = Ir.Binop (Ir.B_gt, f64, read st, fconst (float_of_int count_max)) in
+    let limit_stmt =
+      if count_wrap then Ir.Assign (st, Ir.int_const Dtype.Int32 0)
+      else Ir.Assign (st, Ir.int_const Dtype.Int32 count_max)
+    in
+    (match ctx.mode with
+    | Full ->
+      let dec_en = new_decision ctx ~block:bpath ~desc:"counter enable" ~outcomes:2 ~conds:[] in
+      let dec_lim = new_decision ctx ~block:bpath ~desc:"counter limit" ~outcomes:2 ~conds:[] in
+      emit buf
+        (Ir.If
+           {
+             cond = Ir.truthy ins.(0);
+             dec = Some dec_en.Ir.dec_id;
+             then_ = arm dec_en 0 @ [ Ir.Assign (st, inc) ];
+             else_ = arm dec_en 1;
+           });
+      emit buf
+        (Ir.If
+           {
+             cond = over;
+             dec = Some dec_lim.Ir.dec_id;
+             then_ = arm dec_lim 0 @ [ limit_stmt ];
+             else_ = arm dec_lim 1;
+           })
+    | Branchless | Plain ->
+      emit buf
+        (Ir.If
+           {
+             cond = Ir.truthy ins.(0);
+             dec = None;
+             then_ =
+               (match ctx.mode with Branchless -> code_arm ctx | Full | Plain -> [])
+               @ [ Ir.Assign (st, inc) ];
+             else_ = [];
+           });
+      emit buf (Ir.If { cond = over; dec = None; then_ = [ limit_stmt ]; else_ = [] }));
+    emit buf (Ir.Assign (o, read st))
+  | Graph.Edge_detect kind ->
+    let o = out () in
+    let prev = state_var ctx (bpath ^ "_prev") Dtype.Bool (Value.of_bool false) in
+    let curr = fresh_var ctx (bpath ^ "_curr") Dtype.Bool in
+    emit buf (Ir.Assign (curr, Ir.truthy ins.(0)));
+    let cond = edge_cond kind ~curr:(read curr) ~prev:(read prev) in
+    (match ctx.mode with
+    | Full ->
+      let dec = new_decision ctx ~block:bpath ~desc:"edge detect" ~outcomes:2 ~conds:[] in
+      emit buf
+        (Ir.If
+           {
+             cond;
+             dec = Some dec.Ir.dec_id;
+             then_ = arm dec 0 @ [ Ir.Assign (o, Ir.bool_const true) ];
+             else_ = arm dec 1 @ [ Ir.Assign (o, Ir.bool_const false) ];
+           })
+    | Branchless | Plain -> emit buf (Ir.Assign (o, cond)));
+    emit buf (Ir.Assign (prev, read curr))
+  | Graph.Lookup_1d { lut_xs; lut_ys } ->
+    let o = out () in
+    let n = Array.length lut_xs in
+    let u = fresh_var ctx (bpath ^ "_u") f64 in
+    emit buf (Ir.Assign (u, Ir.Unop (Ir.U_cast f64, ins.(0))));
+    (* table coverage: one cell per interpolation interval *)
+    let interval_cells =
+      match ctx.mode with
+      | Full ->
+        let cells = Array.init (n + 1) (fun _ -> alloc_probe ctx) in
+        ctx.rev_lookups <- (bpath, cells) :: ctx.rev_lookups;
+        Some cells
+      | Branchless | Plain -> None
+    in
+    let interval_probe i =
+      match interval_cells with
+      | Some cells -> [ Ir.Probe cells.(i) ]
+      | None -> []
+    in
+    let interp i =
+      let x0 = lut_xs.(i - 1) and x1 = lut_xs.(i) in
+      let y0 = lut_ys.(i - 1) and y1 = lut_ys.(i) in
+      let slope = (y1 -. y0) /. (x1 -. x0) in
+      Ir.Unop
+        ( Ir.U_cast out_ty,
+          Ir.Binop
+            ( Ir.B_add,
+              f64,
+              fconst y0,
+              Ir.Binop (Ir.B_mul, f64, fconst slope, Ir.Binop (Ir.B_sub, f64, read u, fconst x0)) )
+        )
+    in
+    let rec segments i =
+      if i = n - 1 then interval_probe i @ [ Ir.Assign (o, interp i) ]
+      else
+        [ Ir.If
+            {
+              cond = Ir.Binop (Ir.B_le, f64, read u, fconst lut_xs.(i));
+              dec = None;
+              then_ = interval_probe i @ [ Ir.Assign (o, interp i) ];
+              else_ = segments (i + 1);
+            } ]
+    in
+    let low_arm, high_arm, interior_arm =
+      match ctx.mode with
+      | Full ->
+        let dec = new_decision ctx ~block:bpath ~desc:"lookup region" ~outcomes:3 ~conds:[] in
+        (arm dec 0, arm dec 1, arm dec 2)
+      | Branchless -> (code_arm ctx, code_arm ctx, code_arm ctx)
+      | Plain -> ([], [], [])
+    in
+    emit buf
+      (Ir.If
+         {
+           cond = Ir.Binop (Ir.B_le, f64, read u, fconst lut_xs.(0));
+           dec = None;
+           then_ =
+             interval_probe 0 @ low_arm
+             @ [ Ir.Assign (o, Ir.Unop (Ir.U_cast out_ty, fconst lut_ys.(0))) ];
+           else_ =
+             [ Ir.If
+                 {
+                   cond = Ir.Binop (Ir.B_ge, f64, read u, fconst lut_xs.(n - 1));
+                   dec = None;
+                   then_ =
+                     interval_probe n @ high_arm
+                     @ [ Ir.Assign (o, Ir.Unop (Ir.U_cast out_ty, fconst lut_ys.(n - 1))) ];
+                   else_ = interior_arm @ segments 1;
+                 } ];
+         })
+  | Graph.Data_type_conversion ty ->
+    emit buf (Ir.Assign (out (), Ir.Unop (Ir.U_cast ty, ins.(0))))
+  | Graph.Assertion msg ->
+    (* violation fires a dedicated probe cell in every build mode:
+       assertions are runtime checks, not coverage instrumentation *)
+    let cell = alloc_probe ctx in
+    ctx.rev_assertions <- (cell, Printf.sprintf "%s: %s" bpath msg) :: ctx.rev_assertions;
+    emit buf
+      (Ir.If
+         {
+           cond = Ir.Unop (Ir.U_not, Ir.truthy ins.(0));
+           dec = None;
+           then_ = [ Ir.Probe cell ];
+           else_ = [];
+         })
+  | Graph.Chart_block ch ->
+    let in_vars =
+      Array.mapi
+        (fun i (n, ty) ->
+          let v = fresh_var ctx (Printf.sprintf "%s_%s" bpath n) ty in
+          emit buf (Ir.Assign (v, ins.(i)));
+          v)
+        ch.Chart.inputs
+    in
+    let outs = lower_chart ctx buf ~path:(bpath ^ "/") ch ~inputs:in_vars in
+    Array.iteri set_out outs
+  | Graph.Subsystem { sub; activation } ->
+    let data_inputs off =
+      Array.mapi
+        (fun i (n, ty) ->
+          let v = fresh_var ctx (Printf.sprintf "%s_%s" bpath n) ty in
+          emit buf (Ir.Assign (v, ins.(i + off)));
+          v)
+        (Graph.inports sub)
+    in
+    (match activation with
+    | Graph.Always ->
+      let outs = lower_model ctx buf ~path:(bpath ^ "/") sub ~inputs:(data_inputs 0) in
+      Array.iteri set_out outs
+    | Graph.Enabled | Graph.Triggered _ ->
+      let guard_expr, after_guard =
+        match activation with
+        | Graph.Enabled -> (Ir.truthy ins.(0), fun () -> ())
+        | Graph.Triggered kind ->
+          let prev = state_var ctx (bpath ^ "_trigprev") Dtype.Bool (Value.of_bool false) in
+          let curr = fresh_var ctx (bpath ^ "_trig") Dtype.Bool in
+          emit buf (Ir.Assign (curr, Ir.truthy ins.(0)));
+          ( edge_cond kind ~curr:(read curr) ~prev:(read prev),
+            fun () -> emit buf (Ir.Assign (prev, read curr)) )
+        | Graph.Always -> assert false
+      in
+      let sub_buf = ref [] in
+      let outs = lower_model ctx sub_buf ~path:(bpath ^ "/") sub ~inputs:(data_inputs 1) in
+      let body = flush sub_buf in
+      (match ctx.mode with
+      | Full ->
+        let dec =
+          new_decision ctx ~block:bpath
+            ~desc:
+              (match activation with
+              | Graph.Enabled -> "subsystem enable"
+              | Graph.Triggered _ | Graph.Always -> "subsystem trigger")
+            ~outcomes:2 ~conds:[ "activation" ]
+        in
+        List.iter (emit buf) (cond_stmts dec 0 guard_expr);
+        emit buf
+          (Ir.If
+             {
+               cond = guard_expr;
+               dec = Some dec.Ir.dec_id;
+               then_ = arm dec 0 @ body;
+               else_ = arm dec 1;
+             })
+      | Branchless ->
+        emit buf
+          (Ir.If { cond = guard_expr; dec = None; then_ = code_arm ctx @ body; else_ = code_arm ctx })
+      | Plain -> emit buf (Ir.If { cond = guard_expr; dec = None; then_ = body; else_ = [] }));
+      after_guard ();
+      Array.iteri set_out outs)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lower ?(mode = Full) (m : Graph.t) : Ir.program =
+  (match Graph.validate m with
+  | Ok () -> ()
+  | Error msg -> failwith ("Codegen.lower: " ^ msg));
+  let ctx =
+    { mode; n_vars = 0; rev_states = []; rev_init = []; rev_decs = []; n_decs = 0; n_probes = 0;
+      rev_assertions = []; rev_lookups = [] }
+  in
+  let inports = Graph.inports m in
+  let inputs = Array.map (fun (n, ty) -> fresh_var ctx n ty) inports in
+  let buf = ref [] in
+  let outputs = lower_model ctx buf ~path:"" m ~inputs in
+  let prog =
+    {
+      Ir.prog_name = m.Graph.model_name;
+      n_vars = ctx.n_vars;
+      inputs;
+      outputs;
+      states = Array.of_list (List.rev ctx.rev_states);
+      init = List.rev ctx.rev_init;
+      step = flush buf;
+      n_probes = ctx.n_probes;
+      decisions = Array.of_list (List.rev ctx.rev_decs);
+      assertions = Array.of_list (List.rev ctx.rev_assertions);
+      lookup_tables = Array.of_list (List.rev ctx.rev_lookups);
+    }
+  in
+  match Ir.validate prog with
+  | Ok () -> prog
+  | Error msg -> failwith ("Codegen.lower: generated invalid IR: " ^ msg)

@@ -1,0 +1,46 @@
+(** Model-to-IR lowering with model-level branch instrumentation.
+
+    This is the paper's "Fuzzing Code Generation" stage: the model is
+    parsed, scheduled ({!Schedule}), and each block lowered through
+    its template into the IR, flattening subsystems inline and
+    expanding charts into if/else chains — exactly the structure the
+    emitted C has.
+
+    Three instrumentation modes reproduce the paper's build variants:
+
+    - [Full] — model-level probes per §3.1.2's four modes:
+      (a) boolean blocks get per-input condition checks,
+      (b) data switch/select blocks get per-branch decision probes,
+      (c) branch blocks (If, conditional subsystems, chart
+          transitions) get probes at every branch head,
+      (d) blocks with internal conditionals (Saturation, DeadZone,
+          Relay, rate limiter, lookup clipping, ...) get probes on
+          every conditional arm including implicit elses.
+    - [Branchless] — the "Fuzz Only" build of §4: boolean and select
+      logic compiles to branch-free ternaries with {i no} probes
+      (mimicking Clang -O2's jump-free boolean code), and only
+      structural [if]s (charts, conditional subsystems, saturations)
+      receive plain code-level edge probes, with no condition or
+      decision records.
+    - [Plain] — no instrumentation at all (pure generated code).
+
+    Lowering is deterministic. *)
+
+open Cftcg_model
+open Cftcg_ir
+
+type mode =
+  | Full
+  | Branchless
+  | Plain
+
+val mode_name : mode -> string
+
+val infer_types : Graph.t -> Dtype.t array -> (int * int, Dtype.t) Hashtbl.t
+(** Signal dtype of every (block id, output port) pair in one model
+    level, given the model's inport dtypes. Shared with the graph
+    interpreter so both execution paths agree on types. *)
+
+val lower : ?mode:mode -> Graph.t -> Ir.program
+(** Raises [Failure] on algebraic loops or validation errors. The
+    result always satisfies {!Ir.validate}. *)

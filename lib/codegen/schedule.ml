@@ -1,0 +1,53 @@
+open Cftcg_model
+
+let breaks_loop = function
+  | Graph.Unit_delay _ | Graph.Delay _ | Graph.Memory_block _ | Graph.Discrete_integrator _ ->
+    true
+  | _ -> false
+
+let order (m : Graph.t) =
+  let n = Array.length m.Graph.blocks in
+  let succs = Array.make n [] in
+  let indeg = Array.make n 0 in
+  Array.iter
+    (fun (l : Graph.line) ->
+      if not (breaks_loop m.Graph.blocks.(l.Graph.src_block).Graph.kind) then begin
+        succs.(l.Graph.src_block) <- l.Graph.dst_block :: succs.(l.Graph.src_block);
+        indeg.(l.Graph.dst_block) <- indeg.(l.Graph.dst_block) + 1
+      end)
+    m.Graph.lines;
+  (* deterministic Kahn: a sorted ready set, lowest id first *)
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then ready := IS.add i !ready
+  done;
+  let out = ref [] in
+  let count = ref 0 in
+  while not (IS.is_empty !ready) do
+    let b = IS.min_elt !ready in
+    ready := IS.remove b !ready;
+    out := b :: !out;
+    incr count;
+    List.iter
+      (fun d ->
+        indeg.(d) <- indeg.(d) - 1;
+        if indeg.(d) = 0 then ready := IS.add d !ready)
+      succs.(b)
+  done;
+  if !count <> n then begin
+    let stuck =
+      Array.to_list m.Graph.blocks
+      |> List.filter (fun (b : Graph.block) -> indeg.(b.Graph.bid) > 0)
+      |> List.map (fun (b : Graph.block) -> b.Graph.block_name)
+    in
+    Error
+      (Printf.sprintf "model %s: algebraic loop through blocks: %s" m.Graph.model_name
+         (String.concat ", " stuck))
+  end
+  else Ok (List.rev !out)
+
+let order_exn m =
+  match order m with
+  | Ok o -> o
+  | Error msg -> failwith msg

@@ -1,0 +1,21 @@
+(** Block execution scheduling (the paper's "Schedule Convert").
+
+    Computes the combinational evaluation order of one model level:
+    a topological sort of the data-dependency graph in which
+    non-direct-feedthrough blocks (unit delays, memories, discrete
+    integrators) act as sources — their outputs are previous-step
+    state, so they break loops. A cycle through direct-feedthrough
+    blocks is an algebraic loop and is rejected. *)
+
+open Cftcg_model
+
+val breaks_loop : Graph.kind -> bool
+(** True for blocks whose current output does not depend on their
+    current input (state-only blocks). *)
+
+val order : Graph.t -> (int list, string) result
+(** Block ids in a valid evaluation order (all blocks included). The
+    order is deterministic: among ready blocks, lower ids first. *)
+
+val order_exn : Graph.t -> int list
+(** Like {!order}, raising [Failure] on algebraic loops. *)

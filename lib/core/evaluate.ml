@@ -1,0 +1,62 @@
+open Cftcg_ir
+module Recorder = Cftcg_coverage.Recorder
+module Layout = Cftcg_fuzz.Layout
+
+let run_case layout compiled ~max_tuples data =
+  Ir_compile.reset compiled;
+  let n = min (Layout.n_tuples layout data) max_tuples in
+  for tuple = 0 to n - 1 do
+    Layout.load_tuple layout data ~tuple compiled;
+    Ir_compile.step compiled
+  done
+
+let replay ?(max_tuples = 4096) (prog : Ir.program) suite =
+  let layout = Layout.of_program prog in
+  let recorder = Recorder.create prog in
+  let compiled = Ir_compile.compile ~hooks:(Recorder.hooks recorder) prog in
+  List.iter (run_case layout compiled ~max_tuples) suite;
+  Recorder.report recorder
+
+let signal_ranges ?(max_tuples = 4096) (prog : Ir.program) suite =
+  let layout = Layout.of_program prog in
+  let compiled = Ir_compile.compile prog in
+  let watched = Array.append prog.Ir.outputs prog.Ir.states in
+  let mins = Array.make (Array.length watched) Float.infinity in
+  let maxs = Array.make (Array.length watched) Float.neg_infinity in
+  let observe () =
+    Array.iteri
+      (fun i (v : Ir.var) ->
+        let x = Ir_compile.read_raw compiled v.Ir.vid in
+        if x < mins.(i) then mins.(i) <- x;
+        if x > maxs.(i) then maxs.(i) <- x)
+      watched
+  in
+  List.iter
+    (fun data ->
+      Ir_compile.reset compiled;
+      observe ();
+      let n = min (Layout.n_tuples layout data) max_tuples in
+      for tuple = 0 to n - 1 do
+        Layout.load_tuple layout data ~tuple compiled;
+        Ir_compile.step compiled;
+        observe ()
+      done)
+    suite;
+  Array.to_list
+    (Array.mapi
+       (fun i (v : Ir.var) ->
+         if Float.is_finite mins.(i) then (v.Ir.vname, mins.(i), maxs.(i))
+         else (v.Ir.vname, 0.0, 0.0))
+       watched)
+
+let decision_series ?(max_tuples = 4096) (prog : Ir.program) timed_suite =
+  let layout = Layout.of_program prog in
+  let recorder = Recorder.create prog in
+  let compiled = Ir_compile.compile ~hooks:(Recorder.hooks recorder) prog in
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) timed_suite in
+  List.map
+    (fun (data, time) ->
+      run_case layout compiled ~max_tuples data;
+      let r = Recorder.report recorder in
+      (time, r.Recorder.decision_pct))
+    sorted

@@ -1,0 +1,49 @@
+open Cftcg_ir
+module Codegen = Cftcg_codegen.Codegen
+module Fuzzer = Cftcg_fuzz.Fuzzer
+module Recorder = Cftcg_coverage.Recorder
+module Layout = Cftcg_fuzz.Layout
+module Tools = Cftcg_baselines.Tools
+
+type generated = {
+  program : Ir.program;
+  layout : Layout.t;
+  fuzz_code_c : string;
+  fuzz_driver_c : string;
+}
+
+let generate ?(mode = Codegen.Full) ?(optimize = true) m =
+  let program = Codegen.lower ~mode m in
+  let program = if optimize then Ir_opt.optimize program else program in
+  {
+    program;
+    layout = Layout.of_program program;
+    fuzz_code_c = Cemit.emit_program program;
+    fuzz_driver_c = Cemit.emit_fuzz_driver program;
+  }
+
+type campaign = {
+  gen : generated;
+  fuzz : Fuzzer.result;
+  coverage : Recorder.report;
+}
+
+let run_campaign ?(config = Fuzzer.default_config) ?(mode = Codegen.Full) ?(optimize = true) m
+    budget =
+  let gen = generate ~mode ~optimize m in
+  let fuzz = Fuzzer.run ~config gen.program budget in
+  let scoring_prog =
+    (* score on the fully instrumented build even if the campaign ran
+       on a reduced one *)
+    match mode with
+    | Codegen.Full -> gen.program
+    | Codegen.Branchless | Codegen.Plain -> Codegen.lower ~mode:Codegen.Full m
+  in
+  let suite = List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) fuzz.Fuzzer.test_suite in
+  { gen; fuzz; coverage = Evaluate.replay scoring_prog suite }
+
+let score_tool (tool : Tools.t) m ~seed ~time_budget =
+  let outcome = tool.Tools.generate m ~seed ~time_budget in
+  let prog = Codegen.lower ~mode:Codegen.Full m in
+  let suite = List.map (fun (tc : Tools.test_case) -> tc.Tools.data) outcome.Tools.suite in
+  (outcome, Evaluate.replay prog suite)

@@ -1,0 +1,41 @@
+(** End-to-end CFTCG pipeline (paper Figure 2).
+
+    [Model Parser → Schedule Convert → Branch Instrument →
+    Code Synthesis → Fuzz Driver Generation → Model Oriented
+    Fuzzing Loop], packaged as one call each for generation and for
+    campaign execution. *)
+
+open Cftcg_model
+open Cftcg_ir
+module Codegen = Cftcg_codegen.Codegen
+module Fuzzer = Cftcg_fuzz.Fuzzer
+module Recorder = Cftcg_coverage.Recorder
+
+type generated = {
+  program : Ir.program;  (** instrumented, scheduled, lowered *)
+  layout : Cftcg_fuzz.Layout.t;  (** fuzz driver field layout *)
+  fuzz_code_c : string;  (** the C fuzz code (instrumented step) *)
+  fuzz_driver_c : string;  (** the C [LLVMFuzzerTestOneInput] *)
+}
+
+val generate : ?mode:Codegen.mode -> ?optimize:bool -> Graph.t -> generated
+(** Fuzzing Code Generation: parse/validate, schedule, instrument,
+    synthesize. [optimize] (default [true]) runs the IR optimizer —
+    the "Maximize Execution Speed" objective. *)
+
+type campaign = {
+  gen : generated;
+  fuzz : Fuzzer.result;
+  coverage : Recorder.report;  (** replayed on the instrumented program *)
+}
+
+val run_campaign :
+  ?config:Fuzzer.config -> ?mode:Codegen.mode -> ?optimize:bool -> Graph.t -> Fuzzer.budget ->
+  campaign
+(** Generates, fuzzes, and scores one model in one call. *)
+
+val score_tool :
+  Cftcg_baselines.Tools.t -> Graph.t -> seed:int64 -> time_budget:float ->
+  Cftcg_baselines.Tools.outcome * Recorder.report
+(** Runs any tool and replays its suite on the Full-instrumented
+    program — the shared scoring path used by every experiment. *)

@@ -1,0 +1,120 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let css =
+  {|
+  body { font-family: system-ui, sans-serif; margin: 2em; color: #1a1a1a; }
+  h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+  .tiles { display: flex; gap: 1em; }
+  .tile { border: 1px solid #ccc; border-radius: 6px; padding: 0.8em 1.2em; min-width: 9em; }
+  .tile .pct { font-size: 1.6em; font-weight: 600; }
+  .tile .label { color: #555; font-size: 0.85em; }
+  table { border-collapse: collapse; margin-top: 0.6em; }
+  th, td { border: 1px solid #ddd; padding: 0.3em 0.6em; font-size: 0.9em; text-align: left; }
+  th { background: #f3f3f3; }
+  .ok { color: #116611; }
+  .miss { color: #aa1111; font-weight: 600; background: #fff0f0; }
+  .mono { font-family: ui-monospace, monospace; }
+|}
+
+let tile buf label pct covered total =
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|<div class="tile"><div class="pct">%.0f%%</div><div class="label">%s (%d/%d)</div></div>|}
+       pct (escape label) covered total)
+
+let render ~model_name ?signal_ranges recorder =
+  let r = Recorder.report recorder in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<title>Model coverage — %s</title>\n<style>%s</style></head>\n<body>\n"
+       (escape model_name) css);
+  Buffer.add_string buf (Printf.sprintf "<h1>Model coverage — %s</h1>\n" (escape model_name));
+  Buffer.add_string buf "<div class=\"tiles\">\n";
+  tile buf "Decision" r.Recorder.decision_pct r.Recorder.outcomes_covered r.Recorder.outcomes_total;
+  tile buf "Condition" r.Recorder.condition_pct r.Recorder.conditions_covered
+    r.Recorder.conditions_total;
+  tile buf "MCDC" r.Recorder.mcdc_pct r.Recorder.mcdc_covered r.Recorder.mcdc_total;
+  if r.Recorder.lookup_total > 0 then
+    tile buf "Lookup tables" r.Recorder.lookup_pct r.Recorder.lookup_covered
+      r.Recorder.lookup_total;
+  Buffer.add_string buf "</div>\n";
+  (* per-decision table *)
+  Buffer.add_string buf "<h2>Decisions</h2>\n<table>\n";
+  Buffer.add_string buf
+    "<tr><th>Block</th><th>Decision</th><th>Outcomes</th><th>Conditions (T/F, MCDC)</th></tr>\n";
+  List.iter
+    (fun (d : Recorder.decision_status) ->
+      let outcomes =
+        Array.to_list d.Recorder.ds_outcomes
+        |> List.mapi (fun i covered ->
+               if covered then Printf.sprintf {|<span class="ok">%d✓</span>|} i
+               else Printf.sprintf {|<span class="miss">%d✗</span>|} i)
+        |> String.concat " "
+      in
+      let conditions =
+        Array.to_list d.Recorder.ds_conditions
+        |> List.map (fun (desc, st, sf, mcdc) ->
+               let pol cls label seen =
+                 Printf.sprintf {|<span class="%s">%s</span>|}
+                   (if seen then cls else "miss")
+                   label
+               in
+               Printf.sprintf {|<span class="mono">%s</span> %s %s %s|} (escape desc)
+                 (pol "ok" "T" st) (pol "ok" "F" sf)
+                 (if mcdc then {|<span class="ok">MCDC</span>|}
+                  else {|<span class="miss">MCDC</span>|}))
+        |> String.concat "<br>"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "<tr><td class=\"mono\">%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n"
+           (escape d.Recorder.ds_block) (escape d.Recorder.ds_desc) outcomes conditions))
+    (Recorder.decisions_status recorder);
+  Buffer.add_string buf "</table>\n";
+  (* lookup tables *)
+  (match Recorder.lookup_intervals recorder with
+  | [] -> ()
+  | tables ->
+    Buffer.add_string buf "<h2>Lookup tables</h2>\n<table>\n";
+    Buffer.add_string buf "<tr><th>Block</th><th>Intervals hit</th></tr>\n";
+    List.iter
+      (fun (name, hit, total) ->
+        let cls = if hit = total then "ok" else "miss" in
+        Buffer.add_string buf
+          (Printf.sprintf "<tr><td class=\"mono\">%s</td><td class=\"%s\">%d / %d</td></tr>\n"
+             (escape name) cls hit total))
+      tables;
+    Buffer.add_string buf "</table>\n");
+  (* signal ranges *)
+  (match signal_ranges with
+  | None | Some [] -> ()
+  | Some ranges ->
+    Buffer.add_string buf "<h2>Signal ranges</h2>\n<table>\n";
+    Buffer.add_string buf "<tr><th>Signal</th><th>Min</th><th>Max</th></tr>\n";
+    List.iter
+      (fun (name, lo, hi) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td class=\"mono\">%s</td><td class=\"mono\">%g</td><td class=\"mono\">%g</td></tr>\n"
+             (escape name) lo hi))
+      ranges;
+    Buffer.add_string buf "</table>\n");
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let save ~model_name ?signal_ranges recorder path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ~model_name ?signal_ranges recorder))

@@ -1,0 +1,19 @@
+(** Self-contained HTML coverage report.
+
+    The counterpart of the HTML reports Simulink's coverage tool
+    produces: summary tiles for Decision / Condition / MCDC (and
+    lookup-table coverage when present), then a per-decision table
+    with outcome, condition-polarity and MCDC status, uncovered items
+    highlighted. The output is one HTML file with inline CSS and no
+    external assets. *)
+
+val render :
+  model_name:string -> ?signal_ranges:(string * float * float) list -> Recorder.t -> string
+(** Renders the recorder's current state. [signal_ranges] (from
+    {!Cftcg.Evaluate.signal_ranges}) adds the observed min/max table
+    when provided. *)
+
+val save :
+  model_name:string -> ?signal_ranges:(string * float * float) list -> Recorder.t -> string ->
+  unit
+(** [save ~model_name recorder path] writes the report to [path]. *)

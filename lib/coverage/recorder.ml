@@ -1,0 +1,237 @@
+open Cftcg_ir
+
+(* Per decision we keep the truth vector under construction (bits set
+   by Record_cond events) and a bounded set of (vector, outcome)
+   evaluations for MCDC pair search. *)
+type dec_state = {
+  info : Ir.decision;
+  outcomes_seen : bool array;
+  cond_true : bool array;
+  cond_false : bool array;
+  mutable curr_vector : int;
+  evals : (int * int, unit) Hashtbl.t;  (* (vector, outcome) *)
+}
+
+type t = {
+  n_probes : int;
+  probes : Bytes.t;
+  decs : dec_state array;
+  lookups : (string * int array) array;
+}
+
+let max_mcdc_evals = 4096
+
+let create (prog : Ir.program) =
+  let mk_dec (info : Ir.decision) =
+    {
+      info;
+      outcomes_seen = Array.make info.Ir.n_outcomes false;
+      cond_true = Array.make (Array.length info.Ir.conditions) false;
+      cond_false = Array.make (Array.length info.Ir.conditions) false;
+      curr_vector = 0;
+      evals = Hashtbl.create 16;
+    }
+  in
+  {
+    n_probes = prog.Ir.n_probes;
+    probes = Bytes.make prog.Ir.n_probes '\000';
+    decs = Array.map mk_dec prog.Ir.decisions;
+    lookups = prog.Ir.lookup_tables;
+  }
+
+let clear t =
+  Bytes.fill t.probes 0 (Bytes.length t.probes) '\000';
+  Array.iter
+    (fun d ->
+      Array.fill d.outcomes_seen 0 (Array.length d.outcomes_seen) false;
+      Array.fill d.cond_true 0 (Array.length d.cond_true) false;
+      Array.fill d.cond_false 0 (Array.length d.cond_false) false;
+      d.curr_vector <- 0;
+      Hashtbl.reset d.evals)
+    t.decs
+
+let on_probe t id = if id >= 0 && id < t.n_probes then Bytes.set t.probes id '\001'
+
+let on_cond t dec ix value =
+  let d = t.decs.(dec) in
+  if ix >= 0 && ix < Array.length d.cond_true then begin
+    if value then begin
+      d.cond_true.(ix) <- true;
+      d.curr_vector <- d.curr_vector lor (1 lsl ix)
+    end
+    else begin
+      d.cond_false.(ix) <- true;
+      d.curr_vector <- d.curr_vector land lnot (1 lsl ix)
+    end
+  end
+
+let on_decision t dec outcome =
+  let d = t.decs.(dec) in
+  if outcome >= 0 && outcome < Array.length d.outcomes_seen then begin
+    d.outcomes_seen.(outcome) <- true;
+    if Array.length d.info.Ir.conditions > 0 && Hashtbl.length d.evals < max_mcdc_evals then
+      Hashtbl.replace d.evals (d.curr_vector, outcome) ();
+    d.curr_vector <- 0
+  end
+
+let hooks t =
+  {
+    Hooks.on_probe = Some (on_probe t);
+    on_cond = Some (on_cond t);
+    on_decision = Some (on_decision t);
+    on_branch = None;
+  }
+
+let n_probes t = t.n_probes
+
+let probe_seen t id = Bytes.get t.probes id <> '\000'
+
+let probes_covered t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.probes;
+  !n
+
+type report = {
+  decision_pct : float;
+  condition_pct : float;
+  mcdc_pct : float;
+  outcomes_covered : int;
+  outcomes_total : int;
+  conditions_covered : int;
+  conditions_total : int;
+  mcdc_covered : int;
+  mcdc_total : int;
+  lookup_covered : int;
+  lookup_total : int;
+  lookup_pct : float;
+}
+
+(* A condition achieves MCDC when two recorded evaluations differ only
+   in that condition's bit and produce different decision outcomes. *)
+let mcdc_condition_covered d ix =
+  let bit = 1 lsl ix in
+  let pairs = Hashtbl.fold (fun k () acc -> k :: acc) d.evals [] in
+  let tbl = Hashtbl.create (List.length pairs) in
+  List.iter (fun (v, o) -> Hashtbl.replace tbl (v, o) ()) pairs;
+  List.exists
+    (fun (v, o) ->
+      let v' = v lxor bit in
+      let flipped o' = o' <> o && Hashtbl.mem tbl (v', o') in
+      (* decisions are 2-outcome when conditions exist *)
+      flipped (1 - o))
+    pairs
+
+let report t =
+  let outcomes_covered = ref 0 in
+  let outcomes_total = ref 0 in
+  let conditions_covered = ref 0 in
+  let conditions_total = ref 0 in
+  let mcdc_covered = ref 0 in
+  let mcdc_total = ref 0 in
+  Array.iter
+    (fun d ->
+      outcomes_total := !outcomes_total + Array.length d.outcomes_seen;
+      Array.iter (fun seen -> if seen then incr outcomes_covered) d.outcomes_seen;
+      let nconds = Array.length d.info.Ir.conditions in
+      conditions_total := !conditions_total + nconds;
+      mcdc_total := !mcdc_total + nconds;
+      for ix = 0 to nconds - 1 do
+        if d.cond_true.(ix) && d.cond_false.(ix) then incr conditions_covered;
+        if mcdc_condition_covered d ix then incr mcdc_covered
+      done)
+    t.decs;
+  let pct a b = if b = 0 then 100.0 else 100.0 *. float_of_int a /. float_of_int b in
+  let lookup_covered = ref 0 in
+  let lookup_total = ref 0 in
+  Array.iter
+    (fun (_, cells) ->
+      lookup_total := !lookup_total + Array.length cells;
+      Array.iter (fun cell -> if Bytes.get t.probes cell <> '\000' then incr lookup_covered) cells)
+    t.lookups;
+  {
+    decision_pct = pct !outcomes_covered !outcomes_total;
+    condition_pct = pct !conditions_covered !conditions_total;
+    mcdc_pct = pct !mcdc_covered !mcdc_total;
+    outcomes_covered = !outcomes_covered;
+    outcomes_total = !outcomes_total;
+    conditions_covered = !conditions_covered;
+    conditions_total = !conditions_total;
+    mcdc_covered = !mcdc_covered;
+    mcdc_total = !mcdc_total;
+    lookup_covered = !lookup_covered;
+    lookup_total = !lookup_total;
+    lookup_pct = pct !lookup_covered !lookup_total;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "decision %.1f%% (%d/%d)  condition %.1f%% (%d/%d)  mcdc %.1f%% (%d/%d)"
+    r.decision_pct r.outcomes_covered r.outcomes_total r.condition_pct r.conditions_covered
+    r.conditions_total r.mcdc_pct r.mcdc_covered r.mcdc_total;
+  if r.lookup_total > 0 then
+    Format.fprintf fmt "  lookup %.1f%% (%d/%d)" r.lookup_pct r.lookup_covered r.lookup_total
+
+let lookup_intervals t =
+  Array.to_list t.lookups
+  |> List.map (fun (name, cells) ->
+         let hit = Array.fold_left (fun acc c -> acc + if Bytes.get t.probes c <> '\000' then 1 else 0) 0 cells in
+         (name, hit, Array.length cells))
+
+type decision_status = {
+  ds_block : string;
+  ds_desc : string;
+  ds_outcomes : bool array;
+  ds_conditions : (string * bool * bool * bool) array;
+}
+
+let decisions_status t =
+  Array.to_list t.decs
+  |> List.map (fun d ->
+         {
+           ds_block = d.info.Ir.dec_block;
+           ds_desc = d.info.Ir.dec_desc;
+           ds_outcomes = Array.copy d.outcomes_seen;
+           ds_conditions =
+             Array.mapi
+               (fun ix (c : Ir.condition) ->
+                 (c.Ir.cond_desc, d.cond_true.(ix), d.cond_false.(ix), mcdc_condition_covered d ix))
+               d.info.Ir.conditions;
+         })
+
+let detailed t =
+  let buf = Buffer.create 2048 in
+  Array.iter
+    (fun d ->
+      let hit = Array.fold_left (fun acc s -> acc + Bool.to_int s) 0 d.outcomes_seen in
+      Buffer.add_string buf
+        (Printf.sprintf "%s — %s: %d/%d outcomes\n" d.info.Ir.dec_block d.info.Ir.dec_desc hit
+           (Array.length d.outcomes_seen));
+      Array.iteri
+        (fun i seen ->
+          Buffer.add_string buf (Printf.sprintf "    outcome %d: %s\n" i (if seen then "covered" else "NOT COVERED")))
+        d.outcomes_seen;
+      Array.iteri
+        (fun ix (c : Ir.condition) ->
+          let pol =
+            match (d.cond_true.(ix), d.cond_false.(ix)) with
+            | true, true -> "T/F"
+            | true, false -> "T only"
+            | false, true -> "F only"
+            | false, false -> "never evaluated"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "    condition %d (%s): %s, MCDC %s\n" ix c.Ir.cond_desc pol
+               (if mcdc_condition_covered d ix then "achieved" else "NOT achieved")))
+        d.info.Ir.conditions)
+    t.decs;
+  Buffer.contents buf
+
+let uncovered t =
+  Array.to_list t.decs
+  |> List.filter_map (fun d ->
+         let missing = ref [] in
+         Array.iteri (fun i seen -> if not seen then missing := i :: !missing) d.outcomes_seen;
+         if !missing = [] then None
+         else Some (d.info.Ir.dec_block, d.info.Ir.dec_desc, List.rev !missing))
+
+let branch_total (prog : Ir.program) =
+  Array.fold_left (fun acc (d : Ir.decision) -> acc + d.Ir.n_outcomes) 0 prog.Ir.decisions

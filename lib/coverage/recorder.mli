@@ -1,0 +1,88 @@
+(** Model coverage recorder.
+
+    Accumulates the three metrics the paper evaluates (Table 3):
+
+    - {b Decision Coverage} — each instrumented decision outcome
+      (branch arm) observed at least once;
+    - {b Condition Coverage} — each instrumented condition observed
+      both true and false;
+    - {b MCDC} — for each condition, two recorded evaluations of its
+      decision that differ only in that condition and flip the
+      decision outcome (unique-cause MCDC over full truth vectors;
+      our generated code evaluates all conditions, so no masking is
+      needed at runtime).
+
+    One recorder instance is attached to an executing program via
+    {!hooks}; replaying a tool's emitted test suite through a fresh
+    recorder yields the fair post-hoc comparison the paper performs
+    with Simulink's own coverage tooling. *)
+
+open Cftcg_ir
+
+type t
+
+val create : Ir.program -> t
+(** Fresh recorder for the program's decision table. *)
+
+val hooks : t -> Hooks.t
+(** Hooks (probe + condition + decision) feeding this recorder. *)
+
+val clear : t -> unit
+(** Forget everything recorded. *)
+
+(** {1 Flat probe view (Algorithm 1)} *)
+
+val n_probes : t -> int
+val probe_seen : t -> int -> bool
+val probes_covered : t -> int
+
+(** {1 Metrics} *)
+
+type report = {
+  decision_pct : float;
+  condition_pct : float;
+  mcdc_pct : float;
+  outcomes_covered : int;
+  outcomes_total : int;
+  conditions_covered : int;
+  conditions_total : int;
+  mcdc_covered : int;
+  mcdc_total : int;
+  lookup_covered : int;  (** lookup-table intervals hit *)
+  lookup_total : int;
+  lookup_pct : float;  (** 100 when the model has no lookup tables *)
+}
+
+val report : t -> report
+
+val lookup_intervals : t -> (string * int * int) list
+(** Per lookup table: [(block path, intervals hit, intervals)]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+type decision_status = {
+  ds_block : string;  (** model path of the owning block *)
+  ds_desc : string;
+  ds_outcomes : bool array;  (** covered flag per outcome *)
+  ds_conditions : (string * bool * bool * bool) array;
+      (** description, seen true, seen false, MCDC achieved *)
+}
+
+val decisions_status : t -> decision_status list
+(** Structured per-decision view — the data behind {!detailed} and
+    the HTML report. *)
+
+val detailed : t -> string
+(** Multi-line per-decision breakdown in the style of a Simulink
+    coverage report: outcome hits, condition polarities, and MCDC
+    status per condition. *)
+
+val uncovered : t -> (string * string * int list) list
+(** Decisions with missing outcomes: [(block path, description,
+    missing outcome indices)] — the debugging view testers use to see
+    which model logic stayed unreached. *)
+
+(** {1 Static model statistics} *)
+
+val branch_total : Ir.program -> int
+(** Total decision outcomes — the "#Branch" column of Table 2. *)

@@ -1,0 +1,61 @@
+open Cftcg_model
+open Cftcg_ir
+module Rng = Cftcg_util.Rng
+
+type t = { pool : float array }
+
+module FS = Set.Make (Float)
+
+(* Collect literals that take part in comparisons — the values that
+   decide branches. Arithmetic-only constants (gains, biases) matter
+   less and would dilute the pool. *)
+let rec expr_consts ~in_cmp acc (e : Ir.expr) =
+  match e with
+  | Ir.Const v ->
+    if in_cmp then begin
+      let x = Value.to_float v in
+      if Float.is_finite x then FS.add x acc else acc
+    end
+    else acc
+  | Ir.Read _ -> acc
+  | Ir.Unop (_, a) -> expr_consts ~in_cmp acc a
+  | Ir.Binop (op, _, a, b) ->
+    let in_cmp =
+      match op with
+      | Ir.B_eq | Ir.B_ne | Ir.B_lt | Ir.B_le | Ir.B_gt | Ir.B_ge -> true
+      | Ir.B_add | Ir.B_sub | Ir.B_mul | Ir.B_div | Ir.B_rem | Ir.B_min | Ir.B_max | Ir.B_and
+      | Ir.B_or -> in_cmp
+    in
+    expr_consts ~in_cmp (expr_consts ~in_cmp acc a) b
+  | Ir.Select (c, a, b) ->
+    expr_consts ~in_cmp (expr_consts ~in_cmp (expr_consts ~in_cmp acc c) a) b
+
+let rec stmt_consts acc (s : Ir.stmt) =
+  match s with
+  | Ir.Assign (_, e) -> expr_consts ~in_cmp:false acc e
+  | Ir.If { cond; then_; else_; _ } ->
+    let acc = expr_consts ~in_cmp:true acc cond in
+    let acc = List.fold_left stmt_consts acc then_ in
+    List.fold_left stmt_consts acc else_
+  | Ir.Record_cond { value; _ } -> expr_consts ~in_cmp:true acc value
+  | Ir.Probe _ | Ir.Record_decision _ | Ir.Comment _ -> acc
+
+let of_program (p : Ir.program) =
+  let base = List.fold_left stmt_consts FS.empty (p.Ir.init @ p.Ir.step) in
+  (* off-by-one neighbours turn boundary constants into both branch
+     polarities *)
+  let with_neighbours =
+    FS.fold (fun x acc -> FS.add (x +. 1.0) (FS.add (x -. 1.0) acc)) base base
+  in
+  { pool = Array.of_list (FS.elements with_neighbours) }
+
+let size t = Array.length t.pool
+
+let constants t = Array.copy t.pool
+
+let sample t rng ty =
+  if Array.length t.pool = 0 then None
+  else begin
+    let x = t.pool.(Rng.int rng (Array.length t.pool)) in
+    Some (Value.cast ty (Value.of_float Dtype.Float64 x))
+  end

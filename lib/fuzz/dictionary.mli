@@ -1,0 +1,28 @@
+(** Constant dictionary extracted from the generated code.
+
+    The classic fuzzing dictionary idea (AFL dictionaries, LibFuzzer's
+    value profile) applied to models: thresholds of comparisons,
+    saturation bounds, switch criteria and chart guard constants all
+    appear as literals in the instrumented program. Mutations that
+    set an input field to one of these constants (or one off it)
+    reach magic-value branches — token windows, opcodes, counters —
+    that uniform byte mutation essentially never hits. *)
+
+open Cftcg_model
+open Cftcg_ir
+
+type t
+
+val of_program : Ir.program -> t
+(** Harvests every numeric literal that appears as a comparison
+    operand in the program, plus its off-by-one neighbours. *)
+
+val size : t -> int
+(** Distinct constants collected. *)
+
+val constants : t -> float array
+(** The collected pool, sorted ascending (for tests/inspection). *)
+
+val sample : t -> Cftcg_util.Rng.t -> Dtype.t -> Value.t option
+(** A random dictionary constant cast to the field type; [None] when
+    the dictionary is empty. *)

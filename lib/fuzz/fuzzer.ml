@@ -1,0 +1,234 @@
+open Cftcg_ir
+module Rng = Cftcg_util.Rng
+
+type config = {
+  seed : int64;
+  max_tuples : int;
+  corpus_cap : int;
+  field_aware : bool;
+  iteration_metric : bool;
+  ranges : (string * float * float) list;
+  seeds : Bytes.t list;
+  use_dictionary : bool;
+}
+
+let default_config =
+  { seed = 1L; max_tuples = 256; corpus_cap = 256; field_aware = true; iteration_metric = true;
+    ranges = []; seeds = []; use_dictionary = true }
+
+type budget =
+  | Time_budget of float
+  | Exec_budget of int
+
+type test_case = {
+  tc_data : Bytes.t;
+  tc_time : float;
+  tc_new_probes : int;
+}
+
+type failure = {
+  f_data : Bytes.t;
+  f_time : float;
+  f_message : string;
+}
+
+type stats = {
+  executions : int;
+  iterations : int;
+  elapsed : float;
+  corpus_size : int;
+  probes_covered : int;
+  probes_total : int;
+}
+
+type result = {
+  test_suite : test_case list;
+  failures : failure list;
+  stats : stats;
+}
+
+type entry = {
+  data : Bytes.t;
+  score : int;
+}
+
+(* Corpus score: inputs that found new coverage dominate; among the
+   rest, the iteration-difference metric *per iteration* ranks them
+   (the raw metric grows with input length, which would bias the
+   corpus toward long oscillating inputs and stall exploration). *)
+let entry_score ~fresh ~metric ~iters =
+  let norm_metric = if iters = 0 then 0 else metric * 8 / iters in
+  (100 * min fresh 20) + min norm_metric 200
+
+(* Executes one input through the fuzz driver: Algorithm 1.
+   [g_total] is the campaign-global coverage array; returns
+   (iteration-difference metric, newly covered probe count,
+   iterations executed). *)
+let run_one ~layout ~compiled ~curr ~last ~g_total ~max_tuples ~use_metric ~fresh_cells data =
+  let n_probes = Bytes.length g_total in
+  let n = min (Layout.n_tuples layout data) max_tuples in
+  Ir_compile.reset compiled;
+  Bytes.fill last 0 n_probes '\000';
+  let metric = ref 0 in
+  let fresh = ref 0 in
+  for tuple = 0 to n - 1 do
+    Bytes.fill curr 0 n_probes '\000';
+    Layout.load_tuple layout data ~tuple compiled;
+    Ir_compile.step compiled;
+    for i = 0 to n_probes - 1 do
+      let c = Bytes.unsafe_get curr i in
+      if c <> '\000' && Bytes.unsafe_get g_total i = '\000' then begin
+        Bytes.unsafe_set g_total i '\001';
+        incr fresh;
+        fresh_cells := i :: !fresh_cells
+      end;
+      if use_metric && c <> Bytes.unsafe_get last i then incr metric
+    done;
+    Bytes.blit curr 0 last 0 n_probes
+  done;
+  (!metric, !fresh, n)
+
+let count_covered g_total =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) g_total;
+  !n
+
+(* Corpus selection: 2-way tournament biased to the higher score;
+   shorter inputs win ties (LibFuzzer's small-input preference). *)
+let select_entry rng corpus =
+  let n = Array.length corpus in
+  let a = corpus.(Rng.int rng n) in
+  let b = corpus.(Rng.int rng n) in
+  let hi, lo =
+    if a.score > b.score || (a.score = b.score && Bytes.length a.data <= Bytes.length b.data)
+    then (a, b)
+    else (b, a)
+  in
+  if Rng.int rng 10 < 8 then hi else lo
+
+let run ?(config = default_config) ?(on_test_case = fun _ -> ()) (prog : Ir.program) budget =
+  let layout = Layout.with_ranges (Layout.of_program prog) config.ranges in
+  if layout.Layout.tuple_len = 0 then invalid_arg "Fuzzer.run: model has no inports";
+  let rng = Rng.create config.seed in
+  let n_probes = max prog.Ir.n_probes 1 in
+  let curr = Bytes.make n_probes '\000' in
+  let last = Bytes.make n_probes '\000' in
+  let g_total = Bytes.make n_probes '\000' in
+  (* fast path: the only hook is the flat-probe write into curr *)
+  let hooks = Hooks.probes_only (fun id -> Bytes.unsafe_set curr id '\001') in
+  let compiled = Ir_compile.compile ~hooks prog in
+  let dict = if config.use_dictionary then Some (Dictionary.of_program prog) else None in
+  let start = Unix.gettimeofday () in
+  let deadline_execs, deadline_time =
+    match budget with
+    | Time_budget s -> (max_int, start +. s)
+    | Exec_budget n -> (n, Float.infinity)
+  in
+  let corpus = ref [||] in
+  let suite = ref [] in
+  let failures = ref [] in
+  let executions = ref 0 in
+  let iterations = ref 0 in
+  let assertion_message = Hashtbl.create 4 in
+  Array.iter (fun (cell, msg) -> Hashtbl.replace assertion_message cell msg) prog.Ir.assertions;
+  let fresh_cells = ref [] in
+  let add_to_corpus e =
+    let arr = !corpus in
+    if Array.length arr < config.corpus_cap then corpus := Array.append arr [| e |]
+    else begin
+      (* evict the lowest-score entry *)
+      let worst = ref 0 in
+      Array.iteri (fun i x -> if x.score < arr.(!worst).score then worst := i) arr;
+      if arr.(!worst).score <= e.score then arr.(!worst) <- e
+    end
+  in
+  let execute data =
+    fresh_cells := [];
+    let metric, fresh, iters =
+      run_one ~layout ~compiled ~curr ~last ~g_total ~max_tuples:config.max_tuples
+        ~use_metric:config.iteration_metric ~fresh_cells data
+    in
+    incr executions;
+    iterations := !iterations + iters;
+    if fresh > 0 then begin
+      let now = Unix.gettimeofday () -. start in
+      let tc = { tc_data = data; tc_time = now; tc_new_probes = fresh } in
+      suite := tc :: !suite;
+      on_test_case tc;
+      (* assertion cells firing for the first time are failures *)
+      List.iter
+        (fun cell ->
+          match Hashtbl.find_opt assertion_message cell with
+          | Some msg -> failures := { f_data = data; f_time = now; f_message = msg } :: !failures
+          | None -> ())
+        !fresh_cells
+    end;
+    (* interesting inputs enter the corpus: new coverage always,
+       otherwise a high per-iteration difference metric *)
+    let score = entry_score ~fresh ~metric:(if config.iteration_metric then metric else 0) ~iters in
+    let interesting =
+      fresh > 0
+      || (config.iteration_metric && score > 0
+         && (Array.length !corpus < 8
+            || score > Array.fold_left (fun acc e -> max acc e.score) 0 !corpus / 2))
+    in
+    if interesting then add_to_corpus { data; score }
+  in
+  (* user-provided seed corpus first, then a handful of random short
+     streams *)
+  List.iter execute config.seeds;
+  for _ = 1 to 4 do
+    let tuples = 1 + Rng.int rng 8 in
+    let data =
+      Bytes.concat Bytes.empty (List.init tuples (fun _ -> Layout.random_tuple_bytes layout rng))
+    in
+    execute data
+  done;
+  let max_len = config.max_tuples * layout.Layout.tuple_len in
+  let should_continue () =
+    !executions < deadline_execs
+    && ((not (Float.is_finite deadline_time)) || Unix.gettimeofday () < deadline_time)
+  in
+  while should_continue () do
+    let parent =
+      if Array.length !corpus = 0 then { data = Layout.random_tuple_bytes layout rng; score = 0 }
+      else select_entry rng !corpus
+    in
+    let other =
+      if Array.length !corpus = 0 then parent.data else (select_entry rng !corpus).data
+    in
+    let child =
+      if config.field_aware then
+        snd (Mutate.mutate ?dict layout rng parent.data ~other ~max_tuples:config.max_tuples)
+      else Mutate.mutate_blind rng parent.data ~other ~max_len
+    in
+    execute child
+  done;
+  let elapsed = Unix.gettimeofday () -. start in
+  {
+    test_suite = List.rev !suite;
+    failures = List.rev !failures;
+    stats =
+      {
+        executions = !executions;
+        iterations = !iterations;
+        elapsed;
+        corpus_size = Array.length !corpus;
+        probes_covered = count_covered g_total;
+        probes_total = prog.Ir.n_probes;
+      };
+  }
+
+let replay_metric ?(config = default_config) (prog : Ir.program) data =
+  let layout = Layout.of_program prog in
+  let n_probes = max prog.Ir.n_probes 1 in
+  let curr = Bytes.make n_probes '\000' in
+  let last = Bytes.make n_probes '\000' in
+  let g_total = Bytes.make n_probes '\000' in
+  let hooks = Hooks.probes_only (fun id -> Bytes.unsafe_set curr id '\001') in
+  let compiled = Ir_compile.compile ~hooks prog in
+  let metric, _, _ =
+    run_one ~layout ~compiled ~curr ~last ~g_total ~max_tuples:config.max_tuples ~use_metric:true
+      ~fresh_cells:(ref []) data
+  in
+  metric

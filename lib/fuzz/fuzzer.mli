@@ -1,0 +1,82 @@
+(** The model-oriented fuzzing loop (paper §3.2).
+
+    An in-process, coverage-guided loop in the LibFuzzer mold,
+    specialized for model programs:
+
+    - the fuzz driver splits each input into inport tuples and runs
+      one model iteration per tuple ({!Layout});
+    - mutations are field-aware over tuples ({!Mutate}, Table 1);
+    - corpus scheduling uses the {e Iteration Difference Coverage}
+      metric of Algorithm 1 — inputs whose per-iteration branch sets
+      keep changing are preferred over inputs that settle into one
+      path;
+    - any input that lights a previously-unseen flat probe is emitted
+      as a timestamped test case.
+
+    The three model-oriented ingredients (field-aware mutation,
+    iteration metric, full model-level instrumentation) can be
+    switched off individually for the paper's Figure 8 baseline and
+    for ablations. *)
+
+open Cftcg_ir
+
+type config = {
+  seed : int64;
+  max_tuples : int;  (** cap on model iterations per input *)
+  corpus_cap : int;
+  field_aware : bool;  (** Table-1 mutations vs byte-blind *)
+  iteration_metric : bool;  (** Algorithm 1 metric vs plain new-coverage *)
+  ranges : (string * float * float) list;
+      (** tester-specified inport value ranges (paper §5); mutation
+          and generation stay inside them *)
+  seeds : Bytes.t list;
+      (** seed corpus executed before random exploration (existing
+          CSV test cases, previous campaigns) *)
+  use_dictionary : bool;
+      (** harvest comparison constants from the generated code and
+          use them in value mutations (default true) *)
+}
+
+val default_config : config
+
+type budget =
+  | Time_budget of float  (** seconds of wall clock *)
+  | Exec_budget of int  (** number of inputs executed *)
+
+type test_case = {
+  tc_data : Bytes.t;
+  tc_time : float;  (** seconds since campaign start *)
+  tc_new_probes : int;  (** previously-unseen cells this input lit *)
+}
+
+type failure = {
+  f_data : Bytes.t;  (** the violating input *)
+  f_time : float;
+  f_message : string;  (** the Assertion block's failure message *)
+}
+
+type stats = {
+  executions : int;  (** fuzzer inputs run *)
+  iterations : int;  (** total model steps across all inputs *)
+  elapsed : float;
+  corpus_size : int;
+  probes_covered : int;
+  probes_total : int;
+}
+
+type result = {
+  test_suite : test_case list;  (** chronological *)
+  failures : failure list;
+      (** first input to violate each Assertion block (the fuzzing
+          oracle), chronological *)
+  stats : stats;
+}
+
+val run : ?config:config -> ?on_test_case:(test_case -> unit) -> Ir.program -> budget -> result
+(** Runs one campaign on an instrumented program (normally lowered
+    with [Codegen.Full]; the Fuzz-Only baseline passes a
+    [Branchless] program and [field_aware = false]). *)
+
+val replay_metric : ?config:config -> Ir.program -> Bytes.t -> int
+(** Executes one input and returns its Iteration Difference Coverage
+    metric — Algorithm 1 exactly, exposed for tests and examples. *)

@@ -1,0 +1,47 @@
+open Cftcg_ir
+
+type stats = {
+  kept : int;
+  dropped : int;
+  probes_covered : int;
+}
+
+let suite ?(max_tuples = 4096) (prog : Ir.program) cases =
+  let layout = Layout.of_program prog in
+  let n_probes = max prog.Ir.n_probes 1 in
+  let curr = Bytes.make n_probes '\000' in
+  let hooks = Hooks.probes_only (fun id -> Bytes.unsafe_set curr id '\001') in
+  let compiled = Ir_compile.compile ~hooks prog in
+  let kept_cov = Bytes.make n_probes '\000' in
+  let run data =
+    Bytes.fill curr 0 n_probes '\000';
+    Ir_compile.reset compiled;
+    let n = min (Layout.n_tuples layout data) max_tuples in
+    for tuple = 0 to n - 1 do
+      Layout.load_tuple layout data ~tuple compiled;
+      Ir_compile.step compiled
+    done
+  in
+  let adds_coverage () =
+    let fresh = ref false in
+    for i = 0 to n_probes - 1 do
+      if Bytes.unsafe_get curr i <> '\000' && Bytes.unsafe_get kept_cov i = '\000' then begin
+        Bytes.unsafe_set kept_cov i '\001';
+        fresh := true
+      end
+    done;
+    !fresh
+  in
+  let by_length = List.stable_sort (fun a b -> compare (Bytes.length a) (Bytes.length b)) cases in
+  let kept =
+    List.filter
+      (fun data ->
+        run data;
+        adds_coverage ())
+      by_length
+  in
+  let covered = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr covered) kept_cov;
+  ( kept,
+    { kept = List.length kept; dropped = List.length cases - List.length kept; probes_covered = !covered }
+  )

@@ -1,0 +1,21 @@
+(** Test suite minimization (LibFuzzer's corpus merge, for suites).
+
+    A fuzzing campaign emits one test case per new-coverage event,
+    which leaves redundancy: later cases often subsume earlier ones.
+    Minimization greedily re-selects a subset that preserves the flat
+    probe coverage of the whole suite, preferring short test cases —
+    the suite a tester would actually archive. *)
+
+open Cftcg_ir
+
+type stats = {
+  kept : int;
+  dropped : int;
+  probes_covered : int;
+}
+
+val suite : ?max_tuples:int -> Ir.program -> Bytes.t list -> Bytes.t list * stats
+(** [suite prog cases] returns a subset with identical flat-probe
+    coverage. Greedy by ascending length, keeping a case only when it
+    lights at least one probe the kept set has not. Order of the
+    result is by ascending length. *)

@@ -1,0 +1,327 @@
+open Cftcg_model
+module Rng = Cftcg_util.Rng
+module Bc = Cftcg_util.Bytecodec
+
+type strategy =
+  | Change_binary_integer
+  | Change_binary_float
+  | Erase_tuples
+  | Insert_tuple
+  | Insert_repeated_tuples
+  | Shuffle_tuples
+  | Copy_tuples
+  | Tuples_cross_over
+
+let all_strategies =
+  [| Change_binary_integer; Change_binary_float; Erase_tuples; Insert_tuple;
+     Insert_repeated_tuples; Shuffle_tuples; Copy_tuples; Tuples_cross_over |]
+
+let strategy_name = function
+  | Change_binary_integer -> "ChangeBinaryInteger"
+  | Change_binary_float -> "ChangeBinaryFloat"
+  | Erase_tuples -> "EraseTuples"
+  | Insert_tuple -> "InsertTuple"
+  | Insert_repeated_tuples -> "InsertRepeatedTuples"
+  | Shuffle_tuples -> "ShuffleTuples"
+  | Copy_tuples -> "CopyTuples"
+  | Tuples_cross_over -> "TuplesCrossOver"
+
+(* ------------------------------------------------------------------ *)
+(* Tuple-stream plumbing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let truncate_tuples (layout : Layout.t) data =
+  let n = Layout.n_tuples layout data in
+  Bytes.sub data 0 (n * layout.Layout.tuple_len)
+
+let concat_tuples layout pieces ~max_tuples =
+  let joined = Bytes.concat Bytes.empty pieces in
+  let cap = max_tuples * layout.Layout.tuple_len in
+  if Bytes.length joined > cap then Bytes.sub joined 0 cap else joined
+
+let tuple_slice layout data i k =
+  Bytes.sub data (i * layout.Layout.tuple_len) (k * layout.Layout.tuple_len)
+
+let ensure_nonempty layout rng data =
+  if Bytes.length data = 0 then Layout.random_tuple_bytes layout rng else data
+
+(* ------------------------------------------------------------------ *)
+(* Field mutations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fields_matching layout p =
+  let out = ref [] in
+  Array.iteri
+    (fun i (f : Layout.field) -> if p f.Layout.f_ty then out := i :: !out)
+    layout.Layout.fields;
+  Array.of_list !out
+
+(* The sub-strategies of "Change Binary Integer" the paper lists:
+   sign bit, byte swap, bit flip, byte modification, add/subtract,
+   random change. *)
+let change_integer layout rng data =
+  let n = Layout.n_tuples layout data in
+  let candidates = fields_matching layout (fun ty -> not (Dtype.is_float ty)) in
+  if n = 0 || Array.length candidates = 0 then None
+  else begin
+    let data = Bytes.copy data in
+    let tuple = Rng.int rng n in
+    let field = candidates.(Rng.int rng (Array.length candidates)) in
+    let f = layout.Layout.fields.(field) in
+    let ty = f.Layout.f_ty in
+    let v = Value.to_int (Layout.field_value layout data ~tuple ~field) in
+    let size = Dtype.size_bytes ty in
+    let mutated =
+      match Rng.int rng 6 with
+      | 0 ->
+        (* flip the sign bit *)
+        v lxor (1 lsl ((size * 8) - 1))
+      | 1 ->
+        (* byte swap *)
+        if size = 1 then lnot v
+        else begin
+          let b = Bytes.make size '\000' in
+          Value.encode (Value.of_int ty v) b 0;
+          let i = Rng.int rng size in
+          let j = Rng.int rng size in
+          let tmp = Bytes.get b i in
+          Bytes.set b i (Bytes.get b j);
+          Bytes.set b j tmp;
+          Value.to_int (Value.decode ty b 0)
+        end
+      | 2 -> v lxor (1 lsl Rng.int rng (size * 8))
+      | 3 ->
+        (* overwrite one byte *)
+        let shift = 8 * Rng.int rng size in
+        (v land lnot (0xFF lsl shift)) lor (Rng.int rng 256 lsl shift)
+      | 4 -> v + Rng.int_in rng (-16) 16
+      | _ -> Rng.int_in rng (-1000000) 1000000
+    in
+    Layout.set_field layout data ~tuple ~field
+      (Layout.clamp_field layout ~field (Value.of_int ty mutated));
+    Some data
+  end
+
+(* "Change Binary Float": targeted mutation of the IEEE-754 layout. *)
+let change_float layout rng data =
+  let n = Layout.n_tuples layout data in
+  let candidates = fields_matching layout Dtype.is_float in
+  if n = 0 || Array.length candidates = 0 then None
+  else begin
+    let data = Bytes.copy data in
+    let tuple = Rng.int rng n in
+    let field = candidates.(Rng.int rng (Array.length candidates)) in
+    let f = layout.Layout.fields.(field) in
+    let ty = f.Layout.f_ty in
+    let v = Value.to_float (Layout.field_value layout data ~tuple ~field) in
+    let mutated =
+      match Rng.int rng 7 with
+      | 0 -> -.v (* sign bit *)
+      | 1 -> v *. 2.0 (* exponent bump *)
+      | 2 -> v /. 2.0
+      | 3 -> v +. Rng.float rng 2.0 -. 1.0 (* mantissa nudge *)
+      | 4 -> Float.of_int (Rng.int_in rng (-100) 100) (* small integral *)
+      | 5 -> 0.0
+      | _ -> Rng.float rng 2e6 -. 1e6
+    in
+    Layout.set_field layout data ~tuple ~field
+      (Layout.clamp_field layout ~field (Value.of_float ty mutated));
+    Some data
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tuple-level mutations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let erase_tuples layout rng data =
+  let n = Layout.n_tuples layout data in
+  if n <= 1 then None
+  else begin
+    let start = Rng.int rng n in
+    let len = 1 + Rng.int rng (n - start) in
+    let len = if len >= n then n - 1 else len in
+    Some
+      (Bytes.cat (tuple_slice layout data 0 start)
+         (tuple_slice layout data (start + len) (n - start - len)))
+  end
+
+let insert_tuple layout rng data ~max_tuples =
+  let n = Layout.n_tuples layout data in
+  let pos = if n = 0 then 0 else Rng.int rng (n + 1) in
+  Some
+    (concat_tuples layout
+       [ tuple_slice layout data 0 pos; Layout.random_tuple_bytes layout rng;
+         tuple_slice layout data pos (n - pos) ]
+       ~max_tuples)
+
+let insert_repeated_tuples layout rng data ~max_tuples =
+  let n = Layout.n_tuples layout data in
+  let repeats = 2 + Rng.int rng 14 in
+  let template =
+    if n = 0 || Rng.bool rng then Layout.random_tuple_bytes layout rng
+    else tuple_slice layout data (Rng.int rng n) 1
+  in
+  let pos = if n = 0 then 0 else Rng.int rng (n + 1) in
+  let repeated = Bytes.concat Bytes.empty (List.init repeats (fun _ -> template)) in
+  Some
+    (concat_tuples layout
+       [ tuple_slice layout data 0 pos; repeated; tuple_slice layout data pos (n - pos) ]
+       ~max_tuples)
+
+let shuffle_tuples layout rng data =
+  let n = Layout.n_tuples layout data in
+  if n <= 1 then None
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Rng.shuffle_in_place rng order;
+    let out = Bytes.create (n * layout.Layout.tuple_len) in
+    Array.iteri
+      (fun dst src ->
+        Bytes.blit data (src * layout.Layout.tuple_len) out (dst * layout.Layout.tuple_len)
+          layout.Layout.tuple_len)
+      order;
+    Some out
+  end
+
+let copy_tuples layout rng data =
+  let n = Layout.n_tuples layout data in
+  if n <= 1 then None
+  else begin
+    let data = Bytes.copy data in
+    let len = 1 + Rng.int rng (n / 2 + 1) in
+    let src = Rng.int rng (n - len + 1) in
+    let dst = Rng.int rng (n - len + 1) in
+    let chunk = tuple_slice layout data src len in
+    Bytes.blit chunk 0 data (dst * layout.Layout.tuple_len) (Bytes.length chunk);
+    Some data
+  end
+
+let cross_over layout rng data other ~max_tuples =
+  let na = Layout.n_tuples layout data in
+  let nb = Layout.n_tuples layout other in
+  if na = 0 && nb = 0 then None
+  else begin
+    let cut_a = if na = 0 then 0 else Rng.int rng (na + 1) in
+    let cut_b = if nb = 0 then 0 else Rng.int rng (nb + 1) in
+    Some
+      (concat_tuples layout
+         [ tuple_slice layout data 0 cut_a; tuple_slice layout other cut_b (nb - cut_b) ]
+         ~max_tuples)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let apply layout rng strategy data ~other ~max_tuples =
+  let data = truncate_tuples layout data in
+  let result =
+    match strategy with
+    | Change_binary_integer -> change_integer layout rng data
+    | Change_binary_float -> change_float layout rng data
+    | Erase_tuples -> erase_tuples layout rng data
+    | Insert_tuple -> insert_tuple layout rng data ~max_tuples
+    | Insert_repeated_tuples -> insert_repeated_tuples layout rng data ~max_tuples
+    | Shuffle_tuples -> shuffle_tuples layout rng data
+    | Copy_tuples -> copy_tuples layout rng data
+    | Tuples_cross_over -> cross_over layout rng data (truncate_tuples layout other) ~max_tuples
+  in
+  let fallback () =
+    match insert_tuple layout rng data ~max_tuples with
+    | Some d -> d
+    | None -> Layout.random_tuple_bytes layout rng
+  in
+  let out =
+    match result with
+    | Some d -> ensure_nonempty layout rng d
+    | None -> fallback ()
+  in
+  let cap = max_tuples * layout.Layout.tuple_len in
+  if Bytes.length out > cap then Bytes.sub out 0 cap else out
+
+(* Dictionary mutation: overwrite one field with a branch-deciding
+   constant from the generated code (clamped into any range). *)
+let dict_mutation dict layout rng data =
+  let n = Layout.n_tuples layout data in
+  if n = 0 || Array.length layout.Layout.fields = 0 then None
+  else begin
+    let field = Rng.int rng (Array.length layout.Layout.fields) in
+    let ty = layout.Layout.fields.(field).Layout.f_ty in
+    match Dictionary.sample dict rng ty with
+    | None -> None
+    | Some v ->
+      let data = Bytes.copy data in
+      let tuple = Rng.int rng n in
+      Layout.set_field layout data ~tuple ~field (Layout.clamp_field layout ~field v);
+      Some data
+  end
+
+(* Value mutations fire more often than structural ones, mirroring
+   LibFuzzer's weighting. *)
+let weighted_pick rng =
+  match Rng.int rng 16 with
+  | 0 | 1 | 2 | 3 -> Change_binary_integer
+  | 4 | 5 | 6 -> Change_binary_float
+  | 7 | 8 -> Insert_tuple
+  | 9 | 10 -> Insert_repeated_tuples
+  | 11 -> Erase_tuples
+  | 12 -> Shuffle_tuples
+  | 13 -> Copy_tuples
+  | _ -> Tuples_cross_over
+
+let mutate ?dict layout rng data ~other ~max_tuples =
+  match dict with
+  | Some d when Dictionary.size d > 0 && Rng.int rng 5 = 0 -> (
+    (* one in five mutations consults the dictionary *)
+    match dict_mutation d layout rng (truncate_tuples layout data) with
+    | Some mutated -> (Change_binary_integer, ensure_nonempty layout rng mutated)
+    | None ->
+      let s = weighted_pick rng in
+      (s, apply layout rng s data ~other ~max_tuples))
+  | _ ->
+    let s = weighted_pick rng in
+    (s, apply layout rng s data ~other ~max_tuples)
+
+(* ------------------------------------------------------------------ *)
+(* Field-blind mutation (Fuzz Only baseline)                           *)
+(* ------------------------------------------------------------------ *)
+
+let mutate_blind rng data ~other ~max_len =
+  let n = Bytes.length data in
+  let out =
+    match Rng.int rng 6 with
+    | 0 when n > 0 ->
+      (* bit flip *)
+      let d = Bytes.copy data in
+      let i = Rng.int rng n in
+      Bc.set_u8 d i (Bc.get_u8 d i lxor (1 lsl Rng.int rng 8));
+      d
+    | 1 when n > 0 ->
+      (* byte overwrite *)
+      let d = Bytes.copy data in
+      Bytes.set d (Rng.int rng n) (Rng.byte rng);
+      d
+    | 2 when n > 1 ->
+      (* erase a byte range: this is what breaks tuple alignment *)
+      let start = Rng.int rng n in
+      let len = 1 + Rng.int rng (min 8 (n - start)) in
+      Bytes.cat (Bytes.sub data 0 start) (Bytes.sub data (start + len) (n - start - len))
+    | 3 ->
+      (* insert random bytes at a random position *)
+      let pos = if n = 0 then 0 else Rng.int rng (n + 1) in
+      let len = 1 + Rng.int rng 8 in
+      let ins = Bytes.init len (fun _ -> Rng.byte rng) in
+      Bytes.concat Bytes.empty [ Bytes.sub data 0 pos; ins; Bytes.sub data pos (n - pos) ]
+    | 4 ->
+      (* unaligned crossover *)
+      let m = Bytes.length other in
+      let cut_a = if n = 0 then 0 else Rng.int rng (n + 1) in
+      let cut_b = if m = 0 then 0 else Rng.int rng (m + 1) in
+      Bytes.cat (Bytes.sub data 0 cut_a) (Bytes.sub other cut_b (m - cut_b))
+    | _ ->
+      (* append random bytes *)
+      let len = 1 + Rng.int rng 16 in
+      Bytes.cat data (Bytes.init len (fun _ -> Rng.byte rng))
+  in
+  let out = if Bytes.length out = 0 then Bytes.init 4 (fun _ -> Rng.byte rng) else out in
+  if Bytes.length out > max_len then Bytes.sub out 0 max_len else out

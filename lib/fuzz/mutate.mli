@@ -1,0 +1,45 @@
+(** Model input mutation (paper §3.2.1, Table 1).
+
+    Eight field-aware strategies over tuple-structured byte streams.
+    All tuple-level strategies preserve the alignment invariant:
+    the result length is a multiple of the tuple length, so no field
+    ever shifts across a type boundary — the misalignment failure the
+    paper demonstrates for byte-blind fuzzing (Figure 8 discussion).
+
+    [mutate_blind] is the byte-level mutator used by the "Fuzz Only"
+    baseline: bit flips, byte erase/insert/overwrite and unaligned
+    crossover with no knowledge of the field structure. *)
+
+type strategy =
+  | Change_binary_integer
+  | Change_binary_float
+  | Erase_tuples
+  | Insert_tuple
+  | Insert_repeated_tuples
+  | Shuffle_tuples
+  | Copy_tuples
+  | Tuples_cross_over
+
+val all_strategies : strategy array
+
+val strategy_name : strategy -> string
+
+val apply :
+  Layout.t -> Cftcg_util.Rng.t -> strategy -> Bytes.t -> other:Bytes.t -> max_tuples:int ->
+  Bytes.t
+(** Applies one strategy. [other] is the second parent for
+    [Tuples_cross_over] (ignored elsewhere). If the strategy does not
+    apply (e.g. no float fields, empty input), falls back to
+    inserting a random tuple. Result never exceeds
+    [max_tuples * tuple_len] bytes and is never empty. *)
+
+val mutate :
+  ?dict:Dictionary.t -> Layout.t -> Cftcg_util.Rng.t -> Bytes.t -> other:Bytes.t ->
+  max_tuples:int -> strategy * Bytes.t
+(** Picks a strategy (integer/float field mutations weighted
+    higher, as in LibFuzzer's value-mutation bias) and applies it.
+    With [dict], a share of the value mutations set a field to a
+    comparison constant harvested from the generated code. *)
+
+val mutate_blind : Cftcg_util.Rng.t -> Bytes.t -> other:Bytes.t -> max_len:int -> Bytes.t
+(** Field-blind byte mutations for the Fuzz-Only baseline. *)

@@ -1,0 +1,657 @@
+open Cftcg_model
+module Codegen = Cftcg_codegen.Codegen
+module Schedule = Cftcg_codegen.Schedule
+
+let f64 = Dtype.Float64
+
+
+(* Per-block mutable runtime state. *)
+type bstate =
+  | S_scalar of Value.t ref
+  | S_slots of Value.t array  (* Delay line, oldest last *)
+  | S_relay of bool ref
+  | S_merge of { mutable held : Value.t; prevs : Value.t array }
+  | S_chart of chart_state
+  | S_sub of inst  (* subsystem instance; scalar aux for triggers *)
+  | S_sub_trig of { child : inst; mutable prev : bool }
+
+and chart_state = {
+  ch : Chart.t;
+  top : rset;  (* runtime tree of exclusive sets *)
+  locals : Value.t array;
+  couts : Value.t array;
+}
+
+(* runtime mirror of the chart hierarchy: one record per exclusive
+   set; parallel regions have no state of their own *)
+and rset = {
+  rs_init : int;
+  mutable rs_active : int;
+  mutable rs_time : int;
+  rs_states : rstate array;
+}
+
+and rstate = {
+  r_st : Chart.state;
+  r_sub : rsub;
+}
+
+and rsub =
+  | R_leaf
+  | R_exclusive of rset
+  | R_parallel of rstate array
+
+and inst = {
+  model : Graph.t;
+  order : int list;
+  src_of : (int * int, int * int) Hashtbl.t;
+  types : (int * int, Dtype.t) Hashtbl.t;
+  ports : (int * int, Value.t) Hashtbl.t;  (* current output values *)
+  states : (int, bstate) Hashtbl.t;
+  mutable inputs : Value.t array;  (* current inport values *)
+  outputs : Value.t array;  (* outport values, hold between steps *)
+}
+
+type t = {
+  root : inst;
+  in_tys : Dtype.t array;
+}
+
+(* build the runtime set tree for a chart *)
+let rec chart_make_sub (st : Chart.state) : rsub =
+  if Array.length st.Chart.children = 0 then R_leaf
+  else if st.Chart.parallel then
+    R_parallel (Array.map (fun c -> { r_st = c; r_sub = chart_make_sub c }) st.Chart.children)
+  else R_exclusive (chart_make_set st.Chart.children ~init:st.Chart.init_child)
+
+and chart_make_set states ~init : rset =
+  {
+    rs_init = init;
+    rs_active = init;
+    rs_time = 0;
+    rs_states = Array.map (fun c -> { r_st = c; r_sub = chart_make_sub c }) states;
+  }
+
+(* recursively restore every set to its initial configuration *)
+let rec chart_reset_sub = function
+  | R_leaf -> ()
+  | R_exclusive set -> chart_reset_set set
+  | R_parallel regions -> Array.iter (fun r -> chart_reset_sub r.r_sub) regions
+
+and chart_reset_set set =
+  set.rs_active <- set.rs_init;
+  set.rs_time <- 0;
+  Array.iter (fun r -> chart_reset_sub r.r_sub) set.rs_states
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec build (m : Graph.t) (input_tys : Dtype.t array) : inst =
+  let order = Schedule.order_exn m in
+  let src_of = Hashtbl.create 64 in
+  Array.iter
+    (fun (l : Graph.line) ->
+      Hashtbl.replace src_of (l.Graph.dst_block, l.Graph.dst_port) (l.Graph.src_block, l.Graph.src_port))
+    m.Graph.lines;
+  let types = Codegen.infer_types m input_tys in
+  let ty_of bid port =
+    match Hashtbl.find_opt types (bid, port) with
+    | Some ty -> ty
+    | None -> f64
+  in
+  let states = Hashtbl.create 16 in
+  Array.iter
+    (fun (b : Graph.block) ->
+      let bid = b.Graph.bid in
+      match b.Graph.kind with
+      | Graph.Unit_delay init | Graph.Memory_block init ->
+        Hashtbl.replace states bid (S_scalar (ref (Value.of_float (ty_of bid 0) init)))
+      | Graph.Delay { delay_length; delay_init } ->
+        Hashtbl.replace states bid
+          (S_slots (Array.make delay_length (Value.of_float (ty_of bid 0) delay_init)))
+      | Graph.Discrete_integrator { int_init; _ } ->
+        Hashtbl.replace states bid (S_scalar (ref (Value.of_float (ty_of bid 0) int_init)))
+      | Graph.Discrete_filter { filt_init; _ } ->
+        Hashtbl.replace states bid (S_scalar (ref (Value.of_float (ty_of bid 0) filt_init)))
+      | Graph.Relay _ -> Hashtbl.replace states bid (S_relay (ref false))
+      | Graph.Rate_limiter _ ->
+        Hashtbl.replace states bid (S_scalar (ref (Value.zero (ty_of bid 0))))
+      | Graph.Counter { count_init; _ } ->
+        Hashtbl.replace states bid (S_scalar (ref (Value.of_int Dtype.Int32 count_init)))
+      | Graph.Edge_detect _ -> Hashtbl.replace states bid (S_scalar (ref (Value.of_bool false)))
+      | Graph.Merge n ->
+        let ty = ty_of bid 0 in
+        Hashtbl.replace states bid
+          (S_merge { held = Value.zero ty; prevs = Array.make n (Value.zero ty) })
+      | Graph.Chart_block ch ->
+        Hashtbl.replace states bid
+          (S_chart
+             {
+               ch;
+               top = chart_make_set ch.Chart.states ~init:ch.Chart.init_state;
+               locals = Array.map (fun (_, ty, init) -> Value.of_float ty init) ch.Chart.locals;
+               couts = Array.map (fun (_, ty) -> Value.zero ty) ch.Chart.outputs;
+             })
+      | Graph.Subsystem { sub; activation } -> (
+        let inner_tys = Array.map snd (Graph.inports sub) in
+        let child = build sub inner_tys in
+        match activation with
+        | Graph.Always | Graph.Enabled -> Hashtbl.replace states bid (S_sub child)
+        | Graph.Triggered _ -> Hashtbl.replace states bid (S_sub_trig { child; prev = false }))
+      | _ -> ())
+    m.Graph.blocks;
+  let n_out = Array.length (Graph.outports m) in
+  {
+    model = m;
+    order;
+    src_of;
+    types;
+    ports = Hashtbl.create 64;
+    states;
+    inputs = Array.map Value.zero input_tys;
+    outputs = Array.make n_out (Value.zero f64);
+  }
+
+let create (m : Graph.t) =
+  (match Graph.validate m with
+  | Ok () -> ()
+  | Error msg -> failwith ("Interp.create: " ^ msg));
+  let in_tys = Array.map snd (Graph.inports m) in
+  { root = build m in_tys; in_tys }
+
+(* ------------------------------------------------------------------ *)
+(* Reset                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec reset_inst (inst : inst) =
+  Hashtbl.reset inst.ports;
+  Array.iteri (fun i _ -> inst.outputs.(i) <- Value.zero f64) inst.outputs;
+  Array.iter
+    (fun (b : Graph.block) ->
+      let bid = b.Graph.bid in
+      match (b.Graph.kind, Hashtbl.find_opt inst.states bid) with
+      | (Graph.Unit_delay init | Graph.Memory_block init), Some (S_scalar r) ->
+        r := Value.of_float (ty_of_state inst bid) init
+      | Graph.Delay { delay_init; _ }, Some (S_slots slots) ->
+        Array.iteri (fun i _ -> slots.(i) <- Value.of_float (ty_of_state inst bid) delay_init) slots
+      | Graph.Discrete_integrator { int_init; _ }, Some (S_scalar r) ->
+        r := Value.of_float (ty_of_state inst bid) int_init
+      | Graph.Discrete_filter { filt_init; _ }, Some (S_scalar r) ->
+        r := Value.of_float (ty_of_state inst bid) filt_init
+      | Graph.Relay _, Some (S_relay r) -> r := false
+      | Graph.Rate_limiter _, Some (S_scalar r) -> r := Value.zero (ty_of_state inst bid)
+      | Graph.Counter { count_init; _ }, Some (S_scalar r) -> r := Value.of_int Dtype.Int32 count_init
+      | Graph.Edge_detect _, Some (S_scalar r) -> r := Value.of_bool false
+      | Graph.Merge _, Some (S_merge s) ->
+        let ty = ty_of_state inst bid in
+        s.held <- Value.zero ty;
+        Array.iteri (fun i _ -> s.prevs.(i) <- Value.zero ty) s.prevs
+      | Graph.Chart_block ch, Some (S_chart cs) ->
+        chart_reset_set cs.top;
+        Array.iteri (fun i (_, ty, init) -> cs.locals.(i) <- Value.of_float ty init) ch.Chart.locals;
+        Array.iteri (fun i (_, ty) -> cs.couts.(i) <- Value.zero ty) ch.Chart.outputs
+      | Graph.Subsystem _, Some (S_sub child) -> reset_inst child
+      | Graph.Subsystem _, Some (S_sub_trig s) ->
+        s.prev <- false;
+        reset_inst s.child
+      | _ -> ())
+    inst.model.Graph.blocks;
+  Array.iteri (fun i v -> inst.inputs.(i) <- Value.cast (Value.dtype v) (Value.zero f64)) inst.inputs
+
+and ty_of_state inst bid =
+  match Hashtbl.find_opt inst.types (bid, 0) with
+  | Some ty -> ty
+  | None -> f64
+
+let reset t =
+  reset_inst t.root;
+  Array.iteri (fun i ty -> t.root.inputs.(i) <- Value.zero ty) t.in_tys
+
+(* ------------------------------------------------------------------ *)
+(* Chart interpretation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec chart_eval cs ~time (ins : Value.t array) (e : Chart.expr) : float =
+  let b2f b = if b then 1.0 else 0.0 in
+  match e with
+  | Chart.In i -> Value.to_float ins.(i)
+  | Chart.Local i -> Value.to_float cs.locals.(i)
+  | Chart.Out i -> Value.to_float cs.couts.(i)
+  | Chart.State_time -> float_of_int time
+  | Chart.Const f -> f
+  | Chart.Un (Chart.C_neg, a) -> 0.0 -. chart_eval cs ~time ins a
+  | Chart.Un (Chart.C_not, a) -> b2f (chart_eval cs ~time ins a = 0.0)
+  | Chart.Un (Chart.C_abs, a) ->
+    let x = chart_eval cs ~time ins a in
+    Float.max x (0.0 -. x)
+  | Chart.Bin (op, a, b) ->
+    let x = chart_eval cs ~time ins a in
+    let y = chart_eval cs ~time ins b in
+    (match op with
+    | Chart.C_add -> x +. y
+    | Chart.C_sub -> x -. y
+    | Chart.C_mul -> x *. y
+    | Chart.C_div -> if y = 0.0 then 0.0 else x /. y
+    | Chart.C_mod -> if y = 0.0 then 0.0 else Float.rem x y
+    | Chart.C_min -> if x <= y then x else y
+    | Chart.C_max -> if x >= y then x else y
+    | Chart.C_eq -> b2f (x = y)
+    | Chart.C_ne -> b2f (x <> y)
+    | Chart.C_lt -> b2f (x < y)
+    | Chart.C_le -> b2f (x <= y)
+    | Chart.C_gt -> b2f (x > y)
+    | Chart.C_ge -> b2f (x >= y)
+    | Chart.C_and -> b2f (x <> 0.0 && y <> 0.0)
+    | Chart.C_or -> b2f (x <> 0.0 || y <> 0.0))
+
+let chart_action cs ~time ins = function
+  | Chart.Set_local (i, e) ->
+    cs.locals.(i) <- Value.of_float (Value.dtype cs.locals.(i)) (chart_eval cs ~time ins e)
+  | Chart.Set_out (i, e) ->
+    cs.couts.(i) <- Value.of_float (Value.dtype cs.couts.(i)) (chart_eval cs ~time ins e)
+
+(* Entering a state: entry actions, then establish its children. *)
+let rec chart_enter cs ~time ins (a : rstate) =
+  List.iter (chart_action cs ~time ins) a.r_st.Chart.entry;
+  match a.r_sub with
+  | R_leaf -> ()
+  | R_exclusive set ->
+    set.rs_active <- set.rs_init;
+    set.rs_time <- 0;
+    chart_enter cs ~time:set.rs_time ins set.rs_states.(set.rs_init)
+  | R_parallel regions -> Array.iter (chart_enter cs ~time ins) regions
+
+(* Exiting: active descendants innermost-first, then own exits. *)
+let rec chart_exit cs ~time ins (a : rstate) =
+  (match a.r_sub with
+  | R_leaf -> ()
+  | R_exclusive set -> chart_exit cs ~time:set.rs_time ins set.rs_states.(set.rs_active)
+  | R_parallel regions ->
+    Array.iter (chart_exit cs ~time ins) (Array.of_list (List.rev (Array.to_list regions))));
+  List.iter (chart_action cs ~time ins) a.r_st.Chart.exit_actions
+
+(* One step of the children of a state that did not transition. *)
+let rec chart_step_sub cs ~time ins = function
+  | R_leaf -> ()
+  | R_exclusive set -> chart_step_set cs ins set
+  | R_parallel regions ->
+    Array.iter
+      (fun r ->
+        List.iter (chart_action cs ~time ins) r.r_st.Chart.during;
+        chart_step_sub cs ~time ins r.r_sub)
+      regions
+
+and chart_step_set cs ins (set : rset) =
+  let a = set.rs_states.(set.rs_active) in
+  let st = a.r_st in
+  let rec try_transitions = function
+    | [] ->
+      List.iter (chart_action cs ~time:set.rs_time ins) st.Chart.during;
+      set.rs_time <- set.rs_time + 1;
+      chart_step_sub cs ~time:set.rs_time ins a.r_sub
+    | (tr : Chart.transition) :: rest ->
+      if chart_eval cs ~time:set.rs_time ins tr.Chart.guard <> 0.0 then begin
+        chart_exit cs ~time:set.rs_time ins a;
+        List.iter (chart_action cs ~time:set.rs_time ins) tr.Chart.actions;
+        set.rs_active <- tr.Chart.dst;
+        set.rs_time <- 0;
+        chart_enter cs ~time:set.rs_time ins set.rs_states.(tr.Chart.dst)
+      end
+      else try_transitions rest
+  in
+  try_transitions st.Chart.outgoing
+
+let chart_step cs (ins : Value.t array) = chart_step_set cs ins cs.top
+
+(* ------------------------------------------------------------------ *)
+(* Block interpretation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let relop_apply op x y =
+  match op with
+  | Graph.R_eq -> x = y
+  | Graph.R_ne -> x <> y
+  | Graph.R_lt -> x < y
+  | Graph.R_le -> x <= y
+  | Graph.R_gt -> x > y
+  | Graph.R_ge -> x >= y
+
+(* Mirror of the IR's embedded-safe unary math. *)
+let safe_float ty v = if Float.is_nan v then Value.of_float ty 0.0 else Value.of_float ty v
+
+let rec step_inst (inst : inst) =
+  let ty_of bid port =
+    match Hashtbl.find_opt inst.types (bid, port) with
+    | Some ty -> ty
+    | None -> f64
+  in
+  let in_val bid port =
+    match Hashtbl.find_opt inst.src_of (bid, port) with
+    | Some key -> (
+      match Hashtbl.find_opt inst.ports key with
+      | Some v -> v
+      | None -> failwith "Interp: signal not ready")
+    | None -> failwith "Interp: unconnected input"
+  in
+  let set bid port v = Hashtbl.replace inst.ports (bid, port) v in
+  (* Phase A: loop-breaking blocks publish their state. *)
+  Array.iter
+    (fun (b : Graph.block) ->
+      let bid = b.Graph.bid in
+      match (b.Graph.kind, Hashtbl.find_opt inst.states bid) with
+      | (Graph.Unit_delay _ | Graph.Memory_block _ | Graph.Discrete_integrator _), Some (S_scalar r)
+        ->
+        set bid 0 !r
+      | Graph.Delay _, Some (S_slots slots) -> set bid 0 slots.(Array.length slots - 1)
+      | _ -> ())
+    inst.model.Graph.blocks;
+  (* Phase B: schedule order. *)
+  List.iter (fun bid -> step_block inst ty_of in_val set inst.model.Graph.blocks.(bid)) inst.order;
+  (* Phase C: state updates in block order. *)
+  Array.iter
+    (fun (b : Graph.block) ->
+      let bid = b.Graph.bid in
+      match (b.Graph.kind, Hashtbl.find_opt inst.states bid) with
+      | (Graph.Unit_delay _ | Graph.Memory_block _), Some (S_scalar r) ->
+        r := Value.cast (ty_of bid 0) (in_val bid 0)
+      | Graph.Delay _, Some (S_slots slots) ->
+        let n = Array.length slots in
+        for i = n - 1 downto 1 do
+          slots.(i) <- slots.(i - 1)
+        done;
+        slots.(0) <- Value.cast (ty_of bid 0) (in_val bid 0)
+      | Graph.Discrete_integrator { int_gain; limits; _ }, Some (S_scalar r) ->
+        let ty = ty_of bid 0 in
+        let next =
+          Value.add ty !r (Value.mul ty (Value.of_float f64 int_gain) (in_val bid 0))
+        in
+        let bounded =
+          match limits with
+          | None -> next
+          | Some { Graph.int_lower; int_upper } ->
+            let x = Value.to_float next in
+            if x > int_upper then Value.cast ty (Value.of_float f64 int_upper)
+            else if x < int_lower then Value.cast ty (Value.of_float f64 int_lower)
+            else Value.cast ty next
+        in
+        r := bounded
+      | _ -> ())
+    inst.model.Graph.blocks
+
+and step_block inst ty_of in_val set (b : Graph.block) =
+  let bid = b.Graph.bid in
+  let out_ty = ty_of bid 0 in
+  let u () = in_val bid 0 in
+  let uf () = Value.to_float (u ()) in
+  match b.Graph.kind with
+  | Graph.Unit_delay _ | Graph.Memory_block _ | Graph.Delay _ | Graph.Discrete_integrator _ -> ()
+  | Graph.Inport { port_index; _ } ->
+    let v = inst.inputs.(port_index - 1) in
+    set bid 0 (Value.cast out_ty v)
+  | Graph.Outport { port_index } -> inst.outputs.(port_index - 1) <- u ()
+  | Graph.Terminator -> ()
+  | Graph.Constant v -> set bid 0 v
+  | Graph.Ground ty -> set bid 0 (Value.zero ty)
+  | Graph.Sum signs ->
+    let acc = ref None in
+    String.iteri
+      (fun i sign ->
+        let operand = in_val bid i in
+        acc :=
+          Some
+            (match (!acc, sign) with
+            | None, '+' -> Value.cast out_ty operand
+            | None, _ -> Value.sub out_ty (Value.zero out_ty) operand
+            | Some a, '+' -> Value.add out_ty a operand
+            | Some a, _ -> Value.sub out_ty a operand))
+      signs;
+    set bid 0 (Option.get !acc)
+  | Graph.Product ops ->
+    let acc = ref None in
+    String.iteri
+      (fun i op ->
+        let operand = in_val bid i in
+        acc :=
+          Some
+            (match (!acc, op) with
+            | None, '*' -> Value.cast out_ty operand
+            | None, _ -> Value.div out_ty (Value.of_int out_ty 1) operand
+            | Some a, '*' -> Value.mul out_ty a operand
+            | Some a, _ -> Value.div out_ty a operand))
+      ops;
+    set bid 0 (Option.get !acc)
+  | Graph.Gain g -> set bid 0 (Value.cast out_ty (Value.mul f64 (Value.of_float f64 g) (u ())))
+  | Graph.Bias bv -> set bid 0 (Value.cast out_ty (Value.add f64 (u ()) (Value.of_float f64 bv)))
+  | Graph.Abs ->
+    (* if u < 0 then -u else u, in the input's own type *)
+    if uf () < 0.0 then set bid 0 (Value.neg out_ty (u ())) else set bid 0 (Value.cast out_ty (u ()))
+  | Graph.Unary_minus -> set bid 0 (Value.neg out_ty (u ()))
+  | Graph.Sign_block ->
+    let x = uf () in
+    set bid 0 (Value.of_int out_ty (if x > 0.0 then 1 else if x < 0.0 then -1 else 0))
+  | Graph.Math_func fn ->
+    let x = uf () in
+    let v =
+      match fn with
+      | Graph.F_square -> Value.mul out_ty (u ()) (u ())
+      | Graph.F_reciprocal -> Value.div out_ty (Value.of_float out_ty 1.0) (u ())
+      | Graph.F_exp -> safe_float out_ty (Float.exp x)
+      | Graph.F_log -> if x <= 0.0 then Value.zero out_ty else safe_float out_ty (Float.log x)
+      | Graph.F_log10 -> if x <= 0.0 then Value.zero out_ty else safe_float out_ty (Float.log10 x)
+      | Graph.F_sqrt -> if x < 0.0 then Value.zero out_ty else Value.of_float out_ty (Float.sqrt x)
+      | Graph.F_sin -> safe_float out_ty (Float.sin x)
+      | Graph.F_cos -> safe_float out_ty (Float.cos x)
+    in
+    set bid 0 v
+  | Graph.Rounding mode ->
+    let f =
+      match mode with
+      | Graph.R_floor -> Float.floor
+      | Graph.R_ceil -> Float.ceil
+      | Graph.R_round -> Float.round
+      | Graph.R_fix -> Float.trunc
+    in
+    set bid 0 (Value.cast out_ty (Value.of_float f64 (f (uf ()))))
+  | Graph.Min_max (op, n) ->
+    let pick =
+      match op with
+      | Graph.MM_min -> Value.min
+      | Graph.MM_max -> Value.max
+    in
+    let acc = ref (Value.cast out_ty (in_val bid 0)) in
+    for i = 1 to n - 1 do
+      acc := pick out_ty !acc (in_val bid i)
+    done;
+    set bid 0 !acc
+  | Graph.Saturation { sat_lower; sat_upper } ->
+    let x = uf () in
+    let v =
+      if x > sat_upper then Value.cast out_ty (Value.of_float f64 sat_upper)
+      else if x < sat_lower then Value.cast out_ty (Value.of_float f64 sat_lower)
+      else Value.cast out_ty (u ())
+    in
+    set bid 0 v
+  | Graph.Dead_zone { dz_lower; dz_upper } ->
+    let x = uf () in
+    let v =
+      if x > dz_upper then Value.cast out_ty (Value.of_float f64 (x -. dz_upper))
+      else if x < dz_lower then Value.cast out_ty (Value.of_float f64 (x -. dz_lower))
+      else Value.cast out_ty (Value.of_float f64 0.0)
+    in
+    set bid 0 v
+  | Graph.Relay { on_point; off_point; on_value; off_value } -> (
+    match Hashtbl.find inst.states bid with
+    | S_relay r ->
+      let x = uf () in
+      if x >= on_point then r := true else if x <= off_point then r := false;
+      set bid 0 (Value.of_float out_ty (if !r then on_value else off_value))
+    | _ -> assert false)
+  | Graph.Quantizer q ->
+    set bid 0 (Value.of_float out_ty (q *. Float.round (if q = 0.0 then 0.0 else uf () /. q)))
+  | Graph.Rate_limiter { rising; falling } -> (
+    match Hashtbl.find inst.states bid with
+    | S_scalar prev ->
+      let delta = uf () -. Value.to_float !prev in
+      let y =
+        if delta > rising then Value.cast out_ty (Value.of_float f64 (Value.to_float !prev +. rising))
+        else if delta < falling then
+          Value.cast out_ty (Value.of_float f64 (Value.to_float !prev +. falling))
+        else Value.cast out_ty (u ())
+      in
+      prev := y;
+      set bid 0 y
+    | _ -> assert false)
+  | Graph.Logic (Graph.L_not, _) -> set bid 0 (Value.of_bool (not (Value.is_true (u ()))))
+  | Graph.Logic (op, n) ->
+    let vals = Array.init n (fun i -> Value.is_true (in_val bid i)) in
+    let fold f init = Array.fold_left f init vals in
+    let v =
+      match op with
+      | Graph.L_and -> fold ( && ) true
+      | Graph.L_nand -> not (fold ( && ) true)
+      | Graph.L_or -> fold ( || ) false
+      | Graph.L_nor -> not (fold ( || ) false)
+      | Graph.L_xor -> Array.fold_left (fun acc b -> acc <> b) vals.(0) (Array.sub vals 1 (n - 1))
+      | Graph.L_not -> assert false
+    in
+    set bid 0 (Value.of_bool v)
+  | Graph.Relational op ->
+    set bid 0 (Value.of_bool (relop_apply op (Value.to_float (in_val bid 0)) (Value.to_float (in_val bid 1))))
+  | Graph.Compare_to_constant (op, c) -> set bid 0 (Value.of_bool (relop_apply op (uf ()) c))
+  | Graph.Compare_to_zero op -> set bid 0 (Value.of_bool (relop_apply op (uf ()) 0.0))
+  | Graph.Switch criteria ->
+    let ctl = Value.to_float (in_val bid 1) in
+    let pass =
+      match criteria with
+      | Graph.Ge_threshold t -> ctl >= t
+      | Graph.Gt_threshold t -> ctl > t
+      | Graph.Ne_zero -> ctl <> 0.0
+    in
+    set bid 0 (Value.cast out_ty (if pass then in_val bid 0 else in_val bid 2))
+  | Graph.Multiport_switch n ->
+    let sel = Value.to_float (in_val bid 0) in
+    let rec choose i = if i = n - 1 then i else if sel <= float_of_int (i + 1) then i else choose (i + 1) in
+    set bid 0 (Value.cast out_ty (in_val bid (choose 0 + 1)))
+  | Graph.Merge n -> (
+    match Hashtbl.find inst.states bid with
+    | S_merge s ->
+      for i = 0 to n - 1 do
+        let v = Value.cast out_ty (in_val bid i) in
+        if Value.to_float v <> Value.to_float s.prevs.(i) then begin
+          s.held <- v;
+          s.prevs.(i) <- v
+        end
+      done;
+      set bid 0 s.held
+    | _ -> assert false)
+  | Graph.If_block n ->
+    let conds = Array.init n (fun i -> Value.is_true (in_val bid i)) in
+    let chosen =
+      let rec find i = if i = n then n else if conds.(i) then i else find (i + 1) in
+      find 0
+    in
+    for p = 0 to n do
+      set bid p (Value.of_bool (p = chosen))
+    done
+  | Graph.Discrete_filter { filt_coeff; _ } -> (
+    match Hashtbl.find inst.states bid with
+    | S_scalar prev ->
+      let y =
+        Value.add out_ty
+          (Value.mul out_ty (Value.of_float f64 filt_coeff) (u ()))
+          (Value.mul out_ty (Value.of_float f64 (1.0 -. filt_coeff)) !prev)
+      in
+      prev := y;
+      set bid 0 y
+    | _ -> assert false)
+  | Graph.Counter { count_max; count_wrap; _ } -> (
+    match Hashtbl.find inst.states bid with
+    | S_scalar c ->
+      if Value.is_true (u ()) then c := Value.add Dtype.Int32 !c (Value.of_int Dtype.Int32 1);
+      if Value.to_float !c > float_of_int count_max then
+        c := Value.of_int Dtype.Int32 (if count_wrap then 0 else count_max);
+      set bid 0 !c
+    | _ -> assert false)
+  | Graph.Edge_detect kind -> (
+    match Hashtbl.find inst.states bid with
+    | S_scalar prev ->
+      let curr = Value.is_true (u ()) in
+      let was = Value.is_true !prev in
+      let fired =
+        match kind with
+        | Graph.E_rising -> curr && not was
+        | Graph.E_falling -> (not curr) && was
+        | Graph.E_either -> curr <> was
+      in
+      prev := Value.of_bool curr;
+      set bid 0 (Value.of_bool fired)
+    | _ -> assert false)
+  | Graph.Lookup_1d { lut_xs; lut_ys } ->
+    let n = Array.length lut_xs in
+    let x = uf () in
+    let v =
+      if x <= lut_xs.(0) then lut_ys.(0)
+      else if x >= lut_xs.(n - 1) then lut_ys.(n - 1)
+      else begin
+        let rec seg i = if i = n - 1 || x <= lut_xs.(i) then i else seg (i + 1) in
+        let i = seg 1 in
+        let x0 = lut_xs.(i - 1) and x1 = lut_xs.(i) in
+        let y0 = lut_ys.(i - 1) and y1 = lut_ys.(i) in
+        let slope = (y1 -. y0) /. (x1 -. x0) in
+        y0 +. (slope *. (x -. x0))
+      end
+    in
+    set bid 0 (Value.cast out_ty (Value.of_float f64 v))
+  | Graph.Data_type_conversion ty -> set bid 0 (Value.cast ty (u ()))
+  | Graph.Assertion _ -> ignore (u ()) (* runtime oracle; no dataflow effect *)
+  | Graph.Chart_block ch -> (
+    match Hashtbl.find inst.states bid with
+    | S_chart cs ->
+      let nin = Array.length ch.Chart.inputs in
+      let ins = Array.init nin (fun i -> Value.cast (snd ch.Chart.inputs.(i)) (in_val bid i)) in
+      chart_step cs ins;
+      Array.iteri (fun p v -> set bid p v) cs.couts
+    | _ -> assert false)
+  | Graph.Subsystem { sub; activation } -> (
+    let off = match activation with Graph.Always -> 0 | _ -> 1 in
+    let inner_tys = Array.map snd (Graph.inports sub) in
+    let feed (child : inst) =
+      Array.iteri (fun i ty -> child.inputs.(i) <- Value.cast ty (in_val bid (i + off))) inner_tys
+    in
+    match (activation, Hashtbl.find inst.states bid) with
+    | Graph.Always, S_sub child ->
+      feed child;
+      step_inst child;
+      Array.iteri (fun p v -> set bid p v) child.outputs
+    | Graph.Enabled, S_sub child ->
+      if Value.is_true (in_val bid 0) then begin
+        feed child;
+        step_inst child
+      end;
+      Array.iteri (fun p v -> set bid p v) child.outputs
+    | Graph.Triggered kind, S_sub_trig s ->
+      let curr = Value.is_true (in_val bid 0) in
+      let fired =
+        match kind with
+        | Graph.E_rising -> curr && not s.prev
+        | Graph.E_falling -> (not curr) && s.prev
+        | Graph.E_either -> curr <> s.prev
+      in
+      if fired then begin
+        feed s.child;
+        step_inst s.child
+      end;
+      s.prev <- curr;
+      Array.iteri (fun p v -> set bid p v) s.child.outputs
+    | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let set_input t i v = t.root.inputs.(i) <- Value.cast t.in_tys.(i) v
+
+let step t = step_inst t.root
+
+let get_output t i = t.root.outputs.(i)

@@ -1,0 +1,318 @@
+open Cftcg_model
+
+let ctype = function
+  | Dtype.Bool -> "uint8_T"
+  | Dtype.Int8 -> "int8_T"
+  | Dtype.UInt8 -> "uint8_T"
+  | Dtype.Int16 -> "int16_T"
+  | Dtype.UInt16 -> "uint16_T"
+  | Dtype.Int32 -> "int32_T"
+  | Dtype.UInt32 -> "uint32_T"
+  | Dtype.Float32 -> "real32_T"
+  | Dtype.Float64 -> "real_T"
+
+let sanitize name =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '_') name
+
+let var_name (v : Ir.var) = Printf.sprintf "%s_v%d" (sanitize v.Ir.vname) v.Ir.vid
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let const_lit (v : Value.t) =
+  match v with
+  | Value.VBool b -> if b then "1" else "0"
+  | Value.VInt (Dtype.UInt32, n) -> Printf.sprintf "%dU" n
+  | Value.VInt (_, n) -> string_of_int n
+  | Value.VFloat (Dtype.Float32, f) -> float_lit f ^ "F"
+  | Value.VFloat (_, f) -> float_lit f
+
+let sat_fn = function
+  | Dtype.Int8 -> "cftcg_sat_i8"
+  | Dtype.UInt8 -> "cftcg_sat_u8"
+  | Dtype.Int16 -> "cftcg_sat_i16"
+  | Dtype.UInt16 -> "cftcg_sat_u16"
+  | Dtype.Int32 -> "cftcg_sat_i32"
+  | Dtype.UInt32 -> "cftcg_sat_u32"
+  | Dtype.Bool | Dtype.Float32 | Dtype.Float64 -> assert false
+
+(* Conversion of [operand] (static type [src]) into [dst], using the
+   saturating helpers when narrowing from floating point — plain C
+   casts would be undefined behaviour out of range. *)
+let cast_fmt ~src ~dst operand =
+  match dst with
+  | Dtype.Bool -> Printf.sprintf "((%s) != 0 ? 1 : 0)" operand
+  | dst when Dtype.is_integer dst ->
+    if Dtype.is_float src then Printf.sprintf "%s(%s)" (sat_fn dst) operand
+    else Printf.sprintf "((%s)%s)" (ctype dst) operand
+  | dst -> Printf.sprintf "((%s)%s)" (ctype dst) operand
+
+let unop_fmt op operand =
+  match op with
+  | Ir.U_neg -> Printf.sprintf "(-%s)" operand
+  | Ir.U_not -> Printf.sprintf "(!%s)" operand
+  | Ir.U_abs -> Printf.sprintf "cftcg_abs(%s)" operand
+  | Ir.U_cast _ -> operand (* handled with type context in expr_str *)
+  | Ir.U_floor -> Printf.sprintf "floor(%s)" operand
+  | Ir.U_ceil -> Printf.sprintf "ceil(%s)" operand
+  | Ir.U_round -> Printf.sprintf "round(%s)" operand
+  | Ir.U_trunc -> Printf.sprintf "trunc(%s)" operand
+  | Ir.U_exp -> Printf.sprintf "exp(%s)" operand
+  | Ir.U_log -> Printf.sprintf "cftcg_safe_log(%s)" operand
+  | Ir.U_log10 -> Printf.sprintf "cftcg_safe_log10(%s)" operand
+  | Ir.U_sqrt -> Printf.sprintf "cftcg_safe_sqrt(%s)" operand
+  | Ir.U_sin -> Printf.sprintf "sin(%s)" operand
+  | Ir.U_cos -> Printf.sprintf "cos(%s)" operand
+
+let binop_sym = function
+  | Ir.B_add -> "+"
+  | Ir.B_sub -> "-"
+  | Ir.B_mul -> "*"
+  | Ir.B_and -> "&&"
+  | Ir.B_or -> "||"
+  | Ir.B_eq -> "=="
+  | Ir.B_ne -> "!="
+  | Ir.B_lt -> "<"
+  | Ir.B_le -> "<="
+  | Ir.B_gt -> ">"
+  | Ir.B_ge -> ">="
+  | Ir.B_div | Ir.B_rem | Ir.B_min | Ir.B_max -> assert false
+
+let rec expr_str (e : Ir.expr) =
+  match e with
+  | Ir.Const v -> const_lit v
+  | Ir.Read v -> var_name v
+  | Ir.Unop (Ir.U_cast dst, a) -> cast_fmt ~src:(Ir.type_of a) ~dst (expr_str a)
+  | Ir.Unop (op, a) -> unop_fmt op (expr_str a)
+  | Ir.Binop (Ir.B_div, ty, a, b) ->
+    Printf.sprintf "cftcg_safe_div_%s(%s, %s)" (if Dtype.is_float ty then "f" else "i") (expr_str a)
+      (expr_str b)
+  | Ir.Binop (Ir.B_rem, ty, a, b) ->
+    Printf.sprintf "cftcg_safe_rem_%s(%s, %s)" (if Dtype.is_float ty then "f" else "i") (expr_str a)
+      (expr_str b)
+  | Ir.Binop (Ir.B_min, _, a, b) -> Printf.sprintf "cftcg_min(%s, %s)" (expr_str a) (expr_str b)
+  | Ir.Binop (Ir.B_max, _, a, b) -> Printf.sprintf "cftcg_max(%s, %s)" (expr_str a) (expr_str b)
+  | Ir.Binop (op, ty, a, b) -> (
+    match op with
+    | Ir.B_add | Ir.B_sub | Ir.B_mul ->
+      let src =
+        if Dtype.is_float (Ir.type_of a) || Dtype.is_float (Ir.type_of b) then Dtype.Float64
+        else Dtype.Int32
+      in
+      cast_fmt ~src ~dst:ty (Printf.sprintf "(%s %s %s)" (expr_str a) (binop_sym op) (expr_str b))
+    | _ -> Printf.sprintf "(%s %s %s)" (expr_str a) (binop_sym op) (expr_str b))
+  | Ir.Select (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_str c) (expr_str a) (expr_str b)
+
+let emit_stmts buf indent stmts =
+  let pad depth = String.make (2 * depth) ' ' in
+  let line depth fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad depth ^ s ^ "\n")) fmt in
+  let rec emit depth (s : Ir.stmt) =
+    match s with
+    | Ir.Assign (v, e) ->
+      line depth "%s = %s;" (var_name v) (cast_fmt ~src:(Ir.type_of e) ~dst:v.Ir.vty (expr_str e))
+    | Ir.If { cond; dec = _; then_; else_ } ->
+      line depth "if (%s) {" (expr_str cond);
+      List.iter (emit (depth + 1)) then_;
+      (match else_ with
+      | [] -> line depth "}"
+      | else_ ->
+        line depth "} else {";
+        List.iter (emit (depth + 1)) else_;
+        line depth "}")
+    | Ir.Probe id -> line depth "CoverageStatistics(%d);" id
+    | Ir.Record_cond { dec; cond_ix; value } ->
+      line depth "CoverageCondition(%d, %d, (%s) != 0);" dec cond_ix (expr_str value)
+    | Ir.Record_decision { dec; outcome } -> line depth "CoverageDecision(%d, %d);" dec outcome
+    | Ir.Comment c -> line depth "/* %s */" c
+  in
+  List.iter (emit indent) stmts
+
+let preamble =
+  String.concat "\n"
+    [ "#include <stdint.h>";
+      "#include <string.h>";
+      "#include <math.h>";
+      "";
+      "typedef uint8_t uint8_T;  typedef int8_t int8_T;";
+      "typedef uint16_t uint16_T; typedef int16_t int16_T;";
+      "typedef uint32_t uint32_T; typedef int32_t int32_T;";
+      "typedef float real32_T;   typedef double real_T;";
+      "";
+      "/* Model-level branch instrumentation interface (paper Fig. 4). */";
+      "extern void CoverageStatistics(int branchId);";
+      "extern void CoverageCondition(int decisionId, int condIx, int value);";
+      "extern void CoverageDecision(int decisionId, int outcome);";
+      "";
+      "#define cftcg_abs(x) ((x) < 0 ? -(x) : (x))";
+      "#define cftcg_min(a, b) ((a) <= (b) ? (a) : (b))";
+      "#define cftcg_max(a, b) ((a) >= (b) ? (a) : (b))";
+      "#define cftcg_safe_div_i(a, b) ((b) == 0 ? 0 : (a) / (b))";
+      "#define cftcg_safe_div_f(a, b) ((b) == 0.0 ? 0.0 : (a) / (b))";
+      "#define cftcg_safe_rem_i(a, b) ((b) == 0 ? 0 : (a) % (b))";
+      "#define cftcg_safe_rem_f(a, b) ((b) == 0.0 ? 0.0 : fmod((a), (b)))";
+      "#define cftcg_safe_log(x) ((x) <= 0.0 ? 0.0 : log(x))";
+      "#define cftcg_safe_log10(x) ((x) <= 0.0 ? 0.0 : log10(x))";
+      "#define cftcg_safe_sqrt(x) ((x) < 0.0 ? 0.0 : sqrt(x))";
+      "";
+      "/* Saturating float-to-integer conversions: the guards Simulink";
+      "   emits around casts with 'saturate on integer overflow'. */";
+      "#define CFTCG_SAT(name, T, LO, HI) \\";
+      "  static T name(double x) { \\";
+      "    if (x != x) return (T)0; \\";
+      "    if (x <= (double)(LO)) return (T)(LO); \\";
+      "    if (x >= (double)(HI)) return (T)(HI); \\";
+      "    return (T)x; \\";
+      "  }";
+      "CFTCG_SAT(cftcg_sat_i8, int8_T, -128, 127)";
+      "CFTCG_SAT(cftcg_sat_u8, uint8_T, 0, 255)";
+      "CFTCG_SAT(cftcg_sat_i16, int16_T, -32768, 32767)";
+      "CFTCG_SAT(cftcg_sat_u16, uint16_T, 0, 65535)";
+      "CFTCG_SAT(cftcg_sat_i32, int32_T, -2147483647 - 1, 2147483647)";
+      "CFTCG_SAT(cftcg_sat_u32, uint32_T, 0U, 4294967295U)";
+      "" ]
+
+let emit_program (p : Ir.program) =
+  let buf = Buffer.create 4096 in
+  let name = sanitize p.Ir.prog_name in
+  Buffer.add_string buf (Printf.sprintf "/* Generated fuzz code for model %s. */\n" p.Ir.prog_name);
+  Buffer.add_string buf preamble;
+  Buffer.add_string buf "\n/* Persistent model state. */\n";
+  let declared = Hashtbl.create 64 in
+  let declare (v : Ir.var) prefix =
+    if not (Hashtbl.mem declared v.Ir.vid) then begin
+      Hashtbl.replace declared v.Ir.vid ();
+      Buffer.add_string buf (Printf.sprintf "%s%s %s;\n" prefix (ctype v.Ir.vty) (var_name v))
+    end
+  in
+  Array.iter (fun v -> declare v "static ") p.Ir.states;
+  Array.iter (fun v -> declare v "static ") p.Ir.outputs;
+  Buffer.add_string buf "\n/* Scratch signals. */\n";
+  let rec declare_stmt_vars (s : Ir.stmt) =
+    match s with
+    | Ir.Assign (v, _) -> declare v "static "
+    | Ir.If { then_; else_; _ } ->
+      List.iter declare_stmt_vars then_;
+      List.iter declare_stmt_vars else_
+    | Ir.Probe _ | Ir.Record_cond _ | Ir.Record_decision _ | Ir.Comment _ -> ()
+  in
+  Array.iter (fun v -> declare v "static ") p.Ir.inputs;
+  List.iter declare_stmt_vars p.Ir.init;
+  List.iter declare_stmt_vars p.Ir.step;
+  Buffer.add_string buf (Printf.sprintf "\nvoid %s_init(void) {\n" name);
+  emit_stmts buf 1 p.Ir.init;
+  Buffer.add_string buf "}\n";
+  let params =
+    Array.to_list p.Ir.inputs
+    |> List.map (fun (v : Ir.var) -> Printf.sprintf "%s arg_%s" (ctype v.Ir.vty) (var_name v))
+  in
+  let params_str = if params = [] then "void" else String.concat ", " params in
+  Buffer.add_string buf (Printf.sprintf "\nvoid %s_step(%s) {\n" name params_str);
+  Array.iter
+    (fun (v : Ir.var) ->
+      Buffer.add_string buf (Printf.sprintf "  %s = arg_%s;\n" (var_name v) (var_name v)))
+    p.Ir.inputs;
+  emit_stmts buf 1 p.Ir.step;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let emit_fuzz_driver (p : Ir.program) =
+  let buf = Buffer.create 2048 in
+  let name = sanitize p.Ir.prog_name in
+  let fields = Array.to_list p.Ir.inputs in
+  let tuple_len =
+    List.fold_left (fun acc (v : Ir.var) -> acc + Dtype.size_bytes v.Ir.vty) 0 fields
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "/* Fuzz driver for model %s (paper Fig. 3). */\n" p.Ir.prog_name);
+  Buffer.add_string buf "#include <stddef.h>\n#include <stdint.h>\n#include <string.h>\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf "int LLVMFuzzerTestOneInput(const uint8_t *data, size_t size) {\n");
+  Buffer.add_string buf
+    (Printf.sprintf "  const int dataLen = %d; /* bytes consumed per model iteration */\n" tuple_len);
+  Buffer.add_string buf (Printf.sprintf "  size_t i = 0;\n");
+  Buffer.add_string buf (Printf.sprintf "  %s_init();\n" name);
+  Buffer.add_string buf "  while (1) {\n";
+  Buffer.add_string buf "    if ((i + 1) * dataLen > size) {\n";
+  Buffer.add_string buf "      break; /* trailing bytes cannot fill every inport: discard */\n";
+  Buffer.add_string buf "    }\n";
+  List.iter
+    (fun (v : Ir.var) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %s %s = 0; /* model inport */\n" (ctype v.Ir.vty) (var_name v)))
+    fields;
+  let offset = ref 0 in
+  List.iter
+    (fun (v : Ir.var) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    memcpy(&%s, data + i * dataLen + %d, %d);\n" (var_name v) !offset
+           (Dtype.size_bytes v.Ir.vty));
+      offset := !offset + Dtype.size_bytes v.Ir.vty)
+    fields;
+  Buffer.add_string buf
+    (Printf.sprintf "    %s_step(%s); /* model iteration */\n" name
+       (String.concat ", " (List.map var_name fields)));
+  Buffer.add_string buf "    i++;\n";
+  Buffer.add_string buf "  }\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let emit_test_harness (p : Ir.program) =
+  let buf = Buffer.create 2048 in
+  let name = sanitize p.Ir.prog_name in
+  let fields = Array.to_list p.Ir.inputs in
+  let tuple_len =
+    List.fold_left (fun acc (v : Ir.var) -> acc + Dtype.size_bytes v.Ir.vty) 0 fields
+  in
+  Buffer.add_string buf "\n/* Differential-test harness. */\n";
+  Buffer.add_string buf "#include <stdio.h>\n#include <stdlib.h>\n\n";
+  Buffer.add_string buf "void CoverageStatistics(int branchId) { (void)branchId; }\n";
+  Buffer.add_string buf
+    "void CoverageCondition(int decisionId, int condIx, int value) { (void)decisionId; (void)condIx; (void)value; }\n";
+  Buffer.add_string buf
+    "void CoverageDecision(int decisionId, int outcome) { (void)decisionId; (void)outcome; }\n\n";
+  Buffer.add_string buf "static int hex_digit(char c) {\n";
+  Buffer.add_string buf
+    "  if (c >= '0' && c <= '9') return c - '0';\n  if (c >= 'a' && c <= 'f') return c - 'a' + 10;\n  return -1;\n}\n\n";
+  Buffer.add_string buf "int main(int argc, char **argv) {\n";
+  Buffer.add_string buf "  if (argc < 2) return 1;\n";
+  Buffer.add_string buf "  const char *hex = argv[1];\n";
+  Buffer.add_string buf "  size_t hexlen = 0; while (hex[hexlen]) hexlen++;\n";
+  Buffer.add_string buf "  size_t len = hexlen / 2;\n";
+  Buffer.add_string buf "  uint8_t *data = (uint8_t *)malloc(len ? len : 1);\n";
+  Buffer.add_string buf "  for (size_t k = 0; k < len; k++) {\n";
+  Buffer.add_string buf
+    "    int hi = hex_digit(hex[2 * k]), lo = hex_digit(hex[2 * k + 1]);\n";
+  Buffer.add_string buf "    if (hi < 0 || lo < 0) return 2;\n";
+  Buffer.add_string buf "    data[k] = (uint8_t)((hi << 4) | lo);\n  }\n";
+  Buffer.add_string buf (Printf.sprintf "  const size_t dataLen = %d;\n" tuple_len);
+  Buffer.add_string buf (Printf.sprintf "  %s_init();\n" name);
+  Buffer.add_string buf "  size_t i = 0;\n";
+  Buffer.add_string buf "  while ((i + 1) * dataLen <= len) {\n";
+  List.iter
+    (fun (v : Ir.var) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %s in_%s = 0;\n" (ctype v.Ir.vty) (var_name v)))
+    fields;
+  let offset = ref 0 in
+  List.iter
+    (fun (v : Ir.var) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    memcpy(&in_%s, data + i * dataLen + %d, %d);\n" (var_name v) !offset
+           (Dtype.size_bytes v.Ir.vty));
+      offset := !offset + Dtype.size_bytes v.Ir.vty)
+    fields;
+  Buffer.add_string buf
+    (Printf.sprintf "    %s_step(%s);\n" name
+       (String.concat ", " (List.map (fun v -> "in_" ^ var_name v) fields)));
+  Array.iter
+    (fun (v : Ir.var) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    printf(\"%%.17g \", (double)%s);\n" (var_name v)))
+    p.Ir.outputs;
+  Buffer.add_string buf "    printf(\"\\n\");\n";
+  Buffer.add_string buf "    i++;\n  }\n";
+  Buffer.add_string buf "  free(data);\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let emit_all p = emit_program p ^ "\n" ^ emit_fuzz_driver p

@@ -1,0 +1,10 @@
+type t = {
+  on_probe : (int -> unit) option;
+  on_cond : (int -> int -> bool -> unit) option;
+  on_decision : (int -> int -> unit) option;
+  on_branch : (int -> bool -> float -> float -> unit) option;
+}
+
+let none = { on_probe = None; on_cond = None; on_decision = None; on_branch = None }
+
+let probes_only f = { none with on_probe = Some f }

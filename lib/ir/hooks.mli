@@ -1,0 +1,25 @@
+(** Runtime observation hooks for executing IR programs.
+
+    The instrumented program reports events through these callbacks —
+    the OCaml counterpart of the paper's [CoverageStatistics()]
+    interface (Figure 4). Every field is optional so that
+    uninstrumented execution pays nothing. *)
+
+type t = {
+  on_probe : (int -> unit) option;
+      (** flat coverage cell hit (Algorithm 1's [g_CurrCov] write) *)
+  on_cond : (int -> int -> bool -> unit) option;
+      (** [dec, cond_ix, value] — condition evaluated *)
+  on_decision : (int -> int -> unit) option;
+      (** [dec, outcome] — decision resolved *)
+  on_branch : (int -> bool -> float -> float -> unit) option;
+      (** [if_ix, taken, dist_true, dist_false] — branch distance
+          report for search-based generation; [if_ix] numbers [If]
+          statements in depth-first order over [init] then [step] *)
+}
+
+val none : t
+(** All hooks disabled. *)
+
+val probes_only : (int -> unit) -> t
+(** Only flat-probe observation — the fuzzing loop's fast path. *)

@@ -1,0 +1,211 @@
+open Cftcg_model
+
+type var = {
+  vid : int;
+  vname : string;
+  vty : Dtype.t;
+}
+
+type unop =
+  | U_neg
+  | U_not
+  | U_abs
+  | U_cast of Dtype.t
+  | U_floor
+  | U_ceil
+  | U_round
+  | U_trunc
+  | U_exp
+  | U_log
+  | U_log10
+  | U_sqrt
+  | U_sin
+  | U_cos
+
+type binop =
+  | B_add
+  | B_sub
+  | B_mul
+  | B_div
+  | B_rem
+  | B_min
+  | B_max
+  | B_and
+  | B_or
+  | B_eq
+  | B_ne
+  | B_lt
+  | B_le
+  | B_gt
+  | B_ge
+
+type expr =
+  | Const of Value.t
+  | Read of var
+  | Unop of unop * expr
+  | Binop of binop * Dtype.t * expr * expr
+  | Select of expr * expr * expr
+
+type stmt =
+  | Assign of var * expr
+  | If of {
+      cond : expr;
+      dec : int option;
+      then_ : stmt list;
+      else_ : stmt list;
+    }
+  | Probe of int
+  | Record_cond of { dec : int; cond_ix : int; value : expr }
+  | Record_decision of { dec : int; outcome : int }
+  | Comment of string
+
+type condition = {
+  cond_ix : int;
+  cond_desc : string;
+  probe_true : int;
+  probe_false : int;
+}
+
+type decision = {
+  dec_id : int;
+  dec_block : string;
+  dec_desc : string;
+  n_outcomes : int;
+  outcome_probes : int array;
+  conditions : condition array;
+}
+
+type program = {
+  prog_name : string;
+  n_vars : int;
+  inputs : var array;
+  outputs : var array;
+  states : var array;
+  init : stmt list;
+  step : stmt list;
+  n_probes : int;
+  decisions : decision array;
+  assertions : (int * string) array;
+  lookup_tables : (string * int array) array;
+}
+
+let rec type_of = function
+  | Const v -> Value.dtype v
+  | Read v -> v.vty
+  | Unop (op, e) -> (
+    match op with
+    | U_not -> Dtype.Bool
+    | U_cast ty -> ty
+    | U_exp | U_log | U_log10 | U_sqrt | U_sin | U_cos -> (
+      match type_of e with
+      | Dtype.Float32 -> Dtype.Float32
+      | _ -> Dtype.Float64)
+    | U_neg | U_abs | U_floor | U_ceil | U_round | U_trunc -> type_of e)
+  | Binop (op, ty, _, _) -> (
+    match op with
+    | B_and | B_or | B_eq | B_ne | B_lt | B_le | B_gt | B_ge -> Dtype.Bool
+    | B_add | B_sub | B_mul | B_div | B_rem | B_min | B_max -> ty)
+  | Select (_, a, _) -> type_of a
+
+let bool_const b = Const (Value.of_bool b)
+let int_const ty n = Const (Value.of_int ty n)
+let float_const ty f = Const (Value.of_float ty f)
+
+let truthy e =
+  match type_of e with
+  | Dtype.Bool -> e
+  | ty -> Binop (B_ne, ty, e, Const (Value.zero ty))
+
+let rec stmts_count stmts =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +
+      match s with
+      | If { then_; else_; _ } -> 1 + stmts_count then_ + stmts_count else_
+      | Assign _ | Probe _ | Record_cond _ | Record_decision _ | Comment _ -> 1)
+    0 stmts
+
+let stmt_count p = stmts_count p.init + stmts_count p.step
+
+let validate p =
+  let error fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_var v =
+    if v.vid < 0 || v.vid >= p.n_vars then
+      error "program %s: var %s has id %d outside store of %d" p.prog_name v.vname v.vid p.n_vars
+    else Ok ()
+  in
+  let rec check_expr = function
+    | Const _ -> Ok ()
+    | Read v -> check_var v
+    | Unop (_, e) -> check_expr e
+    | Binop (_, _, a, b) -> both (check_expr a) (fun () -> check_expr b)
+    | Select (c, a, b) ->
+      both (check_expr c) (fun () -> both (check_expr a) (fun () -> check_expr b))
+  and both r k =
+    match r with
+    | Error _ as e -> e
+    | Ok () -> k ()
+  in
+  let check_probe id =
+    if id < 0 || id >= p.n_probes then error "program %s: probe id %d out of range" p.prog_name id
+    else Ok ()
+  in
+  let check_dec d =
+    if d < 0 || d >= Array.length p.decisions then
+      error "program %s: decision id %d out of range" p.prog_name d
+    else Ok ()
+  in
+  let rec check_stmt = function
+    | Assign (v, e) -> both (check_var v) (fun () -> check_expr e)
+    | If { cond; dec; then_; else_ } ->
+      both (check_expr cond) (fun () ->
+          both (match dec with None -> Ok () | Some d -> check_dec d) (fun () ->
+              both (check_stmts then_) (fun () -> check_stmts else_)))
+    | Probe id -> check_probe id
+    | Record_cond { dec; value; _ } -> both (check_dec dec) (fun () -> check_expr value)
+    | Record_decision { dec; outcome } ->
+      both (check_dec dec) (fun () ->
+          if outcome < 0 || outcome >= p.decisions.(dec).n_outcomes then
+            error "program %s: outcome %d out of range for decision %d" p.prog_name outcome dec
+          else Ok ())
+    | Comment _ -> Ok ()
+  and check_stmts = function
+    | [] -> Ok ()
+    | s :: rest -> both (check_stmt s) (fun () -> check_stmts rest)
+  in
+  let check_probe_cells () =
+    let seen = Hashtbl.create 64 in
+    let claim id =
+      if Hashtbl.mem seen id then error "program %s: probe cell %d claimed twice" p.prog_name id
+      else begin
+        Hashtbl.replace seen id ();
+        Ok ()
+      end
+    in
+    Array.fold_left
+      (fun acc d ->
+        both acc (fun () ->
+            let from_outcomes =
+              Array.fold_left (fun acc id -> both acc (fun () -> claim id)) (Ok ()) d.outcome_probes
+            in
+            Array.fold_left
+              (fun acc c ->
+                both acc (fun () -> both (claim c.probe_true) (fun () -> claim c.probe_false)))
+              from_outcomes d.conditions))
+      (Ok ()) p.decisions
+  in
+  let check_assertions () =
+    Array.fold_left (fun acc (cell, _) -> both acc (fun () -> check_probe cell)) (Ok ())
+      p.assertions
+  in
+  let check_lookups () =
+    Array.fold_left
+      (fun acc (_, cells) ->
+        Array.fold_left (fun acc cell -> both acc (fun () -> check_probe cell)) acc cells)
+      (Ok ()) p.lookup_tables
+  in
+  both (check_stmts p.init) (fun () ->
+      both (check_stmts p.step) (fun () ->
+          both (check_probe_cells ()) (fun () ->
+              both (check_assertions ()) (fun () -> check_lookups ()))))

@@ -1,0 +1,268 @@
+open Cftcg_model
+
+type t = {
+  prog : Ir.program;
+  store : float array;
+  run_init : unit -> unit;
+  run_step : unit -> unit;
+}
+
+(* Conversion of a float-stored value whose *static* type is [src]
+   into the target dtype, reproducing Value.cast:
+   - integer/bool sources wrap (C integer cast),
+   - float sources truncate-saturate,
+   - bool targets take truthiness. *)
+let convert ~src ~dst x =
+  match dst with
+  | Dtype.Bool -> if x <> 0.0 then 1.0 else 0.0
+  | dst when Dtype.is_integer dst ->
+    if Dtype.is_float src then float_of_int (Value.saturating_int_of_float dst x)
+    else float_of_int (Value.wrap dst (int_of_float x))
+  | dst -> Value.normalize_float dst x
+
+(* Value.to_int semantics for a float-stored operand. *)
+let as_int ~src x =
+  if Dtype.is_float src then Value.saturating_int_of_float Dtype.Int32 x else int_of_float x
+
+let compile_expr store =
+  let rec go (e : Ir.expr) : unit -> float =
+    match e with
+    | Ir.Const v ->
+      let f = Value.to_float v in
+      fun () -> f
+    | Ir.Read v ->
+      let id = v.Ir.vid in
+      fun () -> store.(id)
+    | Ir.Unop (op, arg) -> go_unop op arg
+    | Ir.Binop (op, ty, a, b) -> go_binop op ty a b
+    | Ir.Select (c, a, b) ->
+      let fc = go c and fa = go a and fb = go b in
+      fun () ->
+        (* branchless: both arms evaluated *)
+        let cv = fc () in
+        let av = fa () in
+        let bv = fb () in
+        if cv <> 0.0 then av else bv
+  and go_unop op arg =
+    let f = go arg in
+    let src = Ir.type_of arg in
+    let float_ty = match src with Dtype.Float32 -> Dtype.Float32 | _ -> Dtype.Float64 in
+    let total g =
+      fun () ->
+        let v = g (f ()) in
+        if Float.is_nan v then 0.0 else Value.normalize_float float_ty v
+    in
+    match op with
+    | Ir.U_neg ->
+      if Dtype.is_integer src then fun () -> float_of_int (Value.wrap src (-int_of_float (f ())))
+      else if Dtype.is_float src then fun () -> Value.normalize_float src (-.f ())
+      else fun () -> if 0.0 -. f () <> 0.0 then 1.0 else 0.0
+    | Ir.U_not -> fun () -> if f () <> 0.0 then 0.0 else 1.0
+    | Ir.U_abs ->
+      if Dtype.is_integer src then
+        fun () -> float_of_int (Value.wrap src (Int.abs (int_of_float (f ()))))
+      else if Dtype.is_float src then fun () -> Float.abs (f ())
+      else fun () -> if f () <> 0.0 then 1.0 else 0.0
+    | Ir.U_cast dst -> fun () -> convert ~src ~dst (f ())
+    | Ir.U_floor -> fun () -> convert ~src:Dtype.Float64 ~dst:src (Float.floor (f ()))
+    | Ir.U_ceil -> fun () -> convert ~src:Dtype.Float64 ~dst:src (Float.ceil (f ()))
+    | Ir.U_round -> fun () -> convert ~src:Dtype.Float64 ~dst:src (Float.round (f ()))
+    | Ir.U_trunc -> fun () -> convert ~src:Dtype.Float64 ~dst:src (Float.trunc (f ()))
+    | Ir.U_exp -> total Float.exp
+    | Ir.U_log -> fun () ->
+        let x = f () in
+        if x <= 0.0 then 0.0 else Value.normalize_float float_ty (Float.log x)
+    | Ir.U_log10 -> fun () ->
+        let x = f () in
+        if x <= 0.0 then 0.0 else Value.normalize_float float_ty (Float.log10 x)
+    | Ir.U_sqrt -> fun () ->
+        let x = f () in
+        if x < 0.0 then 0.0 else Value.normalize_float float_ty (Float.sqrt x)
+    | Ir.U_sin -> total Float.sin
+    | Ir.U_cos -> total Float.cos
+  and go_binop op ty a b =
+    let fa = go a and fb = go b in
+    let sa = Ir.type_of a and sb = Ir.type_of b in
+    let arith op_int op_float =
+      match ty with
+      | Dtype.Bool -> fun () -> if op_float (fa ()) (fb ()) <> 0.0 then 1.0 else 0.0
+      | ty when Dtype.is_integer ty ->
+        fun () -> float_of_int (Value.wrap ty (op_int (as_int ~src:sa (fa ())) (as_int ~src:sb (fb ()))))
+      | ty -> fun () -> Value.normalize_float ty (op_float (fa ()) (fb ()))
+    in
+    let boolean p = fun () -> if p (fa ()) (fb ()) then 1.0 else 0.0 in
+    match op with
+    | Ir.B_add -> arith ( + ) ( +. )
+    | Ir.B_sub -> arith ( - ) ( -. )
+    | Ir.B_mul -> arith ( * ) ( *. )
+    | Ir.B_div ->
+      arith (fun x y -> if y = 0 then 0 else x / y) (fun x y -> if y = 0.0 then 0.0 else x /. y)
+    | Ir.B_rem ->
+      arith (fun x y -> if y = 0 then 0 else x mod y) (fun x y -> if y = 0.0 then 0.0 else Float.rem x y)
+    | Ir.B_min ->
+      fun () ->
+        let x = fa () and y = fb () in
+        if x <= y then convert ~src:sa ~dst:ty x else convert ~src:sb ~dst:ty y
+    | Ir.B_max ->
+      fun () ->
+        let x = fa () and y = fb () in
+        if x >= y then convert ~src:sa ~dst:ty x else convert ~src:sb ~dst:ty y
+    | Ir.B_and -> boolean (fun x y -> x <> 0.0 && y <> 0.0)
+    | Ir.B_or -> boolean (fun x y -> x <> 0.0 || y <> 0.0)
+    | Ir.B_eq -> boolean (fun x y -> x = y)
+    | Ir.B_ne -> boolean (fun x y -> x <> y)
+    | Ir.B_lt -> boolean (fun x y -> x < y)
+    | Ir.B_le -> boolean (fun x y -> x <= y)
+    | Ir.B_gt -> boolean (fun x y -> x > y)
+    | Ir.B_ge -> boolean (fun x y -> x >= y)
+  in
+  go
+
+(* Branch-distance closure mirroring Ir_eval.branch_distances. *)
+let compile_distance store cond =
+  let expr = compile_expr store in
+  let k = 1.0 in
+  let rec go (e : Ir.expr) : unit -> float * float =
+    match e with
+    | Ir.Binop (Ir.B_and, _, a, b) ->
+      let ga = go a and gb = go b in
+      fun () ->
+        let ta, fa = ga () and tb, fb = gb () in
+        (ta +. tb, Float.min fa fb)
+    | Ir.Binop (Ir.B_or, _, a, b) ->
+      let ga = go a and gb = go b in
+      fun () ->
+        let ta, fa = ga () and tb, fb = gb () in
+        (Float.min ta tb, fa +. fb)
+    | Ir.Unop (Ir.U_not, a) ->
+      let ga = go a in
+      fun () ->
+        let ta, fa = ga () in
+        (fa, ta)
+    | Ir.Binop (Ir.B_eq, _, a, b) ->
+      let fa = expr a and fb = expr b in
+      fun () ->
+        let d = Float.abs (fa () -. fb ()) in
+        if d = 0.0 then (0.0, k) else (d, 0.0)
+    | Ir.Binop (Ir.B_ne, _, a, b) ->
+      let fa = expr a and fb = expr b in
+      fun () ->
+        let d = Float.abs (fa () -. fb ()) in
+        if d = 0.0 then (k, 0.0) else (0.0, d)
+    | Ir.Binop (Ir.B_lt, _, a, b) ->
+      let fa = expr a and fb = expr b in
+      fun () ->
+        let d = fa () -. fb () in
+        if d < 0.0 then (0.0, -.d) else (d +. k, 0.0)
+    | Ir.Binop (Ir.B_le, _, a, b) ->
+      let fa = expr a and fb = expr b in
+      fun () ->
+        let d = fa () -. fb () in
+        if d <= 0.0 then (0.0, -.d +. k) else (d, 0.0)
+    | Ir.Binop (Ir.B_gt, _, a, b) ->
+      let fa = expr a and fb = expr b in
+      fun () ->
+        let d = fb () -. fa () in
+        if d < 0.0 then (0.0, -.d) else (d +. k, 0.0)
+    | Ir.Binop (Ir.B_ge, _, a, b) ->
+      let fa = expr a and fb = expr b in
+      fun () ->
+        let d = fb () -. fa () in
+        if d <= 0.0 then (0.0, -.d +. k) else (d, 0.0)
+    | e ->
+      let f = expr e in
+      fun () -> if f () <> 0.0 then (0.0, k) else (k, 0.0)
+  in
+  go cond
+
+let compile_stmts hooks store if_counter stmts =
+  let expr = compile_expr store in
+  let rec go_stmt (s : Ir.stmt) : unit -> unit =
+    match s with
+    | Ir.Assign (v, e) ->
+      let f = expr e in
+      let src = Ir.type_of e in
+      let dst = v.Ir.vty in
+      let id = v.Ir.vid in
+      if Dtype.equal src dst && not (Dtype.equal dst Dtype.Float32) then fun () ->
+        store.(id) <- f ()
+      else fun () -> store.(id) <- convert ~src ~dst (f ())
+    | Ir.If { cond; dec = _; then_; else_ } ->
+      let if_ix = !if_counter in
+      incr if_counter;
+      let fc = expr cond in
+      let ft = go_block then_ in
+      let fe = go_block else_ in
+      (match hooks.Hooks.on_branch with
+      | Some report ->
+        let dist = compile_distance store cond in
+        fun () ->
+          let taken = fc () <> 0.0 in
+          let dt, df = dist () in
+          report if_ix taken dt df;
+          if taken then ft () else fe ()
+      | None -> fun () -> if fc () <> 0.0 then ft () else fe ())
+    | Ir.Probe id -> (
+      match hooks.Hooks.on_probe with
+      | Some f -> fun () -> f id
+      | None -> fun () -> ())
+    | Ir.Record_cond { dec; cond_ix; value } -> (
+      match hooks.Hooks.on_cond with
+      | Some f ->
+        let fv = expr value in
+        fun () -> f dec cond_ix (fv () <> 0.0)
+      | None -> fun () -> ())
+    | Ir.Record_decision { dec; outcome } -> (
+      match hooks.Hooks.on_decision with
+      | Some f -> fun () -> f dec outcome
+      | None -> fun () -> ())
+    | Ir.Comment _ -> fun () -> ()
+  and go_block stmts =
+    let compiled = Array.of_list (List.map go_stmt stmts) in
+    match Array.length compiled with
+    | 0 -> fun () -> ()
+    | 1 -> compiled.(0)
+    | n ->
+      fun () ->
+        for i = 0 to n - 1 do
+          compiled.(i) ()
+        done
+  in
+  go_block stmts
+
+let compile ?(hooks = Hooks.none) (prog : Ir.program) =
+  let store = Array.make prog.Ir.n_vars 0.0 in
+  let if_counter = ref 0 in
+  let init = compile_stmts hooks store if_counter prog.Ir.init in
+  let step = compile_stmts hooks store if_counter prog.Ir.step in
+  let run_init () =
+    Array.fill store 0 (Array.length store) 0.0;
+    init ()
+  in
+  { prog; store; run_init; run_step = step }
+
+let program t = t.prog
+
+let reset t = t.run_init ()
+
+let step t = t.run_step ()
+
+let set_input t i v =
+  let var = t.prog.Ir.inputs.(i) in
+  t.store.(var.Ir.vid) <- Value.to_float (Value.cast var.Ir.vty v)
+
+let set_input_raw t i f = t.store.(t.prog.Ir.inputs.(i).Ir.vid) <- f
+
+let of_float_exact (ty : Dtype.t) f =
+  match ty with
+  | Dtype.Bool -> Value.of_bool (f <> 0.0)
+  | ty when Dtype.is_integer ty -> Value.of_int ty (int_of_float f)
+  | ty -> Value.of_float ty f
+
+let get_output t i =
+  let var = t.prog.Ir.outputs.(i) in
+  of_float_exact var.Ir.vty t.store.(var.Ir.vid)
+
+let get_var t (v : Ir.var) = of_float_exact v.Ir.vty t.store.(v.Ir.vid)
+
+let read_raw t vid = t.store.(vid)

@@ -1,0 +1,32 @@
+(** IR optimization passes.
+
+    The paper compiles its generated code with Clang -O2 and
+    configures Simulink's "Maximize Execution Speed" objective; these
+    passes stand in for that step on our IR. All passes preserve
+    observable behaviour — outputs, states, probe/record events —
+    which the test suite checks by differential execution.
+
+    Passes:
+    - {b constant folding}: evaluates operator trees over constants
+      (using the exact runtime semantics of {!Ir_eval}) and prunes
+      [If]s whose condition folds, keeping instrumentation of the
+      surviving arm;
+    - {b copy propagation}: rewrites reads of variables that were
+      assigned a constant or another variable still holding the same
+      value (within straight-line regions; invalidated across
+      branches and writes);
+    - {b dead assignment elimination}: drops assignments to scratch
+      variables that are never read afterwards (outputs and states
+      are always live). *)
+
+val constant_fold : Ir.program -> Ir.program
+
+val propagate_copies : Ir.program -> Ir.program
+
+val eliminate_dead_assignments : Ir.program -> Ir.program
+
+val optimize : Ir.program -> Ir.program
+(** Runs all passes to a small fixpoint (at most 4 rounds). *)
+
+val stats : Ir.program -> Ir.program -> string
+(** Human-readable before/after statement counts. *)

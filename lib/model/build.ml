@@ -1,0 +1,187 @@
+type signal = {
+  sig_block : int;
+  sig_port : int;
+}
+
+type t = {
+  bname : string;
+  mutable rev_blocks : Graph.block list;
+  mutable rev_lines : Graph.line list;
+  mutable nblocks : int;
+  mutable next_inport : int;
+  mutable next_outport : int;
+  mutable finished : bool;
+}
+
+let create name =
+  {
+    bname = name;
+    rev_blocks = [];
+    rev_lines = [];
+    nblocks = 0;
+    next_inport = 1;
+    next_outport = 1;
+    finished = false;
+  }
+
+let add t ?name kind inputs =
+  if t.finished then failwith "Build.add: builder already finished";
+  let nin, nout = Graph.arity kind in
+  if List.length inputs <> nin then
+    failwith
+      (Printf.sprintf "Build.add: %s expects %d inputs, got %d" (Graph.kind_name kind) nin
+         (List.length inputs));
+  let bid = t.nblocks in
+  let block_name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%s%d" (Graph.kind_name kind) bid
+  in
+  t.nblocks <- bid + 1;
+  t.rev_blocks <- { Graph.bid; block_name; kind } :: t.rev_blocks;
+  List.iteri
+    (fun dst_port s ->
+      t.rev_lines <-
+        { Graph.src_block = s.sig_block; src_port = s.sig_port; dst_block = bid; dst_port }
+        :: t.rev_lines)
+    inputs;
+  Array.init nout (fun p -> { sig_block = bid; sig_port = p })
+
+let single outs =
+  match Array.length outs with
+  | 1 -> outs.(0)
+  | _ -> assert false
+
+let finish t =
+  t.finished <- true;
+  let m =
+    {
+      Graph.model_name = t.bname;
+      blocks = Array.of_list (List.rev t.rev_blocks);
+      lines = Array.of_list (List.rev t.rev_lines);
+    }
+  in
+  match Graph.validate m with
+  | Ok () -> m
+  | Error msg -> failwith ("Build.finish: " ^ msg)
+
+(* Sources and sinks *)
+
+let inport t name dtype =
+  let idx = t.next_inport in
+  t.next_inport <- idx + 1;
+  single (add t ~name (Graph.Inport { port_index = idx; port_dtype = dtype }) [])
+
+let const t ?name v = single (add t ?name (Graph.Constant v) [])
+let const_f t ?name f = const t ?name (Value.of_float Dtype.Float64 f)
+let const_i t ?name ty n = const t ?name (Value.of_int ty n)
+let ground t dtype = single (add t (Graph.Ground dtype) [])
+
+let outport t name s =
+  let idx = t.next_outport in
+  t.next_outport <- idx + 1;
+  ignore (add t ~name (Graph.Outport { port_index = idx }) [ s ])
+
+let terminator t s = ignore (add t Graph.Terminator [ s ])
+
+let assertion t ?name msg s = ignore (add t ?name (Graph.Assertion msg) [ s ])
+
+(* Math *)
+
+let sum t ?name ?signs inputs =
+  let signs =
+    match signs with
+    | Some s -> s
+    | None -> String.make (List.length inputs) '+'
+  in
+  single (add t ?name (Graph.Sum signs) inputs)
+
+let sub t ?name a b = sum t ?name ~signs:"+-" [ a; b ]
+
+let product t ?name ?ops inputs =
+  let ops =
+    match ops with
+    | Some s -> s
+    | None -> String.make (List.length inputs) '*'
+  in
+  single (add t ?name (Graph.Product ops) inputs)
+
+let gain t ?name g s = single (add t ?name (Graph.Gain g) [ s ])
+let bias t ?name bv s = single (add t ?name (Graph.Bias bv) [ s ])
+let abs_ t ?name s = single (add t ?name Graph.Abs [ s ])
+let neg t ?name s = single (add t ?name Graph.Unary_minus [ s ])
+let sign t ?name s = single (add t ?name Graph.Sign_block [ s ])
+let math t ?name f s = single (add t ?name (Graph.Math_func f) [ s ])
+let rounding t ?name mode s = single (add t ?name (Graph.Rounding mode) [ s ])
+let min_ t ?name inputs = single (add t ?name (Graph.Min_max (Graph.MM_min, List.length inputs)) inputs)
+let max_ t ?name inputs = single (add t ?name (Graph.Min_max (Graph.MM_max, List.length inputs)) inputs)
+
+let saturation t ?name ~lower ~upper s =
+  single (add t ?name (Graph.Saturation { sat_lower = lower; sat_upper = upper }) [ s ])
+
+let dead_zone t ?name ~lower ~upper s =
+  single (add t ?name (Graph.Dead_zone { dz_lower = lower; dz_upper = upper }) [ s ])
+
+let relay t ?name ~on_point ~off_point ~on_value ~off_value s =
+  single (add t ?name (Graph.Relay { on_point; off_point; on_value; off_value }) [ s ])
+
+let quantizer t ?name q s = single (add t ?name (Graph.Quantizer q) [ s ])
+
+let rate_limiter t ?name ~rising ~falling s =
+  single (add t ?name (Graph.Rate_limiter { rising; falling }) [ s ])
+
+(* Logic *)
+
+let logic t ?name op inputs =
+  single (add t ?name (Graph.Logic (op, List.length inputs)) inputs)
+
+let and_ t ?name a b = logic t ?name Graph.L_and [ a; b ]
+let or_ t ?name a b = logic t ?name Graph.L_or [ a; b ]
+let xor_ t ?name a b = logic t ?name Graph.L_xor [ a; b ]
+let not_ t ?name a = single (add t ?name (Graph.Logic (Graph.L_not, 1)) [ a ])
+let relational t ?name op a b = single (add t ?name (Graph.Relational op) [ a; b ])
+let compare_const t ?name op c s = single (add t ?name (Graph.Compare_to_constant (op, c)) [ s ])
+let compare_zero t ?name op s = single (add t ?name (Graph.Compare_to_zero op) [ s ])
+
+(* Routing *)
+
+let switch t ?name ?(criteria = Graph.Gt_threshold 0.) data1 control data2 =
+  single (add t ?name (Graph.Switch criteria) [ data1; control; data2 ])
+
+let multiport_switch t ?name selector datas =
+  single (add t ?name (Graph.Multiport_switch (List.length datas)) (selector :: datas))
+
+let merge t ?name inputs = single (add t ?name (Graph.Merge (List.length inputs)) inputs)
+let if_block t ?name conditions = add t ?name (Graph.If_block (List.length conditions)) conditions
+
+(* Discrete *)
+
+let unit_delay t ?name ?(init = 0.) s = single (add t ?name (Graph.Unit_delay init) [ s ])
+
+let delay t ?name ?(init = 0.) n s =
+  single (add t ?name (Graph.Delay { delay_length = n; delay_init = init }) [ s ])
+
+let memory t ?name ?(init = 0.) s = single (add t ?name (Graph.Memory_block init) [ s ])
+
+let integrator t ?name ?(gain = 1.) ?(init = 0.) ?limits s =
+  single (add t ?name (Graph.Discrete_integrator { int_gain = gain; int_init = init; limits }) [ s ])
+
+let filter t ?name ?(init = 0.) coeff s =
+  single (add t ?name (Graph.Discrete_filter { filt_coeff = coeff; filt_init = init }) [ s ])
+
+let counter t ?name ?(init = 0) ?(wrap = false) max_count s =
+  single (add t ?name (Graph.Counter { count_init = init; count_max = max_count; count_wrap = wrap }) [ s ])
+
+let edge t ?name kind s = single (add t ?name (Graph.Edge_detect kind) [ s ])
+
+let lookup t ?name ~xs ~ys s =
+  single (add t ?name (Graph.Lookup_1d { lut_xs = xs; lut_ys = ys }) [ s ])
+
+let convert t ?name ty s = single (add t ?name (Graph.Data_type_conversion ty) [ s ])
+
+(* Composite *)
+
+let chart t ?name ch inputs = add t ?name (Graph.Chart_block ch) inputs
+
+let subsystem t ?name ?(activation = Graph.Always) sub inputs =
+  add t ?name (Graph.Subsystem { sub; activation }) inputs

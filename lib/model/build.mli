@@ -1,0 +1,123 @@
+(** Imperative builder for {!Graph.t} models.
+
+    Benchmark models and tests construct diagrams through this API:
+    each block-adding function returns the block's output signal(s),
+    and wiring happens implicitly by passing signals as arguments.
+
+    {[
+      let b = Build.create "Demo" in
+      let u = Build.inport b "u" Dtype.Int32 in
+      let limited = Build.saturation b ~lower:(-10.) ~upper:10. u in
+      Build.outport b "y" limited;
+      let model = Build.finish b
+    ]} *)
+
+type t
+(** A model under construction. *)
+
+type signal
+(** An output port of an already-added block. *)
+
+val create : string -> t
+
+val finish : t -> Graph.t
+(** Freezes the builder and validates the result. Raises [Failure]
+    with the validation message if the diagram is malformed. *)
+
+(** {1 Generic} *)
+
+val add : t -> ?name:string -> Graph.kind -> signal list -> signal array
+(** [add b kind inputs] appends a block, wires [inputs] to its input
+    ports in order, and returns its output signals. Raises [Failure]
+    if the number of inputs does not match the kind's arity. Block
+    names default to ["<Kind><bid>"]. *)
+
+(** {1 Sources and sinks} *)
+
+val inport : t -> string -> Dtype.t -> signal
+val const : t -> ?name:string -> Value.t -> signal
+val const_f : t -> ?name:string -> float -> signal
+(** Float64 constant. *)
+
+val const_i : t -> ?name:string -> Dtype.t -> int -> signal
+val ground : t -> Dtype.t -> signal
+val outport : t -> string -> signal -> unit
+val terminator : t -> signal -> unit
+
+val assertion : t -> ?name:string -> string -> signal -> unit
+(** [assertion b msg s] adds a Model Verification block: [s] must be
+    true (nonzero) at every step; [msg] labels violations. *)
+
+(** {1 Math} *)
+
+val sum : t -> ?name:string -> ?signs:string -> signal list -> signal
+(** Default signs: all ['+']. *)
+
+val sub : t -> ?name:string -> signal -> signal -> signal
+val product : t -> ?name:string -> ?ops:string -> signal list -> signal
+val gain : t -> ?name:string -> float -> signal -> signal
+val bias : t -> ?name:string -> float -> signal -> signal
+val abs_ : t -> ?name:string -> signal -> signal
+val neg : t -> ?name:string -> signal -> signal
+val sign : t -> ?name:string -> signal -> signal
+val math : t -> ?name:string -> Graph.math_func -> signal -> signal
+val rounding : t -> ?name:string -> Graph.round_mode -> signal -> signal
+val min_ : t -> ?name:string -> signal list -> signal
+val max_ : t -> ?name:string -> signal list -> signal
+val saturation : t -> ?name:string -> lower:float -> upper:float -> signal -> signal
+val dead_zone : t -> ?name:string -> lower:float -> upper:float -> signal -> signal
+
+val relay :
+  t -> ?name:string -> on_point:float -> off_point:float -> on_value:float -> off_value:float ->
+  signal -> signal
+
+val quantizer : t -> ?name:string -> float -> signal -> signal
+val rate_limiter : t -> ?name:string -> rising:float -> falling:float -> signal -> signal
+
+(** {1 Logic} *)
+
+val logic : t -> ?name:string -> Graph.logic_op -> signal list -> signal
+val and_ : t -> ?name:string -> signal -> signal -> signal
+val or_ : t -> ?name:string -> signal -> signal -> signal
+val xor_ : t -> ?name:string -> signal -> signal -> signal
+val not_ : t -> ?name:string -> signal -> signal
+val relational : t -> ?name:string -> Graph.relop -> signal -> signal -> signal
+val compare_const : t -> ?name:string -> Graph.relop -> float -> signal -> signal
+val compare_zero : t -> ?name:string -> Graph.relop -> signal -> signal
+
+(** {1 Routing} *)
+
+val switch : t -> ?name:string -> ?criteria:Graph.switch_criteria -> signal -> signal -> signal -> signal
+(** [switch b data1 control data2]; default criteria [Gt_threshold 0.]. *)
+
+val multiport_switch : t -> ?name:string -> signal -> signal list -> signal
+(** [multiport_switch b selector datas]. *)
+
+val merge : t -> ?name:string -> signal list -> signal
+val if_block : t -> ?name:string -> signal list -> signal array
+(** Returns the n+1 action signals (conditions..., else). *)
+
+(** {1 Discrete} *)
+
+val unit_delay : t -> ?name:string -> ?init:float -> signal -> signal
+val delay : t -> ?name:string -> ?init:float -> int -> signal -> signal
+val memory : t -> ?name:string -> ?init:float -> signal -> signal
+
+val integrator :
+  t -> ?name:string -> ?gain:float -> ?init:float -> ?limits:Graph.integrator_limits -> signal ->
+  signal
+
+val filter : t -> ?name:string -> ?init:float -> float -> signal -> signal
+val counter : t -> ?name:string -> ?init:int -> ?wrap:bool -> int -> signal -> signal
+val edge : t -> ?name:string -> Graph.edge_kind -> signal -> signal
+val lookup : t -> ?name:string -> xs:float array -> ys:float array -> signal -> signal
+val convert : t -> ?name:string -> Dtype.t -> signal -> signal
+
+(** {1 Composite} *)
+
+val chart : t -> ?name:string -> Chart.t -> signal list -> signal array
+
+val subsystem :
+  t -> ?name:string -> ?activation:Graph.activation -> Graph.t -> signal list -> signal array
+(** For [Enabled]/[Triggered] activation the first signal is the
+    enable/trigger input, followed by the subsystem's inports. *)

@@ -1,0 +1,321 @@
+type binop =
+  | C_add
+  | C_sub
+  | C_mul
+  | C_div
+  | C_mod
+  | C_min
+  | C_max
+  | C_eq
+  | C_ne
+  | C_lt
+  | C_le
+  | C_gt
+  | C_ge
+  | C_and
+  | C_or
+
+type unop =
+  | C_neg
+  | C_not
+  | C_abs
+
+type expr =
+  | In of int
+  | Local of int
+  | Out of int
+  | State_time
+  | Const of float
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+
+type action =
+  | Set_local of int * expr
+  | Set_out of int * expr
+
+type transition = {
+  guard : expr;
+  actions : action list;
+  dst : int;
+}
+
+type state = {
+  state_name : string;
+  entry : action list;
+  during : action list;
+  exit_actions : action list;
+  outgoing : transition list;
+  children : state array;
+  init_child : int;
+  parallel : bool;
+}
+
+type t = {
+  chart_name : string;
+  inputs : (string * Dtype.t) array;
+  outputs : (string * Dtype.t) array;
+  locals : (string * Dtype.t * float) array;
+  states : state array;
+  init_state : int;
+}
+
+let validate ch =
+  let nstates = Array.length ch.states in
+  let nin = Array.length ch.inputs in
+  let nout = Array.length ch.outputs in
+  let nloc = Array.length ch.locals in
+  let error fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check_expr = function
+    | In i when i < 0 || i >= nin -> error "chart %s: input index %d out of range" ch.chart_name i
+    | Local i when i < 0 || i >= nloc -> error "chart %s: local index %d out of range" ch.chart_name i
+    | Out i when i < 0 || i >= nout -> error "chart %s: output index %d out of range" ch.chart_name i
+    | In _ | Local _ | Out _ | State_time | Const _ -> Ok ()
+    | Bin (_, a, b) -> (
+      match check_expr a with
+      | Error _ as e -> e
+      | Ok () -> check_expr b)
+    | Un (_, a) -> check_expr a
+  in
+  let check_action = function
+    | Set_local (i, e) ->
+      if i < 0 || i >= nloc then error "chart %s: local target %d out of range" ch.chart_name i
+      else check_expr e
+    | Set_out (i, e) ->
+      if i < 0 || i >= nout then error "chart %s: output target %d out of range" ch.chart_name i
+      else check_expr e
+  in
+  let rec check_all f = function
+    | [] -> Ok ()
+    | x :: rest -> (
+      match f x with
+      | Error _ as e -> e
+      | Ok () -> check_all f rest)
+  in
+  let check_transition ~siblings tr =
+    if tr.dst < 0 || tr.dst >= siblings then
+      error "chart %s: transition destination %d out of range" ch.chart_name tr.dst
+    else
+      match check_expr tr.guard with
+      | Error _ as e -> e
+      | Ok () -> check_all check_action tr.actions
+  in
+  let rec check_state ~siblings st =
+    match check_all check_action st.entry with
+    | Error _ as e -> e
+    | Ok () -> (
+      match check_all check_action st.during with
+      | Error _ as e -> e
+      | Ok () -> (
+        match check_all check_action st.exit_actions with
+        | Error _ as e -> e
+        | Ok () -> (
+          match check_all (check_transition ~siblings) st.outgoing with
+          | Error _ as e -> e
+          | Ok () ->
+            let nc = Array.length st.children in
+            if nc = 0 then Ok ()
+            else if st.parallel then begin
+              if List.exists (fun c -> c.outgoing <> []) (Array.to_list st.children) then
+                error "chart %s: state %s: parallel regions cannot have transitions"
+                  ch.chart_name st.state_name
+              else check_all (check_state ~siblings:nc) (Array.to_list st.children)
+            end
+            else if st.init_child < 0 || st.init_child >= nc then
+              error "chart %s: state %s: initial child %d out of range" ch.chart_name
+                st.state_name st.init_child
+            else check_all (check_state ~siblings:nc) (Array.to_list st.children))))
+  in
+  if nstates = 0 then error "chart %s: no states" ch.chart_name
+  else if ch.init_state < 0 || ch.init_state >= nstates then
+    error "chart %s: initial state %d out of range" ch.chart_name ch.init_state
+  else check_all (check_state ~siblings:nstates) (Array.to_list ch.states)
+
+let rec state_transitions st =
+  List.length st.outgoing + Array.fold_left (fun acc c -> acc + state_transitions c) 0 st.children
+
+let transition_count ch = Array.fold_left (fun acc st -> acc + state_transitions st) 0 ch.states
+
+let rec state_size st = 1 + Array.fold_left (fun acc c -> acc + state_size c) 0 st.children
+
+let state_count ch = Array.fold_left (fun acc st -> acc + state_size st) 0 ch.states
+
+let rec state_depth st =
+  1 + Array.fold_left (fun acc c -> max acc (state_depth c)) 0 st.children
+
+let max_depth ch = Array.fold_left (fun acc st -> max acc (state_depth st)) 1 ch.states
+
+let leaf ?(entry = []) ?(during = []) ?(exit_actions = []) ?(outgoing = []) state_name =
+  { state_name; entry; during; exit_actions; outgoing; children = [||]; init_child = 0;
+    parallel = false }
+
+let composite ?(entry = []) ?(during = []) ?(exit_actions = []) ?(outgoing = []) ?(init_child = 0)
+    state_name children =
+  { state_name; entry; during; exit_actions; outgoing; children = Array.of_list children;
+    init_child; parallel = false }
+
+let parallel_composite ?(entry = []) ?(during = []) ?(exit_actions = []) ?(outgoing = [])
+    state_name children =
+  { state_name; entry; during; exit_actions; outgoing; children = Array.of_list children;
+    init_child = 0; parallel = true }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: s-expressions                                        *)
+(* ------------------------------------------------------------------ *)
+
+let binop_name = function
+  | C_add -> "+"
+  | C_sub -> "-"
+  | C_mul -> "*"
+  | C_div -> "/"
+  | C_mod -> "mod"
+  | C_min -> "min"
+  | C_max -> "max"
+  | C_eq -> "eq"
+  | C_ne -> "ne"
+  | C_lt -> "lt"
+  | C_le -> "le"
+  | C_gt -> "gt"
+  | C_ge -> "ge"
+  | C_and -> "and"
+  | C_or -> "or"
+
+let binop_of_name = function
+  | "+" -> Some C_add
+  | "-" -> Some C_sub
+  | "*" -> Some C_mul
+  | "/" -> Some C_div
+  | "mod" -> Some C_mod
+  | "min" -> Some C_min
+  | "max" -> Some C_max
+  | "eq" -> Some C_eq
+  | "ne" -> Some C_ne
+  | "lt" -> Some C_lt
+  | "le" -> Some C_le
+  | "gt" -> Some C_gt
+  | "ge" -> Some C_ge
+  | "and" -> Some C_and
+  | "or" -> Some C_or
+  | _ -> None
+
+let unop_name = function
+  | C_neg -> "neg"
+  | C_not -> "not"
+  | C_abs -> "abs"
+
+let unop_of_name = function
+  | "neg" -> Some C_neg
+  | "not" -> Some C_not
+  | "abs" -> Some C_abs
+  | _ -> None
+
+let rec expr_to_string = function
+  | In i -> Printf.sprintf "(in %d)" i
+  | Local i -> Printf.sprintf "(local %d)" i
+  | Out i -> Printf.sprintf "(out %d)" i
+  | State_time -> "(time)"
+  | Const f -> Printf.sprintf "%h" f
+  | Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (binop_name op) (expr_to_string a) (expr_to_string b)
+  | Un (op, a) -> Printf.sprintf "(%s %s)" (unop_name op) (expr_to_string a)
+
+type token =
+  | Lparen
+  | Rparen
+  | Atom of string
+
+let tokenize s =
+  let out = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    match s.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+      out := Lparen :: !out;
+      incr i
+    | ')' ->
+      out := Rparen :: !out;
+      incr i
+    | _ ->
+      let start = !i in
+      while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' | '(' | ')' -> false | _ -> true) do
+        incr i
+      done;
+      out := Atom (String.sub s start (!i - start)) :: !out
+  done;
+  List.rev !out
+
+let expr_of_string s =
+  let rec parse tokens =
+    match tokens with
+    | [] -> Error "unexpected end of expression"
+    | Atom a :: rest -> (
+      match float_of_string_opt a with
+      | Some f -> Ok (Const f, rest)
+      | None -> Error (Printf.sprintf "bad atom %S" a))
+    | Rparen :: _ -> Error "unexpected ')'"
+    | Lparen :: Atom head :: rest -> (
+      match head with
+      | "time" -> expect_rparen rest State_time
+      | "in" | "local" | "out" -> (
+        match rest with
+        | Atom n :: rest' -> (
+          match int_of_string_opt n with
+          | Some i ->
+            let node =
+              match head with
+              | "in" -> In i
+              | "local" -> Local i
+              | _ -> Out i
+            in
+            expect_rparen rest' node
+          | None -> Error (Printf.sprintf "bad index %S" n))
+        | _ -> Error (Printf.sprintf "(%s ...) needs an index" head))
+      | head -> (
+        match binop_of_name head with
+        | Some op -> (
+          match parse rest with
+          | Error _ as e -> e
+          | Ok (a, rest') -> (
+            match parse rest' with
+            | Error _ as e -> e
+            | Ok (b, rest'') -> expect_rparen rest'' (Bin (op, a, b))))
+        | None -> (
+          match unop_of_name head with
+          | Some op -> (
+            match parse rest with
+            | Error _ as e -> e
+            | Ok (a, rest') -> expect_rparen rest' (Un (op, a)))
+          | None -> Error (Printf.sprintf "unknown operator %S" head))))
+    | Lparen :: _ -> Error "expected operator after '('"
+  and expect_rparen tokens node =
+    match tokens with
+    | Rparen :: rest -> Ok (node, rest)
+    | _ -> Error "expected ')'"
+  in
+  match parse (tokenize s) with
+  | Ok (e, []) -> Ok e
+  | Ok (_, _ :: _) -> Error "trailing tokens"
+  | Error _ as e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Construction helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let num f = Const f
+let in_ i = In i
+let local i = Local i
+let out i = Out i
+let ( +: ) a b = Bin (C_add, a, b)
+let ( -: ) a b = Bin (C_sub, a, b)
+let ( *: ) a b = Bin (C_mul, a, b)
+let ( /: ) a b = Bin (C_div, a, b)
+let ( =: ) a b = Bin (C_eq, a, b)
+let ( <>: ) a b = Bin (C_ne, a, b)
+let ( <: ) a b = Bin (C_lt, a, b)
+let ( <=: ) a b = Bin (C_le, a, b)
+let ( >: ) a b = Bin (C_gt, a, b)
+let ( >=: ) a b = Bin (C_ge, a, b)
+let ( &&: ) a b = Bin (C_and, a, b)
+let ( ||: ) a b = Bin (C_or, a, b)
+let not_ a = Un (C_not, a)

@@ -1,0 +1,158 @@
+(** Stateflow-style charts.
+
+    Charts are the stateful control-logic blocks of the benchmark
+    models (paper Figure 1's PV-panel state logic, the TCP handshake,
+    the CPUTask queue, ...). A chart owns named input/output ports,
+    typed local variables, and a hierarchy of states with
+    priority-ordered outgoing transitions: exclusive (OR)
+    decomposition with nested children, or parallel (AND)
+    decomposition whose regions all run while their parent is active.
+    This is the Stateflow subset the paper's instrumentation mode (d)
+    targets: every transition guard is a conditional branch in
+    generated code.
+
+    Semantics of one step, from the top level down: evaluate the
+    active state's outgoing transitions in order; the first one whose
+    guard is true runs the exit actions of every active descendant
+    (innermost first) and of the state itself, then the transition
+    actions, then enters the destination (entry actions, descending
+    through [init_child] for composites, resetting the level timers).
+    If no guard fires, the state's during actions run, its timer
+    advances, and control descends into the active child. Outputs
+    persist between steps. All expression arithmetic is carried out
+    in double precision and cast to the target's dtype on
+    assignment.
+
+    [State_time] in a guard or action refers to the timer of the
+    hierarchy level it is written at. *)
+
+type binop =
+  | C_add
+  | C_sub
+  | C_mul
+  | C_div
+  | C_mod
+  | C_min
+  | C_max
+  | C_eq
+  | C_ne
+  | C_lt
+  | C_le
+  | C_gt
+  | C_ge
+  | C_and  (** logical, on truthiness *)
+  | C_or
+
+type unop =
+  | C_neg
+  | C_not
+  | C_abs
+
+type expr =
+  | In of int  (** chart input port *)
+  | Local of int  (** chart local variable *)
+  | Out of int  (** current value of a chart output *)
+  | State_time  (** steps spent in the active state since entry *)
+  | Const of float
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+
+type action =
+  | Set_local of int * expr
+  | Set_out of int * expr
+
+type transition = {
+  guard : expr;
+  actions : action list;
+  dst : int;  (** destination state index *)
+}
+
+type state = {
+  state_name : string;
+  entry : action list;
+  during : action list;
+  exit_actions : action list;
+      (** run when the state (or an ancestor) is left *)
+  outgoing : transition list;
+  children : state array;
+      (** substates; [[||]] for a leaf. When a composite state is
+          active, its own outgoing transitions are evaluated first
+          (outer-transition priority, as in Stateflow); if none
+          fires, its during actions run and control descends into the
+          children. *)
+  init_child : int;  (** child entered when the composite is entered *)
+  parallel : bool;
+      (** decomposition of [children]: [false] = exclusive (OR
+          states, one active child), [true] = parallel (AND states,
+          all children active simultaneously; the children are
+          regions and must have no transitions of their own). *)
+}
+
+type t = {
+  chart_name : string;
+  inputs : (string * Dtype.t) array;
+  outputs : (string * Dtype.t) array;
+  locals : (string * Dtype.t * float) array;
+      (** name, dtype, initial value *)
+  states : state array;
+  init_state : int;
+}
+
+val validate : t -> (unit, string) result
+(** Checks state/port/local indices are in range and the chart has at
+    least one state. *)
+
+val transition_count : t -> int
+(** Total number of transitions at every level, i.e. guard
+    decisions. *)
+
+val state_count : t -> int
+(** Total number of states at every level. *)
+
+val max_depth : t -> int
+(** Nesting depth: 1 for a flat chart. *)
+
+val leaf :
+  ?entry:action list -> ?during:action list -> ?exit_actions:action list ->
+  ?outgoing:transition list -> string -> state
+(** Leaf-state constructor. *)
+
+val composite :
+  ?entry:action list -> ?during:action list -> ?exit_actions:action list ->
+  ?outgoing:transition list -> ?init_child:int -> string -> state list -> state
+(** Exclusive (OR) composite-state constructor. *)
+
+val parallel_composite :
+  ?entry:action list -> ?during:action list -> ?exit_actions:action list ->
+  ?outgoing:transition list -> string -> state list -> state
+(** Parallel (AND) composite: every child region is active while the
+    state is; regions carry no transitions themselves. *)
+
+(** {1 Serialization}
+
+    Expressions serialize to s-expression strings, e.g.
+    ["(and (ge (in 0) 5) (lt (local 1) 10))"]. *)
+
+val expr_to_string : expr -> string
+
+val expr_of_string : string -> (expr, string) result
+
+(** {1 Construction helpers} *)
+
+val num : float -> expr
+val in_ : int -> expr
+val local : int -> expr
+val out : int -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val not_ : expr -> expr

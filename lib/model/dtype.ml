@@ -1,0 +1,98 @@
+type t =
+  | Bool
+  | Int8
+  | UInt8
+  | Int16
+  | UInt16
+  | Int32
+  | UInt32
+  | Float32
+  | Float64
+
+let size_bytes = function
+  | Bool | Int8 | UInt8 -> 1
+  | Int16 | UInt16 -> 2
+  | Int32 | UInt32 | Float32 -> 4
+  | Float64 -> 8
+
+let name = function
+  | Bool -> "boolean"
+  | Int8 -> "int8"
+  | UInt8 -> "uint8"
+  | Int16 -> "int16"
+  | UInt16 -> "uint16"
+  | Int32 -> "int32"
+  | UInt32 -> "uint32"
+  | Float32 -> "single"
+  | Float64 -> "double"
+
+let of_string = function
+  | "boolean" | "bool" -> Some Bool
+  | "int8" -> Some Int8
+  | "uint8" -> Some UInt8
+  | "int16" -> Some Int16
+  | "uint16" -> Some UInt16
+  | "int32" -> Some Int32
+  | "uint32" -> Some UInt32
+  | "single" | "float32" -> Some Float32
+  | "double" | "float64" -> Some Float64
+  | _ -> None
+
+let is_integer = function
+  | Int8 | UInt8 | Int16 | UInt16 | Int32 | UInt32 -> true
+  | Bool | Float32 | Float64 -> false
+
+let is_float = function
+  | Float32 | Float64 -> true
+  | Bool | Int8 | UInt8 | Int16 | UInt16 | Int32 | UInt32 -> false
+
+let is_signed = function
+  | Int8 | Int16 | Int32 | Float32 | Float64 -> true
+  | Bool | UInt8 | UInt16 | UInt32 -> false
+
+let min_int_value = function
+  | Int8 -> -128
+  | Int16 -> -32768
+  | Int32 -> -2147483648
+  | UInt8 | UInt16 | UInt32 -> 0
+  | Bool | Float32 | Float64 -> invalid_arg "Dtype.min_int_value: not an integer type"
+
+let max_int_value = function
+  | Int8 -> 127
+  | UInt8 -> 255
+  | Int16 -> 32767
+  | UInt16 -> 65535
+  | Int32 -> 2147483647
+  | UInt32 -> 4294967295
+  | Bool | Float32 | Float64 -> invalid_arg "Dtype.max_int_value: not an integer type"
+
+let all = [ Bool; Int8; UInt8; Int16; UInt16; Int32; UInt32; Float32; Float64 ]
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+let equal (a : t) (b : t) = a = b
+
+let rank = function
+  | Bool -> 0
+  | Int8 | UInt8 -> 1
+  | Int16 | UInt16 -> 2
+  | Int32 | UInt32 -> 3
+  | Float32 -> 4
+  | Float64 -> 5
+
+let promote a b =
+  match (a, b) with
+  | Float64, _ | _, Float64 -> Float64
+  | Float32, _ | _, Float32 -> Float32
+  | a, b ->
+    let wider = if rank a >= rank b then a else b in
+    let signed = is_signed a || is_signed b in
+    (match (wider, signed) with
+    | Bool, _ -> Int8 (* boolean arithmetic promotes to a small integer *)
+    | (Int8 | UInt8), true -> Int8
+    | (Int8 | UInt8), false -> UInt8
+    | (Int16 | UInt16), true -> Int16
+    | (Int16 | UInt16), false -> UInt16
+    | (Int32 | UInt32), true -> Int32
+    | (Int32 | UInt32), false -> UInt32
+    | (Float32 | Float64), _ -> assert false)

@@ -1,0 +1,55 @@
+(** Simulink numeric data types.
+
+    These are the storage classes a model inport or signal can carry.
+    The fuzz driver derives its field layout from the byte sizes of
+    the top-level inport dtypes (paper §3.1.1). *)
+
+type t =
+  | Bool
+  | Int8
+  | UInt8
+  | Int16
+  | UInt16
+  | Int32
+  | UInt32
+  | Float32
+  | Float64
+
+val size_bytes : t -> int
+(** Storage size used by the fuzz driver's field layout. [Bool] is one
+    byte, as in generated C code. *)
+
+val name : t -> string
+(** Simulink-style lowercase name, e.g. ["int32"], ["boolean"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!name}; also accepts ["bool"] and ["single"]. *)
+
+val is_integer : t -> bool
+(** True for the six integer types (not [Bool], not floats). *)
+
+val is_float : t -> bool
+
+val is_signed : t -> bool
+(** True for signed integers and floats. *)
+
+val min_int_value : t -> int
+(** Smallest representable value of an integer type (0 for unsigned).
+    Raises [Invalid_argument] for [Bool] and floats. *)
+
+val max_int_value : t -> int
+(** Largest representable value of an integer type.
+    Raises [Invalid_argument] for [Bool] and floats. *)
+
+val all : t list
+(** Every dtype, for enumeration in tests. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val promote : t -> t -> t
+(** [promote a b] is the wider common type used for arithmetic between
+    mixed operands, following Simulink's default promotion: any float
+    operand promotes to the widest float; otherwise the wider integer
+    wins, with signedness taken from either operand being signed. *)

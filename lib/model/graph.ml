@@ -1,0 +1,380 @@
+type logic_op =
+  | L_and
+  | L_or
+  | L_nand
+  | L_nor
+  | L_xor
+  | L_not
+
+type relop =
+  | R_eq
+  | R_ne
+  | R_lt
+  | R_le
+  | R_gt
+  | R_ge
+
+type switch_criteria =
+  | Ge_threshold of float
+  | Gt_threshold of float
+  | Ne_zero
+
+type round_mode =
+  | R_floor
+  | R_ceil
+  | R_round
+  | R_fix
+
+type minmax_op =
+  | MM_min
+  | MM_max
+
+type math_func =
+  | F_exp
+  | F_log
+  | F_log10
+  | F_sqrt
+  | F_square
+  | F_reciprocal
+  | F_sin
+  | F_cos
+
+type edge_kind =
+  | E_rising
+  | E_falling
+  | E_either
+
+type integrator_limits = {
+  int_lower : float;
+  int_upper : float;
+}
+
+type activation =
+  | Always
+  | Enabled
+  | Triggered of edge_kind
+
+type kind =
+  | Inport of { port_index : int; port_dtype : Dtype.t }
+  | Outport of { port_index : int }
+  | Constant of Value.t
+  | Ground of Dtype.t
+  | Terminator
+  | Sum of string
+  | Product of string
+  | Gain of float
+  | Bias of float
+  | Abs
+  | Unary_minus
+  | Sign_block
+  | Math_func of math_func
+  | Rounding of round_mode
+  | Min_max of minmax_op * int
+  | Saturation of { sat_lower : float; sat_upper : float }
+  | Dead_zone of { dz_lower : float; dz_upper : float }
+  | Relay of { on_point : float; off_point : float; on_value : float; off_value : float }
+  | Quantizer of float
+  | Rate_limiter of { rising : float; falling : float }
+  | Logic of logic_op * int
+  | Relational of relop
+  | Compare_to_constant of relop * float
+  | Compare_to_zero of relop
+  | Switch of switch_criteria
+  | Multiport_switch of int
+  | Merge of int
+  | If_block of int
+  | Unit_delay of float
+  | Delay of { delay_length : int; delay_init : float }
+  | Memory_block of float
+  | Discrete_integrator of { int_gain : float; int_init : float; limits : integrator_limits option }
+  | Discrete_filter of { filt_coeff : float; filt_init : float }
+  | Counter of { count_init : int; count_max : int; count_wrap : bool }
+  | Edge_detect of edge_kind
+  | Lookup_1d of { lut_xs : float array; lut_ys : float array }
+  | Data_type_conversion of Dtype.t
+  | Assertion of string
+  | Chart_block of Chart.t
+  | Subsystem of { sub : t; activation : activation }
+
+and block = {
+  bid : int;
+  block_name : string;
+  kind : kind;
+}
+
+and line = {
+  src_block : int;
+  src_port : int;
+  dst_block : int;
+  dst_port : int;
+}
+
+and t = {
+  model_name : string;
+  blocks : block array;
+  lines : line array;
+}
+
+let count_kind p m = Array.fold_left (fun acc b -> if p b.kind then acc + 1 else acc) 0 m.blocks
+
+let arity kind =
+  match kind with
+  | Inport _ | Constant _ | Ground _ -> (0, 1)
+  | Outport _ | Terminator -> (1, 0)
+  | Sum signs -> (String.length signs, 1)
+  | Product ops -> (String.length ops, 1)
+  | Gain _ | Bias _ | Abs | Unary_minus | Sign_block | Math_func _ | Rounding _ -> (1, 1)
+  | Min_max (_, n) -> (n, 1)
+  | Saturation _ | Dead_zone _ | Relay _ | Quantizer _ | Rate_limiter _ -> (1, 1)
+  | Logic (L_not, _) -> (1, 1)
+  | Logic (_, n) -> (n, 1)
+  | Relational _ -> (2, 1)
+  | Compare_to_constant _ | Compare_to_zero _ -> (1, 1)
+  | Switch _ -> (3, 1)
+  | Multiport_switch n -> (n + 1, 1)
+  | Merge n -> (n, 1)
+  | If_block n -> (n, n + 1)
+  | Unit_delay _ | Delay _ | Memory_block _ | Discrete_integrator _ | Discrete_filter _ -> (1, 1)
+  | Counter _ -> (1, 1)
+  | Edge_detect _ -> (1, 1)
+  | Lookup_1d _ -> (1, 1)
+  | Data_type_conversion _ -> (1, 1)
+  | Assertion _ -> (1, 0)
+  | Chart_block ch -> (Array.length ch.Chart.inputs, Array.length ch.Chart.outputs)
+  | Subsystem { sub; activation } ->
+    let nin = count_kind (function Inport _ -> true | _ -> false) sub in
+    let nout = count_kind (function Outport _ -> true | _ -> false) sub in
+    let extra = match activation with Always -> 0 | Enabled | Triggered _ -> 1 in
+    (nin + extra, nout)
+
+let kind_name = function
+  | Inport _ -> "Inport"
+  | Outport _ -> "Outport"
+  | Constant _ -> "Constant"
+  | Ground _ -> "Ground"
+  | Terminator -> "Terminator"
+  | Sum _ -> "Sum"
+  | Product _ -> "Product"
+  | Gain _ -> "Gain"
+  | Bias _ -> "Bias"
+  | Abs -> "Abs"
+  | Unary_minus -> "UnaryMinus"
+  | Sign_block -> "Sign"
+  | Math_func _ -> "MathFunction"
+  | Rounding _ -> "Rounding"
+  | Min_max _ -> "MinMax"
+  | Saturation _ -> "Saturation"
+  | Dead_zone _ -> "DeadZone"
+  | Relay _ -> "Relay"
+  | Quantizer _ -> "Quantizer"
+  | Rate_limiter _ -> "RateLimiter"
+  | Logic _ -> "Logic"
+  | Relational _ -> "RelationalOperator"
+  | Compare_to_constant _ -> "CompareToConstant"
+  | Compare_to_zero _ -> "CompareToZero"
+  | Switch _ -> "Switch"
+  | Multiport_switch _ -> "MultiportSwitch"
+  | Merge _ -> "Merge"
+  | If_block _ -> "If"
+  | Unit_delay _ -> "UnitDelay"
+  | Delay _ -> "Delay"
+  | Memory_block _ -> "Memory"
+  | Discrete_integrator _ -> "DiscreteIntegrator"
+  | Discrete_filter _ -> "DiscreteFilter"
+  | Counter _ -> "Counter"
+  | Edge_detect _ -> "EdgeDetect"
+  | Lookup_1d _ -> "Lookup1D"
+  | Data_type_conversion _ -> "DataTypeConversion"
+  | Assertion _ -> "Assertion"
+  | Chart_block _ -> "Chart"
+  | Subsystem _ -> "SubSystem"
+
+let is_stateful = function
+  | Unit_delay _ | Delay _ | Memory_block _ -> true
+  | Inport _ | Outport _ | Constant _ | Ground _ | Terminator | Sum _ | Product _ | Gain _
+  | Bias _ | Abs | Unary_minus | Sign_block | Math_func _ | Rounding _ | Min_max _
+  | Saturation _ | Dead_zone _ | Relay _ | Quantizer _ | Rate_limiter _ | Logic _
+  | Relational _ | Compare_to_constant _ | Compare_to_zero _ | Switch _
+  | Multiport_switch _ | Merge _ | If_block _ | Discrete_integrator _ | Discrete_filter _
+  | Counter _ | Edge_detect _ | Lookup_1d _ | Data_type_conversion _ | Assertion _
+  | Chart_block _ | Subsystem _ -> false
+
+let inports m =
+  let found =
+    Array.to_list m.blocks
+    |> List.filter_map (fun b ->
+           match b.kind with
+           | Inport { port_index; port_dtype } -> Some (port_index, b.block_name, port_dtype)
+           | _ -> None)
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  List.iteri
+    (fun i (idx, name, _) ->
+      if idx <> i + 1 then
+        failwith
+          (Printf.sprintf "model %s: inport %s has index %d, expected %d" m.model_name name idx
+             (i + 1)))
+    found;
+  Array.of_list (List.map (fun (_, name, ty) -> (name, ty)) found)
+
+let outports m =
+  let found =
+    Array.to_list m.blocks
+    |> List.filter_map (fun b ->
+           match b.kind with
+           | Outport { port_index } -> Some (port_index, b.block_name)
+           | _ -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iteri
+    (fun i (idx, name) ->
+      if idx <> i + 1 then
+        failwith
+          (Printf.sprintf "model %s: outport %s has index %d, expected %d" m.model_name name idx
+             (i + 1)))
+    found;
+  Array.of_list (List.map snd found)
+
+let rec block_count m =
+  Array.fold_left
+    (fun acc b ->
+      match b.kind with
+      | Subsystem { sub; _ } -> acc + 1 + block_count sub
+      | Chart_block ch -> acc + 1 + Chart.state_count ch
+      | _ -> acc + 1)
+    0 m.blocks
+
+let rec validate m =
+  let error fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let n = Array.length m.blocks in
+  let rec first_error = function
+    | [] -> Ok ()
+    | f :: rest -> (
+      match f () with
+      | Error _ as e -> e
+      | Ok () -> first_error rest)
+  in
+  let check_ids () =
+    let bad = ref None in
+    Array.iteri (fun i b -> if b.bid <> i && !bad = None then bad := Some (i, b.bid)) m.blocks;
+    match !bad with
+    | Some (i, bid) -> error "model %s: block at position %d has bid %d" m.model_name i bid
+    | None -> Ok ()
+  in
+  let check_lines () =
+    let rec go i =
+      if i >= Array.length m.lines then Ok ()
+      else begin
+        let l = m.lines.(i) in
+        if l.src_block < 0 || l.src_block >= n then
+          error "model %s: line %d references missing source block %d" m.model_name i l.src_block
+        else if l.dst_block < 0 || l.dst_block >= n then
+          error "model %s: line %d references missing destination block %d" m.model_name i
+            l.dst_block
+        else begin
+          let _, nout = arity m.blocks.(l.src_block).kind in
+          let nin, _ = arity m.blocks.(l.dst_block).kind in
+          if l.src_port < 0 || l.src_port >= nout then
+            error "model %s: line %d source port %d out of range for %s" m.model_name i l.src_port
+              m.blocks.(l.src_block).block_name
+          else if l.dst_port < 0 || l.dst_port >= nin then
+            error "model %s: line %d destination port %d out of range for %s" m.model_name i
+              l.dst_port
+              m.blocks.(l.dst_block).block_name
+          else go (i + 1)
+        end
+      end
+    in
+    go 0
+  in
+  let check_inputs_driven () =
+    let driven = Hashtbl.create 64 in
+    let dup = ref None in
+    Array.iter
+      (fun l ->
+        let key = (l.dst_block, l.dst_port) in
+        if Hashtbl.mem driven key && !dup = None then dup := Some key;
+        Hashtbl.replace driven key ())
+      m.lines;
+    match !dup with
+    | Some (b, p) ->
+      error "model %s: input port %d of %s driven by multiple lines" m.model_name p
+        m.blocks.(b).block_name
+    | None ->
+      let missing = ref None in
+      Array.iter
+        (fun b ->
+          let nin, _ = arity b.kind in
+          for p = 0 to nin - 1 do
+            if (not (Hashtbl.mem driven (b.bid, p))) && !missing = None then
+              missing := Some (b.block_name, p)
+          done)
+        m.blocks;
+      (match !missing with
+      | Some (name, p) -> error "model %s: input port %d of %s is unconnected" m.model_name p name
+      | None -> Ok ())
+  in
+  let check_ports () =
+    match inports m with
+    | exception Failure msg -> Error msg
+    | _ -> (
+      match outports m with
+      | exception Failure msg -> Error msg
+      | _ -> Ok ())
+  in
+  let check_children () =
+    let rec go i =
+      if i >= n then Ok ()
+      else
+        match m.blocks.(i).kind with
+        | Subsystem { sub; _ } -> (
+          match validate sub with
+          | Error _ as e -> e
+          | Ok () -> go (i + 1))
+        | Chart_block ch -> (
+          match Chart.validate ch with
+          | Error _ as e -> e
+          | Ok () -> go (i + 1))
+        | _ -> go (i + 1)
+    in
+    go 0
+  in
+  let check_params () =
+    let rec go i =
+      if i >= n then Ok ()
+      else begin
+        let b = m.blocks.(i) in
+        let bad msg = error "model %s: block %s: %s" m.model_name b.block_name msg in
+        match b.kind with
+        | Sum signs when signs = "" || String.exists (fun c -> c <> '+' && c <> '-') signs ->
+          bad "Sum signs must be a non-empty string of '+'/'-'"
+        | Product ops when ops = "" || String.exists (fun c -> c <> '*' && c <> '/') ops ->
+          bad "Product ops must be a non-empty string of '*'/'/'"
+        | Saturation { sat_lower; sat_upper } when sat_lower > sat_upper ->
+          bad "Saturation lower bound exceeds upper bound"
+        | Dead_zone { dz_lower; dz_upper } when dz_lower > dz_upper ->
+          bad "DeadZone start exceeds end"
+        | Multiport_switch k when k < 1 -> bad "MultiportSwitch needs at least one data input"
+        | Merge k when k < 1 -> bad "Merge needs at least one input"
+        | If_block k when k < 1 -> bad "If needs at least one condition"
+        | Min_max (_, k) when k < 1 -> bad "MinMax needs at least one input"
+        | Logic (op, k) when op <> L_not && k < 2 -> bad "Logic needs at least two inputs"
+        | Delay { delay_length; _ } when delay_length < 1 -> bad "Delay length must be positive"
+        | Lookup_1d { lut_xs; lut_ys }
+          when Array.length lut_xs < 2
+               || Array.length lut_xs <> Array.length lut_ys
+               || not
+                    (Array.for_all
+                       (fun i -> lut_xs.(i) < lut_xs.(i + 1))
+                       (Array.init (Array.length lut_xs - 1) (fun i -> i))) ->
+          bad "Lookup1D needs >= 2 strictly increasing breakpoints with matching table size"
+        | Counter { count_max; _ } when count_max < 1 -> bad "Counter max must be positive"
+        | _ -> go (i + 1)
+      end
+    in
+    go 0
+  in
+  first_error
+    [ check_ids; check_lines; check_inputs_driven; check_ports; check_params; check_children ]
+
+let find_block m name = Array.find_opt (fun b -> b.block_name = name) m.blocks

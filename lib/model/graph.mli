@@ -1,0 +1,166 @@
+(** Simulink-like block-diagram models.
+
+    A model is a set of blocks connected by lines from output ports to
+    input ports. Block kinds cover the "over fifty commonly used
+    blocks" the paper's code generator templates (math, logic, signal
+    routing, discrete-state, lookup, conditional subsystems, charts).
+    Blocks are single-rate and scalar-signal; each model step consumes
+    one value per top-level inport and produces one per outport. *)
+
+type logic_op =
+  | L_and
+  | L_or
+  | L_nand
+  | L_nor
+  | L_xor
+  | L_not
+
+type relop =
+  | R_eq
+  | R_ne
+  | R_lt
+  | R_le
+  | R_gt
+  | R_ge
+
+type switch_criteria =
+  | Ge_threshold of float  (** pass first input when [u2 >= t] *)
+  | Gt_threshold of float
+  | Ne_zero  (** pass first input when [u2 <> 0] *)
+
+type round_mode =
+  | R_floor
+  | R_ceil
+  | R_round
+  | R_fix  (** toward zero *)
+
+type minmax_op =
+  | MM_min
+  | MM_max
+
+type math_func =
+  | F_exp
+  | F_log  (** natural log; non-positive input yields 0, embedded-safe *)
+  | F_log10
+  | F_sqrt  (** negative input yields 0 *)
+  | F_square
+  | F_reciprocal  (** zero input yields 0 *)
+  | F_sin
+  | F_cos
+
+type edge_kind =
+  | E_rising
+  | E_falling
+  | E_either
+
+type integrator_limits = {
+  int_lower : float;
+  int_upper : float;
+}
+
+type activation =
+  | Always
+  | Enabled  (** extra first input: enable; outputs held while disabled *)
+  | Triggered of edge_kind
+      (** extra first input: trigger; body runs on matching edges only *)
+
+type kind =
+  | Inport of { port_index : int; port_dtype : Dtype.t }
+  | Outport of { port_index : int }
+  | Constant of Value.t
+  | Ground of Dtype.t
+  | Terminator
+  | Sum of string  (** one '+'/'-' per input *)
+  | Product of string  (** one '*'/'/' per input *)
+  | Gain of float
+  | Bias of float
+  | Abs
+  | Unary_minus
+  | Sign_block
+  | Math_func of math_func
+  | Rounding of round_mode
+  | Min_max of minmax_op * int  (** operator, arity *)
+  | Saturation of { sat_lower : float; sat_upper : float }
+  | Dead_zone of { dz_lower : float; dz_upper : float }
+  | Relay of { on_point : float; off_point : float; on_value : float; off_value : float }
+  | Quantizer of float  (** quantization interval *)
+  | Rate_limiter of { rising : float; falling : float }
+  | Logic of logic_op * int  (** operator, arity ([L_not] has arity 1) *)
+  | Relational of relop
+  | Compare_to_constant of relop * float
+  | Compare_to_zero of relop
+  | Switch of switch_criteria  (** inputs: data1, control, data2 *)
+  | Multiport_switch of int
+      (** n data inputs; input 0 is the 1-based selector, clamped *)
+  | Merge of int
+      (** passes the most recently updated input; with unconditional
+          sources, the last one in input order *)
+  | If_block of int
+      (** n boolean condition inputs; n+1 boolean action outputs
+          (priority if / elseif / else) *)
+  | Unit_delay of float  (** initial value *)
+  | Delay of { delay_length : int; delay_init : float }
+  | Memory_block of float
+  | Discrete_integrator of { int_gain : float; int_init : float; limits : integrator_limits option }
+  | Discrete_filter of { filt_coeff : float; filt_init : float }
+      (** y[k] = c*u[k] + (1-c)*y[k-1] *)
+  | Counter of { count_init : int; count_max : int; count_wrap : bool }
+      (** counts steps with a true input; saturates or wraps at max *)
+  | Edge_detect of edge_kind
+  | Lookup_1d of { lut_xs : float array; lut_ys : float array }
+      (** linear interpolation, clipped at the table ends *)
+  | Data_type_conversion of Dtype.t
+  | Assertion of string
+      (** Model Verification block: the input must be true every step;
+          the string is the failure message. No outputs. *)
+  | Chart_block of Chart.t
+  | Subsystem of { sub : t; activation : activation }
+
+and block = {
+  bid : int;  (** index in [blocks]; unique within its model *)
+  block_name : string;
+  kind : kind;
+}
+
+and line = {
+  src_block : int;
+  src_port : int;  (** output port index on the source block *)
+  dst_block : int;
+  dst_port : int;  (** input port index on the destination block *)
+}
+
+and t = {
+  model_name : string;
+  blocks : block array;
+  lines : line array;
+}
+
+val arity : kind -> int * int
+(** [(inputs, outputs)] port counts for the kind. A subsystem's counts
+    come from its inner inports/outports plus any activation port. *)
+
+val kind_name : kind -> string
+(** Simulink-flavoured kind name, e.g. ["Switch"], ["UnitDelay"]. *)
+
+val is_stateful : kind -> bool
+(** Blocks whose output at step k does not depend on their inputs at
+    step k (delays, memories) break dependency cycles. *)
+
+val inports : t -> (string * Dtype.t) array
+(** Top-level inports in port-index order. Raises [Failure] if port
+    indices are not 1..n. *)
+
+val outports : t -> string array
+(** Top-level outport names in port-index order. *)
+
+val block_count : t -> int
+(** Total number of blocks including those inside subsystems and one
+    per chart state (matching how Simulink counts chart content). *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: line endpoints exist and are within arity,
+    every input port is driven exactly once, inport/outport indices
+    are 1..n, subsystems and charts are recursively valid. *)
+
+val find_block : t -> string -> block option
+(** Lookup by name at the top level. *)

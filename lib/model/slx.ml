@@ -1,0 +1,466 @@
+module Xml = Cftcg_xml.Xml
+
+exception Load_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Load_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fstr f = Printf.sprintf "%h" f
+
+let floats_attr a = String.concat " " (List.map fstr (Array.to_list a))
+
+let relop_name = function
+  | Graph.R_eq -> "eq"
+  | Graph.R_ne -> "ne"
+  | Graph.R_lt -> "lt"
+  | Graph.R_le -> "le"
+  | Graph.R_gt -> "gt"
+  | Graph.R_ge -> "ge"
+
+let logic_name = function
+  | Graph.L_and -> "and"
+  | Graph.L_or -> "or"
+  | Graph.L_nand -> "nand"
+  | Graph.L_nor -> "nor"
+  | Graph.L_xor -> "xor"
+  | Graph.L_not -> "not"
+
+let round_name = function
+  | Graph.R_floor -> "floor"
+  | Graph.R_ceil -> "ceil"
+  | Graph.R_round -> "round"
+  | Graph.R_fix -> "fix"
+
+let math_name = function
+  | Graph.F_exp -> "exp"
+  | Graph.F_log -> "log"
+  | Graph.F_log10 -> "log10"
+  | Graph.F_sqrt -> "sqrt"
+  | Graph.F_square -> "square"
+  | Graph.F_reciprocal -> "reciprocal"
+  | Graph.F_sin -> "sin"
+  | Graph.F_cos -> "cos"
+
+let edge_name = function
+  | Graph.E_rising -> "rising"
+  | Graph.E_falling -> "falling"
+  | Graph.E_either -> "either"
+
+let action_to_xml tag action =
+  let target, expr =
+    match action with
+    | Chart.Set_local (i, e) -> (Printf.sprintf "local:%d" i, e)
+    | Chart.Set_out (i, e) -> (Printf.sprintf "out:%d" i, e)
+  in
+  Xml.Element (tag, [ ("target", target); ("expr", Chart.expr_to_string expr) ], [])
+
+let chart_to_xml (ch : Chart.t) =
+  let ports tag arr =
+    Array.to_list arr
+    |> List.map (fun (name, ty) -> Xml.Element (tag, [ ("name", name); ("dtype", Dtype.name ty) ], []))
+  in
+  let locals =
+    Array.to_list ch.locals
+    |> List.map (fun (name, ty, init) ->
+           Xml.Element ("Local", [ ("name", name); ("dtype", Dtype.name ty); ("init", fstr init) ], []))
+  in
+  let rec state_to_xml (st : Chart.state) =
+    let transitions =
+      List.map
+        (fun (tr : Chart.transition) ->
+          Xml.Element
+            ( "Transition",
+              [ ("dst", string_of_int tr.dst); ("guard", Chart.expr_to_string tr.guard) ],
+              List.map (action_to_xml "Action") tr.actions ))
+        st.outgoing
+    in
+    let attrs =
+      if Array.length st.children = 0 then [ ("name", st.state_name) ]
+      else if st.parallel then [ ("name", st.state_name); ("parallel", "1") ]
+      else [ ("name", st.state_name); ("init", string_of_int st.init_child) ]
+    in
+    Xml.Element
+      ( "State",
+        attrs,
+        List.map (action_to_xml "Entry") st.entry
+        @ List.map (action_to_xml "During") st.during
+        @ List.map (action_to_xml "Exit") st.exit_actions
+        @ transitions
+        @ List.map state_to_xml (Array.to_list st.children) )
+  in
+  Xml.Element
+    ( "Chart",
+      [ ("name", ch.chart_name); ("init", string_of_int ch.init_state) ],
+      ports "Input" ch.inputs @ ports "Output" ch.outputs @ locals
+      @ List.map state_to_xml (Array.to_list ch.states) )
+
+let rec kind_attrs_children kind =
+  match kind with
+  | Graph.Inport { port_index; port_dtype } ->
+    ([ ("index", string_of_int port_index); ("dtype", Dtype.name port_dtype) ], [])
+  | Graph.Outport { port_index } -> ([ ("index", string_of_int port_index) ], [])
+  | Graph.Constant v -> ([ ("value", Value.to_string v) ], [])
+  | Graph.Ground ty -> ([ ("dtype", Dtype.name ty) ], [])
+  | Graph.Terminator -> ([], [])
+  | Graph.Sum signs -> ([ ("signs", signs) ], [])
+  | Graph.Product ops -> ([ ("ops", ops) ], [])
+  | Graph.Gain g -> ([ ("gain", fstr g) ], [])
+  | Graph.Bias b -> ([ ("bias", fstr b) ], [])
+  | Graph.Abs | Graph.Unary_minus | Graph.Sign_block -> ([], [])
+  | Graph.Math_func f -> ([ ("func", math_name f) ], [])
+  | Graph.Rounding m -> ([ ("mode", round_name m) ], [])
+  | Graph.Min_max (op, n) ->
+    ([ ("op", match op with Graph.MM_min -> "min" | Graph.MM_max -> "max"); ("arity", string_of_int n) ], [])
+  | Graph.Saturation { sat_lower; sat_upper } ->
+    ([ ("lower", fstr sat_lower); ("upper", fstr sat_upper) ], [])
+  | Graph.Dead_zone { dz_lower; dz_upper } ->
+    ([ ("lower", fstr dz_lower); ("upper", fstr dz_upper) ], [])
+  | Graph.Relay { on_point; off_point; on_value; off_value } ->
+    ( [ ("on_point", fstr on_point); ("off_point", fstr off_point); ("on_value", fstr on_value);
+        ("off_value", fstr off_value) ],
+      [] )
+  | Graph.Quantizer q -> ([ ("interval", fstr q) ], [])
+  | Graph.Rate_limiter { rising; falling } ->
+    ([ ("rising", fstr rising); ("falling", fstr falling) ], [])
+  | Graph.Logic (op, n) -> ([ ("op", logic_name op); ("arity", string_of_int n) ], [])
+  | Graph.Relational op -> ([ ("op", relop_name op) ], [])
+  | Graph.Compare_to_constant (op, c) -> ([ ("op", relop_name op); ("const", fstr c) ], [])
+  | Graph.Compare_to_zero op -> ([ ("op", relop_name op) ], [])
+  | Graph.Switch crit ->
+    let c =
+      match crit with
+      | Graph.Ge_threshold v -> [ ("criteria", "ge"); ("threshold", fstr v) ]
+      | Graph.Gt_threshold v -> [ ("criteria", "gt"); ("threshold", fstr v) ]
+      | Graph.Ne_zero -> [ ("criteria", "ne_zero") ]
+    in
+    (c, [])
+  | Graph.Multiport_switch n -> ([ ("arity", string_of_int n) ], [])
+  | Graph.Merge n -> ([ ("arity", string_of_int n) ], [])
+  | Graph.If_block n -> ([ ("conditions", string_of_int n) ], [])
+  | Graph.Unit_delay init -> ([ ("init", fstr init) ], [])
+  | Graph.Delay { delay_length; delay_init } ->
+    ([ ("length", string_of_int delay_length); ("init", fstr delay_init) ], [])
+  | Graph.Memory_block init -> ([ ("init", fstr init) ], [])
+  | Graph.Discrete_integrator { int_gain; int_init; limits } ->
+    let base = [ ("gain", fstr int_gain); ("init", fstr int_init) ] in
+    let lims =
+      match limits with
+      | None -> []
+      | Some { Graph.int_lower; int_upper } ->
+        [ ("lower", fstr int_lower); ("upper", fstr int_upper) ]
+    in
+    (base @ lims, [])
+  | Graph.Discrete_filter { filt_coeff; filt_init } ->
+    ([ ("coeff", fstr filt_coeff); ("init", fstr filt_init) ], [])
+  | Graph.Counter { count_init; count_max; count_wrap } ->
+    ( [ ("init", string_of_int count_init); ("max", string_of_int count_max);
+        ("wrap", if count_wrap then "1" else "0") ],
+      [] )
+  | Graph.Edge_detect k -> ([ ("edge", edge_name k) ], [])
+  | Graph.Lookup_1d { lut_xs; lut_ys } ->
+    ([ ("xs", floats_attr lut_xs); ("ys", floats_attr lut_ys) ], [])
+  | Graph.Data_type_conversion ty -> ([ ("dtype", Dtype.name ty) ], [])
+  | Graph.Assertion msg -> ([ ("message", msg) ], [])
+  | Graph.Chart_block ch -> ([], [ chart_to_xml ch ])
+  | Graph.Subsystem { sub; activation } ->
+    let act =
+      match activation with
+      | Graph.Always -> []
+      | Graph.Enabled -> [ ("activation", "enabled") ]
+      | Graph.Triggered k -> [ ("activation", "triggered"); ("edge", edge_name k) ]
+    in
+    (act, [ to_xml sub ])
+
+and block_to_xml (b : Graph.block) =
+  let attrs, children = kind_attrs_children b.kind in
+  Xml.Element
+    ( "Block",
+      [ ("id", string_of_int b.bid); ("type", Graph.kind_name b.kind); ("name", b.block_name) ]
+      @ attrs,
+      children )
+
+and to_xml (m : Graph.t) =
+  let lines =
+    Array.to_list m.lines
+    |> List.map (fun (l : Graph.line) ->
+           Xml.Element
+             ( "Line",
+               [ ("src", Printf.sprintf "%d:%d" l.src_block l.src_port);
+                 ("dst", Printf.sprintf "%d:%d" l.dst_block l.dst_port) ],
+               [] ))
+  in
+  Xml.Element
+    ( "Model",
+      [ ("name", m.model_name) ],
+      List.map block_to_xml (Array.to_list m.blocks) @ lines )
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let attr node name =
+  match Xml.attr node name with
+  | Some v -> v
+  | None -> fail "missing attribute %S on <%s>" name (Xml.tag node)
+
+let int_attr node name =
+  match int_of_string_opt (attr node name) with
+  | Some v -> v
+  | None -> fail "attribute %S on <%s> is not an integer" name (Xml.tag node)
+
+let float_attr node name =
+  match float_of_string_opt (attr node name) with
+  | Some v -> v
+  | None -> fail "attribute %S on <%s> is not a number" name (Xml.tag node)
+
+let dtype_attr node name =
+  match Dtype.of_string (attr node name) with
+  | Some ty -> ty
+  | None -> fail "attribute %S on <%s> is not a dtype" name (Xml.tag node)
+
+let floats_of_attr s =
+  String.split_on_char ' ' s
+  |> List.filter (fun x -> x <> "")
+  |> List.map (fun x ->
+         match float_of_string_opt x with
+         | Some f -> f
+         | None -> fail "bad float %S in list attribute" x)
+  |> Array.of_list
+
+let relop_of_name = function
+  | "eq" -> Graph.R_eq
+  | "ne" -> Graph.R_ne
+  | "lt" -> Graph.R_lt
+  | "le" -> Graph.R_le
+  | "gt" -> Graph.R_gt
+  | "ge" -> Graph.R_ge
+  | s -> fail "unknown relational operator %S" s
+
+let logic_of_name = function
+  | "and" -> Graph.L_and
+  | "or" -> Graph.L_or
+  | "nand" -> Graph.L_nand
+  | "nor" -> Graph.L_nor
+  | "xor" -> Graph.L_xor
+  | "not" -> Graph.L_not
+  | s -> fail "unknown logic operator %S" s
+
+let round_of_name = function
+  | "floor" -> Graph.R_floor
+  | "ceil" -> Graph.R_ceil
+  | "round" -> Graph.R_round
+  | "fix" -> Graph.R_fix
+  | s -> fail "unknown rounding mode %S" s
+
+let math_of_name = function
+  | "exp" -> Graph.F_exp
+  | "log" -> Graph.F_log
+  | "log10" -> Graph.F_log10
+  | "sqrt" -> Graph.F_sqrt
+  | "square" -> Graph.F_square
+  | "reciprocal" -> Graph.F_reciprocal
+  | "sin" -> Graph.F_sin
+  | "cos" -> Graph.F_cos
+  | s -> fail "unknown math function %S" s
+
+let edge_of_name = function
+  | "rising" -> Graph.E_rising
+  | "falling" -> Graph.E_falling
+  | "either" -> Graph.E_either
+  | s -> fail "unknown edge kind %S" s
+
+let expr_of_attr node name =
+  match Chart.expr_of_string (attr node name) with
+  | Ok e -> e
+  | Error msg -> fail "bad expression in %S on <%s>: %s" name (Xml.tag node) msg
+
+let action_of_xml node =
+  let target = attr node "target" in
+  let expr = expr_of_attr node "expr" in
+  match String.split_on_char ':' target with
+  | [ "local"; i ] -> Chart.Set_local (int_of_string i, expr)
+  | [ "out"; i ] -> Chart.Set_out (int_of_string i, expr)
+  | _ -> fail "bad action target %S" target
+
+let chart_of_xml node =
+  let ports tag =
+    Xml.find_all node tag
+    |> List.map (fun p -> (attr p "name", dtype_attr p "dtype"))
+    |> Array.of_list
+  in
+  let locals =
+    Xml.find_all node "Local"
+    |> List.map (fun p -> (attr p "name", dtype_attr p "dtype", float_attr p "init"))
+    |> Array.of_list
+  in
+  let rec state_of_xml st =
+    let transitions =
+      Xml.find_all st "Transition"
+      |> List.map (fun tr ->
+             {
+               Chart.guard = expr_of_attr tr "guard";
+               actions = List.map action_of_xml (Xml.find_all tr "Action");
+               dst = int_attr tr "dst";
+             })
+    in
+    let children = Array.of_list (List.map state_of_xml (Xml.find_all st "State")) in
+    {
+      Chart.state_name = attr st "name";
+      entry = List.map action_of_xml (Xml.find_all st "Entry");
+      during = List.map action_of_xml (Xml.find_all st "During");
+      exit_actions = List.map action_of_xml (Xml.find_all st "Exit");
+      outgoing = transitions;
+      children;
+      init_child = (match Xml.attr st "init" with Some v -> int_of_string v | None -> 0);
+      parallel = (match Xml.attr st "parallel" with Some "1" -> true | _ -> false);
+    }
+  in
+  {
+    Chart.chart_name = attr node "name";
+    inputs = ports "Input";
+    outputs = ports "Output";
+    locals;
+    states = Array.of_list (List.map state_of_xml (Xml.find_all node "State"));
+    init_state = int_attr node "init";
+  }
+
+let rec kind_of_xml node =
+  let ty = attr node "type" in
+  match ty with
+  | "Inport" -> Graph.Inport { port_index = int_attr node "index"; port_dtype = dtype_attr node "dtype" }
+  | "Outport" -> Graph.Outport { port_index = int_attr node "index" }
+  | "Constant" -> (
+    match Value.of_string (attr node "value") with
+    | Some v -> Graph.Constant v
+    | None -> fail "bad constant value %S" (attr node "value"))
+  | "Ground" -> Graph.Ground (dtype_attr node "dtype")
+  | "Terminator" -> Graph.Terminator
+  | "Sum" -> Graph.Sum (attr node "signs")
+  | "Product" -> Graph.Product (attr node "ops")
+  | "Gain" -> Graph.Gain (float_attr node "gain")
+  | "Bias" -> Graph.Bias (float_attr node "bias")
+  | "Abs" -> Graph.Abs
+  | "UnaryMinus" -> Graph.Unary_minus
+  | "Sign" -> Graph.Sign_block
+  | "MathFunction" -> Graph.Math_func (math_of_name (attr node "func"))
+  | "Rounding" -> Graph.Rounding (round_of_name (attr node "mode"))
+  | "MinMax" ->
+    let op = match attr node "op" with "min" -> Graph.MM_min | "max" -> Graph.MM_max | s -> fail "bad MinMax op %S" s in
+    Graph.Min_max (op, int_attr node "arity")
+  | "Saturation" -> Graph.Saturation { sat_lower = float_attr node "lower"; sat_upper = float_attr node "upper" }
+  | "DeadZone" -> Graph.Dead_zone { dz_lower = float_attr node "lower"; dz_upper = float_attr node "upper" }
+  | "Relay" ->
+    Graph.Relay
+      {
+        on_point = float_attr node "on_point";
+        off_point = float_attr node "off_point";
+        on_value = float_attr node "on_value";
+        off_value = float_attr node "off_value";
+      }
+  | "Quantizer" -> Graph.Quantizer (float_attr node "interval")
+  | "RateLimiter" -> Graph.Rate_limiter { rising = float_attr node "rising"; falling = float_attr node "falling" }
+  | "Logic" -> Graph.Logic (logic_of_name (attr node "op"), int_attr node "arity")
+  | "RelationalOperator" -> Graph.Relational (relop_of_name (attr node "op"))
+  | "CompareToConstant" -> Graph.Compare_to_constant (relop_of_name (attr node "op"), float_attr node "const")
+  | "CompareToZero" -> Graph.Compare_to_zero (relop_of_name (attr node "op"))
+  | "Switch" -> (
+    match attr node "criteria" with
+    | "ge" -> Graph.Switch (Graph.Ge_threshold (float_attr node "threshold"))
+    | "gt" -> Graph.Switch (Graph.Gt_threshold (float_attr node "threshold"))
+    | "ne_zero" -> Graph.Switch Graph.Ne_zero
+    | s -> fail "bad switch criteria %S" s)
+  | "MultiportSwitch" -> Graph.Multiport_switch (int_attr node "arity")
+  | "Merge" -> Graph.Merge (int_attr node "arity")
+  | "If" -> Graph.If_block (int_attr node "conditions")
+  | "UnitDelay" -> Graph.Unit_delay (float_attr node "init")
+  | "Delay" -> Graph.Delay { delay_length = int_attr node "length"; delay_init = float_attr node "init" }
+  | "Memory" -> Graph.Memory_block (float_attr node "init")
+  | "DiscreteIntegrator" ->
+    let limits =
+      match (Xml.attr node "lower", Xml.attr node "upper") with
+      | Some _, Some _ ->
+        Some { Graph.int_lower = float_attr node "lower"; int_upper = float_attr node "upper" }
+      | _ -> None
+    in
+    Graph.Discrete_integrator { int_gain = float_attr node "gain"; int_init = float_attr node "init"; limits }
+  | "DiscreteFilter" -> Graph.Discrete_filter { filt_coeff = float_attr node "coeff"; filt_init = float_attr node "init" }
+  | "Counter" ->
+    Graph.Counter
+      { count_init = int_attr node "init"; count_max = int_attr node "max"; count_wrap = int_attr node "wrap" <> 0 }
+  | "EdgeDetect" -> Graph.Edge_detect (edge_of_name (attr node "edge"))
+  | "Lookup1D" -> Graph.Lookup_1d { lut_xs = floats_of_attr (attr node "xs"); lut_ys = floats_of_attr (attr node "ys") }
+  | "DataTypeConversion" -> Graph.Data_type_conversion (dtype_attr node "dtype")
+  | "Assertion" -> Graph.Assertion (attr node "message")
+  | "Chart" -> (
+    match Xml.find_first node "Chart" with
+    | Some ch -> Graph.Chart_block (chart_of_xml ch)
+    | None -> fail "Chart block without <Chart> child")
+  | "SubSystem" -> (
+    match Xml.find_first node "Model" with
+    | Some sub ->
+      let activation =
+        match Xml.attr node "activation" with
+        | None -> Graph.Always
+        | Some "enabled" -> Graph.Enabled
+        | Some "triggered" -> Graph.Triggered (edge_of_name (attr node "edge"))
+        | Some s -> fail "bad activation %S" s
+      in
+      Graph.Subsystem { sub = of_xml sub; activation }
+    | None -> fail "SubSystem block without <Model> child")
+  | ty -> fail "unknown block type %S" ty
+
+and endpoint_of_attr node name =
+  match String.split_on_char ':' (attr node name) with
+  | [ b; p ] -> (
+    match (int_of_string_opt b, int_of_string_opt p) with
+    | Some b, Some p -> (b, p)
+    | _ -> fail "bad endpoint %S" (attr node name))
+  | _ -> fail "bad endpoint %S" (attr node name)
+
+and of_xml node =
+  if Xml.tag node <> "Model" then fail "expected <Model>, got <%s>" (Xml.tag node);
+  let blocks =
+    Xml.find_all node "Block"
+    |> List.map (fun b ->
+           { Graph.bid = int_attr b "id"; block_name = attr b "name"; kind = kind_of_xml b })
+    |> List.sort (fun a b -> compare a.Graph.bid b.Graph.bid)
+    |> Array.of_list
+  in
+  let lines =
+    Xml.find_all node "Line"
+    |> List.map (fun l ->
+           let src_block, src_port = endpoint_of_attr l "src" in
+           let dst_block, dst_port = endpoint_of_attr l "dst" in
+           { Graph.src_block; src_port; dst_block; dst_port })
+    |> Array.of_list
+  in
+  { Graph.model_name = attr node "name"; blocks; lines }
+
+(* ------------------------------------------------------------------ *)
+(* Convenience wrappers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let save_string m = Xml.to_string (to_xml m)
+
+let load_string s =
+  let node =
+    try Xml.parse_string s with
+    | Xml.Parse_error { line; message } -> fail "XML parse error at line %d: %s" line message
+  in
+  let m = of_xml node in
+  match Graph.validate m with
+  | Ok () -> m
+  | Error msg -> fail "invalid model: %s" msg
+
+let save_file m path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (save_string m))
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> load_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,24 @@
+(** SLX-dialect model files.
+
+    Simulink stores models as zipped XML; the paper's tool loads them
+    with Unzip + TinyXML. Our dialect keeps the same information —
+    blocks with parameters, lines between ports, nested subsystems,
+    charts — as plain (unzipped) XML handled by {!Cftcg_xml.Xml}.
+
+    A [Line] endpoint is written as ["<block id>:<port index>"].
+    Chart guard/action expressions use {!Chart.expr_to_string}
+    s-expressions. *)
+
+exception Load_error of string
+
+val to_xml : Graph.t -> Cftcg_xml.Xml.node
+val of_xml : Cftcg_xml.Xml.node -> Graph.t
+(** Raises {!Load_error} on schema violations; the result is
+    additionally passed through {!Graph.validate}. *)
+
+val save_string : Graph.t -> string
+val load_string : string -> Graph.t
+(** Raises {!Load_error} (wrapping parse errors too). *)
+
+val save_file : Graph.t -> string -> unit
+val load_file : string -> Graph.t

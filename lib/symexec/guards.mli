@@ -1,0 +1,22 @@
+(** Static guard-chain analysis of instrumented programs.
+
+    For the constraint-driven generator ({!Symexec}) each coverage
+    probe is a {e target}: the chain of [If] branches that dominate
+    it. Chains are expressed over the same depth-first [If] numbering
+    that {!Cftcg_ir.Ir_compile} and {!Cftcg_ir.Ir_eval} report
+    through [Hooks.on_branch] ([init] traversed before [step],
+    then-arm before else-arm). *)
+
+open Cftcg_ir
+
+type chain = (int * bool) list
+(** Root-to-leaf list of [(if_ix, needs_then_branch)]. An empty chain
+    means the probe sits at top level (always executed). *)
+
+val probe_chains : Ir.program -> chain array
+(** [probe_chains p] indexed by probe id. A probe that never appears
+    in the program body gets an empty chain. *)
+
+val n_ifs : Ir.program -> int
+(** Total number of [If] statements, i.e. the exclusive upper bound
+    of [if_ix]. *)

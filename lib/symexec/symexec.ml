@@ -1,0 +1,251 @@
+open Cftcg_model
+open Cftcg_ir
+module Rng = Cftcg_util.Rng
+module Layout = Cftcg_fuzz.Layout
+
+type config = {
+  seed : int64;
+  unroll_bounds : int list;
+  moves_per_target : int;
+}
+
+let default_config = { seed = 1L; unroll_bounds = [ 1; 2; 4; 8; 16 ]; moves_per_target = 400 }
+
+type test_case = {
+  data : Bytes.t;
+  time : float;
+}
+
+type result = {
+  suite : test_case list;
+  executions : int;
+  targets_total : int;
+  targets_solved : int;
+  probes_covered : int;
+}
+
+(* Branch observation for one executed input: per If statement, the
+   minimum distance-to-then / distance-to-else over every iteration
+   in which it executed. *)
+type branch_obs = {
+  mutable reached : bool;
+  mutable min_dt : float;
+  mutable min_df : float;
+}
+
+let big = 1.0e15
+
+(* Approach level + raw branch distance (Wegener et al.). The distance
+   is kept raw rather than normalized: normalizing with d/(d+1) makes
+   a unit improvement on a distance of 1e9 smaller than double
+   precision, which silently kills the descent on wide integer
+   constraints. [big] dominates any achievable distance, so approach
+   levels still order first. *)
+let fitness chains target obs probe_hit =
+  if probe_hit then 0.0
+  else begin
+    let chain = chains.(target) in
+    let depth_total = List.length chain in
+    let rec walk depth = function
+      | [] ->
+        (* full chain satisfied but probe not hit (e.g. condition
+           probes behind Record semantics): treat as nearly solved *)
+        0.5
+      | (if_ix, want_then) :: rest ->
+        let o = obs.(if_ix) in
+        if not o.reached then
+          (* approach level: how many chain levels remain *)
+          float_of_int (depth_total - depth) *. big
+        else begin
+          let d = if want_then then o.min_dt else o.min_df in
+          if d <= 0.0 then walk (depth + 1) rest
+          else (float_of_int (depth_total - depth - 1) *. big) +. Float.min d (0.5 *. big)
+        end
+    in
+    walk 0 chain
+  end
+
+let run ?(config = default_config) ?initial_coverage (prog : Ir.program) ~time_budget =
+  let layout = Layout.of_program prog in
+  if layout.Layout.tuple_len = 0 then invalid_arg "Symexec.run: model has no inports";
+  let rng = Rng.create config.seed in
+  let chains = Guards.probe_chains prog in
+  let n_ifs = Guards.n_ifs prog in
+  let n_probes = max prog.Ir.n_probes 1 in
+  let exec_cov = Bytes.make n_probes '\000' in
+  let g_total = Bytes.make n_probes '\000' in
+  (match initial_coverage with
+  | Some bitmap ->
+    for i = 0 to min (Bytes.length bitmap) n_probes - 1 do
+      if Bytes.get bitmap i <> '\000' then Bytes.set g_total i '\001'
+    done
+  | None -> ());
+  let obs = Array.init n_ifs (fun _ -> { reached = false; min_dt = big; min_df = big }) in
+  let hooks =
+    {
+      Hooks.on_probe = Some (fun id -> Bytes.unsafe_set exec_cov id '\001');
+      on_cond = None;
+      on_decision = None;
+      on_branch =
+        Some
+          (fun if_ix _taken dt df ->
+            let o = obs.(if_ix) in
+            o.reached <- true;
+            if dt < o.min_dt then o.min_dt <- dt;
+            if df < o.min_df then o.min_df <- df);
+    }
+  in
+  let compiled = Ir_compile.compile ~hooks prog in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. time_budget in
+  let executions = ref 0 in
+  let suite = ref [] in
+  let record_new_coverage data =
+    (* fold this execution's probes into the global set; emit a test
+       case when anything new appeared *)
+    let fresh = ref false in
+    for i = 0 to n_probes - 1 do
+      if Bytes.unsafe_get exec_cov i <> '\000' && Bytes.unsafe_get g_total i = '\000' then begin
+        Bytes.unsafe_set g_total i '\001';
+        fresh := true
+      end
+    done;
+    if !fresh then
+      suite := { data = Bytes.copy data; time = Unix.gettimeofday () -. start } :: !suite
+  in
+  (* Execute [data]; returns whether [target] was hit this run. *)
+  let execute data target =
+    incr executions;
+    Bytes.fill exec_cov 0 n_probes '\000';
+    Array.iter
+      (fun o ->
+        o.reached <- false;
+        o.min_dt <- big;
+        o.min_df <- big)
+      obs;
+    Ir_compile.reset compiled;
+    let n = Layout.n_tuples layout data in
+    for tuple = 0 to n - 1 do
+      Layout.load_tuple layout data ~tuple compiled;
+      Ir_compile.step compiled
+    done;
+    record_new_coverage data;
+    Bytes.unsafe_get exec_cov target <> '\000'
+  in
+  let n_fields = Array.length layout.Layout.fields in
+  (* candidate = matrix of field values, encoded through the layout *)
+  let encode matrix =
+    let steps = Array.length matrix in
+    let data = Bytes.make (steps * layout.Layout.tuple_len) '\000' in
+    Array.iteri
+      (fun s row ->
+        Array.iteri (fun f v -> Layout.set_field layout data ~tuple:s ~field:f v) row)
+      matrix;
+    data
+  in
+  let random_row () =
+    Array.init n_fields (fun f ->
+        let ty = layout.Layout.fields.(f).Layout.f_ty in
+        match ty with
+        | Dtype.Bool -> Value.of_bool (Rng.bool rng)
+        | ty when Dtype.is_integer ty -> Value.of_int ty (Rng.int_in rng (-64) 64)
+        | ty -> Value.of_float ty (Rng.float rng 20.0 -. 10.0))
+  in
+  let nudge matrix s f delta =
+    let row = Array.copy matrix.(s) in
+    let ty = layout.Layout.fields.(f).Layout.f_ty in
+    (row.(f) <-
+       (match ty with
+       | Dtype.Bool -> Value.of_bool (not (Value.is_true row.(f)))
+       | ty when Dtype.is_integer ty -> Value.of_int ty (Value.to_int row.(f) + int_of_float delta)
+       | ty -> Value.of_float ty (Value.to_float row.(f) +. delta)));
+    let m' = Array.copy matrix in
+    m'.(s) <- row;
+    m'
+  in
+  let eval_candidate matrix target =
+    let data = encode matrix in
+    let hit = execute data target in
+    fitness chains target obs hit
+  in
+  let time_ok () = Unix.gettimeofday () < deadline in
+  (* Alternating-variable search for one target at one unrolling bound. *)
+  let solve_target target bound =
+    let matrix = ref (Array.init bound (fun _ -> random_row ())) in
+    let best = ref (eval_candidate !matrix target) in
+    let moves = ref 0 in
+    let improved_once = ref true in
+    while !best > 0.0 && !moves < config.moves_per_target && time_ok () && !improved_once do
+      improved_once := false;
+      (* sweep dimensions; exponential pattern moves on improvement *)
+      let dims = Array.init (bound * n_fields) (fun i -> i) in
+      Rng.shuffle_in_place rng dims;
+      Array.iter
+        (fun dim ->
+          if !best > 0.0 && !moves < config.moves_per_target && time_ok () then begin
+            let s = dim / n_fields and f = dim mod n_fields in
+            let try_dir dir =
+              let delta = ref dir in
+              let continue_ = ref true in
+              while !continue_ && !best > 0.0 && !moves < config.moves_per_target && time_ok () do
+                let cand = nudge !matrix s f !delta in
+                incr moves;
+                let fit = eval_candidate cand target in
+                if fit < !best then begin
+                  best := fit;
+                  matrix := cand;
+                  improved_once := true;
+                  delta := !delta *. 2.0
+                end
+                else continue_ := false
+              done
+            in
+            try_dir 1.0;
+            try_dir (-1.0)
+          end)
+        dims;
+      (* random restart of one step row when stuck *)
+      if !best > 0.0 && not !improved_once && bound > 0 && !moves < config.moves_per_target then begin
+        let cand = Array.copy !matrix in
+        cand.(Rng.int rng bound) <- random_row ();
+        incr moves;
+        let fit = eval_candidate cand target in
+        if fit < !best then begin
+          best := fit;
+          matrix := cand;
+          improved_once := true
+        end
+      end
+    done;
+    !best = 0.0
+  in
+  (* Targets ordered shallow-first, the way a bounded solver clears
+     easy objectives before hard ones. *)
+  let targets =
+    List.init prog.Ir.n_probes (fun i -> i)
+    |> List.sort (fun a b -> compare (List.length chains.(a)) (List.length chains.(b)))
+  in
+  let solved = ref 0 in
+  let consider target =
+    if Bytes.get g_total target <> '\000' then incr solved (* already covered incidentally *)
+    else begin
+      let rec try_bounds = function
+        | [] -> ()
+        | bound :: rest ->
+          if time_ok () && Bytes.get g_total target = '\000' then begin
+            if solve_target target bound then incr solved else try_bounds rest
+          end
+      in
+      try_bounds config.unroll_bounds
+    end
+  in
+  List.iter (fun t -> if time_ok () then consider t) targets;
+  let covered = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr covered) g_total;
+  {
+    suite = List.rev !suite;
+    executions = !executions;
+    targets_total = prog.Ir.n_probes;
+    targets_solved = !solved;
+    probes_covered = !covered;
+  }

@@ -1,0 +1,49 @@
+(** Constraint-driven test generation — the SLDV stand-in.
+
+    Simulink Design Verifier turns each coverage objective into a
+    constraint problem over a bounded unrolling of the model and
+    solves it formally. This module reproduces that {e profile} with
+    a search-based solver: each uncovered probe becomes a target, the
+    model is unrolled to an increasing bound, and an
+    alternating-variable search minimizes an
+    approach-level + branch-distance fitness computed from the guard
+    chain ({!Guards}) and the distance reports of the executing
+    program. Like the real SLDV it excels at shallow combinational
+    objectives, degrades as objectives need deeper iteration
+    sequences, and gives up when the bound/budget is exhausted —
+    the behaviour the paper observes on state-heavy models (§4).
+
+    The substitution (search instead of SAT/SMT) is recorded in
+    DESIGN.md; both are bounded constraint solvers over the same
+    objectives, differing in completeness at equal budget. *)
+
+open Cftcg_ir
+
+type config = {
+  seed : int64;
+  unroll_bounds : int list;
+      (** increasing loop-unrolling depths, e.g. [[1; 2; 4; 8; 16]] *)
+  moves_per_target : int;  (** search moves per objective per bound *)
+}
+
+val default_config : config
+
+type test_case = {
+  data : Bytes.t;
+  time : float;  (** seconds since campaign start *)
+}
+
+type result = {
+  suite : test_case list;  (** chronological *)
+  executions : int;
+  targets_total : int;
+  targets_solved : int;
+  probes_covered : int;
+}
+
+val run :
+  ?config:config -> ?initial_coverage:Bytes.t -> Ir.program -> time_budget:float -> result
+(** Runs on a fully instrumented program ([Codegen.Full]).
+    [initial_coverage] (a probe bitmap, nonzero = already covered)
+    removes objectives another generator already hit — the hook the
+    hybrid CFTCG+solver pipeline uses. *)

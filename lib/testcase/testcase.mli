@@ -1,0 +1,27 @@
+(** Binary test case ⇄ CSV conversion.
+
+    The paper's companion tool converts the fuzzer's binary test
+    case files into the CSV form Simulink's coverage tooling imports
+    ("for fair comparison", §4). Rows are model iterations; columns
+    are the top-level inports in port order, preceded by a [step]
+    index column. *)
+
+module Layout = Cftcg_fuzz.Layout
+
+exception Parse_error of string
+
+val to_csv : Layout.t -> Bytes.t -> string
+(** Header plus one row per complete tuple. Integer and boolean
+    fields print as decimal integers; floats with round-trip
+    precision. *)
+
+val of_csv : Layout.t -> string -> Bytes.t
+(** Inverse of {!to_csv}. Validates the header against the layout.
+    Raises {!Parse_error} on malformed input. *)
+
+val save_suite : Layout.t -> dir:string -> prefix:string -> Bytes.t list -> string list
+(** Writes each test case to [dir/prefix_NNNN.csv]; returns the
+    paths. Creates [dir] if missing. *)
+
+val load_suite : Layout.t -> string list -> Bytes.t list
+(** Reads CSV test cases back to binary. *)

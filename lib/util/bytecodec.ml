@@ -1,0 +1,65 @@
+let get_u8 b off = Char.code (Bytes.get b off)
+
+let get_i8 b off =
+  let v = get_u8 b off in
+  if v >= 0x80 then v - 0x100 else v
+
+let get_u16 b off = get_u8 b off lor (get_u8 b (off + 1) lsl 8)
+
+let get_i16 b off =
+  let v = get_u16 b off in
+  if v >= 0x8000 then v - 0x10000 else v
+
+let get_u32 b off = get_u16 b off lor (get_u16 b (off + 2) lsl 16)
+
+let get_i32 b off =
+  let v = get_u32 b off in
+  if v >= 0x80000000 then v - 0x100000000 else v
+
+let get_f32 b off = Int32.float_of_bits (Int32.of_int (get_i32 b off))
+
+let get_f64 b off =
+  let lo = Int64.of_int (get_u32 b off) in
+  let hi = Int64.of_int (get_u32 b (off + 4)) in
+  Int64.float_of_bits (Int64.logor lo (Int64.shift_left hi 32))
+
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xFF))
+
+let set_u16 b off v =
+  set_u8 b off v;
+  set_u8 b (off + 1) (v lsr 8)
+
+let set_u32 b off v =
+  set_u16 b off v;
+  set_u16 b (off + 2) (v lsr 16)
+
+let set_f32 b off v = set_u32 b off (Int32.to_int (Int32.bits_of_float v) land 0xFFFFFFFF)
+
+let set_f64 b off v =
+  let bits = Int64.bits_of_float v in
+  set_u32 b off (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
+  set_u32 b (off + 4) (Int64.to_int (Int64.shift_right_logical bits 32))
+
+let hex_of_bytes b =
+  let n = Bytes.length b in
+  let out = Buffer.create (2 * n) in
+  for i = 0 to n - 1 do
+    Buffer.add_string out (Printf.sprintf "%02x" (get_u8 b i))
+  done;
+  Buffer.contents out
+
+let bytes_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Bytecodec.bytes_of_hex: odd length";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bytecodec.bytes_of_hex: non-hex character"
+  in
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    set_u8 out i ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1])
+  done;
+  out

@@ -1,0 +1,29 @@
+(** Little-endian binary codecs for test case byte streams.
+
+    The fuzz driver splits a raw byte stream into per-inport fields
+    (paper §3.1.1, "data segmentation code"). These helpers perform the
+    [memcpy]-style reads/writes of Figure 3 against OCaml [Bytes]. All
+    accessors are little-endian, matching the x86 targets the paper
+    compiles for. *)
+
+val get_u8 : Bytes.t -> int -> int
+val get_i8 : Bytes.t -> int -> int
+val get_u16 : Bytes.t -> int -> int
+val get_i16 : Bytes.t -> int -> int
+val get_u32 : Bytes.t -> int -> int
+val get_i32 : Bytes.t -> int -> int
+val get_f32 : Bytes.t -> int -> float
+val get_f64 : Bytes.t -> int -> float
+
+val set_u8 : Bytes.t -> int -> int -> unit
+val set_u16 : Bytes.t -> int -> int -> unit
+val set_u32 : Bytes.t -> int -> int -> unit
+val set_f32 : Bytes.t -> int -> float -> unit
+val set_f64 : Bytes.t -> int -> float -> unit
+
+val hex_of_bytes : Bytes.t -> string
+(** Lowercase hex dump, two characters per byte, no separators. *)
+
+val bytes_of_hex : string -> Bytes.t
+(** Inverse of {!hex_of_bytes}. Raises [Invalid_argument] on odd
+    length or non-hex characters. *)

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator.
+
+    CFTCG repeats every randomized experiment several times; a small,
+    fast, splittable generator with explicit state makes runs
+    reproducible from a seed without touching the global [Random]
+    state. The implementation is splitmix64. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Distinct seeds yield
+    independent streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator and advances [t]. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val byte : t -> char
+(** Uniform byte. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument]
+    on an empty array. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,66 @@
+type row =
+  | Cells of string list
+  | Rule
+
+type t = {
+  headers : string list;
+  ncols : int;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create headers = { headers; ncols = List.length headers; rows = [] }
+
+let normalize ncols cells =
+  let rec take n xs =
+    match (n, xs) with
+    | 0, _ -> []
+    | n, [] -> "" :: take (n - 1) []
+    | n, x :: rest -> x :: take (n - 1) rest
+  in
+  take ncols cells
+
+let add_row t cells = t.rows <- Cells (normalize t.ncols cells) :: t.rows
+
+let add_separator t = t.rows <- Rule :: t.rows
+
+let widths t =
+  let w = Array.of_list (List.map String.length t.headers) in
+  let bump cells =
+    List.iteri (fun i c -> if String.length c > w.(i) then w.(i) <- String.length c) cells
+  in
+  List.iter (function Cells c -> bump c | Rule -> ()) t.rows;
+  w
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 256 in
+  let pad i c = c ^ String.make (w.(i) - String.length c) ' ' in
+  let emit_cells cells =
+    Buffer.add_string buf
+      (String.concat "  " (List.mapi pad cells));
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let total = Array.fold_left ( + ) 0 w + (2 * (t.ncols - 1)) in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  rule ();
+  List.iter (function Cells c -> emit_cells c | Rule -> rule ()) (List.rev t.rows);
+  Buffer.contents buf
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  List.iter (function Cells c -> emit c | Rule -> ()) (List.rev t.rows);
+  Buffer.contents buf

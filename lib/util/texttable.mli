@@ -1,0 +1,24 @@
+(** Aligned plain-text tables for benchmark reports.
+
+    The bench harness prints every reproduced paper table as an aligned
+    text table plus machine-readable CSV rows; this module renders the
+    aligned form. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. Rows shorter than the header are padded with empty
+    cells; longer rows are truncated. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule before the next row. *)
+
+val render : t -> string
+(** Renders the table with column-aligned cells. *)
+
+val to_csv : t -> string
+(** Renders headers and rows as CSV (comma-separated, quotes added
+    only when a cell contains a comma or quote). *)

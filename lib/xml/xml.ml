@@ -1,0 +1,343 @@
+type node =
+  | Element of string * (string * string) list * node list
+  | Text of string
+
+exception Parse_error of { line : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let fail st message = raise (Parse_error { line = st.line; message })
+
+let at_end st = st.pos >= String.length st.src
+
+let peek st = if at_end st then '\x00' else st.src.[st.pos]
+
+let advance st =
+  if not (at_end st) then begin
+    if st.src.[st.pos] = '\n' then st.line <- st.line + 1;
+    st.pos <- st.pos + 1
+  end
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip st n =
+  for _ = 1 to n do
+    advance st
+  done
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_spaces st =
+  while (not (at_end st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  let start = st.pos in
+  while (not (at_end st)) && is_name_char (peek st) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let decode_entities st s =
+  if not (String.contains s '&') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] = '&' then begin
+        let semi =
+          match String.index_from_opt s !i ';' with
+          | Some j when j - !i <= 8 -> j
+          | _ -> fail st "unterminated entity reference"
+        in
+        let name = String.sub s (!i + 1) (semi - !i - 1) in
+        let repl =
+          match name with
+          | "lt" -> "<"
+          | "gt" -> ">"
+          | "amp" -> "&"
+          | "apos" -> "'"
+          | "quot" -> "\""
+          | _ ->
+            if String.length name > 1 && name.[0] = '#' then begin
+              let code =
+                try
+                  if name.[1] = 'x' || name.[1] = 'X' then
+                    int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+                  else int_of_string (String.sub name 1 (String.length name - 1))
+                with Failure _ -> fail st "bad character reference"
+              in
+              if code < 0 || code > 255 then fail st "character reference out of range";
+              String.make 1 (Char.chr code)
+            end
+            else fail st ("unknown entity: &" ^ name ^ ";")
+        in
+        Buffer.add_string buf repl;
+        i := semi + 1
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end
+
+let read_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let start = st.pos in
+  while (not (at_end st)) && peek st <> quote do
+    advance st
+  done;
+  if at_end st then fail st "unterminated attribute value";
+  let raw = String.sub st.src start (st.pos - start) in
+  advance st;
+  decode_entities st raw
+
+let skip_comment st =
+  (* called just after "<!--" was consumed *)
+  let rec loop () =
+    if at_end st then fail st "unterminated comment"
+    else if looking_at st "-->" then skip st 3
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let skip_misc st =
+  (* skip whitespace, comments and processing instructions / declarations *)
+  let rec loop () =
+    skip_spaces st;
+    if looking_at st "<!--" then begin
+      skip st 4;
+      skip_comment st;
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      while (not (at_end st)) && not (looking_at st "?>") do
+        advance st
+      done;
+      if at_end st then fail st "unterminated declaration";
+      skip st 2;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec parse_element st =
+  if peek st <> '<' then fail st "expected '<'";
+  advance st;
+  let name = read_name st in
+  let rec read_attrs acc =
+    skip_spaces st;
+    match peek st with
+    | '>' ->
+      advance st;
+      let children = parse_children st name in
+      Element (name, List.rev acc, children)
+    | '/' ->
+      advance st;
+      if peek st <> '>' then fail st "expected '/>'";
+      advance st;
+      Element (name, List.rev acc, [])
+    | _ ->
+      let attr_name = read_name st in
+      skip_spaces st;
+      if peek st <> '=' then fail st "expected '=' after attribute name";
+      advance st;
+      skip_spaces st;
+      let value = read_attr_value st in
+      read_attrs ((attr_name, value) :: acc)
+  in
+  read_attrs []
+
+and parse_children st parent =
+  let text_start = ref st.pos in
+  let acc = ref [] in
+  let flush_text () =
+    if st.pos > !text_start then begin
+      let raw = String.sub st.src !text_start (st.pos - !text_start) in
+      if String.exists (fun c -> not (is_space c)) raw then
+        acc := Text (decode_entities st raw) :: !acc
+    end
+  in
+  let rec loop () =
+    if at_end st then fail st ("unterminated element <" ^ parent ^ ">")
+    else if looking_at st "</" then begin
+      flush_text ();
+      skip st 2;
+      let name = read_name st in
+      if name <> parent then
+        fail st (Printf.sprintf "mismatched close tag: </%s> inside <%s>" name parent);
+      skip_spaces st;
+      if peek st <> '>' then fail st "expected '>' in close tag";
+      advance st;
+      List.rev !acc
+    end
+    else if looking_at st "<!--" then begin
+      flush_text ();
+      skip st 4;
+      skip_comment st;
+      text_start := st.pos;
+      loop ()
+    end
+    else if peek st = '<' then begin
+      flush_text ();
+      let child = parse_element st in
+      acc := child :: !acc;
+      text_start := st.pos;
+      loop ()
+    end
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_string src =
+  let st = { src; pos = 0; line = 1 } in
+  skip_misc st;
+  if at_end st then fail st "empty document";
+  let root = parse_element st in
+  skip_misc st;
+  if not (at_end st) then fail st "trailing content after root element";
+  root
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\n' -> Buffer.add_string buf "&#10;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = true) node =
+  let buf = Buffer.create 1024 in
+  let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  let rec emit depth node =
+    match node with
+    | Text s ->
+      pad depth;
+      Buffer.add_string buf (escape_text s);
+      newline ()
+    | Element (tag, attrs, children) ->
+      pad depth;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_attr v);
+          Buffer.add_char buf '"')
+        attrs;
+      (match children with
+      | [] ->
+        Buffer.add_string buf "/>";
+        newline ()
+      | [ Text s ] ->
+        (* keep a single text child inline so round-trips preserve it *)
+        Buffer.add_char buf '>';
+        Buffer.add_string buf (escape_text s);
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>';
+        newline ()
+      | children ->
+        Buffer.add_char buf '>';
+        newline ();
+        List.iter (emit (depth + 1)) children;
+        pad depth;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>';
+        newline ())
+  in
+  emit 0 node;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tag = function
+  | Element (t, _, _) -> t
+  | Text _ -> invalid_arg "Xml.tag: text node"
+
+let attr node name =
+  match node with
+  | Element (_, attrs, _) -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let attr_exn node name =
+  match attr node name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let children = function
+  | Element (_, _, cs) -> cs
+  | Text _ -> []
+
+let child_elements node =
+  List.filter (function Element _ -> true | Text _ -> false) (children node)
+
+let find_all node t = List.filter (fun c -> match c with Element (t', _, _) -> t' = t | Text _ -> false) (children node)
+
+let find_first node t =
+  match find_all node t with
+  | [] -> None
+  | first :: _ -> Some first
+
+let text_content node =
+  match node with
+  | Text s -> s
+  | Element (_, _, cs) ->
+    String.concat "" (List.filter_map (function Text s -> Some s | Element _ -> None) cs)

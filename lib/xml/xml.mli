@@ -1,0 +1,51 @@
+(** Minimal XML reader/writer.
+
+    Stands in for the TinyXML dependency the paper uses to load
+    Simulink model files. Supports the subset needed by the SLX-like
+    model dialect: elements, attributes, character data, comments, XML
+    declarations, and the five standard entities. No namespaces, no
+    DTDs, no CDATA sections. *)
+
+type node =
+  | Element of string * (string * string) list * node list
+      (** [Element (tag, attributes, children)] *)
+  | Text of string  (** Character data with entities decoded. *)
+
+exception Parse_error of { line : int; message : string }
+(** Raised by {!parse_string} on malformed input. *)
+
+val parse_string : string -> node
+(** Parses a document and returns its root element. Leading XML
+    declarations and comments are skipped. Raises {!Parse_error}. *)
+
+val to_string : ?indent:bool -> node -> string
+(** Serializes a node. With [indent] (default [true]) children are
+    placed on their own lines with two-space indentation; text nodes
+    suppress indentation inside their parent. *)
+
+(** {1 Element accessors} *)
+
+val tag : node -> string
+(** Tag of an element. Raises [Invalid_argument] on a text node. *)
+
+val attr : node -> string -> string option
+(** Attribute lookup on an element. *)
+
+val attr_exn : node -> string -> string
+(** Like {!attr} but raises [Not_found]. *)
+
+val children : node -> node list
+(** Child nodes of an element; [[]] for a text node. *)
+
+val child_elements : node -> node list
+(** Child nodes that are elements. *)
+
+val find_all : node -> string -> node list
+(** [find_all e t] returns direct child elements with tag [t]. *)
+
+val find_first : node -> string -> node option
+(** First direct child element with the given tag. *)
+
+val text_content : node -> string
+(** Concatenated character data of the node's direct children (or the
+    node itself for a text node). *)

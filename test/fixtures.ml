@@ -1,0 +1,147 @@
+(* Shared model fixtures used across test suites. *)
+
+open Cftcg_model
+module B = Build
+
+(* y = sat(u1 + u2, [-10, 10]); z = switch(ctl > 0, y, -y) *)
+let arith_model () =
+  let b = B.create "Arith" in
+  let u1 = B.inport b "u1" Dtype.Int32 in
+  let u2 = B.inport b "u2" Dtype.Int32 in
+  let ctl = B.inport b "ctl" Dtype.Int8 in
+  let s = B.sum b [ u1; u2 ] in
+  let sat = B.saturation b ~lower:(-10.) ~upper:10. s in
+  let neg = B.neg b sat in
+  let z = B.switch b sat ctl neg in
+  B.outport b "y" sat;
+  B.outport b "z" z;
+  B.finish b
+
+(* Accumulator with a unit-delay feedback loop:
+   acc[k] = sat(acc[k-1] + u, [0, 100]) *)
+let feedback_model () =
+  let b = B.create "Feedback" in
+  let u = B.inport b "u" Dtype.Float64 in
+  let acc = B.integrator b ~limits:{ Graph.int_lower = 0.; int_upper = 100. } u in
+  B.outport b "acc" acc;
+  B.finish b
+
+(* A two-state chart: Idle -> Busy when start, Busy -> Idle after 3 steps. *)
+let toggle_chart () =
+  let open Chart in
+  {
+    chart_name = "Toggle";
+    inputs = [| ("start", Dtype.Bool) |];
+    outputs = [| ("busy", Dtype.Bool) |];
+    locals = [||];
+    states =
+      [| {
+           state_name = "Idle";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ Set_out (0, num 0.) ];
+           during = [];
+           outgoing = [ { guard = in_ 0 >: num 0.; actions = []; dst = 1 } ];
+         };
+         {
+           state_name = "Busy";
+           exit_actions = [];
+           children = [||];
+           init_child = 0;
+           parallel = false;
+           entry = [ Set_out (0, num 1.) ];
+           during = [];
+           outgoing = [ { guard = State_time >=: num 3.; actions = []; dst = 0 } ];
+         } |];
+    init_state = 0;
+  }
+
+let chart_model () =
+  let b = B.create "ChartM" in
+  let start = B.inport b "start" Dtype.Bool in
+  let outs = B.chart b (toggle_chart ()) [ start ] in
+  B.outport b "busy" outs.(0);
+  B.finish b
+
+(* Logic-heavy model exercising condition/MCDC coverage:
+   y = (a && b) || !c *)
+let logic_model () =
+  let b = B.create "LogicM" in
+  let a = B.inport b "a" Dtype.Bool in
+  let bb = B.inport b "b" Dtype.Bool in
+  let c = B.inport b "c" Dtype.Bool in
+  let ab = B.and_ b a bb in
+  let nc = B.not_ b c in
+  let y = B.or_ b ab nc in
+  B.outport b "y" y;
+  B.finish b
+
+(* Enabled subsystem holding its output while disabled:
+   inner: y = u * 2 *)
+let enabled_model () =
+  let inner =
+    let b = B.create "Inner" in
+    let u = B.inport b "u" Dtype.Float64 in
+    let y = B.gain b 2.0 u in
+    B.outport b "y" y;
+    B.finish b
+  in
+  let b = B.create "EnabledM" in
+  let en = B.inport b "en" Dtype.Bool in
+  let u = B.inport b "u" Dtype.Float64 in
+  let outs = B.subsystem b ~activation:Graph.Enabled inner [ en; u ] in
+  B.outport b "y" outs.(0);
+  B.finish b
+
+(* Triggered subsystem: body runs on rising edges only. *)
+let triggered_model () =
+  let inner =
+    let b = B.create "TInner" in
+    let u = B.inport b "u" Dtype.Float64 in
+    let acc = B.integrator b u in
+    B.outport b "acc" acc;
+    B.finish b
+  in
+  let b = B.create "TriggeredM" in
+  let trig = B.inport b "trig" Dtype.Bool in
+  let u = B.inport b "u" Dtype.Float64 in
+  let outs = B.subsystem b ~activation:(Graph.Triggered Graph.E_rising) inner [ trig; u ] in
+  B.outport b "y" outs.(0);
+  B.finish b
+
+(* A model with every remaining block family, for smoke coverage. *)
+let kitchen_sink_model () =
+  let b = B.create "Sink" in
+  let u = B.inport b "u" Dtype.Float64 in
+  let i = B.inport b "i" Dtype.Int32 in
+  let p1 = B.product b [ u; B.const_f b 0.5 ] in
+  let dz = B.dead_zone b ~lower:(-1.) ~upper:1. p1 in
+  let rel = B.relay b ~on_point:5. ~off_point:(-5.) ~on_value:1. ~off_value:0. dz in
+  let q = B.quantizer b 0.25 u in
+  let rl = B.rate_limiter b ~rising:0.5 ~falling:(-0.5) q in
+  let lk = B.lookup b ~xs:[| 0.; 1.; 2. |] ~ys:[| 0.; 10.; 15. |] rl in
+  let mn = B.min_ b [ lk; u ] in
+  let mx = B.max_ b [ lk; u ] in
+  let sgn = B.sign b u in
+  let ab = B.abs_ b u in
+  let sq = B.math b Graph.F_square u in
+  let rt = B.math b Graph.F_sqrt sq in
+  let fl = B.rounding b Graph.R_floor u in
+  let dl = B.delay b 3 u in
+  let mem = B.memory b u in
+  let flt = B.filter b 0.3 u in
+  let cmp = B.compare_const b Graph.R_gt 0.0 u in
+  let cnt = B.counter b 5 cmp in
+  let edge_s = B.edge b Graph.E_rising cmp in
+  let conv = B.convert b Dtype.Int16 u in
+  let msel = B.multiport_switch b i [ mn; mx; sgn ] in
+  let total =
+    B.sum b
+      [ dz; rel; rl; lk; B.convert b Dtype.Float64 ab; rt; fl; dl; mem; flt;
+        B.convert b Dtype.Float64 cnt; B.convert b Dtype.Float64 edge_s;
+        B.convert b Dtype.Float64 conv; B.convert b Dtype.Float64 msel ]
+  in
+  B.outport b "y" total;
+  B.finish b

@@ -1,0 +1,149 @@
+(* Random model generator for toolchain self-testing.
+
+   Builds arbitrary well-formed block diagrams over the public
+   builder: random inports, a layered DAG of random blocks (every
+   family except subsystems), random parameters, and outports over
+   the frontier signals. Used by the differential property tests to
+   check compiled execution, the reference evaluator, the graph
+   interpreter, and the optimizer against each other on inputs no
+   human would write. *)
+
+open Cftcg_model
+module B = Build
+module Rng = Cftcg_util.Rng
+
+let random_dtype rng =
+  Rng.choose rng
+    [| Dtype.Bool; Dtype.Int8; Dtype.UInt8; Dtype.Int16; Dtype.UInt16; Dtype.Int32; Dtype.Float64 |]
+
+let small_float rng = Rng.float rng 40.0 -. 20.0
+
+let random_relop rng =
+  Rng.choose rng [| Graph.R_eq; Graph.R_ne; Graph.R_lt; Graph.R_le; Graph.R_gt; Graph.R_ge |]
+
+(* One random block over existing signals; returns the new signal. *)
+let add_random_block rng b pool =
+  let pick () = Rng.choose rng pool in
+  match Rng.int rng 24 with
+  | 0 ->
+    let n = Rng.int_in rng 2 3 in
+    let signs = String.init n (fun _ -> if Rng.bool rng then '+' else '-') in
+    B.sum b ~signs (List.init n (fun _ -> pick ()))
+  | 1 ->
+    let n = Rng.int_in rng 2 3 in
+    (* division amplifies rounding differences; multiply only *)
+    B.product b ~ops:(String.make n '*') (List.init n (fun _ -> pick ()))
+  | 2 -> B.gain b (small_float rng) (pick ())
+  | 3 -> B.bias b (small_float rng) (pick ())
+  | 4 -> B.abs_ b (pick ())
+  | 5 -> B.neg b (pick ())
+  | 6 -> B.sign b (pick ())
+  | 7 ->
+    let lo = small_float rng in
+    B.saturation b ~lower:lo ~upper:(lo +. Rng.float rng 20.0) (pick ())
+  | 8 ->
+    let lo = small_float rng in
+    B.dead_zone b ~lower:lo ~upper:(lo +. Rng.float rng 10.0) (pick ())
+  | 9 ->
+    let off = small_float rng in
+    B.relay b ~on_point:(off +. Rng.float rng 10.0) ~off_point:off ~on_value:1. ~off_value:0.
+      (pick ())
+  | 10 -> B.quantizer b (0.25 +. Rng.float rng 2.0) (pick ())
+  | 11 ->
+    let f = Rng.float rng 5.0 +. 0.5 in
+    B.rate_limiter b ~rising:f ~falling:(-.f) (pick ())
+  | 12 ->
+    let op = Rng.choose rng [| Graph.L_and; Graph.L_or; Graph.L_xor; Graph.L_nand; Graph.L_nor |] in
+    B.logic b op [ B.compare_zero b (random_relop rng) (pick ());
+                   B.compare_zero b (random_relop rng) (pick ()) ]
+  | 13 -> B.relational b (random_relop rng) (pick ()) (pick ())
+  | 14 -> B.compare_const b (random_relop rng) (small_float rng) (pick ())
+  | 15 -> B.switch b (pick ()) (pick ()) (pick ())
+  | 16 -> B.multiport_switch b (pick ()) (List.init (Rng.int_in rng 2 4) (fun _ -> pick ()))
+  | 17 -> B.unit_delay b ~init:(small_float rng) (pick ())
+  | 18 -> B.delay b ~init:(small_float rng) (Rng.int_in rng 1 4) (pick ())
+  | 19 -> B.memory b ~init:(small_float rng) (pick ())
+  | 20 ->
+    let lo = small_float rng in
+    B.integrator b ~gain:(Rng.float rng 2.0)
+      ~limits:{ Graph.int_lower = lo; int_upper = lo +. Rng.float rng 50.0 }
+      (pick ())
+  | 21 -> B.counter b ~wrap:(Rng.bool rng) (Rng.int_in rng 2 10) (B.compare_zero b Graph.R_gt (pick ()))
+  | 22 -> B.edge b (Rng.choose rng [| Graph.E_rising; Graph.E_falling; Graph.E_either |]) (pick ())
+  | _ ->
+    let n = Rng.int_in rng 2 4 in
+    let xs = Array.init n (fun i -> float_of_int (i * 5) +. Rng.float rng 4.0) in
+    let ys = Array.init n (fun _ -> small_float rng) in
+    B.lookup b ~xs ~ys (pick ())
+
+(* a small random two-state chart over one numeric input *)
+let random_chart rng ix =
+  let open Chart in
+  let thr = Float.of_int (Rng.int_in rng (-10) 10) in
+  let hold = Float.of_int (Rng.int_in rng 1 4) in
+  {
+    chart_name = Printf.sprintf "RandSM%d" ix;
+    inputs = [| ("u", Dtype.Float64) |];
+    outputs = [| ("y", Dtype.Int32) |];
+    locals = [| ("acc", Dtype.Int32, 0.) |];
+    states =
+      [| leaf "Low"
+           ~entry:[ Set_out (0, num 0.) ]
+           ~during:[ Set_local (0, local 0 +: num 1.) ]
+           ~outgoing:[ { guard = in_ 0 >=: num thr; actions = []; dst = 1 } ];
+         leaf "High"
+           ~entry:[ Set_out (0, local 0) ]
+           ~exit_actions:[ Set_local (0, num 0.) ]
+           ~outgoing:
+             [ { guard = (in_ 0 <: num thr) &&: (State_time >=: num hold); actions = []; dst = 0 } ]
+      |];
+    init_state = 0;
+  }
+
+(* a tiny inner model used as a random enabled subsystem *)
+let random_inner rng =
+  let b = B.create "RandInner" in
+  let u = B.inport b "u" Dtype.Float64 in
+  let body =
+    match Rng.int rng 3 with
+    | 0 -> B.integrator b ~gain:0.5 ~limits:{ Graph.int_lower = -50.; int_upper = 50. } u
+    | 1 -> B.gain b (small_float rng) (B.unit_delay b u)
+    | _ -> B.saturation b ~lower:(-5.) ~upper:5. u
+  in
+  B.outport b "y" body;
+  B.finish b
+
+let generate rng =
+  let b = B.create "RandomM" in
+  let n_in = Rng.int_in rng 1 4 in
+  let inputs = Array.init n_in (fun i -> B.inport b (Printf.sprintf "u%d" i) (random_dtype rng)) in
+  (* keep arithmetic in a safe numeric regime: floats everywhere *)
+  let pool = ref (Array.map (fun s -> B.convert b Dtype.Float64 s) inputs) in
+  let n_blocks = Rng.int_in rng 3 18 in
+  for ix = 1 to n_blocks do
+    let s =
+      match Rng.int rng 12 with
+      | 0 ->
+        (* stateful composite: a chart *)
+        (B.chart b (random_chart rng ix) [ Rng.choose rng !pool ]).(0)
+      | 1 ->
+        (* enabled subsystem with held outputs *)
+        let en = B.compare_zero b Graph.R_gt (Rng.choose rng !pool) in
+        (B.subsystem b ~activation:Graph.Enabled (random_inner rng) [ en; Rng.choose rng !pool ]).(0)
+      | _ -> add_random_block rng b !pool
+    in
+    (* normalize to Float64 so downstream blocks always compose *)
+    let s = B.convert b Dtype.Float64 s in
+    pool := Array.append !pool [| s |]
+  done;
+  let n_out = Rng.int_in rng 1 3 in
+  for o = 1 to n_out do
+    B.outport b (Printf.sprintf "y%d" o) (Rng.choose rng !pool)
+  done;
+  B.finish b
+
+let random_input rng (ty : Dtype.t) =
+  match ty with
+  | Dtype.Bool -> Value.of_bool (Rng.bool rng)
+  | ty when Dtype.is_integer ty -> Value.of_int ty (Rng.int_in rng (-40) 40)
+  | ty -> Value.of_float ty (Rng.float rng 60.0 -. 30.0)

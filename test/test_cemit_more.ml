@@ -1,0 +1,88 @@
+(* Additional C-emitter checks: saturating casts, driver layout
+   against Figure 3, and emission stability across modes. *)
+
+open Cftcg_model
+module B = Build
+module Codegen = Cftcg_codegen.Codegen
+module Cemit = Cftcg_ir.Cemit
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_saturating_casts_emitted () =
+  (* float -> int16 conversion must go through the saturation helper,
+     not a raw C cast (undefined behaviour out of range) *)
+  let b = B.create "CastM" in
+  let u = B.inport b "u" Dtype.Float64 in
+  B.outport b "y" (B.convert b Dtype.Int16 u);
+  let prog = Codegen.lower ~mode:Codegen.Plain (B.finish b) in
+  let c = Cemit.emit_program prog in
+  Alcotest.(check bool) "uses cftcg_sat_i16" true (contains "cftcg_sat_i16(" c);
+  Alcotest.(check bool) "helper defined" true (contains "CFTCG_SAT(cftcg_sat_i16" c)
+
+let test_int_casts_stay_plain () =
+  (* int -> int conversions are plain C casts (wrapping) *)
+  let b = B.create "CastI" in
+  let u = B.inport b "u" Dtype.Int32 in
+  B.outport b "y" (B.convert b Dtype.Int8 u);
+  let prog = Codegen.lower ~mode:Codegen.Plain (B.finish b) in
+  let c = Cemit.emit_program prog in
+  Alcotest.(check bool) "plain (int8_T) cast" true (contains "((int8_T)" c);
+  Alcotest.(check bool) "no sat helper for int src" false (contains "cftcg_sat_i8(" c)
+
+let test_driver_matches_figure3_shape () =
+  (* the paper's SolarPV driver: dataLen 9, three memcpys at offsets
+     0, 1, 5 with sizes 1, 4, 4 *)
+  let e = Option.get (Cftcg_bench_models.Bench_models.find "SolarPV") in
+  let prog = Codegen.lower (Lazy.force e.Cftcg_bench_models.Bench_models.model) in
+  let d = Cemit.emit_fuzz_driver prog in
+  Alcotest.(check bool) "dataLen 9" true (contains "const int dataLen = 9;" d);
+  Alcotest.(check bool) "memcpy offset 0 size 1" true (contains "data + i * dataLen + 0, 1);" d);
+  Alcotest.(check bool) "memcpy offset 1 size 4" true (contains "data + i * dataLen + 1, 4);" d);
+  Alcotest.(check bool) "memcpy offset 5 size 4" true (contains "data + i * dataLen + 5, 4);" d)
+
+let test_branchless_mode_has_ternaries () =
+  let prog = Codegen.lower ~mode:Codegen.Branchless (Fixtures.logic_model ()) in
+  let c = Cemit.emit_program prog in
+  (* boolean logic compiles to expressions, not if/else: the only
+     CoverageCondition occurrence is the extern declaration *)
+  let count needle hay =
+    let nl = String.length needle in
+    let rec go i acc =
+      if i + nl > String.length hay then acc
+      else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "no condition-record calls" 1 (count "CoverageCondition" c);
+  Alcotest.(check int) "no decision-record calls" 1 (count "CoverageDecision" c);
+  Alcotest.(check bool) "boolean operators inline" true (contains "&&" c)
+
+let test_harness_compiles_shape () =
+  let prog = Codegen.lower (Fixtures.arith_model ()) in
+  let h = Cemit.emit_test_harness prog in
+  Alcotest.(check bool) "has main" true (contains "int main(int argc, char **argv)" h);
+  Alcotest.(check bool) "defines coverage stubs" true (contains "void CoverageStatistics(int branchId)" h);
+  Alcotest.(check bool) "prints outputs" true (contains "%.17g" h)
+
+let test_emission_deterministic_across_modes () =
+  let m = Fixtures.kitchen_sink_model () in
+  List.iter
+    (fun mode ->
+      let a = Cemit.emit_all (Codegen.lower ~mode m) in
+      let b = Cemit.emit_all (Codegen.lower ~mode m) in
+      Alcotest.(check bool) (Codegen.mode_name mode ^ " deterministic") true (a = b))
+    [ Codegen.Full; Codegen.Branchless; Codegen.Plain ]
+
+let suites =
+  [ ( "cemit.details",
+      [ Alcotest.test_case "saturating casts" `Quick test_saturating_casts_emitted;
+        Alcotest.test_case "plain int casts" `Quick test_int_casts_stay_plain;
+        Alcotest.test_case "Figure 3 driver shape" `Quick test_driver_matches_figure3_shape;
+        Alcotest.test_case "branchless ternaries" `Quick test_branchless_mode_has_ternaries;
+        Alcotest.test_case "harness shape" `Quick test_harness_compiles_shape;
+        Alcotest.test_case "deterministic emission" `Quick test_emission_deterministic_across_modes
+      ] ) ]

@@ -1,0 +1,89 @@
+(* Tests for the constant dictionary (magic-value extraction). *)
+
+open Cftcg_model
+module B = Build
+module Codegen = Cftcg_codegen.Codegen
+module Dictionary = Cftcg_fuzz.Dictionary
+module Fuzzer = Cftcg_fuzz.Fuzzer
+module Recorder = Cftcg_coverage.Recorder
+module Rng = Cftcg_util.Rng
+
+(* A token window like EVCS's 4000..4999 authorization check. *)
+let token_model () =
+  let b = B.create "Token" in
+  let token = B.inport b "Token" Dtype.Int32 in
+  let t = B.convert b Dtype.Float64 token in
+  let ok =
+    B.and_ b
+      (B.compare_const b Graph.R_ge 1_870_000.0 t)
+      (B.compare_const b Graph.R_lt 1_870_100.0 t)
+  in
+  B.outport b "y" (B.convert b Dtype.Int32 ok);
+  B.finish b
+
+let test_extracts_comparison_constants () =
+  let prog = Codegen.lower (token_model ()) in
+  let dict = Dictionary.of_program prog in
+  let consts = Array.to_list (Dictionary.constants dict) in
+  Alcotest.(check bool) "lower bound present" true (List.mem 1_870_000.0 consts);
+  Alcotest.(check bool) "upper bound present" true (List.mem 1_870_100.0 consts);
+  Alcotest.(check bool) "neighbours present" true
+    (List.mem 1_869_999.0 consts && List.mem 1_870_101.0 consts)
+
+let test_arithmetic_constants_excluded () =
+  (* gains that never reach a comparison should not dilute the pool *)
+  let b = B.create "GainOnly" in
+  let u = B.inport b "u" Dtype.Float64 in
+  B.outport b "y" (B.gain b 123456.0 u);
+  let prog = Codegen.lower (B.finish b) in
+  let dict = Dictionary.of_program prog in
+  Alcotest.(check bool) "gain constant absent" true
+    (not (Array.exists (fun x -> x = 123456.0) (Dictionary.constants dict)))
+
+let test_sample_casts_to_field_type () =
+  let prog = Codegen.lower (token_model ()) in
+  let dict = Dictionary.of_program prog in
+  let rng = Rng.create 1L in
+  for _ = 1 to 100 do
+    match Dictionary.sample dict rng Dtype.Int8 with
+    | Some (Value.VInt (Dtype.Int8, n)) ->
+      Alcotest.(check bool) "in int8 range" true (n >= -128 && n <= 127)
+    | Some _ -> Alcotest.fail "wrong type"
+    | None -> Alcotest.fail "empty sample"
+  done
+
+let test_empty_dictionary () =
+  let b = B.create "NoCmp" in
+  let u = B.inport b "u" Dtype.Float64 in
+  B.outport b "y" (B.gain b 2.0 u);
+  let prog = Codegen.lower ~mode:Codegen.Plain (B.finish b) in
+  let dict = Dictionary.of_program prog in
+  Alcotest.(check int) "empty" 0 (Dictionary.size dict);
+  Alcotest.(check bool) "sample none" true (Dictionary.sample dict (Rng.create 1L) Dtype.Int32 = None)
+
+let coverage ~use_dictionary seed =
+  let prog = Codegen.lower (token_model ()) in
+  let config = { Fuzzer.default_config with Fuzzer.seed; use_dictionary } in
+  let r = Fuzzer.run ~config prog (Fuzzer.Exec_budget 5000) in
+  let suite = List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) r.Fuzzer.test_suite in
+  (Cftcg.Evaluate.replay prog suite).Recorder.decision_pct
+
+let test_dictionary_reaches_token_window () =
+  (* averaged over seeds: the window [1870000, 1870100) in a 2^32
+     space is hopeless blind, trivial with the dictionary *)
+  let seeds = [ 1L; 2L; 3L ] in
+  let avg f = List.fold_left (fun a s -> a +. f s) 0. seeds /. 3. in
+  let with_dict = avg (coverage ~use_dictionary:true) in
+  let without = avg (coverage ~use_dictionary:false) in
+  Alcotest.(check bool)
+    (Printf.sprintf "dict (%.0f%%) > blind (%.0f%%)" with_dict without)
+    true (with_dict > without);
+  Alcotest.(check (float 0.01)) "dict reaches 100%" 100.0 with_dict
+
+let suites =
+  [ ( "fuzz.dictionary",
+      [ Alcotest.test_case "extracts comparisons" `Quick test_extracts_comparison_constants;
+        Alcotest.test_case "excludes arithmetic" `Quick test_arithmetic_constants_excluded;
+        Alcotest.test_case "sample casts" `Quick test_sample_casts_to_field_type;
+        Alcotest.test_case "empty dictionary" `Quick test_empty_dictionary;
+        Alcotest.test_case "reaches token window" `Slow test_dictionary_reaches_token_window ] ) ]

@@ -1,0 +1,231 @@
+(* Tests for the fuzzing layer: field layout, the eight mutation
+   strategies (alignment invariants), and the model-oriented loop
+   (Algorithm 1 semantics). *)
+
+open Cftcg_model
+module Layout = Cftcg_fuzz.Layout
+module Mutate = Cftcg_fuzz.Mutate
+module Fuzzer = Cftcg_fuzz.Fuzzer
+module Codegen = Cftcg_codegen.Codegen
+module Rng = Cftcg_util.Rng
+
+let sample_layout () =
+  Layout.of_inports
+    [| ("enable", Dtype.Int8); ("power", Dtype.Int32); ("panel", Dtype.Int32) |]
+
+let mixed_layout () =
+  Layout.of_inports
+    [| ("b", Dtype.Bool); ("i8", Dtype.Int8); ("u16", Dtype.UInt16); ("f32", Dtype.Float32);
+       ("f64", Dtype.Float64) |]
+
+let test_layout_offsets () =
+  let l = sample_layout () in
+  Alcotest.(check int) "tuple length (paper Fig. 3: 9)" 9 l.Layout.tuple_len;
+  Alcotest.(check (list int)) "offsets" [ 0; 1; 5 ]
+    (Array.to_list (Array.map (fun f -> f.Layout.f_offset) l.Layout.fields))
+
+let test_layout_trailing_discard () =
+  let l = sample_layout () in
+  Alcotest.(check int) "2 tuples in 20 bytes" 2 (Layout.n_tuples l (Bytes.create 20));
+  Alcotest.(check int) "0 tuples in 8 bytes" 0 (Layout.n_tuples l (Bytes.create 8))
+
+let test_field_roundtrip () =
+  let l = mixed_layout () in
+  let data = Bytes.make (2 * l.Layout.tuple_len) '\000' in
+  Layout.set_field l data ~tuple:1 ~field:2 (Value.of_int Dtype.UInt16 50000);
+  Layout.set_field l data ~tuple:1 ~field:4 (Value.of_float Dtype.Float64 (-2.5));
+  Alcotest.(check int) "u16" 50000 (Value.to_int (Layout.field_value l data ~tuple:1 ~field:2));
+  Alcotest.(check (float 0.0)) "f64" (-2.5)
+    (Value.to_float (Layout.field_value l data ~tuple:1 ~field:4));
+  Alcotest.(check int) "other tuple untouched" 0
+    (Value.to_int (Layout.field_value l data ~tuple:0 ~field:2))
+
+let test_strategy_names_unique () =
+  let names = Array.to_list (Array.map Mutate.strategy_name Mutate.all_strategies) in
+  Alcotest.(check int) "eight strategies (Table 1)" 8 (List.length names);
+  Alcotest.(check int) "unique names" 8 (List.length (List.sort_uniq compare names))
+
+(* Property: every strategy preserves tuple alignment and nonemptiness. *)
+let prop_mutations_stay_aligned =
+  QCheck.Test.make ~name:"mutations preserve tuple alignment" ~count:2000
+    QCheck.(make Gen.(triple (int_bound 7) (int_bound 10000) (int_bound 20)))
+    (fun (strategy_ix, seed, tuples) ->
+      let l = mixed_layout () in
+      let rng = Rng.create (Int64.of_int (seed + 1)) in
+      let data =
+        Bytes.concat Bytes.empty (List.init tuples (fun _ -> Layout.random_tuple_bytes l rng))
+      in
+      let other = Bytes.concat Bytes.empty (List.init 3 (fun _ -> Layout.random_tuple_bytes l rng)) in
+      let strategy = Mutate.all_strategies.(strategy_ix) in
+      let result = Mutate.apply l rng strategy data ~other ~max_tuples:64 in
+      Bytes.length result > 0
+      && Bytes.length result mod l.Layout.tuple_len = 0
+      && Bytes.length result <= 64 * l.Layout.tuple_len)
+
+let test_erase_shrinks () =
+  let l = sample_layout () in
+  let rng = Rng.create 3L in
+  let data = Bytes.concat Bytes.empty (List.init 10 (fun _ -> Layout.random_tuple_bytes l rng)) in
+  let result = Mutate.apply l rng Mutate.Erase_tuples data ~other:data ~max_tuples:64 in
+  Alcotest.(check bool) "fewer tuples" true (Layout.n_tuples l result < 10)
+
+let test_shuffle_preserves_multiset () =
+  let l = sample_layout () in
+  let rng = Rng.create 4L in
+  let data = Bytes.concat Bytes.empty (List.init 8 (fun _ -> Layout.random_tuple_bytes l rng)) in
+  let result = Mutate.apply l rng Mutate.Shuffle_tuples data ~other:data ~max_tuples:64 in
+  let tuples b =
+    List.init (Layout.n_tuples l b) (fun i ->
+        Bytes.to_string (Bytes.sub b (i * l.Layout.tuple_len) l.Layout.tuple_len))
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "same tuples" (tuples data) (tuples result)
+
+let test_cross_over_prefix_suffix () =
+  let l = sample_layout () in
+  let rng = Rng.create 5L in
+  let a = Bytes.make (4 * 9) 'a' in
+  let b = Bytes.make (6 * 9) 'b' in
+  let result = Mutate.apply l rng Mutate.Tuples_cross_over a ~other:b ~max_tuples:64 in
+  (* result = prefix of a + suffix of b: all 'a's precede all 'b's *)
+  let s = Bytes.to_string result in
+  let first_b = try String.index s 'b' with Not_found -> String.length s in
+  String.iteri
+    (fun i c ->
+      if i < first_b then Alcotest.(check char) "prefix is a" 'a' c
+      else Alcotest.(check char) "suffix is b" 'b' c)
+    s
+
+let test_change_integer_touches_one_field () =
+  let l = mixed_layout () in
+  let rng = Rng.create 6L in
+  let data = Bytes.make (3 * l.Layout.tuple_len) '\000' in
+  let result = Mutate.apply l rng Mutate.Change_binary_integer data ~other:data ~max_tuples:64 in
+  Alcotest.(check int) "same length" (Bytes.length data) (Bytes.length result);
+  (* float fields must be untouched *)
+  for t = 0 to 2 do
+    Alcotest.(check (float 0.0)) "f32 untouched" 0.0
+      (Value.to_float (Layout.field_value l result ~tuple:t ~field:3));
+    Alcotest.(check (float 0.0)) "f64 untouched" 0.0
+      (Value.to_float (Layout.field_value l result ~tuple:t ~field:4))
+  done
+
+let test_blind_mutation_can_misalign () =
+  (* the defining property of the Fuzz-Only mutator: byte erase /
+     insert produce non-multiple-of-tuple lengths *)
+  let rng = Rng.create 7L in
+  let data = Bytes.make 36 'x' in
+  let misaligned = ref false in
+  for _ = 1 to 200 do
+    let r = Mutate.mutate_blind rng data ~other:data ~max_len:1000 in
+    if Bytes.length r mod 9 <> 0 then misaligned := true
+  done;
+  Alcotest.(check bool) "misalignment occurs" true !misaligned
+
+(* Algorithm 1 on a hand-crafted program: y fires probe A when u > 0,
+   probe B otherwise. Alternating inputs maximize the metric. *)
+let metric_model () =
+  let b = Build.create "MetricM" in
+  let u = Build.inport b "u" Dtype.Int8 in
+  let y = Build.compare_zero b Graph.R_gt u in
+  Build.outport b "y" y;
+  Build.finish b
+
+let encode_stream values =
+  let data = Bytes.create (List.length values) in
+  List.iteri (fun i v -> Cftcg_util.Bytecodec.set_u8 data i (v land 0xFF)) values;
+  data
+
+let test_iteration_difference_metric () =
+  let prog = Codegen.lower (metric_model ()) in
+  (* constant stream: the covered set never changes after step 1 *)
+  let constant = encode_stream [ 1; 1; 1; 1; 1; 1 ] in
+  let alternating = encode_stream [ 1; 0; 1; 0; 1; 0 ] in
+  let m_const = Fuzzer.replay_metric prog constant in
+  let m_alt = Fuzzer.replay_metric prog alternating in
+  Alcotest.(check bool)
+    (Printf.sprintf "alternating metric (%d) > constant metric (%d)" m_alt m_const)
+    true (m_alt > m_const)
+
+let test_metric_counts_differences () =
+  (* exact check against Algorithm 1 on the tiny model:
+     decision probes: outcome(true), outcome(false); condition probes
+     true/false. With input [1]: first iteration sets 'true' cells:
+     diff = #cells set. With [1;0]: second iteration flips all cells:
+     diff = first + both sets. *)
+  let prog = Codegen.lower (metric_model ()) in
+  let m1 = Fuzzer.replay_metric prog (encode_stream [ 1 ]) in
+  let m2 = Fuzzer.replay_metric prog (encode_stream [ 1; 0 ]) in
+  Alcotest.(check int) "one iteration lights 2 cells" 2 m1;
+  Alcotest.(check int) "flip lights 2 + 4 differences" (2 + 4) m2
+
+let test_fuzzer_budget_respected () =
+  let prog = Codegen.lower (metric_model ()) in
+  let r = Fuzzer.run ~config:{ Fuzzer.default_config with Fuzzer.seed = 1L } prog (Fuzzer.Exec_budget 100) in
+  Alcotest.(check int) "exactly 100 executions" 100 r.Fuzzer.stats.Fuzzer.executions
+
+let test_fuzzer_rejects_closed_model () =
+  let b = Build.create "NoInputs" in
+  let c = Build.const_f b 1.0 in
+  Build.outport b "y" c;
+  let prog = Codegen.lower (Build.finish b) in
+  match Fuzzer.run prog (Fuzzer.Exec_budget 1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fuzzer accepted a model without inports"
+
+let test_seed_corpus_executed_first () =
+  (* a seed that triggers the rare equality branch guarantees coverage
+     that random exploration essentially never finds in a few execs *)
+  let b = Build.create "SeedM" in
+  let u = Build.inport b "u" Dtype.Int32 in
+  let hit = Build.compare_const b Graph.R_eq 987654321.0 u in
+  Build.outport b "y" hit;
+  let prog = Codegen.lower (Build.finish b) in
+  let layout = Cftcg_fuzz.Layout.of_program prog in
+  let seed_case = Bytes.create layout.Cftcg_fuzz.Layout.tuple_len in
+  Cftcg_fuzz.Layout.set_field layout seed_case ~tuple:0 ~field:0
+    (Value.of_int Dtype.Int32 987654321);
+  let run seeds =
+    (* dictionary off: it would extract the magic constant itself *)
+    let config = { Fuzzer.default_config with Fuzzer.seed = 11L; seeds; use_dictionary = false } in
+    let r = Fuzzer.run ~config prog (Fuzzer.Exec_budget 50) in
+    let suite = List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) r.Fuzzer.test_suite in
+    (Cftcg.Evaluate.replay prog suite).Cftcg_coverage.Recorder.decision_pct
+  in
+  Alcotest.(check bool) "without seed, partial" true (run [] < 100.0);
+  Alcotest.(check (float 0.01)) "with seed, full" 100.0 (run [ seed_case ])
+
+let test_test_suite_only_on_new_coverage () =
+  let prog = Codegen.lower (metric_model ()) in
+  let r = Fuzzer.run ~config:{ Fuzzer.default_config with Fuzzer.seed = 2L } prog (Fuzzer.Exec_budget 5000) in
+  (* the model has 6 probe cells; each test case must claim >= 1 new *)
+  let claimed =
+    List.fold_left (fun acc (tc : Fuzzer.test_case) -> acc + tc.Fuzzer.tc_new_probes) 0 r.Fuzzer.test_suite
+  in
+  Alcotest.(check bool) "claims bounded by probes" true (claimed <= prog.Cftcg_ir.Ir.n_probes);
+  List.iter
+    (fun (tc : Fuzzer.test_case) ->
+      Alcotest.(check bool) "every case contributes" true (tc.Fuzzer.tc_new_probes > 0))
+    r.Fuzzer.test_suite
+
+let suites =
+  [ ( "fuzz.layout",
+      [ Alcotest.test_case "offsets" `Quick test_layout_offsets;
+        Alcotest.test_case "trailing discard" `Quick test_layout_trailing_discard;
+        Alcotest.test_case "field roundtrip" `Quick test_field_roundtrip ] );
+    ( "fuzz.mutate",
+      [ Alcotest.test_case "eight strategies" `Quick test_strategy_names_unique;
+        Alcotest.test_case "erase shrinks" `Quick test_erase_shrinks;
+        Alcotest.test_case "shuffle preserves multiset" `Quick test_shuffle_preserves_multiset;
+        Alcotest.test_case "crossover structure" `Quick test_cross_over_prefix_suffix;
+        Alcotest.test_case "int mutation scoped" `Quick test_change_integer_touches_one_field;
+        Alcotest.test_case "blind mutation misaligns" `Quick test_blind_mutation_can_misalign;
+        QCheck_alcotest.to_alcotest ~verbose:false prop_mutations_stay_aligned ] );
+    ( "fuzz.loop",
+      [ Alcotest.test_case "iteration-difference metric" `Quick test_iteration_difference_metric;
+        Alcotest.test_case "metric counts differences" `Quick test_metric_counts_differences;
+        Alcotest.test_case "exec budget respected" `Quick test_fuzzer_budget_respected;
+        Alcotest.test_case "rejects closed model" `Quick test_fuzzer_rejects_closed_model;
+        Alcotest.test_case "seed corpus" `Quick test_seed_corpus_executed_first;
+        Alcotest.test_case "test cases claim new coverage" `Quick test_test_suite_only_on_new_coverage
+      ] ) ]

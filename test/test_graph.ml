@@ -1,0 +1,191 @@
+(* Tests for the model graph: arity, validation, builder, scheduling. *)
+
+open Cftcg_model
+module B = Build
+module Schedule = Cftcg_codegen.Schedule
+
+let test_arity () =
+  let check kind expected =
+    Alcotest.(check (pair int int)) (Graph.kind_name kind) expected (Graph.arity kind)
+  in
+  check (Graph.Sum "+-") (2, 1);
+  check (Graph.Product "**/") (3, 1);
+  check (Graph.Logic (Graph.L_not, 1)) (1, 1);
+  check (Graph.Logic (Graph.L_and, 3)) (3, 1);
+  check (Graph.Switch (Graph.Ne_zero)) (3, 1);
+  check (Graph.Multiport_switch 4) (5, 1);
+  check (Graph.If_block 2) (2, 3);
+  check (Graph.Chart_block (Fixtures.toggle_chart ())) (1, 1)
+
+let test_builder_produces_valid_model () =
+  let m = Fixtures.arith_model () in
+  Alcotest.(check (result unit string)) "valid" (Ok ()) (Graph.validate m);
+  Alcotest.(check int) "3 inports" 3 (Array.length (Graph.inports m));
+  Alcotest.(check int) "2 outports" 2 (Array.length (Graph.outports m))
+
+let test_inport_order () =
+  let m = Fixtures.arith_model () in
+  let names = Array.map fst (Graph.inports m) in
+  Alcotest.(check (array string)) "port order" [| "u1"; "u2"; "ctl" |] names
+
+let test_block_count_recurses () =
+  let m = Fixtures.enabled_model () in
+  (* top: 2 inports + subsystem + outport = 4; inner: inport+gain+outport = 3 *)
+  Alcotest.(check int) "counts inner blocks" 7 (Graph.block_count m)
+
+let test_unconnected_input_rejected () =
+  let b = B.create "Bad" in
+  let u = B.inport b "u" Dtype.Float64 in
+  ignore (B.add b (Graph.Sum "++") [ u; u ]);
+  (* Sum output left dangling is fine; but make a broken line set by
+     hand to check validate *)
+  let m = B.finish b in
+  Alcotest.(check (result unit string)) "dangling output ok" (Ok ()) (Graph.validate m);
+  let broken =
+    { m with Graph.lines = Array.append m.Graph.lines [| { Graph.src_block = 0; src_port = 0; dst_block = 1; dst_port = 0 } |] }
+  in
+  match Graph.validate broken with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double-driven input accepted"
+
+let test_builder_arity_mismatch () =
+  let b = B.create "Bad2" in
+  let u = B.inport b "u" Dtype.Float64 in
+  match B.add b (Graph.Sum "++") [ u ] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "arity mismatch accepted"
+
+let test_bad_params_rejected () =
+  let mk kind =
+    let b = B.create "P" in
+    let u = B.inport b "u" Dtype.Float64 in
+    let nin, _ = Graph.arity kind in
+    ignore (B.add b kind (List.init nin (fun _ -> u)));
+    B.finish b
+  in
+  let expect_invalid kind =
+    match mk kind with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail ("accepted invalid " ^ Graph.kind_name kind)
+  in
+  expect_invalid (Graph.Sum "+x");
+  expect_invalid (Graph.Saturation { sat_lower = 5.; sat_upper = 1. });
+  expect_invalid (Graph.Lookup_1d { lut_xs = [| 1.; 1. |]; lut_ys = [| 0.; 0. |] });
+  expect_invalid (Graph.Delay { delay_length = 0; delay_init = 0. })
+
+let test_schedule_respects_dependencies () =
+  let m = Fixtures.arith_model () in
+  let order = Schedule.order_exn m in
+  Alcotest.(check int) "all blocks scheduled" (Array.length m.Graph.blocks) (List.length order);
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i bid -> Hashtbl.replace pos bid i) order;
+  Array.iter
+    (fun (l : Graph.line) ->
+      if not (Schedule.breaks_loop m.Graph.blocks.(l.Graph.src_block).Graph.kind) then
+        Alcotest.(check bool) "src before dst" true
+          (Hashtbl.find pos l.Graph.src_block < Hashtbl.find pos l.Graph.dst_block))
+    m.Graph.lines
+
+let test_algebraic_loop_detected () =
+  (* u -> sum -> gain -> back to sum: combinational cycle *)
+  let blocks =
+    [| { Graph.bid = 0; block_name = "u"; kind = Graph.Inport { port_index = 1; port_dtype = Dtype.Float64 } };
+       { Graph.bid = 1; block_name = "add"; kind = Graph.Sum "++" };
+       { Graph.bid = 2; block_name = "g"; kind = Graph.Gain 0.5 };
+       { Graph.bid = 3; block_name = "y"; kind = Graph.Outport { port_index = 1 } } |]
+  in
+  let lines =
+    [| { Graph.src_block = 0; src_port = 0; dst_block = 1; dst_port = 0 };
+       { Graph.src_block = 2; src_port = 0; dst_block = 1; dst_port = 1 };
+       { Graph.src_block = 1; src_port = 0; dst_block = 2; dst_port = 0 };
+       { Graph.src_block = 1; src_port = 0; dst_block = 3; dst_port = 0 } |]
+  in
+  let m = { Graph.model_name = "Loop"; blocks; lines } in
+  Alcotest.(check (result unit string)) "structurally valid" (Ok ()) (Graph.validate m);
+  match Schedule.order m with
+  | Error msg ->
+    Alcotest.(check bool) "mentions algebraic loop" true
+      (String.length msg > 0
+      && String.split_on_char ':' msg |> List.exists (fun s -> String.trim s = "algebraic loop through blocks"))
+  | Ok _ -> Alcotest.fail "algebraic loop not detected"
+
+let test_delay_breaks_loop () =
+  (* same cycle but through a unit delay: must schedule *)
+  let blocks =
+    [| { Graph.bid = 0; block_name = "u"; kind = Graph.Inport { port_index = 1; port_dtype = Dtype.Float64 } };
+       { Graph.bid = 1; block_name = "add"; kind = Graph.Sum "++" };
+       { Graph.bid = 2; block_name = "z"; kind = Graph.Unit_delay 0.0 };
+       { Graph.bid = 3; block_name = "y"; kind = Graph.Outport { port_index = 1 } } |]
+  in
+  let lines =
+    [| { Graph.src_block = 0; src_port = 0; dst_block = 1; dst_port = 0 };
+       { Graph.src_block = 2; src_port = 0; dst_block = 1; dst_port = 1 };
+       { Graph.src_block = 1; src_port = 0; dst_block = 2; dst_port = 0 };
+       { Graph.src_block = 1; src_port = 0; dst_block = 3; dst_port = 0 } |]
+  in
+  let m = { Graph.model_name = "DelayLoop"; blocks; lines } in
+  match Schedule.order m with
+  | Ok order -> Alcotest.(check int) "all scheduled" 4 (List.length order)
+  | Error msg -> Alcotest.fail msg
+
+let test_chart_validate () =
+  let ch = Fixtures.toggle_chart () in
+  Alcotest.(check (result unit string)) "valid chart" (Ok ()) (Chart.validate ch);
+  let bad = { ch with Chart.init_state = 9 } in
+  (match Chart.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad init state accepted");
+  let bad_guard =
+    { ch with
+      Chart.states =
+        Array.map
+          (fun (s : Chart.state) ->
+            { s with Chart.outgoing = [ { Chart.guard = Chart.In 5; actions = []; dst = 0 } ] })
+          ch.Chart.states
+    }
+  in
+  match Chart.validate bad_guard with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range input accepted"
+
+let test_chart_expr_string_roundtrip () =
+  let open Chart in
+  let exprs =
+    [ in_ 0 >=: num 5.;
+      (local 1 <: num 10.) &&: (out 0 =: num 1.);
+      not_ (State_time >: num 3.);
+      Bin (C_mod, in_ 2, num 4.);
+      Un (C_abs, Un (C_neg, num 2.5)) ]
+  in
+  List.iter
+    (fun e ->
+      match expr_of_string (expr_to_string e) with
+      | Ok e' -> Alcotest.(check bool) (expr_to_string e) true (e = e')
+      | Error msg -> Alcotest.fail (expr_to_string e ^ ": " ^ msg))
+    exprs
+
+let test_chart_expr_parse_errors () =
+  List.iter
+    (fun s ->
+      match Chart.expr_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted bad expr " ^ s))
+    [ ""; "("; "(bogus 1 2)"; "(in x)"; "(ge 1)"; "(ge 1 2 3)"; "(in 0) extra" ]
+
+let suites =
+  [ ( "model.graph",
+      [ Alcotest.test_case "arity" `Quick test_arity;
+        Alcotest.test_case "builder valid" `Quick test_builder_produces_valid_model;
+        Alcotest.test_case "inport order" `Quick test_inport_order;
+        Alcotest.test_case "block_count recurses" `Quick test_block_count_recurses;
+        Alcotest.test_case "double-driven input" `Quick test_unconnected_input_rejected;
+        Alcotest.test_case "builder arity mismatch" `Quick test_builder_arity_mismatch;
+        Alcotest.test_case "bad params rejected" `Quick test_bad_params_rejected ] );
+    ( "codegen.schedule",
+      [ Alcotest.test_case "respects dependencies" `Quick test_schedule_respects_dependencies;
+        Alcotest.test_case "algebraic loop detected" `Quick test_algebraic_loop_detected;
+        Alcotest.test_case "delay breaks loop" `Quick test_delay_breaks_loop ] );
+    ( "model.chart",
+      [ Alcotest.test_case "validate" `Quick test_chart_validate;
+        Alcotest.test_case "expr roundtrip" `Quick test_chart_expr_string_roundtrip;
+        Alcotest.test_case "expr parse errors" `Quick test_chart_expr_parse_errors ] ) ]

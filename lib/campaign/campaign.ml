@@ -1,0 +1,286 @@
+open Cftcg_ir
+module Fuzzer = Cftcg_fuzz.Fuzzer
+module Layout = Cftcg_fuzz.Layout
+module Rng = Cftcg_util.Rng
+module Bytecodec = Cftcg_util.Bytecodec
+
+type config = {
+  jobs : int;
+  seed : int64;
+  total_execs : int;
+  execs_per_epoch : int;
+  plateau_epochs : int;
+  max_epochs : int;
+  seed_cap : int;
+  stop_on_full : bool;
+  fuzzer : Fuzzer.config;
+  corpus_dir : string option;
+  resume : bool;
+  sink : Telemetry.sink;
+}
+
+let default_config =
+  {
+    jobs = 4;
+    seed = 1L;
+    total_execs = 20_000;
+    execs_per_epoch = 1_000;
+    plateau_epochs = 3;
+    max_epochs = 0;
+    seed_cap = 64;
+    stop_on_full = true;
+    fuzzer = Fuzzer.default_config;
+    corpus_dir = None;
+    resume = false;
+    sink = Telemetry.null;
+  }
+
+type epoch_stat = {
+  ep_epoch : int;
+  ep_executions : int;
+  ep_probes_covered : int;
+  ep_corpus_size : int;
+}
+
+type result = {
+  suite : Bytes.t list;
+  failures : Fuzzer.failure list;
+  probes_covered : int;
+  probes_total : int;
+  executions : int;
+  epochs : epoch_stat list;
+  resumed : bool;
+  plateaued : bool;
+}
+
+(* Per-(epoch, worker) seed: one splitmix64 step over a slot derived
+   from the master seed — deterministic, independent of scheduling,
+   and stable across resume (slots are absolute epoch numbers). *)
+let derive_seed base ~epoch ~worker =
+  let master = Rng.create base in
+  let slot = Int64.logxor (Rng.next64 master) (Int64.of_int (((epoch + 1) * 65599) + worker)) in
+  Rng.next64 (Rng.create slot)
+
+(* Coordinator-side Algorithm-1 replay of one input: its probe-set
+   bitmap (the dedup fingerprint) and its Iteration Difference
+   Coverage metric (the tie-break between representatives). *)
+let make_replayer (prog : Ir.program) ~max_tuples =
+  let layout = Layout.of_program prog in
+  let n_probes = max prog.Ir.n_probes 1 in
+  let curr = Bytes.make n_probes '\000' in
+  let last = Bytes.make n_probes '\000' in
+  let hooks = Hooks.probes_only (fun id -> Bytes.unsafe_set curr id '\001') in
+  let compiled = Ir_compile.compile ~hooks prog in
+  fun data ->
+    let bitmap = Bytes.make n_probes '\000' in
+    Bytes.fill last 0 n_probes '\000';
+    Ir_compile.reset compiled;
+    let n = min (Layout.n_tuples layout data) max_tuples in
+    let metric = ref 0 in
+    for tuple = 0 to n - 1 do
+      Bytes.fill curr 0 n_probes '\000';
+      Layout.load_tuple layout data ~tuple compiled;
+      Ir_compile.step compiled;
+      for i = 0 to n_probes - 1 do
+        let c = Bytes.unsafe_get curr i in
+        if c <> '\000' then Bytes.unsafe_set bitmap i '\001';
+        if c <> Bytes.unsafe_get last i then incr metric
+      done;
+      Bytes.blit curr 0 last 0 n_probes
+    done;
+    (bitmap, !metric)
+
+let count_covered bitmap =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) bitmap;
+  !n
+
+let fingerprint bitmap = Bytecodec.hex_of_int64 (Bytecodec.fnv64 bitmap)
+
+let run ?(config = default_config) (prog : Ir.program) =
+  if config.jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
+  if (Layout.of_program prog).Layout.tuple_len = 0 then
+    invalid_arg "Campaign.run: model has no inports";
+  let n_probes = max prog.Ir.n_probes 1 in
+  let replay = make_replayer prog ~max_tuples:config.fuzzer.Fuzzer.max_tuples in
+  let emit = config.sink.Telemetry.emit in
+  let store = Option.map Corpus_store.open_ config.corpus_dir in
+  (* global campaign state *)
+  let coverage = Bytes.make n_probes '\000' in
+  let corpus : (string, int * Bytes.t) Hashtbl.t = Hashtbl.create 64 in
+  let executions = ref 0 in
+  let epoch0 = ref 0 in
+  let resumed = ref false in
+  let plateaued = ref false in
+  let absorb data =
+    let bitmap, metric = replay data in
+    if Bytes.exists (fun c -> c <> '\000') bitmap then begin
+      for i = 0 to n_probes - 1 do
+        if Bytes.unsafe_get bitmap i <> '\000' then Bytes.unsafe_set coverage i '\001'
+      done;
+      let fp = fingerprint bitmap in
+      match Hashtbl.find_opt corpus fp with
+      | Some (best, _) when best >= metric -> ()
+      | _ -> Hashtbl.replace corpus fp (metric, data)
+    end
+  in
+  (* resume accounting from the manifest; corpus entries on disk are
+     always absorbed as seeds, manifest or not (LibFuzzer semantics:
+     whatever is in the corpus directory seeds the run) *)
+  (match store with
+  | Some s ->
+    (match Corpus_store.load_manifest s with
+    | Some m when config.resume ->
+      if m.m_probes_total <> prog.Ir.n_probes then
+        invalid_arg "Campaign.run: corpus was recorded for a different program";
+      resumed := true;
+      epoch0 := m.m_epoch;
+      executions := m.m_executions;
+      if Bytes.length m.m_coverage = n_probes then
+        for i = 0 to n_probes - 1 do
+          if Bytes.unsafe_get m.m_coverage i <> '\000' then Bytes.unsafe_set coverage i '\001'
+        done
+    | Some _ | None -> ());
+    List.iter absorb (Corpus_store.entries s)
+  | None -> ());
+  List.iter absorb config.fuzzer.Fuzzer.seeds;
+  let failures = ref [] in
+  let seen_failures = Hashtbl.create 4 in
+  let epoch_stats = ref [] in
+  let epoch = ref !epoch0 in
+  let stalled = ref 0 in
+  let last_covered = ref (count_covered coverage) in
+  let stop = ref false in
+  let fully_covered () = prog.Ir.n_probes > 0 && count_covered coverage >= prog.Ir.n_probes in
+  if config.stop_on_full && fully_covered () then stop := true;
+  while
+    (not !stop)
+    && !executions < config.total_execs
+    && (config.max_epochs = 0 || !epoch - !epoch0 < config.max_epochs)
+  do
+    let this_epoch = !epoch in
+    (* redistribute the best corpus entries as the shared seed corpus:
+       metric-descending, fingerprint tie-break, capped *)
+    let seeds =
+      Hashtbl.fold (fun fp (metric, data) acc -> (metric, fp, data) :: acc) corpus []
+      |> List.sort (fun (m1, f1, _) (m2, f2, _) -> compare (-m1, f1) (-m2, f2))
+      |> List.filteri (fun i _ -> i < config.seed_cap)
+      |> List.map (fun (_, _, data) -> data)
+    in
+    (* exact global budget accounting: this epoch's executions are
+       divided across workers ahead of time *)
+    let remaining = config.total_execs - !executions in
+    let epoch_total = min remaining (config.execs_per_epoch * config.jobs) in
+    let budget_of ix =
+      (epoch_total / config.jobs) + (if ix < epoch_total mod config.jobs then 1 else 0)
+    in
+    let abort = Atomic.make false in
+    let worker ix () =
+      let wseed = derive_seed config.seed ~epoch:this_epoch ~worker:ix in
+      let fcfg = { config.fuzzer with Fuzzer.seed = wseed; seeds } in
+      let on_progress (st : Fuzzer.stats) =
+        emit
+          (Telemetry.Exec_batch
+             { worker = ix; epoch = this_epoch; executions = st.Fuzzer.executions;
+               iterations = st.Fuzzer.iterations; probes_covered = st.Fuzzer.probes_covered });
+        (* a worker that has lit every probe locally has lit every
+           probe globally: let the other workers stop early *)
+        if config.stop_on_full && st.Fuzzer.probes_total > 0
+           && st.Fuzzer.probes_covered >= st.Fuzzer.probes_total
+        then Atomic.set abort true
+      in
+      let on_test_case (tc : Fuzzer.test_case) =
+        emit
+          (Telemetry.New_probe
+             { worker = ix; epoch = this_epoch; probes = tc.Fuzzer.tc_new_probes;
+               executions = int_of_float tc.Fuzzer.tc_time })
+      in
+      Fuzzer.run ~config:fcfg ~on_test_case ~on_progress
+        ~should_stop:(fun () -> Atomic.get abort)
+        prog (Fuzzer.Exec_budget (budget_of ix))
+    in
+    let results =
+      match List.init config.jobs (fun ix -> ix) with
+      | [ _lone ] -> [ worker 0 () ]  (* jobs=1: skip domain setup *)
+      | ixs -> List.map Domain.join (List.map (fun ix -> Domain.spawn (worker ix)) ixs)
+    in
+    (* --- coordinator merge (the fork-mode "corpus merge" step) --- *)
+    let candidates =
+      List.concat_map
+        (fun (r : Fuzzer.result) ->
+          List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) r.Fuzzer.test_suite)
+        results
+    in
+    List.iter absorb candidates;
+    List.iter
+      (fun (r : Fuzzer.result) ->
+        executions := !executions + r.Fuzzer.stats.Fuzzer.executions)
+      results;
+    List.iteri
+      (fun ix (r : Fuzzer.result) ->
+        List.iter
+          (fun (f : Fuzzer.failure) ->
+            if not (Hashtbl.mem seen_failures f.Fuzzer.f_message) then begin
+              Hashtbl.replace seen_failures f.Fuzzer.f_message ();
+              failures := f :: !failures;
+              emit
+                (Telemetry.Failure
+                   { worker = ix; epoch = this_epoch; message = f.Fuzzer.f_message })
+            end)
+          r.Fuzzer.failures)
+      results;
+    let covered = count_covered coverage in
+    emit
+      (Telemetry.Corpus_sync
+         { epoch = this_epoch; candidates = List.length candidates;
+           kept = Hashtbl.length corpus; probes_covered = covered });
+    (* persist: entries first, manifest last, each write atomic — a
+       kill at any point resumes from a consistent state *)
+    (match store with
+    | Some s ->
+      Hashtbl.iter
+        (fun fp (metric, data) -> ignore (Corpus_store.add s ~fingerprint:fp ~metric data))
+        corpus;
+      Corpus_store.save_manifest s
+        {
+          Corpus_store.m_seed = config.seed;
+          m_jobs = config.jobs;
+          m_epoch = this_epoch + 1;
+          m_executions = !executions;
+          m_probes_total = prog.Ir.n_probes;
+          m_coverage = coverage;
+        }
+    | None -> ());
+    emit
+      (Telemetry.Epoch_end
+         { epoch = this_epoch; executions = !executions; probes_covered = covered;
+           probes_total = prog.Ir.n_probes; corpus_size = Hashtbl.length corpus });
+    epoch_stats :=
+      { ep_epoch = this_epoch; ep_executions = !executions; ep_probes_covered = covered;
+        ep_corpus_size = Hashtbl.length corpus }
+      :: !epoch_stats;
+    if covered > !last_covered then stalled := 0 else incr stalled;
+    last_covered := covered;
+    if config.stop_on_full && fully_covered () then stop := true
+    else if !stalled >= config.plateau_epochs then begin
+      plateaued := true;
+      emit (Telemetry.Plateau { epoch = this_epoch; stalled_epochs = !stalled });
+      stop := true
+    end;
+    incr epoch
+  done;
+  let suite =
+    Hashtbl.fold (fun fp (_, data) acc -> (fp, data) :: acc) corpus []
+    |> List.sort (fun (f1, _) (f2, _) -> compare f1 f2)
+    |> List.map snd
+  in
+  {
+    suite;
+    failures = List.rev !failures;
+    probes_covered = count_covered coverage;
+    probes_total = prog.Ir.n_probes;
+    executions = !executions;
+    epochs = List.rev !epoch_stats;
+    resumed = !resumed;
+    plateaued = !plateaued;
+  }

@@ -1,0 +1,85 @@
+(** Parallel ensemble fuzzing orchestrator.
+
+    Runs N concurrent fuzzing workers (OCaml 5 [Domain]s) over one
+    instrumented program, in {e epochs} — the in-process analogue of
+    LibFuzzer's [-jobs/-workers] fork mode:
+
+    - each worker runs {!Fuzzer.run} under an execution budget with
+      its own RNG stream, split from the campaign master seed per
+      (epoch, worker) slot;
+    - between epochs the coordinator {e merges} worker corpora:
+      every input that found coverage is replayed, deduplicated by
+      probe-set fingerprint (two inputs covering the same probe set
+      collide), keeping the representative with the best Iteration
+      Difference Coverage metric; the merged corpus is redistributed
+      to every worker as the next epoch's seed corpus;
+    - the campaign stops when the global execution budget is spent,
+      when every probe is covered, or when coverage has plateaued for
+      a configurable number of epochs.
+
+    With an optional {!Corpus_store} directory attached, the merged
+    corpus and a manifest (coverage bitmap, cumulative executions,
+    epoch counter) are persisted after every epoch, so a killed
+    campaign resumes exactly where it stopped ([resume = true]).
+
+    Workers run under execution budgets and therefore on the
+    {!Fuzzer} virtual clock, and the merge step is order-independent,
+    so a campaign's outcome is a deterministic function of
+    (program, config) — independent of domain scheduling. The only
+    exception is [stop_on_full]: once some worker covers everything,
+    the others are cut short at a scheduling-dependent point; coverage
+    is complete either way. *)
+
+open Cftcg_ir
+module Fuzzer = Cftcg_fuzz.Fuzzer
+
+type config = {
+  jobs : int;  (** concurrent workers (>= 1) *)
+  seed : int64;  (** campaign master seed; worker streams split from it *)
+  total_execs : int;  (** global execution budget across all workers and epochs *)
+  execs_per_epoch : int;  (** per-worker executions between corpus syncs *)
+  plateau_epochs : int;  (** stop after this many epochs without new coverage *)
+  max_epochs : int;  (** hard epoch cap; 0 = until budget exhausted *)
+  seed_cap : int;  (** max corpus entries redistributed per epoch (metric-best first) *)
+  stop_on_full : bool;
+      (** end the campaign (and cut workers short) once every probe is
+          covered; switch off for strictly deterministic runs *)
+  fuzzer : Fuzzer.config;
+      (** per-worker loop configuration; [seed] is overridden per
+          worker, [seeds] only seeds the initial corpus *)
+  corpus_dir : string option;  (** attach an on-disk {!Corpus_store} *)
+  resume : bool;  (** restore epoch/execution accounting from the manifest *)
+  sink : Telemetry.sink;
+}
+
+val default_config : config
+(** 4 jobs, 20k total executions in epochs of 1k per worker, plateau
+    window 3, seed 1, no persistence, no telemetry. *)
+
+type epoch_stat = {
+  ep_epoch : int;
+  ep_executions : int;  (** cumulative at epoch end *)
+  ep_probes_covered : int;
+  ep_corpus_size : int;
+}
+
+type result = {
+  suite : Bytes.t list;
+      (** the merged corpus: one representative per probe-set
+          fingerprint, in fingerprint order (deterministic) *)
+  failures : Fuzzer.failure list;  (** first input per violated Assertion message *)
+  probes_covered : int;
+  probes_total : int;
+  executions : int;
+      (** cumulative, including resumed-from executions; may slightly
+          exceed [total_execs] because every worker replays the shared
+          seed corpus even when its last-epoch slice is smaller *)
+  epochs : epoch_stat list;  (** chronological, this run only *)
+  resumed : bool;
+  plateaued : bool;  (** stopped by the plateau detector *)
+}
+
+val run : ?config:config -> Ir.program -> result
+(** Raises [Invalid_argument] if [jobs < 1], if the model has no
+    inports, or if [resume] finds a manifest recorded for a program
+    with a different probe count. *)

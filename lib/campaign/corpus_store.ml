@@ -1,0 +1,183 @@
+module Bytecodec = Cftcg_util.Bytecodec
+
+type t = {
+  dir : string;
+  entries_dir : string;
+  index : (string, int) Hashtbl.t;  (* fingerprint -> best metric seen *)
+}
+
+type manifest = {
+  m_seed : int64;
+  m_jobs : int;
+  m_epoch : int;
+  m_executions : int;
+  m_probes_total : int;
+  m_coverage : Bytes.t;
+}
+
+exception Corrupt of string
+
+let magic = "cftcg-corpus 1"
+
+let entry_suffix = ".tc"
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with
+      | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let manifest_path t = Filename.concat t.dir "manifest"
+
+let entry_path t fp = Filename.concat t.entries_dir (fp ^ entry_suffix)
+
+(* All writes go through write-then-rename so a killed campaign never
+   leaves a half-written entry or manifest behind; readers either see
+   the old version or the new one. *)
+let write_atomic ~path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
+  Unix.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let is_entry_file name = Filename.check_suffix name entry_suffix
+
+let fp_of_entry_file name = Filename.chop_suffix name entry_suffix
+
+let parse_manifest_lines t lines =
+  match lines with
+  | first :: rest when first = magic ->
+    let seed = ref 0L and jobs = ref 1 and epoch = ref 0 in
+    let executions = ref 0 and probes_total = ref 0 in
+    let coverage = ref Bytes.empty in
+    List.iter
+      (fun line ->
+        match String.index_opt line ' ' with
+        | None -> if line <> "" then raise (Corrupt ("bad manifest line: " ^ line))
+        | Some i -> (
+          let key = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          let int_v () =
+            match int_of_string_opt v with
+            | Some n -> n
+            | None -> raise (Corrupt ("bad manifest value: " ^ line))
+          in
+          match key with
+          | "seed" -> (
+            match Int64.of_string_opt v with
+            | Some s -> seed := s
+            | None -> raise (Corrupt ("bad manifest value: " ^ line)))
+          | "jobs" -> jobs := int_v ()
+          | "epoch" -> epoch := int_v ()
+          | "executions" -> executions := int_v ()
+          | "probes_total" -> probes_total := int_v ()
+          | "coverage" -> (
+            try coverage := Bytecodec.bytes_of_hex v with
+            | Invalid_argument _ -> raise (Corrupt "bad coverage bitmap"))
+          | "entry" -> (
+            match String.split_on_char ' ' v with
+            | [ fp; metric ] -> (
+              match int_of_string_opt metric with
+              | Some m -> Hashtbl.replace t.index fp m
+              | None -> raise (Corrupt ("bad entry metric: " ^ line)))
+            | _ -> raise (Corrupt ("bad entry line: " ^ line)))
+          | _ -> raise (Corrupt ("unknown manifest key: " ^ key))))
+      rest;
+    {
+      m_seed = !seed;
+      m_jobs = !jobs;
+      m_epoch = !epoch;
+      m_executions = !executions;
+      m_probes_total = !probes_total;
+      m_coverage = !coverage;
+    }
+  | _ -> raise (Corrupt "missing corpus magic line")
+
+let load_manifest t =
+  let path = manifest_path t in
+  if not (Sys.file_exists path) then None
+  else
+    let lines =
+      String.split_on_char '\n' (read_file path) |> List.filter (fun l -> l <> "")
+    in
+    Some (parse_manifest_lines t lines)
+
+let open_ dir =
+  let entries_dir = Filename.concat dir "entries" in
+  mkdir_p entries_dir;
+  let t = { dir; entries_dir; index = Hashtbl.create 64 } in
+  ignore (load_manifest t);
+  (* entries written after the last manifest save (interrupted
+     campaign) are recovered with an unknown (0) metric *)
+  Array.iter
+    (fun name ->
+      if is_entry_file name then begin
+        let fp = fp_of_entry_file name in
+        if not (Hashtbl.mem t.index fp) then Hashtbl.replace t.index fp 0
+      end)
+    (Sys.readdir entries_dir);
+  t
+
+let add t ~fingerprint ~metric data =
+  let known = Hashtbl.find_opt t.index fingerprint in
+  match known with
+  | Some best when best >= metric -> `Kept
+  | _ ->
+    write_atomic ~path:(entry_path t fingerprint) (Bytes.to_string data);
+    Hashtbl.replace t.index fingerprint metric;
+    if known = None then `Added else `Replaced
+
+let mem t fingerprint = Hashtbl.mem t.index fingerprint
+
+let size t = Hashtbl.length t.index
+
+let fingerprints t = List.sort compare (Hashtbl.fold (fun fp _ acc -> fp :: acc) t.index [])
+
+let entries t =
+  List.filter_map
+    (fun fp ->
+      let path = entry_path t fp in
+      if Sys.file_exists path then Some (Bytes.of_string (read_file path)) else None)
+    (fingerprints t)
+
+let save_manifest t m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Printf.bprintf buf "seed %Ld\n" m.m_seed;
+  Printf.bprintf buf "jobs %d\n" m.m_jobs;
+  Printf.bprintf buf "epoch %d\n" m.m_epoch;
+  Printf.bprintf buf "executions %d\n" m.m_executions;
+  Printf.bprintf buf "probes_total %d\n" m.m_probes_total;
+  Printf.bprintf buf "coverage %s\n" (Bytecodec.hex_of_bytes m.m_coverage);
+  List.iter
+    (fun fp -> Printf.bprintf buf "entry %s %d\n" fp (Hashtbl.find t.index fp))
+    (fingerprints t);
+  write_atomic ~path:(manifest_path t) (Buffer.contents buf)
+
+let merge t ~from =
+  List.fold_left
+    (fun acc dir ->
+      let src = open_ dir in
+      List.fold_left
+        (fun acc fp ->
+          let metric = try Hashtbl.find src.index fp with Not_found -> 0 in
+          let path = entry_path src fp in
+          if Sys.file_exists path then begin
+            match add t ~fingerprint:fp ~metric (Bytes.of_string (read_file path)) with
+            | `Added | `Replaced -> acc + 1
+            | `Kept -> acc
+          end
+          else acc)
+        acc (fingerprints src))
+    0 from

@@ -1,0 +1,73 @@
+(** On-disk corpus directory for resumable fuzzing campaigns.
+
+    Mirrors LibFuzzer's corpus-directory model: each interesting input
+    lives in its own file, content-addressed by its {e probe-set
+    fingerprint} (the hash of the set of probe cells the input
+    covers), so two inputs exercising the same behaviour collide and
+    only the better one — higher Iteration Difference Coverage metric
+    — is kept. A [manifest] file records the campaign configuration,
+    cumulative execution count, and the global coverage bitmap, so an
+    interrupted campaign resumes exactly where it stopped.
+
+    Layout on disk:
+    {v
+    DIR/manifest            key-value text, written atomically
+    DIR/entries/<fp>.tc     raw input bytes, <fp> = 16-hex-char fingerprint
+    v}
+
+    Every file write is write-then-rename, so a campaign killed at any
+    point leaves the directory consistent: at worst the last few
+    entries carry a stale metric (recovered as 0) until the next
+    manifest save.
+
+    Not thread-safe: only the campaign coordinator touches the store. *)
+
+type t
+
+type manifest = {
+  m_seed : int64;  (** campaign master seed *)
+  m_jobs : int;
+  m_epoch : int;  (** epochs completed *)
+  m_executions : int;  (** cumulative executions across all workers *)
+  m_probes_total : int;
+  m_coverage : Bytes.t;  (** global probe bitmap, one byte per cell *)
+}
+
+exception Corrupt of string
+(** Raised by {!open_} / [load_manifest] on a damaged manifest. *)
+
+val open_ : string -> t
+(** Opens (creating directories as needed) a corpus at [dir] and loads
+    the entry index from the manifest plus any entry files written
+    after the last manifest save. *)
+
+val add : t -> fingerprint:string -> metric:int -> Bytes.t -> [ `Added | `Replaced | `Kept ]
+(** Content-addressed insert. [`Added]: new fingerprint; [`Replaced]:
+    same fingerprint but a higher metric, the entry file is
+    overwritten (atomically); [`Kept]: an equal-or-better
+    representative already exists, nothing written. *)
+
+val mem : t -> string -> bool
+
+val size : t -> int
+(** Number of distinct fingerprints. *)
+
+val fingerprints : t -> string list
+(** Sorted — iteration order is deterministic. *)
+
+val entries : t -> Bytes.t list
+(** All entry payloads, in {!fingerprints} order. *)
+
+val save_manifest : t -> manifest -> unit
+(** Atomically writes the manifest, including the current entry index
+    (fingerprint → metric). *)
+
+val load_manifest : t -> manifest option
+(** [None] when no manifest has been saved yet. *)
+
+val merge : t -> from:string list -> int
+(** Merges other corpus directories into this one, entry by entry
+    under the same fingerprint/metric rule as {!add}; returns how many
+    entries were added or replaced. Coverage bitmaps are {e not}
+    merged — run a campaign (or replay) over the merged corpus to
+    regenerate the manifest. *)

@@ -1,0 +1,132 @@
+type event =
+  | Exec_batch of { worker : int; epoch : int; executions : int; iterations : int; probes_covered : int }
+  | New_probe of { worker : int; epoch : int; probes : int; executions : int }
+  | Corpus_sync of { epoch : int; candidates : int; kept : int; probes_covered : int }
+  | Epoch_end of { epoch : int; executions : int; probes_covered : int; probes_total : int; corpus_size : int }
+  | Plateau of { epoch : int; stalled_epochs : int }
+  | Failure of { worker : int; epoch : int; message : string }
+
+type sink = {
+  emit : event -> unit;
+  close : unit -> unit;
+}
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+(* Sinks receive events concurrently from worker domains; every
+   constructor below serializes its [emit] behind one mutex. *)
+let serialized emit close =
+  let m = Mutex.create () in
+  let guard f x =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)
+  in
+  { emit = guard emit; close = (fun () -> guard close ()) }
+
+let multi sinks =
+  {
+    emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
+    close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+  }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ?seq e =
+  let fields =
+    match e with
+    | Exec_batch { worker; epoch; executions; iterations; probes_covered } ->
+      [ ("type", `S "exec_batch"); ("worker", `I worker); ("epoch", `I epoch);
+        ("executions", `I executions); ("iterations", `I iterations);
+        ("probes_covered", `I probes_covered) ]
+    | New_probe { worker; epoch; probes; executions } ->
+      [ ("type", `S "new_probe"); ("worker", `I worker); ("epoch", `I epoch);
+        ("probes", `I probes); ("executions", `I executions) ]
+    | Corpus_sync { epoch; candidates; kept; probes_covered } ->
+      [ ("type", `S "corpus_sync"); ("epoch", `I epoch); ("candidates", `I candidates);
+        ("kept", `I kept); ("probes_covered", `I probes_covered) ]
+    | Epoch_end { epoch; executions; probes_covered; probes_total; corpus_size } ->
+      [ ("type", `S "epoch_end"); ("epoch", `I epoch); ("executions", `I executions);
+        ("probes_covered", `I probes_covered); ("probes_total", `I probes_total);
+        ("corpus_size", `I corpus_size) ]
+    | Plateau { epoch; stalled_epochs } ->
+      [ ("type", `S "plateau"); ("epoch", `I epoch); ("stalled_epochs", `I stalled_epochs) ]
+    | Failure { worker; epoch; message } ->
+      [ ("type", `S "failure"); ("worker", `I worker); ("epoch", `I epoch);
+        ("message", `S message) ]
+  in
+  let fields =
+    match seq with
+    | Some n -> ("seq", `I n) :: fields
+    | None -> fields
+  in
+  let cell (k, v) =
+    Printf.sprintf "%S:%s" k
+      (match v with
+      | `I n -> string_of_int n
+      | `S s -> "\"" ^ json_escape s ^ "\"")
+  in
+  "{" ^ String.concat "," (List.map cell fields) ^ "}"
+
+let ring ?(capacity = 4096) () =
+  let buf = Array.make capacity None in
+  let next = ref 0 in
+  let emit e =
+    buf.(!next mod capacity) <- Some e;
+    incr next
+  in
+  let sink = serialized emit (fun () -> ()) in
+  let contents () =
+    (* oldest first; a full ring keeps the latest [capacity] events *)
+    let n = !next in
+    let first = max 0 (n - capacity) in
+    List.filter_map (fun i -> buf.(i mod capacity)) (List.init (n - first) (fun k -> first + k))
+  in
+  (sink, contents)
+
+let jsonl path =
+  let oc = open_out path in
+  let seq = ref 0 in
+  let emit e =
+    output_string oc (to_json ~seq:!seq e);
+    output_char oc '\n';
+    incr seq
+  in
+  serialized emit (fun () -> close_out oc)
+
+let progress oc =
+  let line = ref false in
+  let print s =
+    Printf.fprintf oc "\r%-78s%!" s;
+    line := true
+  in
+  let emit = function
+    | Exec_batch { worker; executions; probes_covered; _ } ->
+      print (Printf.sprintf "  worker %d: %d execs, %d probes covered" worker executions probes_covered)
+    | Epoch_end { epoch; executions; probes_covered; probes_total; corpus_size } ->
+      print
+        (Printf.sprintf "  epoch %d: %d execs, %d/%d probes, corpus %d" epoch executions
+           probes_covered probes_total corpus_size);
+      Printf.fprintf oc "\n%!";
+      line := false
+    | Plateau { epoch; stalled_epochs } ->
+      Printf.fprintf oc "\r%-78s\n%!"
+        (Printf.sprintf "  plateau: no new coverage for %d epochs (stopping at epoch %d)"
+           stalled_epochs epoch)
+    | Failure { worker; message; _ } ->
+      Printf.fprintf oc "\r%-78s\n%!" (Printf.sprintf "  FAILURE (worker %d): %s" worker message)
+    | New_probe _ | Corpus_sync _ -> ()
+  in
+  serialized emit (fun () -> if !line then Printf.fprintf oc "\n%!")

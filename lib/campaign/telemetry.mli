@@ -1,0 +1,70 @@
+(** Structured event stream of a parallel fuzzing campaign.
+
+    Worker domains and the coordinator describe what they are doing as
+    typed events; pluggable sinks decide what to do with them — keep
+    them in memory for tests ({!ring}), append them as JSON lines for
+    offline analysis ({!jsonl}), or render a live progress line for
+    the CLI ({!progress}). Every sink constructor returns a
+    thread-safe sink: [emit] may be called concurrently from several
+    domains. *)
+
+type event =
+  | Exec_batch of {
+      worker : int;
+      epoch : int;
+      executions : int;  (** executions so far in this worker's epoch run *)
+      iterations : int;
+      probes_covered : int;  (** worker-local view *)
+    }  (** periodic heartbeat from a worker (every [progress_every] executions) *)
+  | New_probe of {
+      worker : int;
+      epoch : int;
+      probes : int;  (** previously-unseen cells this input lit (worker-local) *)
+      executions : int;  (** worker execution index when found *)
+    }  (** a worker found an input with new coverage *)
+  | Corpus_sync of {
+      epoch : int;
+      candidates : int;  (** inputs offered by workers this epoch *)
+      kept : int;  (** global corpus size after fingerprint dedup *)
+      probes_covered : int;  (** global, after the merge *)
+    }  (** the coordinator merged worker corpora (LibFuzzer's fork-mode merge) *)
+  | Epoch_end of {
+      epoch : int;
+      executions : int;  (** cumulative, campaign-global *)
+      probes_covered : int;
+      probes_total : int;
+      corpus_size : int;
+    }
+  | Plateau of { epoch : int; stalled_epochs : int }
+      (** coverage has not grown for [stalled_epochs] epochs; the
+          campaign stops early *)
+  | Failure of { worker : int; epoch : int; message : string }
+      (** an Assertion block was violated *)
+
+type sink = {
+  emit : event -> unit;
+  close : unit -> unit;  (** flush and release resources; idempotence not required *)
+}
+
+val null : sink
+(** Discards everything. *)
+
+val multi : sink list -> sink
+(** Fans each event out to every sink, in order. *)
+
+val ring : ?capacity:int -> unit -> sink * (unit -> event list)
+(** In-memory ring buffer (default capacity 4096) plus a reader
+    returning the retained events oldest-first. When more than
+    [capacity] events arrive, the oldest are overwritten. *)
+
+val jsonl : string -> sink
+(** Appends one JSON object per event to [path] (truncating any
+    existing file), with a monotonically increasing ["seq"] field
+    recording global emission order. [close] closes the file. *)
+
+val progress : out_channel -> sink
+(** Live one-line progress display for interactive use: heartbeats
+    overwrite the line, epoch ends and failures commit it. *)
+
+val to_json : ?seq:int -> event -> string
+(** The JSONL encoding of one event (exposed for tests). *)

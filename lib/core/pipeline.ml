@@ -42,6 +42,25 @@ let run_campaign ?(config = Fuzzer.default_config) ?(mode = Codegen.Full) ?(opti
   let suite = List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) fuzz.Fuzzer.test_suite in
   { gen; fuzz; coverage = Evaluate.replay scoring_prog suite }
 
+module Campaign = Cftcg_campaign.Campaign
+
+type parallel_campaign = {
+  pc_gen : generated;
+  pc_result : Campaign.result;
+  pc_coverage : Recorder.report;
+}
+
+let run_parallel_campaign ?(config = Campaign.default_config) ?(mode = Codegen.Full)
+    ?(optimize = true) m =
+  let gen = generate ~mode ~optimize m in
+  let result = Campaign.run ~config gen.program in
+  let scoring_prog =
+    match mode with
+    | Codegen.Full -> gen.program
+    | Codegen.Branchless | Codegen.Plain -> Codegen.lower ~mode:Codegen.Full m
+  in
+  { pc_gen = gen; pc_result = result; pc_coverage = Evaluate.replay scoring_prog result.Campaign.suite }
+
 let score_tool (tool : Tools.t) m ~seed ~time_budget =
   let outcome = tool.Tools.generate m ~seed ~time_budget in
   let prog = Codegen.lower ~mode:Codegen.Full m in

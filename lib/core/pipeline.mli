@@ -34,6 +34,22 @@ val run_campaign :
   campaign
 (** Generates, fuzzes, and scores one model in one call. *)
 
+module Campaign = Cftcg_campaign.Campaign
+
+type parallel_campaign = {
+  pc_gen : generated;
+  pc_result : Campaign.result;  (** merged corpus, per-epoch history, failures *)
+  pc_coverage : Recorder.report;  (** the merged suite replayed on the Full build *)
+}
+
+val run_parallel_campaign :
+  ?config:Campaign.config -> ?mode:Codegen.mode -> ?optimize:bool -> Graph.t ->
+  parallel_campaign
+(** Generates and runs a multi-worker ensemble campaign
+    ({!Cftcg_campaign.Campaign}): N fuzzing domains in epochs with
+    corpus merge/redistribution between epochs, optional on-disk
+    persistence and resume, and a telemetry event stream. *)
+
 val score_tool :
   Cftcg_baselines.Tools.t -> Graph.t -> seed:int64 -> time_budget:float ->
   Cftcg_baselines.Tools.outcome * Recorder.report

@@ -106,7 +106,8 @@ let select_entry rng corpus =
   in
   if Rng.int rng 10 < 8 then hi else lo
 
-let run ?(config = default_config) ?(on_test_case = fun _ -> ()) (prog : Ir.program) budget =
+let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress = fun _ -> ())
+    ?(progress_every = 1024) ?(should_stop = fun () -> false) (prog : Ir.program) budget =
   let layout = Layout.with_ranges (Layout.of_program prog) config.ranges in
   if layout.Layout.tuple_len = 0 then invalid_arg "Fuzzer.run: model has no inports";
   let rng = Rng.create config.seed in
@@ -129,6 +130,24 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) (prog : Ir.prog
   let failures = ref [] in
   let executions = ref 0 in
   let iterations = ref 0 in
+  (* Exec-budget runs use a virtual clock (the execution index) so
+     same-seed runs are byte-identical, timestamps included; wall
+     clock is only read under a time budget. *)
+  let elapsed_now () =
+    match budget with
+    | Exec_budget _ -> float_of_int !executions
+    | Time_budget _ -> Unix.gettimeofday () -. start
+  in
+  let snapshot () =
+    {
+      executions = !executions;
+      iterations = !iterations;
+      elapsed = elapsed_now ();
+      corpus_size = Array.length !corpus;
+      probes_covered = count_covered g_total;
+      probes_total = prog.Ir.n_probes;
+    }
+  in
   let assertion_message = Hashtbl.create 4 in
   Array.iter (fun (cell, msg) -> Hashtbl.replace assertion_message cell msg) prog.Ir.assertions;
   let fresh_cells = ref [] in
@@ -150,8 +169,9 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) (prog : Ir.prog
     in
     incr executions;
     iterations := !iterations + iters;
+    if !executions mod progress_every = 0 then on_progress (snapshot ());
     if fresh > 0 then begin
-      let now = Unix.gettimeofday () -. start in
+      let now = elapsed_now () in
       let tc = { tc_data = data; tc_time = now; tc_new_probes = fresh } in
       suite := tc :: !suite;
       on_test_case tc;
@@ -188,6 +208,7 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) (prog : Ir.prog
   let should_continue () =
     !executions < deadline_execs
     && ((not (Float.is_finite deadline_time)) || Unix.gettimeofday () < deadline_time)
+    && not (should_stop ())
   in
   while should_continue () do
     let parent =
@@ -204,20 +225,7 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) (prog : Ir.prog
     in
     execute child
   done;
-  let elapsed = Unix.gettimeofday () -. start in
-  {
-    test_suite = List.rev !suite;
-    failures = List.rev !failures;
-    stats =
-      {
-        executions = !executions;
-        iterations = !iterations;
-        elapsed;
-        corpus_size = Array.length !corpus;
-        probes_covered = count_covered g_total;
-        probes_total = prog.Ir.n_probes;
-      };
-  }
+  { test_suite = List.rev !suite; failures = List.rev !failures; stats = snapshot () }
 
 let replay_metric ?(config = default_config) (prog : Ir.program) data =
   let layout = Layout.of_program prog in

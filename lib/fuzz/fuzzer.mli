@@ -45,7 +45,10 @@ type budget =
 
 type test_case = {
   tc_data : Bytes.t;
-  tc_time : float;  (** seconds since campaign start *)
+  tc_time : float;
+      (** seconds since campaign start under a {!Time_budget}; the
+          execution index under an {!Exec_budget} (a virtual clock, so
+          same-seed exec-budget runs are byte-identical) *)
   tc_new_probes : int;  (** previously-unseen cells this input lit *)
 }
 
@@ -59,6 +62,8 @@ type stats = {
   executions : int;  (** fuzzer inputs run *)
   iterations : int;  (** total model steps across all inputs *)
   elapsed : float;
+      (** wall-clock seconds under a {!Time_budget}; the execution
+          count under an {!Exec_budget} (virtual clock) *)
   corpus_size : int;
   probes_covered : int;
   probes_total : int;
@@ -72,10 +77,24 @@ type result = {
   stats : stats;
 }
 
-val run : ?config:config -> ?on_test_case:(test_case -> unit) -> Ir.program -> budget -> result
+val run :
+  ?config:config ->
+  ?on_test_case:(test_case -> unit) ->
+  ?on_progress:(stats -> unit) ->
+  ?progress_every:int ->
+  ?should_stop:(unit -> bool) ->
+  Ir.program -> budget -> result
 (** Runs one campaign on an instrumented program (normally lowered
     with [Codegen.Full]; the Fuzz-Only baseline passes a
-    [Branchless] program and [field_aware = false]). *)
+    [Branchless] program and [field_aware = false]).
+
+    Orchestrator hooks: [on_progress] receives a stats snapshot every
+    [progress_every] executions (default 1024); [should_stop] is a
+    cooperative stop check polled once per loop iteration — when it
+    returns [true] the run ends early with whatever was found (used by
+    multi-worker campaigns to enforce a shared global budget). Neither
+    hook perturbs the RNG stream, so enabling them does not change
+    what a run finds. *)
 
 val replay_metric : ?config:config -> Ir.program -> Bytes.t -> int
 (** Executes one input and returns its Iteration Difference Coverage

@@ -55,8 +55,17 @@ let of_csv (layout : Layout.t) text =
     List.iteri
       (fun tuple row ->
         let cells = String.split_on_char ',' row |> List.map String.trim in
-        if List.length cells <> n_fields + 1 then
+        if List.length cells < n_fields + 1 then
+          fail "row %d: truncated row: expected %d cells, got %d" tuple (n_fields + 1)
+            (List.length cells);
+        if List.length cells > n_fields + 1 then
           fail "row %d: expected %d cells, got %d" tuple (n_fields + 1) (List.length cells);
+        (* NaN/Inf have no meaningful encoding in any inport dtype
+           (integer coercion would silently wrap, and a NaN float
+           makes every comparison false): reject them loudly *)
+        let finite_or_fail f cell =
+          if not (Float.is_finite f) then fail "row %d: non-finite value %S" tuple cell else f
+        in
         List.iteri
           (fun i cell ->
             if i > 0 then begin
@@ -65,7 +74,7 @@ let of_csv (layout : Layout.t) text =
               let v =
                 if Dtype.is_float ty then
                   match float_of_string_opt cell with
-                  | Some f -> Value.of_float ty f
+                  | Some f -> Value.of_float ty (finite_or_fail f cell)
                   | None -> fail "row %d: bad float %S" tuple cell
                 else
                   match int_of_string_opt cell with
@@ -73,7 +82,7 @@ let of_csv (layout : Layout.t) text =
                   | None -> (
                     (* tolerate float-formatted integers *)
                     match float_of_string_opt cell with
-                    | Some f -> Value.of_float ty f
+                    | Some f -> Value.of_float ty (finite_or_fail f cell)
                     | None -> fail "row %d: bad integer %S" tuple cell)
               in
               Layout.set_field layout data ~tuple ~field v

@@ -40,6 +40,14 @@ let set_f64 b off v =
   set_u32 b off (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
   set_u32 b (off + 4) (Int64.to_int (Int64.shift_right_logical bits 32))
 
+let fnv64 b =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  Bytes.iter (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime) b;
+  !h
+
+let hex_of_int64 v = Printf.sprintf "%016Lx" v
+
 let hex_of_bytes b =
   let n = Bytes.length b in
   let out = Buffer.create (2 * n) in

@@ -21,6 +21,15 @@ val set_u32 : Bytes.t -> int -> int -> unit
 val set_f32 : Bytes.t -> int -> float -> unit
 val set_f64 : Bytes.t -> int -> float -> unit
 
+val fnv64 : Bytes.t -> int64
+(** FNV-1a 64-bit hash. Used as the content address / probe-set
+    fingerprint of corpus entries — fast, deterministic, and stable
+    across processes (corpus directories are shared between
+    campaigns). Not cryptographic. *)
+
+val hex_of_int64 : int64 -> string
+(** 16 lowercase hex characters, zero-padded. *)
+
 val hex_of_bytes : Bytes.t -> string
 (** Lowercase hex dump, two characters per byte, no separators. *)
 

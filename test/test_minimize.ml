@@ -51,6 +51,46 @@ let test_minimize_drops_redundant () =
   Alcotest.(check bool) "duplicates dropped" true (stats.Minimize.dropped >= List.length all * 2);
   Alcotest.(check bool) "kept nonempty" true (kept <> [])
 
+(* probe bitmap of a suite: replay every case and record which probe
+   cells fire — Minimize's invariant is that this set is preserved *)
+let probe_set prog suite =
+  let layout = Layout.of_program prog in
+  let n = max prog.Cftcg_ir.Ir.n_probes 1 in
+  let total = Bytes.make n '\000' in
+  let hooks = Cftcg_ir.Hooks.probes_only (fun id -> Bytes.set total id '\001') in
+  let compiled = Cftcg_ir.Ir_compile.compile ~hooks prog in
+  List.iter
+    (fun data ->
+      Cftcg_ir.Ir_compile.reset compiled;
+      for tuple = 0 to Layout.n_tuples layout data - 1 do
+        Layout.load_tuple layout data ~tuple compiled;
+        Cftcg_ir.Ir_compile.step compiled
+      done)
+    suite;
+  total
+
+let prop_minimize_preserves_probe_set =
+  QCheck.Test.make ~name:"minimize preserves the probe set on random models" ~count:25
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun case_seed ->
+      let rng = Cftcg_util.Rng.create (Int64.of_int (case_seed + 1)) in
+      let prog = Codegen.lower (Model_gen.generate rng) in
+      let suite =
+        campaign_suite prog (Int64.of_int (case_seed * 2654435761 + 17)) 400
+      in
+      let kept, _ = Minimize.suite prog suite in
+      probe_set prog kept = probe_set prog suite)
+
+let test_minimize_duplicate_inputs () =
+  (* a suite that is one input repeated collapses to that input *)
+  let prog = Codegen.lower (Fixtures.logic_model ()) in
+  let layout = Layout.of_program prog in
+  let d = Bytes.make layout.Layout.tuple_len '\001' in
+  let kept, stats = Minimize.suite prog [ d; Bytes.copy d; Bytes.copy d; Bytes.copy d ] in
+  Alcotest.(check int) "one survivor" 1 (List.length kept);
+  Alcotest.(check int) "three dropped" 3 stats.Minimize.dropped;
+  Alcotest.(check bytes) "the input itself" d (List.hd kept)
+
 let test_minimize_empty_suite () =
   let prog = Codegen.lower (Fixtures.logic_model ()) in
   let kept, stats = Minimize.suite prog [] in
@@ -124,7 +164,9 @@ let suites =
       [ Alcotest.test_case "preserves coverage" `Slow test_minimize_preserves_coverage;
         Alcotest.test_case "drops redundant" `Quick test_minimize_drops_redundant;
         Alcotest.test_case "empty suite" `Quick test_minimize_empty_suite;
-        Alcotest.test_case "prefers short" `Quick test_minimize_prefers_short_cases ] );
+        Alcotest.test_case "duplicate inputs" `Quick test_minimize_duplicate_inputs;
+        Alcotest.test_case "prefers short" `Quick test_minimize_prefers_short_cases;
+        QCheck_alcotest.to_alcotest ~verbose:false prop_minimize_preserves_probe_set ] );
     ( "coverage.detailed",
       [ Alcotest.test_case "report content" `Quick test_detailed_report_mentions_uncovered;
         Alcotest.test_case "html report" `Quick test_html_report ] ) ]

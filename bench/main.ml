@@ -11,7 +11,9 @@
      uncovered — per-model list of decisions CFTCG left unreached
 
    Usage: main.exe [experiment ...] [--budget SECONDS] [--reps N]
-          [--seed N] [--models A,B,C]
+          [--seed N] [--models A,B,C] [--json]
+   --json additionally writes the speed experiment's numbers to
+   BENCH_speed.json (machine-readable, tracked by CI).
    Default: every experiment at a small smoke budget. Absolute
    numbers differ from the paper (simulated substrate, seconds-scale
    budgets); shapes and orderings are the reproduction target. *)
@@ -35,9 +37,10 @@ type options = {
   mutable seed : int;
   mutable models : string list option;
   mutable experiments : string list;
+  mutable json : bool;  (** write speed results to BENCH_speed.json *)
 }
 
-let opts = { budget = 1.0; reps = 2; seed = 1; models = None; experiments = [] }
+let opts = { budget = 1.0; reps = 2; seed = 1; models = None; experiments = []; json = false }
 
 let parse_args () =
   let rec go = function
@@ -53,6 +56,9 @@ let parse_args () =
       go rest
     | "--models" :: v :: rest ->
       opts.models <- Some (String.split_on_char ',' v);
+      go rest
+    | "--json" :: rest ->
+      opts.json <- true;
       go rest
     | exp :: rest ->
       opts.experiments <- opts.experiments @ [ exp ];
@@ -265,6 +271,60 @@ let contains ~needle hay =
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   go 0
 
+(* One fuzzer execution (a multi-tuple input through the backend's
+   inner loop, coverage accounting included) per backend. The interp
+   row runs the graph interpreter over the same tuples — the
+   reproduction's stand-in for simulation-based execution. *)
+let backend_execs_per_sec (e : Models.entry) =
+  let m = Lazy.force e.Models.model in
+  let prog = Codegen.lower ~mode:Codegen.Full m in
+  let layout = Layout.of_program prog in
+  let rng = Cftcg_util.Rng.create (Int64.of_int (opts.seed + 5)) in
+  let n_tuples = 16 in
+  let input =
+    Bytes.concat Bytes.empty (List.init n_tuples (fun _ -> Layout.random_tuple_bytes layout rng))
+  in
+  let fuzz_exec backend =
+    let g_total = Bytes.make (max prog.Cftcg_ir.Ir.n_probes 1) '\000' in
+    let exec =
+      Cftcg_fuzz.Fuzzer.make_executor ~backend ~layout ~prog ~g_total ~max_tuples:n_tuples
+        ~use_metric:true
+    in
+    let cells = ref [] in
+    (* steady state: g_total saturates after the first call, so later
+       executions measure the no-new-coverage hot path *)
+    fun () -> ignore (exec ~fresh_cells:cells input)
+  in
+  let interp_exec =
+    let interp = Interp.create m in
+    let fields = layout.Layout.fields in
+    let tuple_len = layout.Layout.tuple_len in
+    fun () ->
+      Interp.reset interp;
+      for tuple = 0 to n_tuples - 1 do
+        Array.iteri
+          (fun i (f : Layout.field) ->
+            Interp.set_input interp i
+              (Value.decode f.Layout.f_ty input ((tuple * tuple_len) + f.Layout.f_offset)))
+          fields;
+        Interp.step interp
+      done
+  in
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"exec"
+      [ Test.make ~name:"interp" (Staged.stage interp_exec);
+        Test.make ~name:"closures" (Staged.stage (fuzz_exec Cftcg_fuzz.Fuzzer.Closures));
+        Test.make ~name:"vm" (Staged.stage (fuzz_exec Cftcg_fuzz.Fuzzer.Vm)) ]
+  in
+  let estimates = bechamel_estimates tests in
+  let get needle =
+    match List.find_opt (fun (name, _) -> contains ~needle name) estimates with
+    | Some (_, ns) -> ns
+    | None -> Float.nan
+  in
+  (get "interp", get "closures", get "vm")
+
 let speed () =
   let e = Option.get (Models.find "SolarPV") in
   let m = Lazy.force e.Models.model in
@@ -277,6 +337,10 @@ let speed () =
   let hooks = Cftcg_ir.Hooks.probes_only (fun id -> Bytes.unsafe_set curr id '\001') in
   let instrumented = Cftcg_ir.Ir_compile.compile ~hooks prog_full in
   Cftcg_ir.Ir_compile.reset instrumented;
+  let vm_plain = Cftcg_ir.Ir_vm.compile prog_plain in
+  Cftcg_ir.Ir_vm.reset vm_plain;
+  let vm_instr = Cftcg_ir.Ir_vm.compile prog_full in
+  Cftcg_ir.Ir_vm.reset vm_instr;
   let interp = Interp.create m in
   Interp.reset interp;
   let evaluator = Cftcg_ir.Ir_eval.create prog_plain in
@@ -299,6 +363,15 @@ let speed () =
           (Staged.stage (fun () ->
                Layout.load_tuple layout tuple ~tuple:0 instrumented;
                Cftcg_ir.Ir_compile.step instrumented));
+        Test.make ~name:"vm-plain"
+          (Staged.stage (fun () ->
+               Layout.load_tuple_vm layout tuple ~tuple:0 vm_plain;
+               Cftcg_ir.Ir_vm.step vm_plain));
+        Test.make ~name:"vm-instrumented"
+          (Staged.stage (fun () ->
+               Layout.load_tuple_vm layout tuple ~tuple:0 vm_instr;
+               Cftcg_ir.Ir_vm.step vm_instr;
+               Cftcg_ir.Ir_vm.clear_probes (Cftcg_ir.Ir_vm.probes vm_instr)));
         Test.make ~name:"ir-evaluator"
           (Staged.stage (fun () ->
                feed_boxed (Cftcg_ir.Ir_eval.set_input evaluator);
@@ -311,17 +384,68 @@ let speed () =
   let estimates = bechamel_estimates tests in
   let find needle = List.find_opt (fun (name, _) -> contains ~needle name) estimates in
   let t = Tt.create [ "Execution path"; "ns/iteration"; "iterations/s" ] in
+  let step_rows = ref [] in
   List.iter
     (fun label ->
       match find label with
-      | Some (_, ns) -> Tt.add_row t [ label; Printf.sprintf "%.0f" ns; Printf.sprintf "%.0f" (1e9 /. ns) ]
+      | Some (_, ns) ->
+        step_rows := (label, ns) :: !step_rows;
+        Tt.add_row t [ label; Printf.sprintf "%.0f" ns; Printf.sprintf "%.0f" (1e9 /. ns) ]
       | None -> Tt.add_row t [ label; "n/a"; "n/a" ])
-    [ "compiled-plain"; "compiled-instrumented"; "ir-evaluator"; "graph-interpreter" ];
-  (match (find "compiled-instrumented", find "graph-interpreter") with
+    [ "compiled-plain"; "compiled-instrumented"; "vm-plain"; "vm-instrumented"; "ir-evaluator";
+      "graph-interpreter" ];
+  (match (find "vm-instrumented", find "graph-interpreter") with
   | Some (_, c), Some (_, i) ->
-    Tt.add_row t [ "speedup compiled/interpreter"; Printf.sprintf "%.0fx" (i /. c); "" ]
+    Tt.add_row t [ "speedup vm/interpreter"; Printf.sprintf "%.0fx" (i /. c); "" ]
   | _ -> ());
   print_table "Speed: SolarPV model iteration rate (paper: 26,000/s vs 6/s)" t;
+  (* three-way fuzzer-execution throughput per bench model: the
+     number that decides which backend the fuzzing loop should use *)
+  let tx = Tt.create [ "Model"; "interp ex/s"; "closures ex/s"; "vm ex/s"; "vm/closures" ] in
+  let model_rows =
+    List.map
+      (fun (e : Models.entry) ->
+        let i_ns, c_ns, v_ns = backend_execs_per_sec e in
+        let per_s ns = if Float.is_nan ns then 0.0 else 1e9 /. ns in
+        let ratio = if Float.is_nan c_ns || Float.is_nan v_ns then 0.0 else c_ns /. v_ns in
+        Tt.add_row tx
+          [ e.Models.name; Printf.sprintf "%.0f" (per_s i_ns); Printf.sprintf "%.0f" (per_s c_ns);
+            Printf.sprintf "%.0f" (per_s v_ns); Printf.sprintf "%.2fx" ratio ];
+        (e.Models.name, i_ns, c_ns, v_ns))
+      (selected_models ())
+  in
+  print_table "Speed: fuzzer executions/s by backend (16-tuple inputs)" tx;
+  if opts.json then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"benchmark\": \"speed\",\n  \"step_ns\": {";
+    List.iteri
+      (fun i (label, ns) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s\n    \"%s\": %.1f" (if i = 0 then "" else ",") label ns))
+      (List.rev !step_rows);
+    Buffer.add_string buf "\n  },\n  \"models\": [";
+    List.iteri
+      (fun i (name, i_ns, c_ns, v_ns) ->
+        let num ns = if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns in
+        let per_s ns = if Float.is_nan ns then "null" else Printf.sprintf "%.1f" (1e9 /. ns) in
+        let ratio =
+          if Float.is_nan c_ns || Float.is_nan v_ns then "null"
+          else Printf.sprintf "%.3f" (c_ns /. v_ns)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%s\n    { \"model\": \"%s\", \"interp_exec_ns\": %s, \"closures_exec_ns\": %s, \
+              \"vm_exec_ns\": %s, \"interp_execs_per_s\": %s, \"closures_execs_per_s\": %s, \
+              \"vm_execs_per_s\": %s, \"vm_over_closures\": %s }"
+             (if i = 0 then "" else ",")
+             name (num i_ns) (num c_ns) (num v_ns) (per_s i_ns) (per_s c_ns) (per_s v_ns) ratio))
+      model_rows;
+    Buffer.add_string buf "\n  ]\n}\n";
+    let oc = open_out "BENCH_speed.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "\nwrote BENCH_speed.json\n"
+  end;
   (* fuzzing-loop component costs *)
   let rng2 = Cftcg_util.Rng.create 9L in
   let parent =

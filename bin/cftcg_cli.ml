@@ -54,9 +54,20 @@ let parse_range spec =
     Printf.eprintf "bad range %S (expected Port=lo:hi)\n" spec;
     exit 1
 
+let backend_conv =
+  let parse = function
+    | "vm" -> Ok Fuzzer.Vm
+    | "closures" -> Ok Fuzzer.Closures
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S (expected vm or closures)" s))
+  in
+  let print fmt b =
+    Format.pp_print_string fmt (match b with Fuzzer.Vm -> "vm" | Fuzzer.Closures -> "closures")
+  in
+  Arg.conv (parse, print)
+
 let fuzz_cmd =
   let run model_path seconds execs out_dir seed ranges seed_dir jobs corpus resume telemetry
-      epoch_execs =
+      epoch_execs backend =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -80,7 +91,8 @@ let fuzz_cmd =
       { Fuzzer.default_config with
         Fuzzer.seed = Int64.of_int seed;
         ranges = List.map parse_range ranges;
-        seeds
+        seeds;
+        backend
       }
     in
     let parallel = jobs > 1 || corpus <> None || resume || telemetry <> None in
@@ -179,10 +191,13 @@ let fuzz_cmd =
   let epoch_execs =
     Arg.(value & opt int 1000 & info [ "epoch-execs" ] ~docv:"N" ~doc:"Per-worker executions between corpus merges (parallel mode).")
   in
+  let backend =
+    Arg.(value & opt backend_conv Fuzzer.Vm & info [ "backend" ] ~docv:"BACKEND" ~doc:"Execution backend: $(b,vm) (flat bytecode, default) or $(b,closures) (fallback). Campaigns are identical either way; vm is faster.")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a CFTCG fuzzing campaign and emit CSV test cases.")
     Term.(const run $ model_arg $ seconds $ execs $ out_dir $ seed_arg $ ranges $ seed_dir $ jobs
-          $ corpus $ resume $ telemetry $ epoch_execs)
+          $ corpus $ resume $ telemetry $ epoch_execs $ backend)
 
 let emit_c_cmd =
   let run model_path branchless =

@@ -42,10 +42,14 @@ let () =
     (Array.length gen.Cftcg.Pipeline.program.Cftcg_ir.Ir.decisions);
   Printf.printf "\n--- generated fuzz driver (C) ---\n%s\n" gen.Cftcg.Pipeline.fuzz_driver_c;
 
-  (* 2. Model-oriented fuzzing loop. *)
+  (* 2. Model-oriented fuzzing loop. Runs on the bytecode VM backend
+     (the default); [Fuzzer.Closures] selects the closure-compiler
+     fallback and produces a byte-identical campaign for the same
+     seed. *)
   let campaign =
-    Cftcg.Pipeline.run_campaign ~config:{ Fuzzer.default_config with Fuzzer.seed = 42L } model
-      (Fuzzer.Exec_budget 20_000)
+    Cftcg.Pipeline.run_campaign
+      ~config:{ Fuzzer.default_config with Fuzzer.seed = 42L; backend = Fuzzer.Vm }
+      model (Fuzzer.Exec_budget 20_000)
   in
   let stats = campaign.Cftcg.Pipeline.fuzz.Fuzzer.stats in
   Printf.printf "Campaign: %d inputs, %d model iterations, %d test cases\n"

@@ -107,19 +107,31 @@ type report = {
 }
 
 (* A condition achieves MCDC when two recorded evaluations differ only
-   in that condition's bit and produce different decision outcomes. *)
-let mcdc_condition_covered d ix =
-  let bit = 1 lsl ix in
-  let pairs = Hashtbl.fold (fun k () acc -> k :: acc) d.evals [] in
-  let tbl = Hashtbl.create (List.length pairs) in
-  List.iter (fun (v, o) -> Hashtbl.replace tbl (v, o) ()) pairs;
-  List.exists
-    (fun (v, o) ->
-      let v' = v lxor bit in
-      let flipped o' = o' <> o && Hashtbl.mem tbl (v', o') in
-      (* decisions are 2-outcome when conditions exist *)
-      flipped (1 - o))
-    pairs
+   in that condition's bit and produce different decision outcomes.
+   [d.evals] is already the (vector, outcome) set, so one pass over it
+   marks every condition at once — callers compute this per decision
+   and index into it, instead of re-deriving the set per condition. *)
+exception All_found
+
+let mcdc_flags d =
+  let nconds = Array.length d.info.Ir.conditions in
+  let flags = Array.make nconds false in
+  let remaining = ref nconds in
+  (if nconds > 0 && Hashtbl.length d.evals > 0 then
+     try
+       Hashtbl.iter
+         (fun (v, o) () ->
+           for ix = 0 to nconds - 1 do
+             (* decisions are 2-outcome when conditions exist *)
+             if (not flags.(ix)) && Hashtbl.mem d.evals (v lxor (1 lsl ix), 1 - o) then begin
+               flags.(ix) <- true;
+               decr remaining;
+               if !remaining = 0 then raise All_found
+             end
+           done)
+         d.evals
+     with All_found -> ());
+  flags
 
 let report t =
   let outcomes_covered = ref 0 in
@@ -135,9 +147,10 @@ let report t =
       let nconds = Array.length d.info.Ir.conditions in
       conditions_total := !conditions_total + nconds;
       mcdc_total := !mcdc_total + nconds;
+      let mcdc = mcdc_flags d in
       for ix = 0 to nconds - 1 do
         if d.cond_true.(ix) && d.cond_false.(ix) then incr conditions_covered;
-        if mcdc_condition_covered d ix then incr mcdc_covered
+        if mcdc.(ix) then incr mcdc_covered
       done)
     t.decs;
   let pct a b = if b = 0 then 100.0 else 100.0 *. float_of_int a /. float_of_int b in
@@ -186,6 +199,7 @@ type decision_status = {
 let decisions_status t =
   Array.to_list t.decs
   |> List.map (fun d ->
+         let mcdc = mcdc_flags d in
          {
            ds_block = d.info.Ir.dec_block;
            ds_desc = d.info.Ir.dec_desc;
@@ -193,7 +207,7 @@ let decisions_status t =
            ds_conditions =
              Array.mapi
                (fun ix (c : Ir.condition) ->
-                 (c.Ir.cond_desc, d.cond_true.(ix), d.cond_false.(ix), mcdc_condition_covered d ix))
+                 (c.Ir.cond_desc, d.cond_true.(ix), d.cond_false.(ix), mcdc.(ix)))
                d.info.Ir.conditions;
          })
 
@@ -209,6 +223,7 @@ let detailed t =
         (fun i seen ->
           Buffer.add_string buf (Printf.sprintf "    outcome %d: %s\n" i (if seen then "covered" else "NOT COVERED")))
         d.outcomes_seen;
+      let mcdc = mcdc_flags d in
       Array.iteri
         (fun ix (c : Ir.condition) ->
           let pol =
@@ -220,7 +235,7 @@ let detailed t =
           in
           Buffer.add_string buf
             (Printf.sprintf "    condition %d (%s): %s, MCDC %s\n" ix c.Ir.cond_desc pol
-               (if mcdc_condition_covered d ix then "achieved" else "NOT achieved")))
+               (if mcdc.(ix) then "achieved" else "NOT achieved")))
         d.info.Ir.conditions)
     t.decs;
   Buffer.contents buf

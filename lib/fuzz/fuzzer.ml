@@ -1,6 +1,10 @@
 open Cftcg_ir
 module Rng = Cftcg_util.Rng
 
+type backend =
+  | Closures
+  | Vm
+
 type config = {
   seed : int64;
   max_tuples : int;
@@ -10,11 +14,12 @@ type config = {
   ranges : (string * float * float) list;
   seeds : Bytes.t list;
   use_dictionary : bool;
+  backend : backend;
 }
 
 let default_config =
   { seed = 1L; max_tuples = 256; corpus_cap = 256; field_aware = true; iteration_metric = true;
-    ranges = []; seeds = []; use_dictionary = true }
+    ranges = []; seeds = []; use_dictionary = true; backend = Vm }
 
 type budget =
   | Time_budget of float
@@ -88,15 +93,78 @@ let run_one ~layout ~compiled ~curr ~last ~g_total ~max_tuples ~use_metric ~fres
   done;
   (!metric, !fresh, n)
 
+(* VM-backend fuzz driver: same algorithm, but probe coverage arrives
+   as a dirty list, so per-tuple cost is proportional to probes
+   *fired*, not [n_probes]. Double-buffers two probe records ([pa],
+   [pb]) so the iteration-difference metric is the symmetric
+   difference of consecutive steps' dirty lists. Both buffers must be
+   empty on entry; they are left empty on return. *)
+let run_one_vm ~layout ~vm ~pa ~pb ~g_total ~max_tuples ~use_metric ~fresh_cells data =
+  let n = min (Layout.n_tuples layout data) max_tuples in
+  Ir_vm.set_probes vm pa;
+  Ir_vm.reset vm;
+  (* init-block probes are warm-up, not coverage — the closure driver
+     discards them the same way *)
+  Ir_vm.clear_probes pa;
+  let curr = ref pa in
+  let last = ref pb in
+  let metric = ref 0 in
+  let fresh = ref 0 in
+  for tuple = 0 to n - 1 do
+    let c = !curr in
+    let l = !last in
+    Ir_vm.set_probes vm c;
+    Layout.load_tuple_vm layout data ~tuple vm;
+    Ir_vm.step vm;
+    for k = 0 to c.Ir_vm.p_n - 1 do
+      let id = Array.unsafe_get c.Ir_vm.p_dirty k in
+      if Bytes.unsafe_get g_total id = '\000' then begin
+        Bytes.unsafe_set g_total id '\001';
+        incr fresh;
+        fresh_cells := id :: !fresh_cells
+      end;
+      if use_metric && Bytes.unsafe_get l.Ir_vm.p_fired id = '\000' then incr metric
+    done;
+    if use_metric then
+      for k = 0 to l.Ir_vm.p_n - 1 do
+        if Bytes.unsafe_get c.Ir_vm.p_fired (Array.unsafe_get l.Ir_vm.p_dirty k) = '\000' then
+          incr metric
+      done;
+    Ir_vm.clear_probes l;
+    curr := l;
+    last := c
+  done;
+  Ir_vm.clear_probes !last;
+  (!metric, !fresh, n)
+
+(* Builds the per-input execution function for the configured
+   backend; each returns (metric, fresh, iterations). *)
+let make_executor ~backend ~layout ~(prog : Ir.program) ~g_total ~max_tuples ~use_metric =
+  match backend with
+  | Vm ->
+    let vm = Ir_vm.compile prog in
+    let pa = Ir_vm.probes vm in
+    let pb = Ir_vm.fresh_probes vm in
+    fun ~fresh_cells data ->
+      run_one_vm ~layout ~vm ~pa ~pb ~g_total ~max_tuples ~use_metric ~fresh_cells data
+  | Closures ->
+    let n_probes = Bytes.length g_total in
+    let curr = Bytes.make n_probes '\000' in
+    let last = Bytes.make n_probes '\000' in
+    let hooks = Hooks.probes_only (fun id -> Bytes.unsafe_set curr id '\001') in
+    let compiled = Ir_compile.compile ~hooks prog in
+    fun ~fresh_cells data ->
+      run_one ~layout ~compiled ~curr ~last ~g_total ~max_tuples ~use_metric ~fresh_cells data
+
 let count_covered g_total =
   let n = ref 0 in
   Bytes.iter (fun c -> if c <> '\000' then incr n) g_total;
   !n
 
 (* Corpus selection: 2-way tournament biased to the higher score;
-   shorter inputs win ties (LibFuzzer's small-input preference). *)
-let select_entry rng corpus =
-  let n = Array.length corpus in
+   shorter inputs win ties (LibFuzzer's small-input preference).
+   [n] is the fill count — only the first [n] slots are live. *)
+let select_entry rng corpus n =
   let a = corpus.(Rng.int rng n) in
   let b = corpus.(Rng.int rng n) in
   let hi, lo =
@@ -112,12 +180,11 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
   if layout.Layout.tuple_len = 0 then invalid_arg "Fuzzer.run: model has no inports";
   let rng = Rng.create config.seed in
   let n_probes = max prog.Ir.n_probes 1 in
-  let curr = Bytes.make n_probes '\000' in
-  let last = Bytes.make n_probes '\000' in
   let g_total = Bytes.make n_probes '\000' in
-  (* fast path: the only hook is the flat-probe write into curr *)
-  let hooks = Hooks.probes_only (fun id -> Bytes.unsafe_set curr id '\001') in
-  let compiled = Ir_compile.compile ~hooks prog in
+  let run_input =
+    make_executor ~backend:config.backend ~layout ~prog ~g_total ~max_tuples:config.max_tuples
+      ~use_metric:config.iteration_metric
+  in
   let dict = if config.use_dictionary then Some (Dictionary.of_program prog) else None in
   let start = Unix.gettimeofday () in
   let deadline_execs, deadline_time =
@@ -125,7 +192,10 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
     | Time_budget s -> (max_int, start +. s)
     | Exec_budget n -> (n, Float.infinity)
   in
-  let corpus = ref [||] in
+  (* preallocated to corpus_cap: admission is O(1) until the cap,
+     then O(n) eviction of the worst entry — never Array.append *)
+  let corpus = Array.make (max config.corpus_cap 0) { data = Bytes.empty; score = 0 } in
+  let corpus_n = ref 0 in
   let suite = ref [] in
   let failures = ref [] in
   let executions = ref 0 in
@@ -143,7 +213,7 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
       executions = !executions;
       iterations = !iterations;
       elapsed = elapsed_now ();
-      corpus_size = Array.length !corpus;
+      corpus_size = !corpus_n;
       probes_covered = count_covered g_total;
       probes_total = prog.Ir.n_probes;
     }
@@ -152,21 +222,22 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
   Array.iter (fun (cell, msg) -> Hashtbl.replace assertion_message cell msg) prog.Ir.assertions;
   let fresh_cells = ref [] in
   let add_to_corpus e =
-    let arr = !corpus in
-    if Array.length arr < config.corpus_cap then corpus := Array.append arr [| e |]
-    else begin
+    if !corpus_n < Array.length corpus then begin
+      corpus.(!corpus_n) <- e;
+      incr corpus_n
+    end
+    else if Array.length corpus > 0 then begin
       (* evict the lowest-score entry *)
       let worst = ref 0 in
-      Array.iteri (fun i x -> if x.score < arr.(!worst).score then worst := i) arr;
-      if arr.(!worst).score <= e.score then arr.(!worst) <- e
+      for i = 1 to !corpus_n - 1 do
+        if corpus.(i).score < corpus.(!worst).score then worst := i
+      done;
+      if corpus.(!worst).score <= e.score then corpus.(!worst) <- e
     end
   in
   let execute data =
     fresh_cells := [];
-    let metric, fresh, iters =
-      run_one ~layout ~compiled ~curr ~last ~g_total ~max_tuples:config.max_tuples
-        ~use_metric:config.iteration_metric ~fresh_cells data
-    in
+    let metric, fresh, iters = run_input ~fresh_cells data in
     incr executions;
     iterations := !iterations + iters;
     if !executions mod progress_every = 0 then on_progress (snapshot ());
@@ -189,8 +260,14 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
     let interesting =
       fresh > 0
       || (config.iteration_metric && score > 0
-         && (Array.length !corpus < 8
-            || score > Array.fold_left (fun acc e -> max acc e.score) 0 !corpus / 2))
+         &&
+         (!corpus_n < 8
+         ||
+         let best = ref 0 in
+         for i = 0 to !corpus_n - 1 do
+           if corpus.(i).score > !best then best := corpus.(i).score
+         done;
+         score > !best / 2))
     in
     if interesting then add_to_corpus { data; score }
   in
@@ -212,12 +289,10 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
   in
   while should_continue () do
     let parent =
-      if Array.length !corpus = 0 then { data = Layout.random_tuple_bytes layout rng; score = 0 }
-      else select_entry rng !corpus
+      if !corpus_n = 0 then { data = Layout.random_tuple_bytes layout rng; score = 0 }
+      else select_entry rng corpus !corpus_n
     in
-    let other =
-      if Array.length !corpus = 0 then parent.data else (select_entry rng !corpus).data
-    in
+    let other = if !corpus_n = 0 then parent.data else (select_entry rng corpus !corpus_n).data in
     let child =
       if config.field_aware then
         snd (Mutate.mutate ?dict layout rng parent.data ~other ~max_tuples:config.max_tuples)
@@ -229,14 +304,10 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
 
 let replay_metric ?(config = default_config) (prog : Ir.program) data =
   let layout = Layout.of_program prog in
-  let n_probes = max prog.Ir.n_probes 1 in
-  let curr = Bytes.make n_probes '\000' in
-  let last = Bytes.make n_probes '\000' in
-  let g_total = Bytes.make n_probes '\000' in
-  let hooks = Hooks.probes_only (fun id -> Bytes.unsafe_set curr id '\001') in
-  let compiled = Ir_compile.compile ~hooks prog in
-  let metric, _, _ =
-    run_one ~layout ~compiled ~curr ~last ~g_total ~max_tuples:config.max_tuples ~use_metric:true
-      ~fresh_cells:(ref []) data
+  let g_total = Bytes.make (max prog.Ir.n_probes 1) '\000' in
+  let run_input =
+    make_executor ~backend:config.backend ~layout ~prog ~g_total ~max_tuples:config.max_tuples
+      ~use_metric:true
   in
+  let metric, _, _ = run_input ~fresh_cells:(ref []) data in
   metric

@@ -20,6 +20,18 @@
 
 open Cftcg_ir
 
+(** Which execution backend runs the model under fuzz.
+
+    {!Vm} (the default) executes {!Ir_linearize} bytecode in
+    {!Ir_vm}'s dispatch loop and feeds the fuzzer a dirty-probe list,
+    so each model step costs no closure calls, no float boxing, and
+    coverage accounting proportional to probes fired. {!Closures} is
+    the original {!Ir_compile} backend, kept as a differential
+    fallback; both produce identical campaigns for a given seed. *)
+type backend =
+  | Closures
+  | Vm
+
 type config = {
   seed : int64;
   max_tuples : int;  (** cap on model iterations per input *)
@@ -35,6 +47,7 @@ type config = {
   use_dictionary : bool;
       (** harvest comparison constants from the generated code and
           use them in value mutations (default true) *)
+  backend : backend;  (** execution backend (default {!Vm}) *)
 }
 
 val default_config : config
@@ -99,3 +112,21 @@ val run :
 val replay_metric : ?config:config -> Ir.program -> Bytes.t -> int
 (** Executes one input and returns its Iteration Difference Coverage
     metric — Algorithm 1 exactly, exposed for tests and examples. *)
+
+val make_executor :
+  backend:backend ->
+  layout:Layout.t ->
+  prog:Ir.program ->
+  g_total:Bytes.t ->
+  max_tuples:int ->
+  use_metric:bool ->
+  fresh_cells:int list ref ->
+  Bytes.t ->
+  int * int * int
+(** The fuzzer's inner loop for one backend, as used by {!run}:
+    executes one input against the campaign-global coverage bytes
+    [g_total] and returns (iteration-difference metric, newly covered
+    probes, model iterations). Compiles the program once at partial
+    application — apply to [~backend .. ~use_metric] once and reuse
+    the result per input. Exposed for benchmarks and tooling that
+    need per-execution costs without a whole campaign. *)

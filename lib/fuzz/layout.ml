@@ -65,9 +65,13 @@ let set_field t data ~tuple ~field v =
 let load_tuple t data ~tuple compiled =
   let base = tuple * t.tuple_len in
   Array.iteri
-    (fun i f ->
-      let v = Value.decode f.f_ty data (base + f.f_offset) in
-      Ir_compile.set_input_raw compiled i (Value.to_float v))
+    (fun i f -> Ir_compile.set_input_raw compiled i (Value.decode_float f.f_ty data (base + f.f_offset)))
+    t.fields
+
+let load_tuple_vm t data ~tuple vm =
+  let base = tuple * t.tuple_len in
+  Array.iteri
+    (fun i f -> Ir_vm.set_input_raw vm i (Value.decode_float f.f_ty data (base + f.f_offset)))
     t.fields
 
 let load_tuple_values t data ~tuple =

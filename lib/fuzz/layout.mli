@@ -49,6 +49,9 @@ val load_tuple : t -> Bytes.t -> tuple:int -> Ir_compile.t -> unit
 (** Fast path: decode tuple [tuple] directly into the compiled
     program's input store. *)
 
+val load_tuple_vm : t -> Bytes.t -> tuple:int -> Ir_vm.t -> unit
+(** Same fast path for the bytecode VM backend. *)
+
 val load_tuple_values : t -> Bytes.t -> tuple:int -> Value.t array
 (** Boxed decode, for the reference evaluator and CSV output. *)
 

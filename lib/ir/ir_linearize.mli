@@ -1,0 +1,99 @@
+(** IR → flat bytecode linearizer.
+
+    Flattens an {!Ir.program}'s [init]/[step] blocks into
+    three-address bytecode over an int-indexed register file of
+    unboxed floats, executed by {!Ir_vm}:
+
+    - variables keep their [vid] as register index, temporaries and a
+      deduplicated constant pool sit above them;
+    - [If] statements become resolved conditional jumps;
+    - probe / condition / decision records become dedicated
+      instructions (emitted only when the chosen instrumentation
+      needs them, so uninstrumented execution pays nothing);
+    - dtype-dependent semantics (integer wrap masks, saturation
+      bounds, float32 rounding) are baked into operand slots at
+      lowering time.
+
+    Semantics are bit-identical to {!Ir_compile} and {!Ir_eval}; the
+    differential test suite enforces this on random programs. *)
+
+type instrumentation = {
+  probe_hook : bool;
+      (** probes also call the [on_probe] hook (the coverage-buffer
+          write happens either way) *)
+  cond : bool;  (** emit [Record_cond] instructions *)
+  decision : bool;  (** emit [Record_decision] instructions *)
+  branch : bool;  (** emit a branch-hook instruction before every [If] *)
+}
+
+val no_instrumentation : instrumentation
+
+type t = {
+  l_prog : Ir.program;
+  l_init : int array;
+  l_step : int array;
+  l_n_regs : int;  (** register-file size: vars + temps + consts *)
+  l_const_base : int;  (** first constant register *)
+  l_consts : float array;  (** pool values, blitted in at reset *)
+  l_ifs : Ir.expr array;
+      (** condition expression of every [If] in depth-first order
+          (init before step, then-arm before else-arm) — the same
+          numbering {!Ir_compile} and {!Ir_eval} report through
+          [Hooks.on_branch] *)
+}
+
+val linearize : ?instrument:instrumentation -> Ir.program -> t
+
+val code_size : t -> int
+(** Total instruction-stream length (init + step), in int slots. *)
+
+(** Opcode numbers, exposed for {!Ir_vm}'s dispatch loop and for
+    tests. Operand counts are fixed per opcode. *)
+
+val op_mov : int
+val op_add_f : int
+val op_sub_f : int
+val op_mul_f : int
+val op_div_f : int
+val op_rem_f : int
+val op_add_i : int
+val op_sub_i : int
+val op_mul_i : int
+val op_div_i : int
+val op_rem_i : int
+val op_neg_f : int
+val op_neg_i : int
+val op_abs_f : int
+val op_abs_i : int
+val op_not : int
+val op_to_bool : int
+val op_round_f32 : int
+val op_f2i_sat : int
+val op_wrap_i : int
+val op_floor : int
+val op_ceil : int
+val op_round : int
+val op_trunc : int
+val op_exp : int
+val op_log : int
+val op_log10 : int
+val op_sqrt : int
+val op_sin : int
+val op_cos : int
+val op_cmp_eq : int
+val op_cmp_ne : int
+val op_cmp_lt : int
+val op_cmp_le : int
+val op_cmp_gt : int
+val op_cmp_ge : int
+val op_and : int
+val op_or : int
+val op_select : int
+val op_jmp : int
+val op_jz : int
+val op_probe : int
+val op_probe_h : int
+val op_cond : int
+val op_decision : int
+val op_branch_h : int
+val op_halt : int

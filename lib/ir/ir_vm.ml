@@ -1,0 +1,453 @@
+open Cftcg_model
+
+(* Flat bytecode VM over an unboxed float register file — the third
+   execution backend, built for the fuzzing inner loop.
+
+   Versus the closure backend ({!Ir_compile}), each expression node
+   costs one dispatch on an immediate int instead of an indirect call
+   returning a boxed float, and probe fires write straight into a
+   coverage byte buffer while recording a dirty list — so the fuzzer
+   pays per probe *fired*, not per probe *allocated*. *)
+
+type probes = {
+  p_fired : Bytes.t;  (* 0/1 membership per probe cell *)
+  p_dirty : int array;  (* cells fired, deduplicated, insertion order *)
+  mutable p_n : int;
+}
+
+type t = {
+  lin : Ir_linearize.t;
+  regs : float array;
+  mutable probes : probes;
+  on_probe : int -> unit;
+  on_cond : int -> int -> bool -> unit;
+  on_decision : int -> int -> unit;
+  branch_hooks : (bool -> unit) array;
+}
+
+let make_probes n = { p_fired = Bytes.make n '\000'; p_dirty = Array.make n 0; p_n = 0 }
+
+let clear_probes p =
+  for k = 0 to p.p_n - 1 do
+    Bytes.unsafe_set p.p_fired (Array.unsafe_get p.p_dirty k) '\000'
+  done;
+  p.p_n <- 0
+
+let compile ?(hooks = Hooks.none) (prog : Ir.program) =
+  let instrument =
+    {
+      Ir_linearize.probe_hook = Option.is_some hooks.Hooks.on_probe;
+      cond = Option.is_some hooks.Hooks.on_cond;
+      decision = Option.is_some hooks.Hooks.on_decision;
+      branch = Option.is_some hooks.Hooks.on_branch;
+    }
+  in
+  let lin = Ir_linearize.linearize ~instrument prog in
+  let regs = Array.make (max lin.Ir_linearize.l_n_regs 1) 0.0 in
+  let branch_hooks =
+    match hooks.Hooks.on_branch with
+    | None -> [||]
+    | Some report ->
+      Array.mapi
+        (fun if_ix cond ->
+          let dist = Ir_compile.compile_distance regs cond in
+          fun taken ->
+            let dt, df = dist () in
+            report if_ix taken dt df)
+        lin.Ir_linearize.l_ifs
+  in
+  {
+    lin;
+    regs;
+    probes = make_probes (max prog.Ir.n_probes 1);
+    on_probe = (match hooks.Hooks.on_probe with Some f -> f | None -> ignore);
+    on_cond =
+      (match hooks.Hooks.on_cond with Some f -> f | None -> fun _ _ _ -> ());
+    on_decision =
+      (match hooks.Hooks.on_decision with Some f -> f | None -> fun _ _ -> ());
+    branch_hooks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* integer two's-complement wrap with pre-baked mask/half *)
+let[@inline] wrap n mask half =
+  let m = n land mask in
+  if m >= half then m - (mask + 1) else m
+
+(* Opcode numbers match Ir_linearize.op_* (dense 0..46, so the match
+   compiles to a jump table). All register and code accesses are
+   unsafe: the linearizer only ever emits in-range indices, and every
+   block ends in HALT so dispatch needs no bounds check — each arm
+   tail-calls [go] at the next pc. Every operand fetch is spelled
+   out — a helper closure here would be allocated on each dispatch
+   and dominate the loop. *)
+let exec vm code =
+  let regs = vm.regs in
+  let pb = vm.probes in
+  let rec go i =
+    match Array.unsafe_get code i with
+    | 0 (* mov *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Array.unsafe_get regs (Array.unsafe_get code (i + 2)));
+      go (i + 3)
+    | 1 (* add_f *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+        +. Array.unsafe_get regs (Array.unsafe_get code (i + 3)));
+      go (i + 4)
+    | 2 (* sub_f *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+        -. Array.unsafe_get regs (Array.unsafe_get code (i + 3)));
+      go (i + 4)
+    | 3 (* mul_f *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+        *. Array.unsafe_get regs (Array.unsafe_get code (i + 3)));
+      go (i + 4)
+    | 4 (* div_f *) ->
+      let y = Array.unsafe_get regs (Array.unsafe_get code (i + 3)) in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if y = 0.0 then 0.0 else Array.unsafe_get regs (Array.unsafe_get code (i + 2)) /. y);
+      go (i + 4)
+    | 5 (* rem_f *) ->
+      let y = Array.unsafe_get regs (Array.unsafe_get code (i + 3)) in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if y = 0.0 then 0.0
+         else Float.rem (Array.unsafe_get regs (Array.unsafe_get code (i + 2))) y);
+      go (i + 4)
+    | 6 (* add_i *) ->
+      let n =
+        int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 2)))
+        + int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 3)))
+      in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (float_of_int (wrap n (Array.unsafe_get code (i + 4)) (Array.unsafe_get code (i + 5))));
+      go (i + 6)
+    | 7 (* sub_i *) ->
+      let n =
+        int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 2)))
+        - int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 3)))
+      in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (float_of_int (wrap n (Array.unsafe_get code (i + 4)) (Array.unsafe_get code (i + 5))));
+      go (i + 6)
+    | 8 (* mul_i *) ->
+      let n =
+        int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 2)))
+        * int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 3)))
+      in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (float_of_int (wrap n (Array.unsafe_get code (i + 4)) (Array.unsafe_get code (i + 5))));
+      go (i + 6)
+    | 9 (* div_i *) ->
+      let x = int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 2))) in
+      let y = int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 3))) in
+      let n = if y = 0 then 0 else x / y in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (float_of_int (wrap n (Array.unsafe_get code (i + 4)) (Array.unsafe_get code (i + 5))));
+      go (i + 6)
+    | 10 (* rem_i *) ->
+      let x = int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 2))) in
+      let y = int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 3))) in
+      let n = if y = 0 then 0 else x mod y in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (float_of_int (wrap n (Array.unsafe_get code (i + 4)) (Array.unsafe_get code (i + 5))));
+      go (i + 6)
+    | 11 (* neg_f *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (-.Array.unsafe_get regs (Array.unsafe_get code (i + 2)));
+      go (i + 3)
+    | 12 (* neg_i *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (float_of_int
+           (wrap
+              (-int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 2))))
+              (Array.unsafe_get code (i + 3))
+              (Array.unsafe_get code (i + 4))));
+      go (i + 5)
+    | 13 (* abs_f *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Float.abs (Array.unsafe_get regs (Array.unsafe_get code (i + 2))));
+      go (i + 3)
+    | 14 (* abs_i *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (float_of_int
+           (wrap
+              (Int.abs (int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 2)))))
+              (Array.unsafe_get code (i + 3))
+              (Array.unsafe_get code (i + 4))));
+      go (i + 5)
+    | 15 (* not *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if Array.unsafe_get regs (Array.unsafe_get code (i + 2)) <> 0.0 then 0.0 else 1.0);
+      go (i + 3)
+    | 16 (* to_bool *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if Array.unsafe_get regs (Array.unsafe_get code (i + 2)) <> 0.0 then 1.0 else 0.0);
+      go (i + 3)
+    | 17 (* round_f32 *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Value.normalize_float Dtype.Float32
+           (Array.unsafe_get regs (Array.unsafe_get code (i + 2))));
+      go (i + 3)
+    | 18 (* f2i_sat *) ->
+      let f = Array.unsafe_get regs (Array.unsafe_get code (i + 2)) in
+      let r =
+        if Float.is_nan f then 0.0
+        else begin
+          let t = Float.trunc f in
+          let lo = Array.unsafe_get regs (Array.unsafe_get code (i + 3)) in
+          let hi = Array.unsafe_get regs (Array.unsafe_get code (i + 4)) in
+          if t <= lo then lo else if t >= hi then hi else t
+        end
+      in
+      Array.unsafe_set regs (Array.unsafe_get code (i + 1)) r;
+      go (i + 5)
+    | 19 (* wrap_i *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (float_of_int
+           (wrap
+              (int_of_float (Array.unsafe_get regs (Array.unsafe_get code (i + 2))))
+              (Array.unsafe_get code (i + 3))
+              (Array.unsafe_get code (i + 4))));
+      go (i + 5)
+    | 20 (* floor *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Float.floor (Array.unsafe_get regs (Array.unsafe_get code (i + 2))));
+      go (i + 3)
+    | 21 (* ceil *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Float.ceil (Array.unsafe_get regs (Array.unsafe_get code (i + 2))));
+      go (i + 3)
+    | 22 (* round *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Float.round (Array.unsafe_get regs (Array.unsafe_get code (i + 2))));
+      go (i + 3)
+    | 23 (* trunc *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Float.trunc (Array.unsafe_get regs (Array.unsafe_get code (i + 2))));
+      go (i + 3)
+    | 24 (* exp *) ->
+      let v = Float.exp (Array.unsafe_get regs (Array.unsafe_get code (i + 2))) in
+      Array.unsafe_set regs (Array.unsafe_get code (i + 1)) (if Float.is_nan v then 0.0 else v);
+      go (i + 3)
+    | 25 (* log *) ->
+      let x = Array.unsafe_get regs (Array.unsafe_get code (i + 2)) in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if x <= 0.0 then 0.0 else Float.log x);
+      go (i + 3)
+    | 26 (* log10 *) ->
+      let x = Array.unsafe_get regs (Array.unsafe_get code (i + 2)) in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if x <= 0.0 then 0.0 else Float.log10 x);
+      go (i + 3)
+    | 27 (* sqrt *) ->
+      let x = Array.unsafe_get regs (Array.unsafe_get code (i + 2)) in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if x < 0.0 then 0.0 else Float.sqrt x);
+      go (i + 3)
+    | 28 (* sin *) ->
+      let v = Float.sin (Array.unsafe_get regs (Array.unsafe_get code (i + 2))) in
+      Array.unsafe_set regs (Array.unsafe_get code (i + 1)) (if Float.is_nan v then 0.0 else v);
+      go (i + 3)
+    | 29 (* cos *) ->
+      let v = Float.cos (Array.unsafe_get regs (Array.unsafe_get code (i + 2))) in
+      Array.unsafe_set regs (Array.unsafe_get code (i + 1)) (if Float.is_nan v then 0.0 else v);
+      go (i + 3)
+    | 30 (* cmp_eq *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if
+           Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+           = Array.unsafe_get regs (Array.unsafe_get code (i + 3))
+         then 1.0
+         else 0.0);
+      go (i + 4)
+    | 31 (* cmp_ne *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if
+           Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+           <> Array.unsafe_get regs (Array.unsafe_get code (i + 3))
+         then 1.0
+         else 0.0);
+      go (i + 4)
+    | 32 (* cmp_lt *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if
+           Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+           < Array.unsafe_get regs (Array.unsafe_get code (i + 3))
+         then 1.0
+         else 0.0);
+      go (i + 4)
+    | 33 (* cmp_le *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if
+           Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+           <= Array.unsafe_get regs (Array.unsafe_get code (i + 3))
+         then 1.0
+         else 0.0);
+      go (i + 4)
+    | 34 (* cmp_gt *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if
+           Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+           > Array.unsafe_get regs (Array.unsafe_get code (i + 3))
+         then 1.0
+         else 0.0);
+      go (i + 4)
+    | 35 (* cmp_ge *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if
+           Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+           >= Array.unsafe_get regs (Array.unsafe_get code (i + 3))
+         then 1.0
+         else 0.0);
+      go (i + 4)
+    | 36 (* and *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if
+           Array.unsafe_get regs (Array.unsafe_get code (i + 2)) <> 0.0
+           && Array.unsafe_get regs (Array.unsafe_get code (i + 3)) <> 0.0
+         then 1.0
+         else 0.0);
+      go (i + 4)
+    | 37 (* or *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if
+           Array.unsafe_get regs (Array.unsafe_get code (i + 2)) <> 0.0
+           || Array.unsafe_get regs (Array.unsafe_get code (i + 3)) <> 0.0
+         then 1.0
+         else 0.0);
+      go (i + 4)
+    | 38 (* select *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (if Array.unsafe_get regs (Array.unsafe_get code (i + 2)) <> 0.0 then
+           Array.unsafe_get regs (Array.unsafe_get code (i + 3))
+         else Array.unsafe_get regs (Array.unsafe_get code (i + 4)));
+      go (i + 5)
+    | 39 (* jmp *) -> go (Array.unsafe_get code (i + 1))
+    | 40 (* jz *) ->
+      if Array.unsafe_get regs (Array.unsafe_get code (i + 1)) = 0.0 then
+        go (Array.unsafe_get code (i + 2))
+      else go (i + 3)
+    | 41 (* probe *) ->
+      let id = Array.unsafe_get code (i + 1) in
+      if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+        Bytes.unsafe_set pb.p_fired id '\001';
+        Array.unsafe_set pb.p_dirty pb.p_n id;
+        pb.p_n <- pb.p_n + 1
+      end;
+      go (i + 2)
+    | 42 (* probe + hook *) ->
+      let id = Array.unsafe_get code (i + 1) in
+      if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+        Bytes.unsafe_set pb.p_fired id '\001';
+        Array.unsafe_set pb.p_dirty pb.p_n id;
+        pb.p_n <- pb.p_n + 1
+      end;
+      vm.on_probe id;
+      go (i + 2)
+    | 43 (* cond *) ->
+      vm.on_cond
+        (Array.unsafe_get code (i + 1))
+        (Array.unsafe_get code (i + 2))
+        (Array.unsafe_get regs (Array.unsafe_get code (i + 3)) <> 0.0);
+      go (i + 4)
+    | 44 (* decision *) ->
+      vm.on_decision (Array.unsafe_get code (i + 1)) (Array.unsafe_get code (i + 2));
+      go (i + 3)
+    | 45 (* branch hook *) ->
+      (Array.unsafe_get vm.branch_hooks (Array.unsafe_get code (i + 1)))
+        (Array.unsafe_get regs (Array.unsafe_get code (i + 2)) <> 0.0);
+      go (i + 3)
+    | 46 (* halt *) -> ()
+    | _ -> assert false
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Public interface (mirrors Ir_compile)                               *)
+(* ------------------------------------------------------------------ *)
+
+let program vm = vm.lin.Ir_linearize.l_prog
+
+let reset vm =
+  Array.fill vm.regs 0 (Array.length vm.regs) 0.0;
+  Array.blit vm.lin.Ir_linearize.l_consts 0 vm.regs vm.lin.Ir_linearize.l_const_base
+    (Array.length vm.lin.Ir_linearize.l_consts);
+  exec vm vm.lin.Ir_linearize.l_init
+
+let step vm = exec vm vm.lin.Ir_linearize.l_step
+
+let set_input vm i v =
+  let var = (program vm).Ir.inputs.(i) in
+  vm.regs.(var.Ir.vid) <- Value.to_float (Value.cast var.Ir.vty v)
+
+let set_input_raw vm i f = vm.regs.((program vm).Ir.inputs.(i).Ir.vid) <- f
+
+let of_float_exact (ty : Dtype.t) f =
+  match ty with
+  | Dtype.Bool -> Value.of_bool (f <> 0.0)
+  | ty when Dtype.is_integer ty -> Value.of_int ty (int_of_float f)
+  | ty -> Value.of_float ty f
+
+let get_output vm i =
+  let var = (program vm).Ir.outputs.(i) in
+  of_float_exact var.Ir.vty vm.regs.(var.Ir.vid)
+
+let get_var vm (v : Ir.var) = of_float_exact v.Ir.vty vm.regs.(v.Ir.vid)
+
+let read_raw vm vid = vm.regs.(vid)
+
+let probes vm = vm.probes
+
+let set_probes vm p = vm.probes <- p
+
+let fresh_probes vm =
+  {
+    p_fired = Bytes.make (Bytes.length vm.probes.p_fired) '\000';
+    p_dirty = Array.make (Array.length vm.probes.p_dirty) 0;
+    p_n = 0;
+  }
+
+let probe_fired vm id = Bytes.get vm.probes.p_fired id <> '\000'
+
+let code_size vm = Ir_linearize.code_size vm.lin

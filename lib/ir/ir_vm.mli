@@ -1,0 +1,78 @@
+(** Flat bytecode VM — the fastest execution backend.
+
+    Runs {!Ir_linearize} bytecode in a tight dispatch loop over an
+    unboxed [float array] register file. Compared with the closure
+    backend ({!Ir_compile}), each expression node costs a jump-table
+    dispatch on an immediate opcode instead of an indirect call, and
+    probe fires write directly into a coverage byte buffer while
+    appending to a dirty list — so consumers can process only the
+    probes that actually fired instead of scanning all [n_probes]
+    cells.
+
+    Semantics are identical to {!Ir_eval} and {!Ir_compile}
+    (differentially tested). Like the closure backend, hooks are
+    fixed at compile time: instrumentation that wasn't requested is
+    simply never emitted as bytecode. *)
+
+open Cftcg_model
+
+(** A probe coverage buffer: byte-per-probe membership plus the list
+    of distinct probes fired since the last clear. *)
+type probes = private {
+  p_fired : Bytes.t;  (** ['\001'] at index [id] iff probe [id] fired *)
+  p_dirty : int array;  (** fired probe ids, deduplicated, first [p_n] slots *)
+  mutable p_n : int;
+}
+
+type t
+
+val compile : ?hooks:Hooks.t -> Ir.program -> t
+(** Linearizes and prepares the program. Instrumentation bytecode is
+    emitted only for the hooks that are present ([on_probe] adds a
+    hook call on top of the always-on buffer write). The returned
+    instance owns its register file and probe buffer; compile again
+    for an independent instance. *)
+
+val program : t -> Ir.program
+
+val reset : t -> unit
+(** Zeroes the registers, reloads the constant pool and runs [init].
+    Probes fired by [init] land in the current probe buffer; clear it
+    afterwards if init coverage should be discarded. *)
+
+val step : t -> unit
+(** One model iteration. *)
+
+val set_input : t -> int -> Value.t -> unit
+
+val set_input_raw : t -> int -> float -> unit
+(** Fast path: the float must already be an exact member of the
+    inport dtype's value set (e.g. produced by {!Value.decode} +
+    {!Value.to_float}). *)
+
+val get_output : t -> int -> Value.t
+val get_var : t -> Ir.var -> Value.t
+
+val read_raw : t -> int -> float
+(** Raw register access by variable id. *)
+
+(** {1 Probe buffers}
+
+    The VM writes into whichever buffer is currently installed, which
+    lets a fuzzer double-buffer consecutive steps and diff their
+    dirty lists without any per-probe scan. *)
+
+val probes : t -> probes
+val set_probes : t -> probes -> unit
+
+val fresh_probes : t -> probes
+(** A new, empty buffer of the right size for this program. *)
+
+val clear_probes : probes -> unit
+(** O(fired): resets only the cells named by the dirty list. *)
+
+val probe_fired : t -> int -> bool
+(** Whether the probe fired since the current buffer was cleared. *)
+
+val code_size : t -> int
+(** Bytecode length (init + step), in int slots. *)

@@ -85,6 +85,10 @@ val decode : Dtype.t -> Bytes.t -> int -> t
 val encode : t -> Bytes.t -> int -> unit
 (** Writes the little-endian representation at the offset. *)
 
+val decode_float : Dtype.t -> Bytes.t -> int -> float
+(** [to_float (decode ty b off)] without allocating the intermediate
+    value — the raw-float execution backends' input fast path. *)
+
 (** {1 Raw-float helpers}
 
     Used by the closure compiler, which runs programs over an

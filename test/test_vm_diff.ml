@@ -1,0 +1,224 @@
+(* Differential tests for the bytecode VM backend: on random programs
+   and random input streams, Ir_vm must be observationally identical
+   to both Ir_compile (closures) and Ir_eval (reference interpreter)
+   — same outputs, same probe sets, same condition/decision/branch
+   records. This is the correctness gate for the VM fast path. *)
+
+open Cftcg_model
+open Cftcg_ir
+module Codegen = Cftcg_codegen.Codegen
+module Rng = Cftcg_util.Rng
+
+let agree name a b =
+  if a <> b && not (Float.is_nan a && Float.is_nan b) then
+    Alcotest.failf "%s: %.17g <> %.17g" name a b
+
+(* Run all three backends in lockstep over one random model and check
+   every output at every step. Returns unit or fails the test. *)
+let check_outputs_lockstep ~tag ~steps rng prog =
+  let vm = Ir_vm.compile prog in
+  let compiled = Ir_compile.compile prog in
+  let evaluator = Ir_eval.create prog in
+  Ir_vm.reset vm;
+  Ir_compile.reset compiled;
+  Ir_eval.reset evaluator;
+  let n_out = Array.length prog.Ir.outputs in
+  for step = 1 to steps do
+    Array.iteri
+      (fun i (var : Ir.var) ->
+        let v = Model_gen.random_input rng var.Ir.vty in
+        Ir_vm.set_input vm i v;
+        Ir_compile.set_input compiled i v;
+        Ir_eval.set_input evaluator i v)
+      prog.Ir.inputs;
+    Ir_vm.step vm;
+    Ir_compile.step compiled;
+    Ir_eval.step evaluator;
+    for o = 0 to n_out - 1 do
+      let reference = Value.to_float (Ir_compile.get_output compiled o) in
+      let name which = Printf.sprintf "%s step %d output %d: closure vs %s" tag step o which in
+      agree (name "vm") reference (Value.to_float (Ir_vm.get_output vm o));
+      agree (name "evaluator") reference (Value.to_float (Ir_eval.get_output evaluator o))
+    done
+  done
+
+let test_vm_outputs_match_random_models () =
+  let rng = Rng.create 90210L in
+  for model_ix = 1 to 120 do
+    let prog = Codegen.lower (Model_gen.generate rng) in
+    check_outputs_lockstep ~tag:(Printf.sprintf "model %d" model_ix) ~steps:60 rng prog
+  done
+
+(* Full-hook observational equality: probes, conditions, decisions
+   and branch-distance reports, in order, across backends. *)
+type trace = {
+  mutable probes : int list;
+  mutable conds : (int * int * bool) list;
+  mutable decs : (int * int) list;
+  mutable branches : (int * bool * float * float) list;
+}
+
+let fresh_trace () = { probes = []; conds = []; decs = []; branches = [] }
+
+let hooks_of trace =
+  {
+    Hooks.on_probe = Some (fun id -> trace.probes <- id :: trace.probes);
+    on_cond = Some (fun d i b -> trace.conds <- (d, i, b) :: trace.conds);
+    on_decision = Some (fun d o -> trace.decs <- (d, o) :: trace.decs);
+    on_branch =
+      Some (fun ix taken dt df -> trace.branches <- (ix, taken, dt, df) :: trace.branches);
+  }
+
+let test_vm_hooks_fire_identically () =
+  let rng = Rng.create 1618L in
+  for model_ix = 1 to 40 do
+    let prog = Codegen.lower (Model_gen.generate rng) in
+    let steps = 25 in
+    let inputs =
+      Array.init steps (fun _ ->
+          Array.map (fun (v : Ir.var) -> Model_gen.random_input rng v.Ir.vty) prog.Ir.inputs)
+    in
+    let via_vm trace =
+      let vm = Ir_vm.compile ~hooks:(hooks_of trace) prog in
+      Ir_vm.reset vm;
+      Array.iter
+        (fun vals ->
+          Array.iteri (fun i v -> Ir_vm.set_input vm i v) vals;
+          Ir_vm.step vm)
+        inputs
+    in
+    let via_compile trace =
+      let c = Ir_compile.compile ~hooks:(hooks_of trace) prog in
+      Ir_compile.reset c;
+      Array.iter
+        (fun vals ->
+          Array.iteri (fun i v -> Ir_compile.set_input c i v) vals;
+          Ir_compile.step c)
+        inputs
+    in
+    let via_eval trace =
+      let e = Ir_eval.create prog in
+      let hooks = hooks_of trace in
+      Ir_eval.reset ~hooks e;
+      Array.iter
+        (fun vals ->
+          Array.iteri (fun i v -> Ir_eval.set_input e i v) vals;
+          Ir_eval.step ~hooks e)
+        inputs
+    in
+    let tv = fresh_trace () and tc = fresh_trace () and te = fresh_trace () in
+    via_vm tv;
+    via_compile tc;
+    via_eval te;
+    let ctx = Printf.sprintf "model %d" model_ix in
+    Alcotest.(check (list int)) (ctx ^ " probes vm=closure") tc.probes tv.probes;
+    Alcotest.(check (list int)) (ctx ^ " probes vm=eval") te.probes tv.probes;
+    Alcotest.(check bool) (ctx ^ " conds vm=closure") true (tv.conds = tc.conds);
+    Alcotest.(check bool) (ctx ^ " conds vm=eval") true (tv.conds = te.conds);
+    Alcotest.(check bool) (ctx ^ " decisions vm=closure") true (tv.decs = tc.decs);
+    Alcotest.(check bool) (ctx ^ " decisions vm=eval") true (tv.decs = te.decs);
+    Alcotest.(check bool) (ctx ^ " branches vm=closure") true (tv.branches = tc.branches);
+    Alcotest.(check bool) (ctx ^ " branches vm=eval") true (tv.branches = te.branches)
+  done
+
+(* The VM's dirty-list probe buffer must describe exactly the set of
+   probes the closure backend reports through on_probe, and stay
+   internally consistent (deduplicated, byte map in sync). *)
+let test_vm_probe_buffer_matches () =
+  let rng = Rng.create 2718L in
+  for model_ix = 1 to 40 do
+    let prog = Codegen.lower (Model_gen.generate rng) in
+    let vm = Ir_vm.compile prog in
+    let fired = Hashtbl.create 64 in
+    let hooks = Hooks.probes_only (fun id -> Hashtbl.replace fired id ()) in
+    let c = Ir_compile.compile ~hooks prog in
+    Ir_vm.reset vm;
+    Ir_compile.reset c;
+    Ir_vm.clear_probes (Ir_vm.probes vm);
+    Hashtbl.reset fired;
+    for step = 1 to 30 do
+      Array.iteri
+        (fun i (var : Ir.var) ->
+          let v = Model_gen.random_input rng var.Ir.vty in
+          Ir_vm.set_input vm i v;
+          Ir_compile.set_input c i v)
+        prog.Ir.inputs;
+      Ir_vm.step vm;
+      Ir_compile.step c;
+      let p = Ir_vm.probes vm in
+      let dirty = Array.sub p.Ir_vm.p_dirty 0 p.Ir_vm.p_n in
+      let vm_set = List.sort_uniq compare (Array.to_list dirty) in
+      if List.length vm_set <> p.Ir_vm.p_n then
+        Alcotest.failf "model %d step %d: dirty list has duplicates" model_ix step;
+      List.iter
+        (fun id ->
+          if Bytes.get p.Ir_vm.p_fired id <> '\001' then
+            Alcotest.failf "model %d step %d: dirty probe %d not marked fired" model_ix step id)
+        vm_set;
+      let closure_set = List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) fired []) in
+      if vm_set <> closure_set then
+        Alcotest.failf "model %d step %d: probe sets differ (vm %d, closure %d)" model_ix step
+          (List.length vm_set) (List.length closure_set);
+      Ir_vm.clear_probes p;
+      if p.Ir_vm.p_n <> 0 then Alcotest.failf "clear_probes left %d dirty" p.Ir_vm.p_n;
+      List.iter
+        (fun id ->
+          if Bytes.get p.Ir_vm.p_fired id <> '\000' then
+            Alcotest.failf "clear_probes left probe %d marked" id)
+        vm_set;
+      Hashtbl.reset fired
+    done
+  done
+
+(* The backend must be invisible to the fuzzing algorithm: same seed,
+   same campaign — executions, coverage, metric-driven corpus and the
+   emitted test suite all identical. *)
+let test_fuzzer_backend_parity () =
+  let rng = Rng.create 424242L in
+  for model_ix = 1 to 12 do
+    let prog = Codegen.lower (Model_gen.generate rng) in
+    let run backend =
+      Cftcg_fuzz.Fuzzer.run
+        ~config:
+          { Cftcg_fuzz.Fuzzer.default_config with Cftcg_fuzz.Fuzzer.seed = 99L; backend }
+        prog (Cftcg_fuzz.Fuzzer.Exec_budget 400)
+    in
+    let rv = run Cftcg_fuzz.Fuzzer.Vm in
+    let rc = run Cftcg_fuzz.Fuzzer.Closures in
+    let ctx = Printf.sprintf "model %d" model_ix in
+    let open Cftcg_fuzz.Fuzzer in
+    Alcotest.(check int) (ctx ^ " executions") rc.stats.executions rv.stats.executions;
+    Alcotest.(check int) (ctx ^ " iterations") rc.stats.iterations rv.stats.iterations;
+    Alcotest.(check int) (ctx ^ " probes covered") rc.stats.probes_covered rv.stats.probes_covered;
+    Alcotest.(check int) (ctx ^ " corpus size") rc.stats.corpus_size rv.stats.corpus_size;
+    Alcotest.(check int) (ctx ^ " suite size") (List.length rc.test_suite)
+      (List.length rv.test_suite);
+    List.iter2
+      (fun (a : test_case) (b : test_case) ->
+        if not (Bytes.equal a.tc_data b.tc_data) || a.tc_new_probes <> b.tc_new_probes then
+          Alcotest.failf "%s: test suites diverge" ctx)
+      rc.test_suite rv.test_suite;
+    Alcotest.(check int) (ctx ^ " failures") (List.length rc.failures) (List.length rv.failures)
+  done
+
+(* qcheck property: any generator seed yields a program on which the
+   three backends agree on outputs and probe sets. *)
+let prop_backends_agree =
+  QCheck.Test.make ~name:"vm/closure/eval agree on random programs" ~count:60
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int (seed * 2 + 1)) in
+      let prog = Codegen.lower (Model_gen.generate rng) in
+      check_outputs_lockstep ~tag:(Printf.sprintf "seed %d" seed) ~steps:30 rng prog;
+      true)
+
+let suites =
+  [ ( "vm_diff",
+      [ Alcotest.test_case "outputs match on random models" `Slow
+          test_vm_outputs_match_random_models;
+        Alcotest.test_case "hooks fire identically" `Slow test_vm_hooks_fire_identically;
+        Alcotest.test_case "probe buffer matches closure probes" `Slow
+          test_vm_probe_buffer_matches;
+        Alcotest.test_case "fuzzer campaigns identical across backends" `Slow
+          test_fuzzer_backend_parity;
+        QCheck_alcotest.to_alcotest ~verbose:false prop_backends_agree ] ) ]

@@ -11,9 +11,11 @@
      uncovered — per-model list of decisions CFTCG left unreached
 
    Usage: main.exe [experiment ...] [--budget SECONDS] [--reps N]
-          [--seed N] [--models A,B,C] [--json]
+          [--seed N] [--models A,B,C] [--json] [--check-opt]
    --json additionally writes the speed experiment's numbers to
    BENCH_speed.json (machine-readable, tracked by CI).
+   --check-opt makes the speed experiment exit non-zero unless the
+   optimized VM keeps up with the plain VM on every bench model.
    Default: every experiment at a small smoke budget. Absolute
    numbers differ from the paper (simulated substrate, seconds-scale
    budgets); shapes and orderings are the reproduction target. *)
@@ -38,9 +40,14 @@ type options = {
   mutable models : string list option;
   mutable experiments : string list;
   mutable json : bool;  (** write speed results to BENCH_speed.json *)
+  mutable check_opt : bool;
+      (** fail the speed experiment if the bytecode optimizer loses
+          to the plain VM anywhere *)
 }
 
-let opts = { budget = 1.0; reps = 2; seed = 1; models = None; experiments = []; json = false }
+let opts =
+  { budget = 1.0; reps = 2; seed = 1; models = None; experiments = []; json = false;
+    check_opt = false }
 
 let parse_args () =
   let rec go = function
@@ -59,6 +66,9 @@ let parse_args () =
       go rest
     | "--json" :: rest ->
       opts.json <- true;
+      go rest
+    | "--check-opt" :: rest ->
+      opts.check_opt <- true;
       go rest
     | exp :: rest ->
       opts.experiments <- opts.experiments @ [ exp ];
@@ -271,6 +281,36 @@ let contains ~needle hay =
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   go 0
 
+(* Everything the speed experiment measures per bench model:
+   execution latency per backend, allocation pressure, and the
+   bytecode optimizer's static/dynamic instruction-count effect. *)
+type model_speed = {
+  ms_name : string;
+  ms_interp_ns : float;
+  ms_closures_ns : float;
+  ms_vm_ns : float;  (** plain VM, optimizer disabled *)
+  ms_vm_opt_ns : float;  (** VM with the Ir_opt bytecode pipeline *)
+  ms_static : int;  (** uninstrumented instruction count, pre-opt *)
+  ms_static_opt : int;
+  ms_dyn : int;  (** instruction dispatches for one 16-tuple exec *)
+  ms_dyn_opt : int;
+  ms_minor_closures : float;  (** GC minor words per execution *)
+  ms_minor_vm : float;
+  ms_minor_vm_opt : float;
+}
+
+(* Steady-state GC minor words per call: the mutation/exec hot paths
+   are meant to be allocation-free, so this should sit near zero for
+   the VM backends. *)
+let minor_words_per_call f =
+  f ();
+  let n = 64 in
+  let before = Gc.minor_words () in
+  for _ = 1 to n do
+    f ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int n
+
 (* One fuzzer execution (a multi-tuple input through the backend's
    inner loop, coverage accounting included) per backend. The interp
    row runs the graph interpreter over the same tuples — the
@@ -284,11 +324,11 @@ let backend_execs_per_sec (e : Models.entry) =
   let input =
     Bytes.concat Bytes.empty (List.init n_tuples (fun _ -> Layout.random_tuple_bytes layout rng))
   in
-  let fuzz_exec backend =
+  let fuzz_exec ?(optimize = true) backend =
     let g_total = Bytes.make (max prog.Cftcg_ir.Ir.n_probes 1) '\000' in
     let exec =
-      Cftcg_fuzz.Fuzzer.make_executor ~backend ~layout ~prog ~g_total ~max_tuples:n_tuples
-        ~use_metric:true
+      Cftcg_fuzz.Fuzzer.make_executor ~optimize ~backend ~layout ~prog ~g_total
+        ~max_tuples:n_tuples ~use_metric:true
     in
     let cells = ref [] in
     (* steady state: g_total saturates after the first call, so later
@@ -310,12 +350,27 @@ let backend_execs_per_sec (e : Models.entry) =
         Interp.step interp
       done
   in
+  (* Instruction counts on the same build the fuzzer executes
+     (uninstrumented — probes only, no hooks), over the same input. *)
+  let lin = Cftcg_ir.Ir_linearize.linearize prog in
+  let lin_opt = Cftcg_ir.Ir_opt.optimize_bytecode lin in
+  let rows =
+    Array.init n_tuples (fun tuple ->
+        Array.map
+          (fun (f : Layout.field) ->
+            Value.decode_float f.Layout.f_ty input ((tuple * layout.Layout.tuple_len) + f.Layout.f_offset))
+          layout.Layout.fields)
+  in
+  let closures_exec = fuzz_exec Cftcg_fuzz.Fuzzer.Closures in
+  let vm_exec = fuzz_exec ~optimize:false Cftcg_fuzz.Fuzzer.Vm in
+  let vm_opt_exec = fuzz_exec Cftcg_fuzz.Fuzzer.Vm in
   let open Bechamel in
   let tests =
     Test.make_grouped ~name:"exec"
       [ Test.make ~name:"interp" (Staged.stage interp_exec);
-        Test.make ~name:"closures" (Staged.stage (fuzz_exec Cftcg_fuzz.Fuzzer.Closures));
-        Test.make ~name:"vm" (Staged.stage (fuzz_exec Cftcg_fuzz.Fuzzer.Vm)) ]
+        Test.make ~name:"closures" (Staged.stage closures_exec);
+        Test.make ~name:"vm-opt" (Staged.stage vm_opt_exec);
+        Test.make ~name:"vm" (Staged.stage vm_exec) ]
   in
   let estimates = bechamel_estimates tests in
   let get needle =
@@ -323,7 +378,73 @@ let backend_execs_per_sec (e : Models.entry) =
     | Some (_, ns) -> ns
     | None -> Float.nan
   in
-  (get "interp", get "closures", get "vm")
+  (* "vm" is a substring of "vm-opt", so resolve by exact suffix *)
+  let get_exact want =
+    let suffix = "/" ^ want in
+    let ends_with name =
+      let nl = String.length name and sl = String.length suffix in
+      (nl >= sl && String.sub name (nl - sl) sl = suffix) || name = want
+    in
+    match List.find_opt (fun (name, _) -> ends_with name) estimates with
+    | Some (_, ns) -> ns
+    | None -> get want
+  in
+  { ms_name = e.Models.name;
+    ms_interp_ns = get "interp";
+    ms_closures_ns = get "closures";
+    ms_vm_ns = get_exact "vm";
+    ms_vm_opt_ns = get_exact "vm-opt";
+    ms_static = Cftcg_ir.Ir_opt.static_count lin;
+    ms_static_opt = Cftcg_ir.Ir_opt.static_count lin_opt;
+    ms_dyn = Cftcg_ir.Ir_opt.dynamic_count lin rows;
+    ms_dyn_opt = Cftcg_ir.Ir_opt.dynamic_count lin_opt rows;
+    ms_minor_closures = minor_words_per_call closures_exec;
+    ms_minor_vm = minor_words_per_call vm_exec;
+    ms_minor_vm_opt = minor_words_per_call vm_opt_exec
+  }
+
+(* Paired A/B measurement for the --check-opt gate: alternate plain-vm
+   and vm-opt batches so frequency drift, thermal state and GC
+   pressure hit both sides equally, and keep the best round per side.
+   The bechamel numbers above measure each backend in one contiguous
+   quota window, which a single hiccup (or a slowly throttling box)
+   can skew by more than the optimizer's whole margin. Returns
+   (vm_opt_ns, vm_ns) per execution. *)
+let paired_vm_gate (e : Models.entry) =
+  let m = Lazy.force e.Models.model in
+  let prog = Codegen.lower ~mode:Codegen.Full m in
+  let layout = Layout.of_program prog in
+  let rng = Cftcg_util.Rng.create (Int64.of_int (opts.seed + 5)) in
+  let n_tuples = 16 in
+  let input =
+    Bytes.concat Bytes.empty (List.init n_tuples (fun _ -> Layout.random_tuple_bytes layout rng))
+  in
+  let mk optimize =
+    let g_total = Bytes.make (max prog.Cftcg_ir.Ir.n_probes 1) '\000' in
+    let exec =
+      Cftcg_fuzz.Fuzzer.make_executor ~optimize ~backend:Cftcg_fuzz.Fuzzer.Vm ~layout ~prog
+        ~g_total ~max_tuples:n_tuples ~use_metric:true
+    in
+    let cells = ref [] in
+    fun () -> ignore (exec ~fresh_cells:cells input)
+  in
+  let vm = mk false and opt = mk true in
+  let batch f =
+    let n = 100 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9
+  in
+  ignore (batch vm);
+  ignore (batch opt);
+  let best_vm = ref infinity and best_opt = ref infinity in
+  for _ = 1 to 10 do
+    best_vm := Float.min !best_vm (batch vm);
+    best_opt := Float.min !best_opt (batch opt)
+  done;
+  (!best_opt, !best_vm)
 
 let speed () =
   let e = Option.get (Models.find "SolarPV") in
@@ -337,10 +458,14 @@ let speed () =
   let hooks = Cftcg_ir.Hooks.probes_only (fun id -> Bytes.unsafe_set curr id '\001') in
   let instrumented = Cftcg_ir.Ir_compile.compile ~hooks prog_full in
   Cftcg_ir.Ir_compile.reset instrumented;
-  let vm_plain = Cftcg_ir.Ir_vm.compile prog_plain in
+  let vm_plain = Cftcg_ir.Ir_vm.compile ~optimize:false prog_plain in
   Cftcg_ir.Ir_vm.reset vm_plain;
-  let vm_instr = Cftcg_ir.Ir_vm.compile prog_full in
+  let vm_instr = Cftcg_ir.Ir_vm.compile ~optimize:false prog_full in
   Cftcg_ir.Ir_vm.reset vm_instr;
+  let vm_opt = Cftcg_ir.Ir_vm.compile prog_plain in
+  Cftcg_ir.Ir_vm.reset vm_opt;
+  let vm_opt_instr = Cftcg_ir.Ir_vm.compile prog_full in
+  Cftcg_ir.Ir_vm.reset vm_opt_instr;
   let interp = Interp.create m in
   Interp.reset interp;
   let evaluator = Cftcg_ir.Ir_eval.create prog_plain in
@@ -372,6 +497,15 @@ let speed () =
                Layout.load_tuple_vm layout tuple ~tuple:0 vm_instr;
                Cftcg_ir.Ir_vm.step vm_instr;
                Cftcg_ir.Ir_vm.clear_probes (Cftcg_ir.Ir_vm.probes vm_instr)));
+        Test.make ~name:"vmopt-plain"
+          (Staged.stage (fun () ->
+               Layout.load_tuple_vm layout tuple ~tuple:0 vm_opt;
+               Cftcg_ir.Ir_vm.step vm_opt));
+        Test.make ~name:"vmopt-instrumented"
+          (Staged.stage (fun () ->
+               Layout.load_tuple_vm layout tuple ~tuple:0 vm_opt_instr;
+               Cftcg_ir.Ir_vm.step vm_opt_instr;
+               Cftcg_ir.Ir_vm.clear_probes (Cftcg_ir.Ir_vm.probes vm_opt_instr)));
         Test.make ~name:"ir-evaluator"
           (Staged.stage (fun () ->
                feed_boxed (Cftcg_ir.Ir_eval.set_input evaluator);
@@ -392,29 +526,80 @@ let speed () =
         step_rows := (label, ns) :: !step_rows;
         Tt.add_row t [ label; Printf.sprintf "%.0f" ns; Printf.sprintf "%.0f" (1e9 /. ns) ]
       | None -> Tt.add_row t [ label; "n/a"; "n/a" ])
-    [ "compiled-plain"; "compiled-instrumented"; "vm-plain"; "vm-instrumented"; "ir-evaluator";
-      "graph-interpreter" ];
+    [ "compiled-plain"; "compiled-instrumented"; "vm-plain"; "vm-instrumented"; "vmopt-plain";
+      "vmopt-instrumented"; "ir-evaluator"; "graph-interpreter" ];
   (match (find "vm-instrumented", find "graph-interpreter") with
   | Some (_, c), Some (_, i) ->
     Tt.add_row t [ "speedup vm/interpreter"; Printf.sprintf "%.0fx" (i /. c); "" ]
   | _ -> ());
+  (match (find "vmopt-instrumented", find "graph-interpreter") with
+  | Some (_, c), Some (_, i) ->
+    Tt.add_row t [ "speedup vm-opt/interpreter"; Printf.sprintf "%.0fx" (i /. c); "" ]
+  | _ -> ());
   print_table "Speed: SolarPV model iteration rate (paper: 26,000/s vs 6/s)" t;
-  (* three-way fuzzer-execution throughput per bench model: the
-     number that decides which backend the fuzzing loop should use *)
-  let tx = Tt.create [ "Model"; "interp ex/s"; "closures ex/s"; "vm ex/s"; "vm/closures" ] in
-  let model_rows =
-    List.map
-      (fun (e : Models.entry) ->
-        let i_ns, c_ns, v_ns = backend_execs_per_sec e in
-        let per_s ns = if Float.is_nan ns then 0.0 else 1e9 /. ns in
-        let ratio = if Float.is_nan c_ns || Float.is_nan v_ns then 0.0 else c_ns /. v_ns in
-        Tt.add_row tx
-          [ e.Models.name; Printf.sprintf "%.0f" (per_s i_ns); Printf.sprintf "%.0f" (per_s c_ns);
-            Printf.sprintf "%.0f" (per_s v_ns); Printf.sprintf "%.2fx" ratio ];
-        (e.Models.name, i_ns, c_ns, v_ns))
-      (selected_models ())
+  (* fuzzer-execution throughput per bench model: the number that
+     decides which backend (and whether the optimizer) the fuzzing
+     loop should use *)
+  let tx =
+    Tt.create
+      [ "Model"; "interp ex/s"; "closures ex/s"; "vm ex/s"; "vm-opt ex/s"; "vm/closures";
+        "vm-opt/vm" ]
   in
+  let model_rows = List.map backend_execs_per_sec (selected_models ()) in
+  let ratio a b = if Float.is_nan a || Float.is_nan b then 0.0 else a /. b in
+  List.iter
+    (fun ms ->
+      let per_s ns = if Float.is_nan ns then 0.0 else 1e9 /. ns in
+      Tt.add_row tx
+        [ ms.ms_name; Printf.sprintf "%.0f" (per_s ms.ms_interp_ns);
+          Printf.sprintf "%.0f" (per_s ms.ms_closures_ns);
+          Printf.sprintf "%.0f" (per_s ms.ms_vm_ns);
+          Printf.sprintf "%.0f" (per_s ms.ms_vm_opt_ns);
+          Printf.sprintf "%.2fx" (ratio ms.ms_closures_ns ms.ms_vm_ns);
+          Printf.sprintf "%.2fx" (ratio ms.ms_vm_ns ms.ms_vm_opt_ns) ])
+    model_rows;
   print_table "Speed: fuzzer executions/s by backend (16-tuple inputs)" tx;
+  (* what the optimizer did to the bytecode, and what each backend
+     allocates per execution (the VM paths should be near zero) *)
+  let ti =
+    Tt.create
+      [ "Model"; "static insts"; "opt"; "dyn insts/exec"; "opt"; "dyn -%"; "alloc w/ex cls";
+        "alloc w/ex vm"; "alloc w/ex vm-opt" ]
+  in
+  List.iter
+    (fun ms ->
+      let dyn_red =
+        if ms.ms_dyn = 0 then 0.0
+        else 100.0 *. float_of_int (ms.ms_dyn - ms.ms_dyn_opt) /. float_of_int ms.ms_dyn
+      in
+      Tt.add_row ti
+        [ ms.ms_name; string_of_int ms.ms_static; string_of_int ms.ms_static_opt;
+          string_of_int ms.ms_dyn; string_of_int ms.ms_dyn_opt; Printf.sprintf "%.1f%%" dyn_red;
+          Printf.sprintf "%.0f" ms.ms_minor_closures; Printf.sprintf "%.0f" ms.ms_minor_vm;
+          Printf.sprintf "%.0f" ms.ms_minor_vm_opt ])
+    model_rows;
+  print_table "Speed: optimizer instruction counts and allocation per execution" ti;
+  (* aggregate optimizer effect over the selected models *)
+  let speedups =
+    List.filter_map
+      (fun ms ->
+        let r = ratio ms.ms_vm_ns ms.ms_vm_opt_ns in
+        if r > 0.0 then Some r else None)
+      model_rows
+  in
+  let geomean =
+    match speedups with
+    | [] -> 0.0
+    | l -> exp (List.fold_left (fun acc r -> acc +. log r) 0.0 l /. float_of_int (List.length l))
+  in
+  let big_dyn_cuts =
+    List.length
+      (List.filter
+         (fun ms -> ms.ms_dyn > 0 && float_of_int ms.ms_dyn_opt <= 0.8 *. float_of_int ms.ms_dyn)
+         model_rows)
+  in
+  Printf.printf "\nvm-opt/vm geomean speedup: %.2fx; >=20%% dynamic-instruction cut on %d/%d models\n"
+    geomean big_dyn_cuts (List.length model_rows);
   if opts.json then begin
     let buf = Buffer.create 1024 in
     Buffer.add_string buf "{\n  \"benchmark\": \"speed\",\n  \"step_ns\": {";
@@ -423,28 +608,67 @@ let speed () =
         Buffer.add_string buf
           (Printf.sprintf "%s\n    \"%s\": %.1f" (if i = 0 then "" else ",") label ns))
       (List.rev !step_rows);
-    Buffer.add_string buf "\n  },\n  \"models\": [";
+    Buffer.add_string buf "\n  },\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"vm_opt_geomean_speedup\": %.3f,\n  \"models\": [" geomean);
     List.iteri
-      (fun i (name, i_ns, c_ns, v_ns) ->
+      (fun i ms ->
         let num ns = if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns in
         let per_s ns = if Float.is_nan ns then "null" else Printf.sprintf "%.1f" (1e9 /. ns) in
-        let ratio =
-          if Float.is_nan c_ns || Float.is_nan v_ns then "null"
-          else Printf.sprintf "%.3f" (c_ns /. v_ns)
+        let rat a b =
+          if Float.is_nan a || Float.is_nan b then "null" else Printf.sprintf "%.3f" (a /. b)
         in
         Buffer.add_string buf
           (Printf.sprintf
              "%s\n    { \"model\": \"%s\", \"interp_exec_ns\": %s, \"closures_exec_ns\": %s, \
-              \"vm_exec_ns\": %s, \"interp_execs_per_s\": %s, \"closures_execs_per_s\": %s, \
-              \"vm_execs_per_s\": %s, \"vm_over_closures\": %s }"
+              \"vm_exec_ns\": %s, \"vm_opt_exec_ns\": %s, \"interp_execs_per_s\": %s, \
+              \"closures_execs_per_s\": %s, \"vm_execs_per_s\": %s, \"vm_opt_execs_per_s\": %s, \
+              \"vm_over_closures\": %s, \"vm_opt_over_vm\": %s, \"static_insts\": %d, \
+              \"static_insts_opt\": %d, \"dyn_insts\": %d, \"dyn_insts_opt\": %d, \
+              \"minor_words_per_exec\": { \"closures\": %.1f, \"vm\": %.1f, \"vm_opt\": %.1f } }"
              (if i = 0 then "" else ",")
-             name (num i_ns) (num c_ns) (num v_ns) (per_s i_ns) (per_s c_ns) (per_s v_ns) ratio))
+             ms.ms_name (num ms.ms_interp_ns) (num ms.ms_closures_ns) (num ms.ms_vm_ns)
+             (num ms.ms_vm_opt_ns) (per_s ms.ms_interp_ns) (per_s ms.ms_closures_ns)
+             (per_s ms.ms_vm_ns) (per_s ms.ms_vm_opt_ns)
+             (rat ms.ms_closures_ns ms.ms_vm_ns)
+             (rat ms.ms_vm_ns ms.ms_vm_opt_ns)
+             ms.ms_static ms.ms_static_opt ms.ms_dyn ms.ms_dyn_opt ms.ms_minor_closures
+             ms.ms_minor_vm ms.ms_minor_vm_opt))
       model_rows;
     Buffer.add_string buf "\n  ]\n}\n";
     let oc = open_out "BENCH_speed.json" in
     output_string oc (Buffer.contents buf);
     close_out oc;
     Printf.printf "\nwrote BENCH_speed.json\n"
+  end;
+  if opts.check_opt then begin
+    (* CI gate: the optimizer must never lose to the plain VM. Uses
+       the paired A/B measurement (not the bechamel table above, whose
+       contiguous quota windows drift on a throttling box); a small
+       tolerance absorbs residual noise and a losing model gets one
+       re-measurement before failing. *)
+    let loses (opt_ns, vm_ns) = opt_ns > vm_ns *. 1.05 in
+    let losers =
+      List.filter_map
+        (fun e ->
+          let ((opt_ns, vm_ns) as r) = paired_vm_gate e in
+          if not (loses r) then None
+          else begin
+            Printf.printf "check-opt: %s lost (vm-opt %.0f vs vm %.0f ns/exec), re-measuring\n%!"
+              e.Models.name opt_ns vm_ns;
+            let r' = paired_vm_gate e in
+            if loses r' then Some (e.Models.name, r') else None
+          end)
+        (selected_models ())
+    in
+    List.iter
+      (fun (name, (opt_ns, vm_ns)) ->
+        Printf.eprintf "check-opt FAIL: %s vm-opt %.0f ns/exec vs vm %.0f ns/exec\n" name opt_ns
+          vm_ns)
+      losers;
+    if losers <> [] then exit 1;
+    Printf.printf "check-opt OK: vm-opt keeps up with vm on all %d models\n"
+      (List.length model_rows)
   end;
   (* fuzzing-loop component costs *)
   let rng2 = Cftcg_util.Rng.create 9L in

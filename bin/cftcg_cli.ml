@@ -67,7 +67,7 @@ let backend_conv =
 
 let fuzz_cmd =
   let run model_path seconds execs out_dir seed ranges seed_dir jobs corpus resume telemetry
-      epoch_execs backend =
+      epoch_execs backend no_opt =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -92,7 +92,8 @@ let fuzz_cmd =
         Fuzzer.seed = Int64.of_int seed;
         ranges = List.map parse_range ranges;
         seeds;
-        backend
+        backend;
+        optimize = not no_opt
       }
     in
     let parallel = jobs > 1 || corpus <> None || resume || telemetry <> None in
@@ -194,10 +195,13 @@ let fuzz_cmd =
   let backend =
     Arg.(value & opt backend_conv Fuzzer.Vm & info [ "backend" ] ~docv:"BACKEND" ~doc:"Execution backend: $(b,vm) (flat bytecode, default) or $(b,closures) (fallback). Campaigns are identical either way; vm is faster.")
   in
+  let no_opt =
+    Arg.(value & flag & info [ "no-opt" ] ~doc:"Disable the bytecode optimizer for the vm backend (escape hatch; campaigns are identical either way).")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a CFTCG fuzzing campaign and emit CSV test cases.")
     Term.(const run $ model_arg $ seconds $ execs $ out_dir $ seed_arg $ ranges $ seed_dir $ jobs
-          $ corpus $ resume $ telemetry $ epoch_execs $ backend)
+          $ corpus $ resume $ telemetry $ epoch_execs $ backend $ no_opt)
 
 let emit_c_cmd =
   let run model_path branchless =
@@ -352,6 +356,46 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one CSV test case through the model and print the output trace.")
     Term.(const run $ model_arg $ csv $ trace_out)
 
+let ir_cmd =
+  let run model_path dump instrumented =
+    let model = load_model model_path in
+    let prog = Codegen.lower ~mode:Codegen.Full model in
+    let lin =
+      let instrument =
+        if instrumented then
+          { Cftcg_ir.Ir_linearize.probe_hook = true; cond = true; decision = true; branch = true }
+        else Cftcg_ir.Ir_linearize.no_instrumentation
+      in
+      Cftcg_ir.Ir_linearize.linearize ~instrument prog
+    in
+    let opt = Cftcg_ir.Ir_opt.optimize_bytecode lin in
+    let summary label (l : Cftcg_ir.Ir_linearize.t) =
+      Printf.printf "%-12s %5d insts, %4d regs, %3d consts\n" label
+        (Cftcg_ir.Ir_opt.static_count l)
+        l.Cftcg_ir.Ir_linearize.l_n_regs
+        (Array.length l.Cftcg_ir.Ir_linearize.l_consts)
+    in
+    Printf.printf "model %s (%s build)\n" model.Graph.model_name
+      (if instrumented then "instrumented" else "plain");
+    summary "bytecode" lin;
+    summary "optimized" opt;
+    if dump then begin
+      print_string "\n== before optimization ==\n";
+      print_string (Cftcg_ir.Ir_opt.disassemble lin);
+      print_string "\n== after optimization ==\n";
+      print_string (Cftcg_ir.Ir_opt.disassemble opt)
+    end
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump-bytecode" ] ~doc:"Print the full disassembly before and after the optimizer pipeline.")
+  in
+  let instrumented =
+    Arg.(value & flag & info [ "instrumented" ] ~doc:"Linearize the fuzzing build (probe/branch-hook instructions included) instead of the plain build.")
+  in
+  Cmd.v
+    (Cmd.info "ir" ~doc:"Show bytecode optimizer statistics (and optionally disassembly) for a model.")
+    Term.(const run $ model_arg $ dump $ instrumented)
+
 let models_cmd =
   let run export_dir =
     (match export_dir with
@@ -385,4 +429,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fuzz_cmd; emit_c_cmd; coverage_cmd; minimize_cmd; convert_cmd; simulate_cmd;
-            models_cmd ]))
+            ir_cmd; models_cmd ]))

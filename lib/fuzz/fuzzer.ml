@@ -15,11 +15,12 @@ type config = {
   seeds : Bytes.t list;
   use_dictionary : bool;
   backend : backend;
+  optimize : bool;
 }
 
 let default_config =
   { seed = 1L; max_tuples = 256; corpus_cap = 256; field_aware = true; iteration_metric = true;
-    ranges = []; seeds = []; use_dictionary = true; backend = Vm }
+    ranges = []; seeds = []; use_dictionary = true; backend = Vm; optimize = true }
 
 type budget =
   | Time_budget of float
@@ -139,10 +140,11 @@ let run_one_vm ~layout ~vm ~pa ~pb ~g_total ~max_tuples ~use_metric ~fresh_cells
 
 (* Builds the per-input execution function for the configured
    backend; each returns (metric, fresh, iterations). *)
-let make_executor ~backend ~layout ~(prog : Ir.program) ~g_total ~max_tuples ~use_metric =
+let make_executor ?(optimize = true) ~backend ~layout ~(prog : Ir.program) ~g_total ~max_tuples
+    ~use_metric =
   match backend with
   | Vm ->
-    let vm = Ir_vm.compile prog in
+    let vm = Ir_vm.compile ~optimize prog in
     let pa = Ir_vm.probes vm in
     let pb = Ir_vm.fresh_probes vm in
     fun ~fresh_cells data ->
@@ -182,8 +184,8 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
   let n_probes = max prog.Ir.n_probes 1 in
   let g_total = Bytes.make n_probes '\000' in
   let run_input =
-    make_executor ~backend:config.backend ~layout ~prog ~g_total ~max_tuples:config.max_tuples
-      ~use_metric:config.iteration_metric
+    make_executor ~optimize:config.optimize ~backend:config.backend ~layout ~prog ~g_total
+      ~max_tuples:config.max_tuples ~use_metric:config.iteration_metric
   in
   let dict = if config.use_dictionary then Some (Dictionary.of_program prog) else None in
   let start = Unix.gettimeofday () in
@@ -306,8 +308,8 @@ let replay_metric ?(config = default_config) (prog : Ir.program) data =
   let layout = Layout.of_program prog in
   let g_total = Bytes.make (max prog.Ir.n_probes 1) '\000' in
   let run_input =
-    make_executor ~backend:config.backend ~layout ~prog ~g_total ~max_tuples:config.max_tuples
-      ~use_metric:true
+    make_executor ~optimize:config.optimize ~backend:config.backend ~layout ~prog ~g_total
+      ~max_tuples:config.max_tuples ~use_metric:true
   in
   let metric, _, _ = run_input ~fresh_cells:(ref []) data in
   metric

@@ -48,6 +48,10 @@ type config = {
       (** harvest comparison constants from the generated code and
           use them in value mutations (default true) *)
   backend : backend;  (** execution backend (default {!Vm}) *)
+  optimize : bool;
+      (** run {!Ir_opt.optimize_bytecode} on the {!Vm} backend's
+          bytecode (default true; no effect on {!Closures}). Same
+          campaigns either way — CLI [--no-opt] is the escape hatch *)
 }
 
 val default_config : config
@@ -114,6 +118,7 @@ val replay_metric : ?config:config -> Ir.program -> Bytes.t -> int
     metric — Algorithm 1 exactly, exposed for tests and examples. *)
 
 val make_executor :
+  ?optimize:bool ->
   backend:backend ->
   layout:Layout.t ->
   prog:Ir.program ->

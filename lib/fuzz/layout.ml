@@ -12,7 +12,21 @@ type field = {
 type t = {
   fields : field array;
   tuple_len : int;
+  int_fields : int array;
+  float_fields : int array;
 }
+
+(* Candidate indices are fixed by the dtypes, so they are computed
+   once here instead of per mutation. Descending order matches what
+   Mutate's old per-call ref-list scan produced, keeping same-seed
+   campaigns byte-identical across the change. *)
+let candidate_fields fields =
+  let matching p =
+    let out = ref [] in
+    Array.iteri (fun i f -> if p f.f_ty then out := i :: !out) fields;
+    Array.of_list !out
+  in
+  (matching (fun ty -> not (Dtype.is_float ty)), matching Dtype.is_float)
 
 let of_inports ports =
   let offset = ref 0 in
@@ -24,7 +38,8 @@ let of_inports ports =
         f)
       ports
   in
-  { fields; tuple_len = !offset }
+  let int_fields, float_fields = candidate_fields fields in
+  { fields; tuple_len = !offset; int_fields; float_fields }
 
 let of_program (p : Ir.program) =
   of_inports (Array.map (fun (v : Ir.var) -> (v.Ir.vname, v.Ir.vty)) p.Ir.inputs)

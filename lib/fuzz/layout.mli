@@ -23,6 +23,10 @@ type field = {
 type t = {
   fields : field array;
   tuple_len : int;  (** bytes per model iteration *)
+  int_fields : int array;
+      (** indices of non-float fields, precomputed for
+          {!Mutate.change_integer}-style candidate picks *)
+  float_fields : int array;  (** indices of float fields *)
 }
 
 val of_inports : (string * Dtype.t) array -> t

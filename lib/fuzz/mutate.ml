@@ -30,9 +30,13 @@ let strategy_name = function
 (* Tuple-stream plumbing                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* zero-alloc fast path: mutation inputs come straight from the
+   corpus and are almost always already tuple-aligned — only blind
+   byte-level mutations (or external seeds) produce ragged tails *)
 let truncate_tuples (layout : Layout.t) data =
   let n = Layout.n_tuples layout data in
-  Bytes.sub data 0 (n * layout.Layout.tuple_len)
+  let len = n * layout.Layout.tuple_len in
+  if Bytes.length data = len then data else Bytes.sub data 0 len
 
 let concat_tuples layout pieces ~max_tuples =
   let joined = Bytes.concat Bytes.empty pieces in
@@ -42,6 +46,8 @@ let concat_tuples layout pieces ~max_tuples =
 let tuple_slice layout data i k =
   Bytes.sub data (i * layout.Layout.tuple_len) (k * layout.Layout.tuple_len)
 
+(* already zero-copy for non-empty inputs: the data bytes are
+   returned as-is, only the empty case allocates a fresh tuple *)
 let ensure_nonempty layout rng data =
   if Bytes.length data = 0 then Layout.random_tuple_bytes layout rng else data
 
@@ -49,19 +55,14 @@ let ensure_nonempty layout rng data =
 (* Field mutations                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let fields_matching layout p =
-  let out = ref [] in
-  Array.iteri
-    (fun i (f : Layout.field) -> if p f.Layout.f_ty then out := i :: !out)
-    layout.Layout.fields;
-  Array.of_list !out
-
 (* The sub-strategies of "Change Binary Integer" the paper lists:
    sign bit, byte swap, bit flip, byte modification, add/subtract,
-   random change. *)
+   random change. Candidate field indices come precomputed from
+   {!Layout.t} — the dtypes never change, so rebuilding the list per
+   call was pure allocation churn in the mutation hot path. *)
 let change_integer layout rng data =
   let n = Layout.n_tuples layout data in
-  let candidates = fields_matching layout (fun ty -> not (Dtype.is_float ty)) in
+  let candidates = layout.Layout.int_fields in
   if n = 0 || Array.length candidates = 0 then None
   else begin
     let data = Bytes.copy data in
@@ -105,7 +106,7 @@ let change_integer layout rng data =
 (* "Change Binary Float": targeted mutation of the IEEE-754 layout. *)
 let change_float layout rng data =
   let n = Layout.n_tuples layout data in
-  let candidates = fields_matching layout Dtype.is_float in
+  let candidates = layout.Layout.float_fields in
   if n = 0 || Array.length candidates = 0 then None
   else begin
     let data = Bytes.copy data in

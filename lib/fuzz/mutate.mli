@@ -24,6 +24,12 @@ val all_strategies : strategy array
 
 val strategy_name : strategy -> string
 
+val truncate_tuples : Layout.t -> Bytes.t -> Bytes.t
+(** Drops any ragged tail so the stream is whole tuples. When the
+    input is already tuple-aligned — the overwhelmingly common case,
+    since corpus entries are produced aligned — the input bytes are
+    returned physically unchanged (zero-copy). *)
+
 val apply :
   Layout.t -> Cftcg_util.Rng.t -> strategy -> Bytes.t -> other:Bytes.t -> max_tuples:int ->
   Bytes.t

@@ -67,6 +67,35 @@ let op_decision = 44
 let op_branch_h = 45
 let op_halt = 46
 
+(* Superinstructions 47..57 are never emitted by the linearizer —
+   only Ir_opt's bytecode fusion pass produces them. The fused
+   compare-and-jump forms replace a [cmp_*; jz] pair and take the
+   jump when the comparison is FALSE (bit-for-bit what the pair
+   computed, NaN behaviour included — [jlt a b L] is *not* the same
+   as [jge a b L] when an operand is NaN). *)
+let op_jlt = 47
+let op_jle = 48
+let op_jeq = 49
+let op_jne = 50
+let op_jgt = 51
+let op_jge = 52
+let op_jnz = 53 (* [not; jz] pair: jump when the source is non-zero *)
+
+(* float32 arithmetic: [add_f/…; round_f32] pair fused into one
+   dispatch (result normalized to float32 before the store) *)
+let op_add_f32 = 54
+let op_sub_f32 = 55
+let op_mul_f32 = 56
+let op_div_f32 = 57
+
+(* branch-arm tails: a probe or mov immediately followed by an
+   unconditional jmp (the common shape of a then-arm) collapse into
+   one dispatch *)
+let op_probe_jmp = 58
+let op_mov_jmp = 59
+
+let n_opcodes = 60
+
 type instrumentation = {
   probe_hook : bool;  (** emit [op_probe_h] (buffer write + hook call) per probe *)
   cond : bool;  (** emit [op_cond] for [Record_cond] *)

@@ -97,3 +97,24 @@ val op_cond : int
 val op_decision : int
 val op_branch_h : int
 val op_halt : int
+
+(** Superinstructions — emitted only by {!Ir_opt}'s bytecode fusion
+    pass, never by the linearizer. The compare-and-jump forms replace
+    a [cmp_*; jz] pair and jump when the comparison is {e false}. *)
+
+val op_jlt : int
+val op_jle : int
+val op_jeq : int
+val op_jne : int
+val op_jgt : int
+val op_jge : int
+val op_jnz : int
+val op_add_f32 : int
+val op_sub_f32 : int
+val op_mul_f32 : int
+val op_div_f32 : int
+val op_probe_jmp : int
+val op_mov_jmp : int
+
+val n_opcodes : int
+(** One past the highest opcode number. *)

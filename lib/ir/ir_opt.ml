@@ -233,3 +233,936 @@ let stats before after =
     (100.0
     *. float_of_int (Ir.stmt_count before - Ir.stmt_count after)
     /. float_of_int (max 1 (Ir.stmt_count before)))
+
+(* ================================================================== *)
+(* Bytecode optimizer                                                  *)
+(*                                                                     *)
+(* Rewrites Ir_linearize bytecode before Ir_vm execution. The tree-    *)
+(* level passes above cannot see linearization artifacts: every        *)
+(* comparison materializes a float register that one jz consumes,      *)
+(* port-wiring copies survive as MOVs, and saturation bounds /         *)
+(* float32 rounding turn single IR nodes into instruction pairs.       *)
+(* These passes work on the decoded instruction stream:                *)
+(*   1. constant folding + propagation through the register file       *)
+(*   2. copy propagation and move elimination                          *)
+(*   3. unreachable-code elimination                                   *)
+(*   4. dead-register-write elimination (probe/cond/decision/branch    *)
+(*      ops, jumps, outputs, states, and cross-iteration reads are     *)
+(*      roots)                                                         *)
+(*   5. jump threading + fall-through elision                          *)
+(*   6. superinstruction fusion (cmp+jz -> jlt/…, not+jz -> jnz,       *)
+(*      arith_f+round_f32 -> *_f32)                                    *)
+(* Folding reuses the exact VM arm formulas (wrap masks, div-by-zero   *)
+(* guards, NaN handling, float32 normalization), so optimized code is  *)
+(* bit-identical to unoptimized — the differential suite enforces it.  *)
+(* ================================================================== *)
+
+module L = Ir_linearize
+
+(* --- static instruction shapes ------------------------------------ *)
+
+(* Operand slots are classified so the passes know which slots hold
+   registers (rewritable), which hold immediates (masks, probe ids —
+   never touched), and which hold a jump target pc. *)
+type shape = {
+  s_name : string;
+  s_size : int;  (* total slots including the opcode *)
+  s_dst : bool;  (* slot 1 is a written register (all such ops are pure) *)
+  s_srcs : int array;  (* slot offsets read as registers *)
+  s_target : int;  (* slot offset of a jump target, or -1 *)
+}
+
+let shapes : shape array =
+  let t =
+    Array.make L.n_opcodes { s_name = "?"; s_size = 1; s_dst = false; s_srcs = [||]; s_target = -1 }
+  in
+  let def op s_name s_size s_dst srcs s_target =
+    t.(op) <- { s_name; s_size; s_dst; s_srcs = Array.of_list srcs; s_target }
+  in
+  def L.op_mov "mov" 3 true [ 2 ] (-1);
+  def L.op_add_f "add.f" 4 true [ 2; 3 ] (-1);
+  def L.op_sub_f "sub.f" 4 true [ 2; 3 ] (-1);
+  def L.op_mul_f "mul.f" 4 true [ 2; 3 ] (-1);
+  def L.op_div_f "div.f" 4 true [ 2; 3 ] (-1);
+  def L.op_rem_f "rem.f" 4 true [ 2; 3 ] (-1);
+  def L.op_add_i "add.i" 6 true [ 2; 3 ] (-1);
+  def L.op_sub_i "sub.i" 6 true [ 2; 3 ] (-1);
+  def L.op_mul_i "mul.i" 6 true [ 2; 3 ] (-1);
+  def L.op_div_i "div.i" 6 true [ 2; 3 ] (-1);
+  def L.op_rem_i "rem.i" 6 true [ 2; 3 ] (-1);
+  def L.op_neg_f "neg.f" 3 true [ 2 ] (-1);
+  def L.op_neg_i "neg.i" 5 true [ 2 ] (-1);
+  def L.op_abs_f "abs.f" 3 true [ 2 ] (-1);
+  def L.op_abs_i "abs.i" 5 true [ 2 ] (-1);
+  def L.op_not "not" 3 true [ 2 ] (-1);
+  def L.op_to_bool "to_bool" 3 true [ 2 ] (-1);
+  def L.op_round_f32 "round.f32" 3 true [ 2 ] (-1);
+  def L.op_f2i_sat "f2i.sat" 5 true [ 2; 3; 4 ] (-1);
+  def L.op_wrap_i "wrap.i" 5 true [ 2 ] (-1);
+  def L.op_floor "floor" 3 true [ 2 ] (-1);
+  def L.op_ceil "ceil" 3 true [ 2 ] (-1);
+  def L.op_round "round" 3 true [ 2 ] (-1);
+  def L.op_trunc "trunc" 3 true [ 2 ] (-1);
+  def L.op_exp "exp" 3 true [ 2 ] (-1);
+  def L.op_log "log" 3 true [ 2 ] (-1);
+  def L.op_log10 "log10" 3 true [ 2 ] (-1);
+  def L.op_sqrt "sqrt" 3 true [ 2 ] (-1);
+  def L.op_sin "sin" 3 true [ 2 ] (-1);
+  def L.op_cos "cos" 3 true [ 2 ] (-1);
+  def L.op_cmp_eq "cmp.eq" 4 true [ 2; 3 ] (-1);
+  def L.op_cmp_ne "cmp.ne" 4 true [ 2; 3 ] (-1);
+  def L.op_cmp_lt "cmp.lt" 4 true [ 2; 3 ] (-1);
+  def L.op_cmp_le "cmp.le" 4 true [ 2; 3 ] (-1);
+  def L.op_cmp_gt "cmp.gt" 4 true [ 2; 3 ] (-1);
+  def L.op_cmp_ge "cmp.ge" 4 true [ 2; 3 ] (-1);
+  def L.op_and "and" 4 true [ 2; 3 ] (-1);
+  def L.op_or "or" 4 true [ 2; 3 ] (-1);
+  def L.op_select "select" 5 true [ 2; 3; 4 ] (-1);
+  def L.op_jmp "jmp" 2 false [] 1;
+  def L.op_jz "jz" 3 false [ 1 ] 2;
+  def L.op_probe "probe" 2 false [] (-1);
+  def L.op_probe_h "probe.h" 2 false [] (-1);
+  def L.op_cond "cond" 4 false [ 3 ] (-1);
+  def L.op_decision "decision" 3 false [] (-1);
+  def L.op_branch_h "branch.h" 3 false [ 2 ] (-1);
+  def L.op_halt "halt" 1 false [] (-1);
+  def L.op_jlt "jlt" 4 false [ 1; 2 ] 3;
+  def L.op_jle "jle" 4 false [ 1; 2 ] 3;
+  def L.op_jeq "jeq" 4 false [ 1; 2 ] 3;
+  def L.op_jne "jne" 4 false [ 1; 2 ] 3;
+  def L.op_jgt "jgt" 4 false [ 1; 2 ] 3;
+  def L.op_jge "jge" 4 false [ 1; 2 ] 3;
+  def L.op_jnz "jnz" 3 false [ 1 ] 2;
+  def L.op_add_f32 "add.f32" 4 true [ 2; 3 ] (-1);
+  def L.op_sub_f32 "sub.f32" 4 true [ 2; 3 ] (-1);
+  def L.op_mul_f32 "mul.f32" 4 true [ 2; 3 ] (-1);
+  def L.op_div_f32 "div.f32" 4 true [ 2; 3 ] (-1);
+  def L.op_probe_jmp "probe.jmp" 3 false [] 2;
+  def L.op_mov_jmp "mov.jmp" 4 true [ 2 ] 3;
+  t
+
+(* --- decoded form ------------------------------------------------- *)
+
+type binst = {
+  mutable b_op : int;
+  mutable b_args : int array;  (* slots 1..size-1; the target slot (if any) is shadowed by b_target *)
+  mutable b_target : int;  (* jump target as an instruction INDEX, or -1 *)
+  mutable b_dead : bool;
+}
+
+let decode code =
+  let len = Array.length code in
+  let rec count i n = if i >= len then n else count (i + shapes.(code.(i)).s_size) (n + 1) in
+  let n = count 0 0 in
+  let insts =
+    Array.init n (fun _ -> { b_op = L.op_halt; b_args = [||]; b_target = -1; b_dead = false })
+  in
+  let pc2ix = Hashtbl.create (2 * n) in
+  let i = ref 0 and k = ref 0 in
+  while !i < len do
+    let sh = shapes.(code.(!i)) in
+    Hashtbl.replace pc2ix !i !k;
+    insts.(!k) <-
+      { b_op = code.(!i); b_args = Array.sub code (!i + 1) (sh.s_size - 1); b_target = -1; b_dead = false };
+    i := !i + sh.s_size;
+    incr k
+  done;
+  Array.iter
+    (fun b ->
+      let sh = shapes.(b.b_op) in
+      if sh.s_target >= 0 then b.b_target <- Hashtbl.find pc2ix b.b_args.(sh.s_target - 1))
+    insts;
+  insts
+
+(* The final HALT of a block is never removed, so [first_live] is
+   total: every index resolves to a live instruction at or after it. *)
+let first_live insts t =
+  let rec go j = if insts.(j).b_dead then go (j + 1) else j in
+  go t
+
+let next_live insts i = first_live insts (i + 1)
+
+let is_cond_jump op =
+  op = L.op_jz || op = L.op_jnz || (op >= L.op_jlt && op <= L.op_jge)
+
+(* jumps that never fall through *)
+let is_uncond_jump op = op = L.op_jmp || op = L.op_probe_jmp || op = L.op_mov_jmp
+
+(* Leaders: instructions that can be reached from more than just the
+   textually preceding instruction — straight-line dataflow state must
+   be discarded there. Conservative superset is fine. *)
+let compute_leaders insts =
+  let n = Array.length insts in
+  let leaders = Array.make n false in
+  leaders.(first_live insts 0) <- true;
+  Array.iteri
+    (fun i b ->
+      if not b.b_dead then begin
+        if b.b_target >= 0 then leaders.(first_live insts b.b_target) <- true;
+        if (is_uncond_jump b.b_op || b.b_op = L.op_halt) && i + 1 < n then
+          leaders.(first_live insts (i + 1)) <- true
+      end)
+    insts;
+  leaders
+
+(* --- constant pool ------------------------------------------------ *)
+
+type pool = {
+  mutable p_vals : float array;
+  mutable p_n : int;
+  p_ix : (int64, int) Hashtbl.t;
+}
+
+let pool_of consts =
+  let n = Array.length consts in
+  let p = { p_vals = Array.make (max 8 (2 * n)) 0.0; p_n = n; p_ix = Hashtbl.create 16 } in
+  Array.blit consts 0 p.p_vals 0 n;
+  Array.iteri (fun ix f -> Hashtbl.replace p.p_ix (Int64.bits_of_float f) ix) consts;
+  p
+
+let pool_get p ix = p.p_vals.(ix)
+
+let pool_find p f =
+  let bits = Int64.bits_of_float f in
+  match Hashtbl.find_opt p.p_ix bits with
+  | Some ix -> ix
+  | None ->
+    let ix = p.p_n in
+    if ix = Array.length p.p_vals then begin
+      let bigger = Array.make (2 * ix) 0.0 in
+      Array.blit p.p_vals 0 bigger 0 ix;
+      p.p_vals <- bigger
+    end;
+    p.p_vals.(ix) <- f;
+    Hashtbl.replace p.p_ix bits ix;
+    p.p_n <- ix + 1;
+    ix
+
+(* --- pure-op evaluator -------------------------------------------- *)
+
+(* same two's-complement wrap as Ir_vm *)
+let[@inline] bwrap n mask half =
+  let m = n land mask in
+  if m >= half then m - (mask + 1) else m
+
+(* Evaluate a register-writing op given its operand values — each arm
+   mirrors the corresponding Ir_vm dispatch arm formula exactly, so
+   folding at compile time produces the bits execution would. [a] is
+   the args array (a.(0) = dst), [v] resolves a register operand. *)
+let eval_pure op (a : int array) (v : int -> float) : float =
+  match op with
+  | 0 (* mov *) -> v a.(1)
+  | 1 (* add_f *) -> v a.(1) +. v a.(2)
+  | 2 (* sub_f *) -> v a.(1) -. v a.(2)
+  | 3 (* mul_f *) -> v a.(1) *. v a.(2)
+  | 4 (* div_f *) ->
+    let y = v a.(2) in
+    if y = 0.0 then 0.0 else v a.(1) /. y
+  | 5 (* rem_f *) ->
+    let y = v a.(2) in
+    if y = 0.0 then 0.0 else Float.rem (v a.(1)) y
+  | 6 (* add_i *) ->
+    float_of_int (bwrap (int_of_float (v a.(1)) + int_of_float (v a.(2))) a.(3) a.(4))
+  | 7 (* sub_i *) ->
+    float_of_int (bwrap (int_of_float (v a.(1)) - int_of_float (v a.(2))) a.(3) a.(4))
+  | 8 (* mul_i *) ->
+    float_of_int (bwrap (int_of_float (v a.(1)) * int_of_float (v a.(2))) a.(3) a.(4))
+  | 9 (* div_i *) ->
+    let x = int_of_float (v a.(1)) and y = int_of_float (v a.(2)) in
+    float_of_int (bwrap (if y = 0 then 0 else x / y) a.(3) a.(4))
+  | 10 (* rem_i *) ->
+    let x = int_of_float (v a.(1)) and y = int_of_float (v a.(2)) in
+    float_of_int (bwrap (if y = 0 then 0 else x mod y) a.(3) a.(4))
+  | 11 (* neg_f *) -> -.v a.(1)
+  | 12 (* neg_i *) -> float_of_int (bwrap (-int_of_float (v a.(1))) a.(2) a.(3))
+  | 13 (* abs_f *) -> Float.abs (v a.(1))
+  | 14 (* abs_i *) -> float_of_int (bwrap (Int.abs (int_of_float (v a.(1)))) a.(2) a.(3))
+  | 15 (* not *) -> if v a.(1) <> 0.0 then 0.0 else 1.0
+  | 16 (* to_bool *) -> if v a.(1) <> 0.0 then 1.0 else 0.0
+  | 17 (* round_f32 *) -> Value.normalize_float Dtype.Float32 (v a.(1))
+  | 18 (* f2i_sat *) ->
+    let f = v a.(1) in
+    if Float.is_nan f then 0.0
+    else begin
+      let t = Float.trunc f in
+      let lo = v a.(2) and hi = v a.(3) in
+      if t <= lo then lo else if t >= hi then hi else t
+    end
+  | 19 (* wrap_i *) -> float_of_int (bwrap (int_of_float (v a.(1))) a.(2) a.(3))
+  | 20 (* floor *) -> Float.floor (v a.(1))
+  | 21 (* ceil *) -> Float.ceil (v a.(1))
+  | 22 (* round *) -> Float.round (v a.(1))
+  | 23 (* trunc *) -> Float.trunc (v a.(1))
+  | 24 (* exp *) ->
+    let r = Float.exp (v a.(1)) in
+    if Float.is_nan r then 0.0 else r
+  | 25 (* log *) ->
+    let x = v a.(1) in
+    if x <= 0.0 then 0.0 else Float.log x
+  | 26 (* log10 *) ->
+    let x = v a.(1) in
+    if x <= 0.0 then 0.0 else Float.log10 x
+  | 27 (* sqrt *) ->
+    let x = v a.(1) in
+    if x < 0.0 then 0.0 else Float.sqrt x
+  | 28 (* sin *) ->
+    let r = Float.sin (v a.(1)) in
+    if Float.is_nan r then 0.0 else r
+  | 29 (* cos *) ->
+    let r = Float.cos (v a.(1)) in
+    if Float.is_nan r then 0.0 else r
+  | 30 (* cmp_eq *) -> if v a.(1) = v a.(2) then 1.0 else 0.0
+  | 31 (* cmp_ne *) -> if v a.(1) <> v a.(2) then 1.0 else 0.0
+  | 32 (* cmp_lt *) -> if v a.(1) < v a.(2) then 1.0 else 0.0
+  | 33 (* cmp_le *) -> if v a.(1) <= v a.(2) then 1.0 else 0.0
+  | 34 (* cmp_gt *) -> if v a.(1) > v a.(2) then 1.0 else 0.0
+  | 35 (* cmp_ge *) -> if v a.(1) >= v a.(2) then 1.0 else 0.0
+  | 36 (* and *) -> if v a.(1) <> 0.0 && v a.(2) <> 0.0 then 1.0 else 0.0
+  | 37 (* or *) -> if v a.(1) <> 0.0 || v a.(2) <> 0.0 then 1.0 else 0.0
+  | 38 (* select *) -> if v a.(1) <> 0.0 then v a.(2) else v a.(3)
+  | 54 (* add_f32 *) -> Value.normalize_float Dtype.Float32 (v a.(1) +. v a.(2))
+  | 55 (* sub_f32 *) -> Value.normalize_float Dtype.Float32 (v a.(1) -. v a.(2))
+  | 56 (* mul_f32 *) -> Value.normalize_float Dtype.Float32 (v a.(1) *. v a.(2))
+  | 57 (* div_f32 *) ->
+    let y = v a.(2) in
+    Value.normalize_float Dtype.Float32 (if y = 0.0 then 0.0 else v a.(1) /. y)
+  | _ -> assert false
+
+(* ops whose result is known to be exactly 0.0 or 1.0 *)
+let produces_bool op =
+  op = L.op_not || op = L.op_to_bool
+  || (op >= L.op_cmp_eq && op <= L.op_cmp_ge)
+  || op = L.op_and || op = L.op_or
+
+(* --- pass: constant folding + propagation ------------------------- *)
+
+(* Straight-line within basic blocks: per-register known values (and
+   known-boolean facts) are tracked from each leader. Fully-known pure
+   ops become MOVs from a (possibly new) pool register; selects and
+   conditional jumps with a known condition are resolved. Saturation
+   bounds (f2i_sat's lo/hi) are register operands from the pool, so
+   they participate as ordinary known values — folding goes through
+   the same clamp the VM would apply rather than a naive conversion. *)
+let const_prop_pass ~pool ~const_base insts =
+  let changed = ref false in
+  let leaders = compute_leaders insts in
+  let known : (int, float) Hashtbl.t = Hashtbl.create 32 in
+  let boolv : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let getv r =
+    if r >= const_base then Some (pool_get pool (r - const_base)) else Hashtbl.find_opt known r
+  in
+  let is_bool r =
+    Hashtbl.mem boolv r
+    || match getv r with Some f -> f = 0.0 || f = 1.0 | None -> false
+  in
+  let n = Array.length insts in
+  for i = 0 to n - 1 do
+    if leaders.(i) then begin
+      Hashtbl.reset known;
+      Hashtbl.reset boolv
+    end;
+    let b = insts.(i) in
+    if not b.b_dead then begin
+      let sh = shapes.(b.b_op) in
+      if sh.s_dst then begin
+        let dst = b.b_args.(0) in
+        let all_known =
+          Array.for_all (fun slot -> getv b.b_args.(slot - 1) <> None) sh.s_srcs
+        in
+        (* target-bearing writes (mov.jmp) transfer control: folding
+           them to a plain MOV would drop the jump *)
+        if all_known && sh.s_target < 0 then begin
+          let value =
+            eval_pure b.b_op b.b_args (fun r ->
+                match getv r with Some f -> f | None -> assert false)
+          in
+          (if b.b_op = L.op_mov && b.b_args.(1) >= const_base then ()
+           else begin
+             let creg = const_base + pool_find pool value in
+             b.b_op <- L.op_mov;
+             b.b_args <- [| dst; creg |];
+             changed := true
+           end);
+          Hashtbl.replace known dst value;
+          Hashtbl.remove boolv dst
+        end
+        else begin
+          (* partial knowledge: resolve selects with a known condition,
+             collapse to_bool of an already-boolean source *)
+          (if b.b_op = L.op_select then begin
+             match getv b.b_args.(1) with
+             | Some c ->
+               let src = if c <> 0.0 then b.b_args.(2) else b.b_args.(3) in
+               b.b_op <- L.op_mov;
+               b.b_args <- [| dst; src |];
+               changed := true
+             | None -> ()
+           end
+           else if b.b_op = L.op_to_bool && is_bool b.b_args.(1) then begin
+             b.b_op <- L.op_mov;
+             b.b_args <- [| dst; b.b_args.(1) |];
+             changed := true
+           end);
+          Hashtbl.remove known dst;
+          if produces_bool b.b_op || (b.b_op = L.op_mov && is_bool b.b_args.(1)) then
+            Hashtbl.replace boolv dst ()
+          else Hashtbl.remove boolv dst
+        end
+      end
+      else if b.b_op = L.op_jz then begin
+        match getv b.b_args.(0) with
+        | Some c ->
+          if c = 0.0 then begin
+            (* always taken *)
+            b.b_op <- L.op_jmp;
+            b.b_args <- [| 0 |]
+          end
+          else b.b_dead <- true (* never taken *);
+          changed := true
+        | None -> ()
+      end
+    end
+  done;
+  !changed
+
+(* --- pass: copy propagation + move elimination -------------------- *)
+
+let copy_prop_pass insts =
+  let changed = ref false in
+  let leaders = compute_leaders insts in
+  (* dst -> root source register currently holding the same value;
+     stored roots are themselves unmapped, so one lookup resolves *)
+  let copy : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let resolve r = match Hashtbl.find_opt copy r with Some s -> s | None -> r in
+  let n = Array.length insts in
+  for i = 0 to n - 1 do
+    if leaders.(i) then Hashtbl.reset copy;
+    let b = insts.(i) in
+    if not b.b_dead then begin
+      let sh = shapes.(b.b_op) in
+      Array.iter
+        (fun slot ->
+          let k = slot - 1 in
+          let r = b.b_args.(k) in
+          let r' = resolve r in
+          if r' <> r then begin
+            b.b_args.(k) <- r';
+            changed := true
+          end)
+        sh.s_srcs;
+      if sh.s_dst then begin
+        let dst = b.b_args.(0) in
+        Hashtbl.remove copy dst;
+        let stale = Hashtbl.fold (fun d s acc -> if s = dst then d :: acc else acc) copy [] in
+        List.iter (Hashtbl.remove copy) stale;
+        if b.b_op = L.op_mov then begin
+          let src = b.b_args.(1) in
+          if src = dst then begin
+            b.b_dead <- true;
+            changed := true
+          end
+          else Hashtbl.replace copy dst src
+        end
+      end
+    end
+  done;
+  !changed
+
+(* --- pass: unreachable-code elimination --------------------------- *)
+
+let successors insts i =
+  let b = insts.(i) in
+  if b.b_op = L.op_halt then []
+  else if is_uncond_jump b.b_op then [ first_live insts b.b_target ]
+  else if is_cond_jump b.b_op then [ first_live insts b.b_target; next_live insts i ]
+  else [ next_live insts i ]
+
+let unreachable_pass insts =
+  let n = Array.length insts in
+  let visited = Array.make n false in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs (successors insts i)
+    end
+  in
+  dfs (first_live insts 0);
+  let changed = ref false in
+  for i = 0 to n - 2 (* keep the final HALT *) do
+    if (not insts.(i).b_dead) && not visited.(i) then begin
+      insts.(i).b_dead <- true;
+      changed := true
+    end
+  done;
+  !changed
+
+(* --- liveness + dead-write elimination ---------------------------- *)
+
+(* Per-instruction backward dataflow over the runtime registers
+   (r < const_base; pool registers are read-only and excluded). Roots
+   at HALT are the caller-supplied [roots] bytes. [reads_of] yields
+   the registers an instruction reads, including the branch-hook
+   expressions' hidden variable reads. Returns [live_in] (the driver
+   roots block ends on the step block's entry set) and [live_out] per
+   instruction (for the fusion pass). *)
+let compute_liveness insts ~nbytes ~roots ~reads_of =
+  let n = Array.length insts in
+  let live_in = Array.init n (fun _ -> Bytes.make nbytes '\000') in
+  let out = Bytes.create nbytes in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let b = insts.(i) in
+      if not b.b_dead then begin
+        if b.b_op = L.op_halt then Bytes.blit roots 0 out 0 nbytes
+        else begin
+          Bytes.fill out 0 nbytes '\000';
+          List.iter
+            (fun s ->
+              let src = live_in.(s) in
+              for k = 0 to nbytes - 1 do
+                if Bytes.unsafe_get src k <> '\000' then Bytes.unsafe_set out k '\001'
+              done)
+            (successors insts i)
+        end;
+        if shapes.(b.b_op).s_dst then Bytes.set out b.b_args.(0) '\000';
+        List.iter (fun r -> if r < nbytes then Bytes.set out r '\001') (reads_of b);
+        if not (Bytes.equal out live_in.(i)) then begin
+          Bytes.blit out 0 live_in.(i) 0 nbytes;
+          changed := true
+        end
+      end
+    done
+  done;
+  (* live_out per instruction, for fusion *)
+  let live_out = Array.init n (fun _ -> Bytes.make nbytes '\000') in
+  for i = 0 to n - 1 do
+    let b = insts.(i) in
+    if not b.b_dead then
+      if b.b_op = L.op_halt then Bytes.blit roots 0 live_out.(i) 0 nbytes
+      else
+        List.iter
+          (fun s ->
+            let src = live_in.(s) in
+            let dst = live_out.(i) in
+            for k = 0 to nbytes - 1 do
+              if Bytes.unsafe_get src k <> '\000' then Bytes.unsafe_set dst k '\001'
+            done)
+          (successors insts i)
+  done;
+  (live_in, live_out)
+
+let dce_pass insts ~nbytes ~roots ~reads_of =
+  let _, live_out = compute_liveness insts ~nbytes ~roots ~reads_of in
+  let changed = ref false in
+  Array.iteri
+    (fun i b ->
+      (* target-bearing writes (mov.jmp) transfer control and must
+         stay even when the written register is dead *)
+      if (not b.b_dead) && shapes.(b.b_op).s_dst && shapes.(b.b_op).s_target < 0 then begin
+        let dst = b.b_args.(0) in
+        if Bytes.get live_out.(i) dst = '\000' then begin
+          b.b_dead <- true;
+          changed := true
+        end
+      end)
+    insts;
+  !changed
+
+(* --- pass: jump threading ----------------------------------------- *)
+
+let thread_pass insts =
+  let changed = ref false in
+  let n = Array.length insts in
+  (* follow jmp chains (cycle-guarded; generated code is acyclic but
+     be safe) to the final destination index *)
+  let resolve t =
+    let seen = Hashtbl.create 4 in
+    let rec go j =
+      let j = first_live insts j in
+      if insts.(j).b_op = L.op_jmp && not (Hashtbl.mem seen j) then begin
+        Hashtbl.replace seen j ();
+        go insts.(j).b_target
+      end
+      else j
+    in
+    go t
+  in
+  for i = 0 to n - 1 do
+    let b = insts.(i) in
+    if (not b.b_dead) && b.b_target >= 0 then begin
+      let t' = resolve b.b_target in
+      if first_live insts b.b_target <> t' then begin
+        b.b_target <- t';
+        changed := true
+      end;
+      let fallthrough = next_live insts i in
+      if t' = fallthrough then begin
+        (* a branch to the fall-through is a no-op — but the fused
+           forms carry a side effect that must survive as the unfused
+           instruction *)
+        if b.b_op = L.op_probe_jmp then begin
+          b.b_op <- L.op_probe;
+          b.b_args <- [| b.b_args.(0) |];
+          b.b_target <- -1
+        end
+        else if b.b_op = L.op_mov_jmp then begin
+          b.b_op <- L.op_mov;
+          b.b_args <- [| b.b_args.(0); b.b_args.(1) |];
+          b.b_target <- -1
+        end
+        else b.b_dead <- true;
+        changed := true
+      end
+      else if b.b_op = L.op_jmp && insts.(t').b_op = L.op_halt then begin
+        b.b_op <- L.op_halt;
+        b.b_args <- [||];
+        b.b_target <- -1;
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+(* --- pass: superinstruction fusion -------------------------------- *)
+
+let fused_of_cmp op =
+  if op = L.op_cmp_eq then L.op_jeq
+  else if op = L.op_cmp_ne then L.op_jne
+  else if op = L.op_cmp_lt then L.op_jlt
+  else if op = L.op_cmp_le then L.op_jle
+  else if op = L.op_cmp_gt then L.op_jgt
+  else L.op_jge
+
+let fused_of_arith op =
+  if op = L.op_add_f then L.op_add_f32
+  else if op = L.op_sub_f then L.op_sub_f32
+  else if op = L.op_mul_f then L.op_mul_f32
+  else L.op_div_f32
+
+let fuse_pass insts ~nbytes ~roots ~reads_of =
+  let _, live_out = compute_liveness insts ~nbytes ~roots ~reads_of in
+  let leaders = compute_leaders insts in
+  let changed = ref false in
+  let n = Array.length insts in
+  for i = 0 to n - 2 do
+    let b = insts.(i) in
+    if not b.b_dead then begin
+      let j = next_live insts i in
+      let f = insts.(j) in
+      let dst = if shapes.(b.b_op).s_dst then b.b_args.(0) else -1 in
+      (* a jump into the middle of the pair would skip the first half *)
+      let adjacent = j < n && not leaders.(j) in
+      if
+        adjacent && b.b_op >= L.op_cmp_eq && b.b_op <= L.op_cmp_ge
+        && f.b_op = L.op_jz && f.b_args.(0) = dst
+        && Bytes.get live_out.(j) dst = '\000'
+      then begin
+        b.b_op <- fused_of_cmp b.b_op;
+        b.b_args <- [| b.b_args.(1); b.b_args.(2); 0 |];
+        b.b_target <- f.b_target;
+        f.b_dead <- true;
+        changed := true
+      end
+      else if
+        adjacent && b.b_op = L.op_not && f.b_op = L.op_jz && f.b_args.(0) = dst
+        && Bytes.get live_out.(j) dst = '\000'
+      then begin
+        (* not t, s; jz t, L  ==  jump to L when s <> 0 *)
+        b.b_op <- L.op_jnz;
+        b.b_args <- [| b.b_args.(1); 0 |];
+        b.b_target <- f.b_target;
+        f.b_dead <- true;
+        changed := true
+      end
+      else if
+        adjacent && b.b_op >= L.op_add_f && b.b_op <= L.op_div_f
+        && f.b_op = L.op_round_f32 && f.b_args.(1) = dst
+        && (f.b_args.(0) = dst || Bytes.get live_out.(j) dst = '\000')
+      then begin
+        b.b_op <- fused_of_arith b.b_op;
+        b.b_args <- [| f.b_args.(0); b.b_args.(1); b.b_args.(2) |];
+        f.b_dead <- true;
+        changed := true
+      end
+      else if adjacent && b.b_op = L.op_probe && f.b_op = L.op_jmp then begin
+        b.b_op <- L.op_probe_jmp;
+        b.b_args <- [| b.b_args.(0); 0 |];
+        b.b_target <- f.b_target;
+        f.b_dead <- true;
+        changed := true
+      end
+      else if adjacent && b.b_op = L.op_mov && f.b_op = L.op_jmp then begin
+        b.b_op <- L.op_mov_jmp;
+        b.b_args <- [| b.b_args.(0); b.b_args.(1); 0 |];
+        b.b_target <- f.b_target;
+        f.b_dead <- true;
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+(* --- encode ------------------------------------------------------- *)
+
+let encode insts =
+  let n = Array.length insts in
+  let pcs = Array.make n (-1) in
+  let pc = ref 0 in
+  for i = 0 to n - 1 do
+    if not insts.(i).b_dead then begin
+      pcs.(i) <- !pc;
+      pc := !pc + shapes.(insts.(i).b_op).s_size
+    end
+  done;
+  let code = Array.make !pc 0 in
+  for i = 0 to n - 1 do
+    let b = insts.(i) in
+    if not b.b_dead then begin
+      let sh = shapes.(b.b_op) in
+      let at = pcs.(i) in
+      code.(at) <- b.b_op;
+      Array.blit b.b_args 0 code (at + 1) (sh.s_size - 1);
+      if sh.s_target >= 0 then code.(at + sh.s_target) <- pcs.(first_live insts b.b_target)
+    end
+  done;
+  code
+
+(* --- driver ------------------------------------------------------- *)
+
+let optimize_bytecode (lin : L.t) : L.t =
+  let const_base = lin.L.l_const_base in
+  let prog = lin.L.l_prog in
+  let nbytes = max const_base 1 in
+  let pool = pool_of lin.L.l_consts in
+  let hook_reads = Array.map (fun e -> expr_reads [] e) lin.L.l_ifs in
+  let reads_of b =
+    let sh = shapes.(b.b_op) in
+    let acc = ref [] in
+    Array.iter (fun slot -> acc := b.b_args.(slot - 1) :: !acc) sh.s_srcs;
+    if b.b_op = L.op_branch_h then acc := hook_reads.(b.b_args.(0)) @ !acc;
+    !acc
+  in
+  let init_i = decode lin.L.l_init in
+  let step_i = decode lin.L.l_step in
+  (* DCE roots at block end: I/O and state variables, plus whatever
+     the next step iteration reads before writing — the entry-live set
+     of the current step code, taken to a fixpoint since rooting a
+     register can extend liveness back to the entry. Branch-hook
+     distance expressions read registers at dispatch time, which
+     [reads_of] charges to the branch_h instruction, so they need no
+     separate rooting. After both init and step the next thing to run
+     is step, so the same set roots both blocks. *)
+  let base_roots = Bytes.make nbytes '\000' in
+  let add_var (v : Ir.var) =
+    if v.Ir.vid < nbytes then Bytes.set base_roots v.Ir.vid '\001'
+  in
+  Array.iter add_var prog.Ir.inputs;
+  Array.iter add_var prog.Ir.outputs;
+  Array.iter add_var prog.Ir.states;
+  let compute_roots () =
+    let roots = Bytes.copy base_roots in
+    let rec grow () =
+      let live_in, _ = compute_liveness step_i ~nbytes ~roots ~reads_of in
+      let entry = live_in.(first_live step_i 0) in
+      let grew = ref false in
+      for k = 0 to nbytes - 1 do
+        if Bytes.get entry k <> '\000' && Bytes.get roots k = '\000' then begin
+          Bytes.set roots k '\001';
+          grew := true
+        end
+      done;
+      if !grew then grow ()
+    in
+    grow ();
+    roots
+  in
+  let run_passes insts roots =
+    let c1 = const_prop_pass ~pool ~const_base insts in
+    let c2 = copy_prop_pass insts in
+    let c3 = unreachable_pass insts in
+    let c4 = dce_pass insts ~nbytes ~roots ~reads_of in
+    let c5 = thread_pass insts in
+    c1 || c2 || c3 || c4 || c5
+  in
+  (* run to a fixpoint: simplify, fuse, then — because fusion and
+     shrinking code can both expose more work (and shrink the root
+     set) — repeat until a whole cycle changes nothing. The bound is a
+     backstop; real models settle in two or three cycles. Reaching the
+     fixpoint makes optimize_bytecode idempotent. *)
+  let rec cycles k roots =
+    if k > 0 then begin
+      let rec rounds j =
+        if j > 0 then begin
+          let a = run_passes init_i roots in
+          let b = run_passes step_i roots in
+          if a || b then rounds (j - 1)
+        end
+      in
+      rounds 8;
+      let fa = fuse_pass init_i ~nbytes ~roots ~reads_of in
+      let fb = fuse_pass step_i ~nbytes ~roots ~reads_of in
+      if fa then ignore (thread_pass init_i);
+      if fb then ignore (thread_pass step_i);
+      let roots' = compute_roots () in
+      if fa || fb || not (Bytes.equal roots' roots) then cycles (k - 1) roots'
+    end
+  in
+  cycles 10 (compute_roots ());
+  (* compact the constant pool to the registers the surviving code
+     actually references *)
+  let used = Array.make (max pool.p_n 1) (-1) in
+  let n_used = ref 0 in
+  let note_reads insts =
+    Array.iter
+      (fun b ->
+        if not b.b_dead then
+          Array.iter
+            (fun slot ->
+              let r = b.b_args.(slot - 1) in
+              if r >= const_base then begin
+                let ix = r - const_base in
+                if used.(ix) < 0 then begin
+                  used.(ix) <- !n_used;
+                  incr n_used
+                end
+              end)
+            shapes.(b.b_op).s_srcs)
+      insts
+  in
+  note_reads init_i;
+  note_reads step_i;
+  let consts' = Array.make !n_used 0.0 in
+  Array.iteri (fun old_ix new_ix -> if new_ix >= 0 then consts'.(new_ix) <- pool_get pool old_ix) used;
+  let remap insts =
+    Array.iter
+      (fun b ->
+        if not b.b_dead then
+          Array.iter
+            (fun slot ->
+              let k = slot - 1 in
+              let r = b.b_args.(k) in
+              if r >= const_base then b.b_args.(k) <- const_base + used.(r - const_base))
+            shapes.(b.b_op).s_srcs)
+      insts
+  in
+  remap init_i;
+  remap step_i;
+  {
+    lin with
+    L.l_init = encode init_i;
+    l_step = encode step_i;
+    l_n_regs = const_base + !n_used;
+    l_consts = consts';
+  }
+
+(* --- instruction counting + disassembly --------------------------- *)
+
+let static_count (lin : L.t) =
+  let count code =
+    let rec go i n = if i >= Array.length code then n else go (i + shapes.(code.(i)).s_size) (n + 1) in
+    go 0 0
+  in
+  count lin.L.l_init + count lin.L.l_step
+
+(* Reference interpreter over the decoded form: executes init plus one
+   step per input row (raw floats per inport, in port order) and
+   counts every instruction dispatched. Instrumentation ops count as
+   one dispatch and are otherwise skipped. Used by `bench speed` to
+   report the dynamic instruction-count reduction. *)
+let dynamic_count (lin : L.t) (rows : float array array) : int =
+  let regs = Array.make (max lin.L.l_n_regs 1) 0.0 in
+  let count = ref 0 in
+  let run insts =
+    let rec go i =
+      let b = insts.(i) in
+      incr count;
+      let op = b.b_op in
+      if op = L.op_halt then ()
+      else if op = L.op_jmp || op = L.op_probe_jmp then go b.b_target
+      else if op = L.op_mov_jmp then begin
+        regs.(b.b_args.(0)) <- regs.(b.b_args.(1));
+        go b.b_target
+      end
+      else if op = L.op_jz then
+        if regs.(b.b_args.(0)) = 0.0 then go b.b_target else go (i + 1)
+      else if op = L.op_jnz then
+        if regs.(b.b_args.(0)) <> 0.0 then go b.b_target else go (i + 1)
+      else if op >= L.op_jlt && op <= L.op_jge then begin
+        let x = regs.(b.b_args.(0)) and y = regs.(b.b_args.(1)) in
+        let holds =
+          if op = L.op_jlt then x < y
+          else if op = L.op_jle then x <= y
+          else if op = L.op_jeq then x = y
+          else if op = L.op_jne then x <> y
+          else if op = L.op_jgt then x > y
+          else x >= y
+        in
+        if holds then go (i + 1) else go b.b_target
+      end
+      else if shapes.(op).s_dst then begin
+        regs.(b.b_args.(0)) <- eval_pure op b.b_args (fun r -> regs.(r));
+        go (i + 1)
+      end
+      else go (i + 1) (* probe / cond / decision / branch hook *)
+    in
+    go 0
+  in
+  let init_i = decode lin.L.l_init and step_i = decode lin.L.l_step in
+  Array.fill regs 0 (Array.length regs) 0.0;
+  Array.blit lin.L.l_consts 0 regs lin.L.l_const_base (Array.length lin.L.l_consts);
+  run init_i;
+  let inputs = lin.L.l_prog.Ir.inputs in
+  Array.iter
+    (fun row ->
+      Array.iteri (fun k f -> regs.(inputs.(k).Ir.vid) <- f) row;
+      run step_i)
+    rows;
+  !count
+
+let opcode_histogram (lin : L.t) =
+  let h = Array.make L.n_opcodes 0 in
+  let scan code =
+    let rec go i =
+      if i < Array.length code then begin
+        h.(code.(i)) <- h.(code.(i)) + 1;
+        go (i + shapes.(code.(i)).s_size)
+      end
+    in
+    go 0
+  in
+  scan lin.L.l_init;
+  scan lin.L.l_step;
+  h
+
+let disassemble (lin : L.t) =
+  let buf = Buffer.create 1024 in
+  let const_base = lin.L.l_const_base in
+  let block name code =
+    Buffer.add_string buf (name ^ ":\n");
+    let rec go i =
+      if i < Array.length code then begin
+        let sh = shapes.(code.(i)) in
+        Buffer.add_string buf (Printf.sprintf "%5d: %-10s" i sh.s_name);
+        for slot = 1 to sh.s_size - 1 do
+          let v = code.(i + slot) in
+          let s =
+            if slot = sh.s_target then Printf.sprintf "-> %d" v
+            else if (slot = 1 && sh.s_dst) || Array.exists (( = ) slot) sh.s_srcs then
+              if v >= const_base then
+                Printf.sprintf "k%d(%g)" (v - const_base) lin.L.l_consts.(v - const_base)
+              else Printf.sprintf "r%d" v
+            else string_of_int v (* immediate: mask / half / probe id / … *)
+          in
+          Buffer.add_string buf (if slot = 1 then " " ^ s else ", " ^ s)
+        done;
+        Buffer.add_char buf '\n';
+        go (i + sh.s_size)
+      end
+    in
+    go 0
+  in
+  block "init" lin.L.l_init;
+  block "step" lin.L.l_step;
+  Buffer.contents buf

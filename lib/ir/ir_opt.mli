@@ -30,3 +30,67 @@ val optimize : Ir.program -> Ir.program
 
 val stats : Ir.program -> Ir.program -> string
 (** Human-readable before/after statement counts. *)
+
+(** {1 Bytecode optimizer}
+
+    A second pass pipeline over {!Ir_linearize} bytecode, run by
+    {!Ir_vm.compile} (default on; [?optimize:false] or the CLI
+    [--no-opt] disables it). The tree passes above cannot see
+    linearization artifacts; these rewrite the instruction stream:
+
+    + {b constant folding + propagation} through the register file —
+      fully-known pure ops collapse to a MOV from the (deduplicated)
+      constant pool, selects and conditional jumps with known
+      conditions are resolved. Folding evaluates with the exact VM
+      arm formulas — including the saturation bounds [f2i_sat] reads
+      from pool registers, integer wrap masks, division guards and
+      float32 rounding — so a naive "just compute it" fold can never
+      diverge from runtime behaviour;
+    + {b copy propagation / move elimination} within basic blocks;
+    + {b unreachable-code elimination};
+    + {b dead-register-write elimination} — roots are probe / cond /
+      decision / branch-hook instructions (never removed), jumps, and
+      at block end the I/O + state variables plus the entry-live set
+      of the step block (whatever the next iteration reads before
+      writing — exact cross-iteration and init->step dataflow). The
+      hidden variable reads of branch-hook distance expressions are
+      charged to their branch-hook instruction;
+    + {b jump threading} — branch-to-branch chains are shortcut,
+      jumps to the fall-through are elided, jumps to HALT become
+      HALT;
+    + {b superinstruction fusion} — [cmp_*; jz] pairs whose compare
+      register dies become fused compare-and-jump opcodes
+      ([op_jlt]..[op_jge]), [not; jz] becomes [op_jnz], float32
+      [arith; round_f32] pairs become [op_*_f32], and branch-arm
+      tails [probe; jmp] / [mov; jmp] become [op_probe_jmp] /
+      [op_mov_jmp].
+
+    The pipeline iterates simplify-then-fuse cycles until a whole
+    cycle changes nothing, so [optimize_bytecode] is idempotent.
+
+    The optimized program is bit-identical in observable behaviour
+    (outputs, states, probe sets, hook events) to the unoptimized
+    bytecode — enforced by the differential suite. Registers of
+    scratch variables (anything outside I/O + states) may hold stale
+    values afterwards; [Ir_vm.get_var] / [read_raw] on them is only
+    meaningful with the optimizer off. *)
+
+val optimize_bytecode : Ir_linearize.t -> Ir_linearize.t
+
+val static_count : Ir_linearize.t -> int
+(** Number of instructions (init + step) — counts instructions, not
+    int slots like {!Ir_linearize.code_size}. *)
+
+val dynamic_count : Ir_linearize.t -> float array array -> int
+(** [dynamic_count lin rows] executes init plus one step per row on a
+    reference interpreter and returns the number of instructions
+    dispatched. Each row holds the raw float per inport (in port
+    order, as fed to [Ir_vm.set_input_raw]). *)
+
+val opcode_histogram : Ir_linearize.t -> int array
+(** Instruction count per opcode (init + step), indexed by opcode
+    number; length {!Ir_linearize.n_opcodes}. *)
+
+val disassemble : Ir_linearize.t -> string
+(** Human-readable listing of both blocks; constants print as
+    [kN(value)], jump targets as [-> pc]. *)

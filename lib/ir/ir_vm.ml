@@ -33,7 +33,7 @@ let clear_probes p =
   done;
   p.p_n <- 0
 
-let compile ?(hooks = Hooks.none) (prog : Ir.program) =
+let compile ?(hooks = Hooks.none) ?(optimize = true) (prog : Ir.program) =
   let instrument =
     {
       Ir_linearize.probe_hook = Option.is_some hooks.Hooks.on_probe;
@@ -43,6 +43,7 @@ let compile ?(hooks = Hooks.none) (prog : Ir.program) =
     }
   in
   let lin = Ir_linearize.linearize ~instrument prog in
+  let lin = if optimize then Ir_opt.optimize_bytecode lin else lin in
   let regs = Array.make (max lin.Ir_linearize.l_n_regs 1) 0.0 in
   let branch_hooks =
     match hooks.Hooks.on_branch with
@@ -77,7 +78,7 @@ let[@inline] wrap n mask half =
   let m = n land mask in
   if m >= half then m - (mask + 1) else m
 
-(* Opcode numbers match Ir_linearize.op_* (dense 0..46, so the match
+(* Opcode numbers match Ir_linearize.op_* (dense 0..59, so the match
    compiles to a jump table). All register and code accesses are
    unsafe: the linearizer only ever emits in-range indices, and every
    block ends in HALT so dispatch needs no bounds check — each arm
@@ -399,6 +400,93 @@ let exec vm code =
         (Array.unsafe_get regs (Array.unsafe_get code (i + 2)) <> 0.0);
       go (i + 3)
     | 46 (* halt *) -> ()
+    (* superinstructions 47..57, emitted only by Ir_opt's fusion pass.
+       The compare-and-jump arms take the branch when the comparison
+       is FALSE — exactly what the replaced [cmp_*; jz] pair did,
+       including the NaN behaviour (any ordered compare with NaN is
+       false, so a NaN operand always branches). *)
+    | 47 (* jlt *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        < Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then go (i + 4)
+      else go (Array.unsafe_get code (i + 3))
+    | 48 (* jle *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        <= Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then go (i + 4)
+      else go (Array.unsafe_get code (i + 3))
+    | 49 (* jeq *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        = Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then go (i + 4)
+      else go (Array.unsafe_get code (i + 3))
+    | 50 (* jne *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        <> Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then go (i + 4)
+      else go (Array.unsafe_get code (i + 3))
+    | 51 (* jgt *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        > Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then go (i + 4)
+      else go (Array.unsafe_get code (i + 3))
+    | 52 (* jge *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        >= Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then go (i + 4)
+      else go (Array.unsafe_get code (i + 3))
+    | 53 (* jnz *) ->
+      if Array.unsafe_get regs (Array.unsafe_get code (i + 1)) <> 0.0 then
+        go (Array.unsafe_get code (i + 2))
+      else go (i + 3)
+    | 54 (* add_f32 *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Value.normalize_float Dtype.Float32
+           (Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+           +. Array.unsafe_get regs (Array.unsafe_get code (i + 3))));
+      go (i + 4)
+    | 55 (* sub_f32 *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Value.normalize_float Dtype.Float32
+           (Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+           -. Array.unsafe_get regs (Array.unsafe_get code (i + 3))));
+      go (i + 4)
+    | 56 (* mul_f32 *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Value.normalize_float Dtype.Float32
+           (Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+           *. Array.unsafe_get regs (Array.unsafe_get code (i + 3))));
+      go (i + 4)
+    | 57 (* div_f32 *) ->
+      let y = Array.unsafe_get regs (Array.unsafe_get code (i + 3)) in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Value.normalize_float Dtype.Float32
+           (if y = 0.0 then 0.0
+            else Array.unsafe_get regs (Array.unsafe_get code (i + 2)) /. y));
+      go (i + 4)
+    | 58 (* probe + jmp *) ->
+      let id = Array.unsafe_get code (i + 1) in
+      if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+        Bytes.unsafe_set pb.p_fired id '\001';
+        Array.unsafe_set pb.p_dirty pb.p_n id;
+        pb.p_n <- pb.p_n + 1
+      end;
+      go (Array.unsafe_get code (i + 2))
+    | 59 (* mov + jmp *) ->
+      Array.unsafe_set regs
+        (Array.unsafe_get code (i + 1))
+        (Array.unsafe_get regs (Array.unsafe_get code (i + 2)));
+      go (Array.unsafe_get code (i + 3))
     | _ -> assert false
   in
   go 0

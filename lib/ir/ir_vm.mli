@@ -26,12 +26,18 @@ type probes = private {
 
 type t
 
-val compile : ?hooks:Hooks.t -> Ir.program -> t
+val compile : ?hooks:Hooks.t -> ?optimize:bool -> Ir.program -> t
 (** Linearizes and prepares the program. Instrumentation bytecode is
     emitted only for the hooks that are present ([on_probe] adds a
     hook call on top of the always-on buffer write). The returned
     instance owns its register file and probe buffer; compile again
-    for an independent instance. *)
+    for an independent instance.
+
+    [optimize] (default [true]) runs {!Ir_opt.optimize_bytecode} on
+    the linearized code. Observable behaviour — outputs, states,
+    probe sets, hook events — is unchanged; with it on, [get_var] /
+    [read_raw] of scratch variables outside the I/O + state + read
+    set may see stale values. *)
 
 val program : t -> Ir.program
 

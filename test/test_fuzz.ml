@@ -40,6 +40,37 @@ let test_field_roundtrip () =
   Alcotest.(check int) "other tuple untouched" 0
     (Value.to_int (Layout.field_value l data ~tuple:0 ~field:2))
 
+let test_layout_candidate_caches () =
+  (* the cached index arrays must agree with the dtype predicate and
+     survive with_ranges (ranges never change dtypes) *)
+  let check l =
+    Array.iter
+      (fun i -> Alcotest.(check bool) "int candidate" false (Dtype.is_float l.Layout.fields.(i).Layout.f_ty))
+      l.Layout.int_fields;
+    Array.iter
+      (fun i -> Alcotest.(check bool) "float candidate" true (Dtype.is_float l.Layout.fields.(i).Layout.f_ty))
+      l.Layout.float_fields;
+    Alcotest.(check int) "caches partition the fields"
+      (Array.length l.Layout.fields)
+      (Array.length l.Layout.int_fields + Array.length l.Layout.float_fields)
+  in
+  let l = mixed_layout () in
+  check l;
+  let ranged = Layout.with_ranges l [ ("u16", 0.0, 100.0) ] in
+  check ranged;
+  Alcotest.(check bool) "int cache carried across with_ranges" true
+    (ranged.Layout.int_fields == l.Layout.int_fields)
+
+let test_truncate_tuples_zero_copy () =
+  let l = sample_layout () in
+  let aligned = Bytes.create (3 * l.Layout.tuple_len) in
+  Alcotest.(check bool) "aligned input returned physically unchanged" true
+    (Mutate.truncate_tuples l aligned == aligned);
+  let ragged = Bytes.create ((2 * l.Layout.tuple_len) + 3) in
+  let out = Mutate.truncate_tuples l ragged in
+  Alcotest.(check bool) "ragged input copied" true (out != ragged);
+  Alcotest.(check int) "ragged tail dropped" (2 * l.Layout.tuple_len) (Bytes.length out)
+
 let test_strategy_names_unique () =
   let names = Array.to_list (Array.map Mutate.strategy_name Mutate.all_strategies) in
   Alcotest.(check int) "eight strategies (Table 1)" 8 (List.length names);
@@ -212,7 +243,9 @@ let suites =
   [ ( "fuzz.layout",
       [ Alcotest.test_case "offsets" `Quick test_layout_offsets;
         Alcotest.test_case "trailing discard" `Quick test_layout_trailing_discard;
-        Alcotest.test_case "field roundtrip" `Quick test_field_roundtrip ] );
+        Alcotest.test_case "field roundtrip" `Quick test_field_roundtrip;
+        Alcotest.test_case "candidate caches" `Quick test_layout_candidate_caches;
+        Alcotest.test_case "truncate is zero-copy" `Quick test_truncate_tuples_zero_copy ] );
     ( "fuzz.mutate",
       [ Alcotest.test_case "eight strategies" `Quick test_strategy_names_unique;
         Alcotest.test_case "erase shrinks" `Quick test_erase_shrinks;

@@ -155,6 +155,234 @@ let test_optimizer_shrinks_bench_models () =
         (Ir.stmt_count opt <= Ir.stmt_count prog))
     Cftcg_bench_models.Bench_models.all
 
+(* ------------------------------------------------------------------ *)
+(* Bytecode optimizer (Ir_opt.optimize_bytecode)                       *)
+(* ------------------------------------------------------------------ *)
+
+module L = Ir_linearize
+
+(* behavioural check shared by the rule tests: the optimized bytecode
+   must produce the same outputs as the unoptimized bytecode *)
+let same_outputs name prog ~steps =
+  let vm_opt = Ir_vm.compile prog in
+  let vm_raw = Ir_vm.compile ~optimize:false prog in
+  Ir_vm.reset vm_opt;
+  Ir_vm.reset vm_raw;
+  let rng = Cftcg_util.Rng.create 77L in
+  for step = 1 to steps do
+    Array.iteri
+      (fun i var ->
+        let v = rng_input rng var in
+        Ir_vm.set_input vm_opt i v;
+        Ir_vm.set_input vm_raw i v)
+      prog.Ir.inputs;
+    Ir_vm.step vm_opt;
+    Ir_vm.step vm_raw;
+    Array.iteri
+      (fun o _ ->
+        let a = Value.to_float (Ir_vm.get_output vm_raw o) in
+        let b = Value.to_float (Ir_vm.get_output vm_opt o) in
+        if a <> b && not (Float.is_nan a && Float.is_nan b) then
+          Alcotest.failf "%s: output %d diverges at step %d: %.17g vs %.17g" name o step a b)
+      prog.Ir.outputs
+  done
+
+let test_bc_constant_folding () =
+  (* (2 + 3) * u : the add of two pool registers must fold away *)
+  let b = Build.create "BCF" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  Build.outport b "y" (Build.product b [ Build.sum b [ Build.const_f b 2.0; Build.const_f b 3.0 ]; u ]);
+  let prog = Codegen.lower ~mode:Codegen.Plain (Build.finish b) in
+  let lin = L.linearize prog in
+  let opt = Ir_opt.optimize_bytecode lin in
+  let h_raw = Ir_opt.opcode_histogram lin and h_opt = Ir_opt.opcode_histogram opt in
+  Alcotest.(check bool) "an add disappears" true (h_opt.(L.op_add_f) < h_raw.(L.op_add_f));
+  same_outputs "bc const fold" prog ~steps:50
+
+let test_bc_copy_propagation () =
+  (* same-type conversions lower to movs; copy propagation plus DCE
+     must leave none of the chain *)
+  let b = Build.create "BCP" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  let v = Build.convert b Dtype.Float64 u in
+  let w = Build.convert b Dtype.Float64 v in
+  Build.outport b "y" w;
+  let prog = Codegen.lower ~mode:Codegen.Plain (Build.finish b) in
+  let lin = L.linearize prog in
+  let opt = Ir_opt.optimize_bytecode lin in
+  Alcotest.(check bool)
+    (Printf.sprintf "insts shrink (%d -> %d)" (Ir_opt.static_count lin) (Ir_opt.static_count opt))
+    true
+    (Ir_opt.static_count opt < Ir_opt.static_count lin);
+  same_outputs "bc copy prop" prog ~steps:50
+
+let test_bc_dce_respects_roots () =
+  (* a terminated chain dies, but state and output writes survive *)
+  let b = Build.create "BDCE" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  Build.terminator b (Build.gain b 5.0 (Build.gain b 3.0 u));
+  let d = Build.unit_delay b ~init:0.0 u in
+  Build.outport b "y" (Build.sum b [ d; u ]);
+  let prog = Codegen.lower ~mode:Codegen.Plain (Build.finish b) in
+  let lin = L.linearize prog in
+  let opt = Ir_opt.optimize_bytecode lin in
+  Alcotest.(check bool)
+    (Printf.sprintf "dead chain removed (%d -> %d)" (Ir_opt.static_count lin)
+       (Ir_opt.static_count opt))
+    true
+    (Ir_opt.static_count opt < Ir_opt.static_count lin);
+  (* the delayed feedback still works: outputs must track history *)
+  same_outputs "bc dce" prog ~steps:80
+
+(* Parse the disassembly into (index, opname, target option) rows so
+   structural properties can be asserted without re-exposing the
+   decoder. Lines look like "   12: jmp        -> 29". *)
+let disasm_insts lin =
+  Ir_opt.disassemble lin |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         match String.index_opt line ':' with
+         | Some colon when colon > 0 && String.trim (String.sub line 0 colon) <> "" -> (
+           match int_of_string_opt (String.trim (String.sub line 0 colon)) with
+           | None -> None (* "init:" / "step:" headers *)
+           | Some ix ->
+             let rest = String.sub line (colon + 1) (String.length line - colon - 1) in
+             let name = List.hd (String.split_on_char ' ' (String.trim rest)) in
+             let target =
+               match String.index_opt rest '>' with
+               | Some gt ->
+                 int_of_string_opt
+                   (String.trim (String.sub rest (gt + 1) (String.length rest - gt - 1)))
+               | None -> None
+             in
+             Some (ix, name, target))
+         | _ -> None)
+
+let test_bc_jump_threading () =
+  (* nested switches create jmp-to-jmp chains at the joins; after
+     threading, no live jump may land on a jmp *)
+  let b = Build.create "BJT" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  let c1 = Build.compare_const b Graph.R_gt 0.0 u in
+  let c2 = Build.compare_const b Graph.R_gt 10.0 u in
+  let inner = Build.switch b c2 (Build.const_f b 1.0) (Build.const_f b 2.0) in
+  Build.outport b "y" (Build.switch b c1 inner (Build.const_f b 3.0));
+  let prog = Codegen.lower ~mode:Codegen.Full (Build.finish b) in
+  let lin = L.linearize prog in
+  let opt = Ir_opt.optimize_bytecode lin in
+  let insts = disasm_insts opt in
+  let name_at ix =
+    match List.find_opt (fun (i, _, _) -> i = ix) insts with
+    | Some (_, n, _) -> n
+    | None -> "?"
+  in
+  List.iter
+    (fun (ix, _, target) ->
+      match target with
+      | Some t ->
+        if name_at t = "jmp" then
+          Alcotest.failf "instruction %d still jumps to a jmp at %d" ix t
+      | None -> ())
+    insts;
+  same_outputs "bc jump threading" prog ~steps:50
+
+(* every fused opcode appears when its source pattern is present, and
+   behaviour is unchanged *)
+let test_bc_fused_compare_jumps () =
+  List.iter
+    (fun (rel, fused, label) ->
+      let b = Build.create ("BFC" ^ label) in
+      let u = Build.inport b "u" Dtype.Float64 in
+      let v = Build.inport b "v" Dtype.Float64 in
+      let c = Build.relational b rel u v in
+      Build.outport b "y" (Build.switch b c (Build.sum b [ u; v ]) (Build.neg b u));
+      let prog = Codegen.lower ~mode:Codegen.Full (Build.finish b) in
+      let opt = Ir_opt.optimize_bytecode (L.linearize prog) in
+      let h = Ir_opt.opcode_histogram opt in
+      Alcotest.(check bool) (label ^ " fused compare emitted") true (h.(fused) > 0);
+      same_outputs ("fused " ^ label) prog ~steps:60)
+    [ (Graph.R_lt, L.op_jlt, "jlt"); (Graph.R_le, L.op_jle, "jle"); (Graph.R_eq, L.op_jeq, "jeq");
+      (Graph.R_ne, L.op_jne, "jne"); (Graph.R_gt, L.op_jgt, "jgt"); (Graph.R_ge, L.op_jge, "jge") ]
+
+(* a negated chart guard is the one construct that lowers to an [If]
+   with a top-level NOT — i.e. a [not t; jz t] pair — so it is where
+   the jnz fusion fires *)
+let test_bc_fused_jnz () =
+  let open Chart in
+  let u = in_ 0 in
+  let state name out dst =
+    { state_name = name; exit_actions = []; children = [||]; init_child = 0;
+      parallel = false; entry = []; during = [ Set_out (0, num out) ];
+      outgoing = [ { guard = not_ (Bin (C_gt, u, num 0.)); actions = []; dst } ] }
+  in
+  let sm =
+    { chart_name = "NotSM";
+      inputs = [| ("u", Dtype.Float64) |];
+      outputs = [| ("y", Dtype.Float64) |];
+      locals = [||];
+      states = [| state "A" 1. 1; state "B" 2. 0 |];
+      init_state = 0 }
+  in
+  let b = Build.create "BJNZ" in
+  let us = Build.inport b "u" Dtype.Float64 in
+  let outs = Build.chart b sm [ us ] in
+  Build.outport b "y" outs.(0);
+  let prog = Codegen.lower ~mode:Codegen.Full (Build.finish b) in
+  let opt = Ir_opt.optimize_bytecode (L.linearize prog) in
+  let h = Ir_opt.opcode_histogram opt in
+  Alcotest.(check bool) "jnz emitted" true (h.(L.op_jnz) > 0);
+  same_outputs "fused jnz" prog ~steps:60
+
+let test_bc_fused_f32_arith () =
+  let b = Build.create "BF32" in
+  let u = Build.inport b "u" Dtype.Float32 in
+  let v = Build.inport b "v" Dtype.Float32 in
+  let s = Build.sum b [ u; v ] in
+  let p = Build.product b [ s; u ] in
+  let q = Build.product b ~ops:"*/" [ p; v ] in
+  Build.outport b "y" (Build.sum b ~signs:"+-" [ q; u ]);
+  let prog = Codegen.lower ~mode:Codegen.Plain (Build.finish b) in
+  let opt = Ir_opt.optimize_bytecode (L.linearize prog) in
+  let h = Ir_opt.opcode_histogram opt in
+  Alcotest.(check bool) "add.f32 emitted" true (h.(L.op_add_f32) > 0);
+  Alcotest.(check bool) "mul.f32 emitted" true (h.(L.op_mul_f32) > 0);
+  Alcotest.(check bool) "div.f32 emitted" true (h.(L.op_div_f32) > 0);
+  Alcotest.(check bool) "sub.f32 emitted" true (h.(L.op_sub_f32) > 0);
+  same_outputs "fused f32" prog ~steps:60
+
+let test_bc_fused_arm_tails () =
+  (* then-arms end in [probe; jmp] / [mov; jmp]; both collapse *)
+  let b = Build.create "BTAIL" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  let c = Build.compare_const b Graph.R_gt 0.0 u in
+  Build.outport b "y" (Build.switch b c (Build.const_f b 4.0) (Build.neg b u));
+  let prog = Codegen.lower ~mode:Codegen.Full (Build.finish b) in
+  let opt = Ir_opt.optimize_bytecode (L.linearize prog) in
+  let h = Ir_opt.opcode_histogram opt in
+  Alcotest.(check bool) "probe.jmp or mov.jmp emitted" true
+    (h.(L.op_probe_jmp) > 0 || h.(L.op_mov_jmp) > 0);
+  same_outputs "fused arm tails" prog ~steps:60
+
+let test_bc_shrinks_bench_models () =
+  List.iter
+    (fun (e : Cftcg_bench_models.Bench_models.entry) ->
+      let prog =
+        Codegen.lower ~mode:Codegen.Full (Lazy.force e.Cftcg_bench_models.Bench_models.model)
+      in
+      let lin = L.linearize prog in
+      let opt = Ir_opt.optimize_bytecode lin in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d -> %d insts" e.Cftcg_bench_models.Bench_models.name
+           (Ir_opt.static_count lin) (Ir_opt.static_count opt))
+        true
+        (Ir_opt.static_count opt < Ir_opt.static_count lin))
+    Cftcg_bench_models.Bench_models.all
+
+let test_bc_idempotent () =
+  let prog = Codegen.lower ~mode:Codegen.Full (Fixtures.kitchen_sink_model ()) in
+  let once = Ir_opt.optimize_bytecode (L.linearize prog) in
+  let twice = Ir_opt.optimize_bytecode once in
+  Alcotest.(check int) "fixpoint" (Ir_opt.static_count once) (Ir_opt.static_count twice)
+
 let suites =
   [ ( "ir.opt",
       [ Alcotest.test_case "preserves fixtures" `Slow test_preserves_fixtures;
@@ -164,4 +392,15 @@ let suites =
         Alcotest.test_case "dead store removed" `Quick test_dead_store_removed;
         Alcotest.test_case "copy propagation" `Quick test_copy_propagation;
         Alcotest.test_case "idempotent" `Quick test_optimizer_is_idempotent;
-        Alcotest.test_case "shrinks bench models" `Quick test_optimizer_shrinks_bench_models ] ) ]
+        Alcotest.test_case "shrinks bench models" `Quick test_optimizer_shrinks_bench_models ] );
+    ( "ir.opt.bytecode",
+      [ Alcotest.test_case "constant folding" `Quick test_bc_constant_folding;
+        Alcotest.test_case "copy propagation" `Quick test_bc_copy_propagation;
+        Alcotest.test_case "DCE respects roots" `Quick test_bc_dce_respects_roots;
+        Alcotest.test_case "jump threading" `Quick test_bc_jump_threading;
+        Alcotest.test_case "fused compare jumps" `Quick test_bc_fused_compare_jumps;
+        Alcotest.test_case "fused jnz" `Quick test_bc_fused_jnz;
+        Alcotest.test_case "fused f32 arithmetic" `Quick test_bc_fused_f32_arith;
+        Alcotest.test_case "fused arm tails" `Quick test_bc_fused_arm_tails;
+        Alcotest.test_case "shrinks bench bytecode" `Quick test_bc_shrinks_bench_models;
+        Alcotest.test_case "idempotent" `Quick test_bc_idempotent ] ) ]

@@ -172,34 +172,124 @@ let test_vm_probe_buffer_matches () =
 
 (* The backend must be invisible to the fuzzing algorithm: same seed,
    same campaign — executions, coverage, metric-driven corpus and the
-   emitted test suite all identical. *)
+   emitted test suite all identical. Three-way: closures, plain VM,
+   and the VM with the bytecode optimizer. *)
 let test_fuzzer_backend_parity () =
   let rng = Rng.create 424242L in
   for model_ix = 1 to 12 do
     let prog = Codegen.lower (Model_gen.generate rng) in
-    let run backend =
+    let run backend optimize =
       Cftcg_fuzz.Fuzzer.run
         ~config:
-          { Cftcg_fuzz.Fuzzer.default_config with Cftcg_fuzz.Fuzzer.seed = 99L; backend }
+          { Cftcg_fuzz.Fuzzer.default_config with
+            Cftcg_fuzz.Fuzzer.seed = 99L;
+            backend;
+            optimize
+          }
         prog (Cftcg_fuzz.Fuzzer.Exec_budget 400)
     in
-    let rv = run Cftcg_fuzz.Fuzzer.Vm in
-    let rc = run Cftcg_fuzz.Fuzzer.Closures in
-    let ctx = Printf.sprintf "model %d" model_ix in
-    let open Cftcg_fuzz.Fuzzer in
-    Alcotest.(check int) (ctx ^ " executions") rc.stats.executions rv.stats.executions;
-    Alcotest.(check int) (ctx ^ " iterations") rc.stats.iterations rv.stats.iterations;
-    Alcotest.(check int) (ctx ^ " probes covered") rc.stats.probes_covered rv.stats.probes_covered;
-    Alcotest.(check int) (ctx ^ " corpus size") rc.stats.corpus_size rv.stats.corpus_size;
-    Alcotest.(check int) (ctx ^ " suite size") (List.length rc.test_suite)
-      (List.length rv.test_suite);
-    List.iter2
-      (fun (a : test_case) (b : test_case) ->
-        if not (Bytes.equal a.tc_data b.tc_data) || a.tc_new_probes <> b.tc_new_probes then
-          Alcotest.failf "%s: test suites diverge" ctx)
-      rc.test_suite rv.test_suite;
-    Alcotest.(check int) (ctx ^ " failures") (List.length rc.failures) (List.length rv.failures)
+    let rc = run Cftcg_fuzz.Fuzzer.Closures true in
+    let compare_campaign ctx (rv : Cftcg_fuzz.Fuzzer.result) =
+      let open Cftcg_fuzz.Fuzzer in
+      Alcotest.(check int) (ctx ^ " executions") rc.stats.executions rv.stats.executions;
+      Alcotest.(check int) (ctx ^ " iterations") rc.stats.iterations rv.stats.iterations;
+      Alcotest.(check int) (ctx ^ " probes covered") rc.stats.probes_covered
+        rv.stats.probes_covered;
+      Alcotest.(check int) (ctx ^ " corpus size") rc.stats.corpus_size rv.stats.corpus_size;
+      Alcotest.(check int) (ctx ^ " suite size") (List.length rc.test_suite)
+        (List.length rv.test_suite);
+      List.iter2
+        (fun (a : test_case) (b : test_case) ->
+          if not (Bytes.equal a.tc_data b.tc_data) || a.tc_new_probes <> b.tc_new_probes then
+            Alcotest.failf "%s: test suites diverge" ctx)
+        rc.test_suite rv.test_suite;
+      Alcotest.(check int) (ctx ^ " failures") (List.length rc.failures) (List.length rv.failures)
+    in
+    compare_campaign
+      (Printf.sprintf "model %d vm-opt" model_ix)
+      (run Cftcg_fuzz.Fuzzer.Vm true);
+    compare_campaign
+      (Printf.sprintf "model %d vm-noopt" model_ix)
+      (run Cftcg_fuzz.Fuzzer.Vm false)
   done
+
+(* The bytecode optimizer must be observationally invisible on the VM
+   itself: outputs, dirty probe lists (same order) and full hook
+   traces identical with and without it. *)
+let check_opt_lockstep ~tag ~steps rng prog =
+  let vm_o = Ir_vm.compile prog in
+  let vm_r = Ir_vm.compile ~optimize:false prog in
+  Ir_vm.reset vm_o;
+  Ir_vm.reset vm_r;
+  let n_out = Array.length prog.Ir.outputs in
+  for step = 1 to steps do
+    Array.iteri
+      (fun i (var : Ir.var) ->
+        let v = Model_gen.random_input rng var.Ir.vty in
+        Ir_vm.set_input vm_o i v;
+        Ir_vm.set_input vm_r i v)
+      prog.Ir.inputs;
+    Ir_vm.step vm_o;
+    Ir_vm.step vm_r;
+    for o = 0 to n_out - 1 do
+      agree
+        (Printf.sprintf "%s step %d output %d: opt vs plain" tag step o)
+        (Value.to_float (Ir_vm.get_output vm_r o))
+        (Value.to_float (Ir_vm.get_output vm_o o))
+    done;
+    let dirty vm =
+      let p = Ir_vm.probes vm in
+      Array.to_list (Array.sub p.Ir_vm.p_dirty 0 p.Ir_vm.p_n)
+    in
+    Alcotest.(check (list int)) (Printf.sprintf "%s step %d dirty probes" tag step) (dirty vm_r)
+      (dirty vm_o);
+    Ir_vm.clear_probes (Ir_vm.probes vm_o);
+    Ir_vm.clear_probes (Ir_vm.probes vm_r)
+  done
+
+let test_optimizer_invisible_on_random_models () =
+  let rng = Rng.create 5150L in
+  for model_ix = 1 to 80 do
+    let prog = Codegen.lower (Model_gen.generate rng) in
+    check_opt_lockstep ~tag:(Printf.sprintf "model %d" model_ix) ~steps:40 rng prog
+  done
+
+let test_optimizer_invisible_to_hooks () =
+  let rng = Rng.create 31337L in
+  for model_ix = 1 to 25 do
+    let prog = Codegen.lower (Model_gen.generate rng) in
+    let steps = 20 in
+    let inputs =
+      Array.init steps (fun _ ->
+          Array.map (fun (v : Ir.var) -> Model_gen.random_input rng v.Ir.vty) prog.Ir.inputs)
+    in
+    let via optimize trace =
+      let vm = Ir_vm.compile ~hooks:(hooks_of trace) ~optimize prog in
+      Ir_vm.reset vm;
+      Array.iter
+        (fun vals ->
+          Array.iteri (fun i v -> Ir_vm.set_input vm i v) vals;
+          Ir_vm.step vm)
+        inputs
+    in
+    let t_o = fresh_trace () and t_r = fresh_trace () in
+    via true t_o;
+    via false t_r;
+    let ctx = Printf.sprintf "model %d" model_ix in
+    Alcotest.(check (list int)) (ctx ^ " probes") t_r.probes t_o.probes;
+    Alcotest.(check bool) (ctx ^ " conds") true (t_o.conds = t_r.conds);
+    Alcotest.(check bool) (ctx ^ " decisions") true (t_o.decs = t_r.decs);
+    Alcotest.(check bool) (ctx ^ " branches") true (t_o.branches = t_r.branches)
+  done
+
+let prop_optimizer_invisible =
+  QCheck.Test.make ~name:"bytecode optimizer preserves VM behaviour" ~count:60
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int ((seed * 2) + 1)) in
+      let prog = Codegen.lower (Model_gen.generate rng) in
+      check_opt_lockstep ~tag:(Printf.sprintf "seed %d" seed) ~steps:25 rng prog;
+      true)
 
 (* qcheck property: any generator seed yields a program on which the
    three backends agree on outputs and probe sets. *)
@@ -221,4 +311,8 @@ let suites =
           test_vm_probe_buffer_matches;
         Alcotest.test_case "fuzzer campaigns identical across backends" `Slow
           test_fuzzer_backend_parity;
-        QCheck_alcotest.to_alcotest ~verbose:false prop_backends_agree ] ) ]
+        Alcotest.test_case "optimizer invisible on random models" `Slow
+          test_optimizer_invisible_on_random_models;
+        Alcotest.test_case "optimizer invisible to hooks" `Slow test_optimizer_invisible_to_hooks;
+        QCheck_alcotest.to_alcotest ~verbose:false prop_backends_agree;
+        QCheck_alcotest.to_alcotest ~verbose:false prop_optimizer_invisible ] ) ]

@@ -12,10 +12,14 @@
 
    Usage: main.exe [experiment ...] [--budget SECONDS] [--reps N]
           [--seed N] [--models A,B,C] [--json] [--check-opt]
+          [--check-obs]
    --json additionally writes the speed experiment's numbers to
    BENCH_speed.json (machine-readable, tracked by CI).
    --check-opt makes the speed experiment exit non-zero unless the
    optimized VM keeps up with the plain VM on every bench model.
+   --check-obs makes the speed experiment exit non-zero if turning
+   observability on (metrics + tracing) costs more than 2% of
+   fuzzing throughput on any bench model.
    Default: every experiment at a small smoke budget. Absolute
    numbers differ from the paper (simulated substrate, seconds-scale
    budgets); shapes and orderings are the reproduction target. *)
@@ -43,11 +47,14 @@ type options = {
   mutable check_opt : bool;
       (** fail the speed experiment if the bytecode optimizer loses
           to the plain VM anywhere *)
+  mutable check_obs : bool;
+      (** fail the speed experiment if enabling observability costs
+          more than 2% of fuzzing throughput anywhere *)
 }
 
 let opts =
   { budget = 1.0; reps = 2; seed = 1; models = None; experiments = []; json = false;
-    check_opt = false }
+    check_opt = false; check_obs = false }
 
 let parse_args () =
   let rec go = function
@@ -69,6 +76,9 @@ let parse_args () =
       go rest
     | "--check-opt" :: rest ->
       opts.check_opt <- true;
+      go rest
+    | "--check-obs" :: rest ->
+      opts.check_obs <- true;
       go rest
     | exp :: rest ->
       opts.experiments <- opts.experiments @ [ exp ];
@@ -446,6 +456,41 @@ let paired_vm_gate (e : Models.entry) =
   done;
   (!best_opt, !best_vm)
 
+(* Same paired A/B scheme for the --check-obs gate, but over whole
+   fuzzing runs (the metric counters and sampled timing histograms
+   live inside Fuzzer.run's loop, not in the executor): alternate
+   observability-off and observability-on runs of the same seeded
+   campaign and keep the best round per side. Returns
+   (obs_on_ns, obs_off_ns) per execution. *)
+let paired_obs_gate (e : Models.entry) =
+  let m = Lazy.force e.Models.model in
+  let prog = Codegen.lower ~mode:Codegen.Full m in
+  let config =
+    { Cftcg_fuzz.Fuzzer.default_config with
+      Cftcg_fuzz.Fuzzer.seed = Int64.of_int (opts.seed + 11)
+    }
+  in
+  let execs = 8000 in
+  let run obs =
+    Cftcg_obs.Metrics.set_collect obs;
+    Cftcg_obs.Trace.set_enabled obs;
+    let t0 = Unix.gettimeofday () in
+    ignore (Cftcg_fuzz.Fuzzer.run ~config prog (Cftcg_fuzz.Fuzzer.Exec_budget execs));
+    let dt = Unix.gettimeofday () -. t0 in
+    Cftcg_obs.Metrics.set_collect false;
+    Cftcg_obs.Trace.set_enabled false;
+    Cftcg_obs.Trace.clear ();
+    dt /. float_of_int execs *. 1e9
+  in
+  ignore (run false);
+  ignore (run true);
+  let best_off = ref infinity and best_on = ref infinity in
+  for _ = 1 to 10 do
+    best_off := Float.min !best_off (run false);
+    best_on := Float.min !best_on (run true)
+  done;
+  (!best_on, !best_off)
+
 let speed () =
   let e = Option.get (Models.find "SolarPV") in
   let m = Lazy.force e.Models.model in
@@ -669,6 +714,35 @@ let speed () =
     if losers <> [] then exit 1;
     Printf.printf "check-opt OK: vm-opt keeps up with vm on all %d models\n"
       (List.length model_rows)
+  end;
+  if opts.check_obs then begin
+    (* CI gate: idle-path observability (one Atomic load per guarded
+       region, sampled timings when on) must stay within 2% of the
+       obs-off throughput. Paired A/B like check-opt; a losing model
+       gets one re-measurement before failing. *)
+    let loses (on_ns, off_ns) = on_ns > off_ns *. 1.02 in
+    let losers =
+      List.filter_map
+        (fun e ->
+          let ((on_ns, off_ns) as r) = paired_obs_gate e in
+          if not (loses r) then None
+          else begin
+            Printf.printf
+              "check-obs: %s lost (obs-on %.0f vs obs-off %.0f ns/exec), re-measuring\n%!"
+              e.Models.name on_ns off_ns;
+            let r' = paired_obs_gate e in
+            if loses r' then Some (e.Models.name, r') else None
+          end)
+        (selected_models ())
+    in
+    List.iter
+      (fun (name, (on_ns, off_ns)) ->
+        Printf.eprintf "check-obs FAIL: %s obs-on %.0f ns/exec vs obs-off %.0f ns/exec (>2%%)\n"
+          name on_ns off_ns)
+      losers;
+    if losers <> [] then exit 1;
+    Printf.printf "check-obs OK: observability costs <2%% execs/s on all %d models\n"
+      (List.length (selected_models ()))
   end;
   (* fuzzing-loop component costs *)
   let rng2 = Cftcg_util.Rng.create 9L in

@@ -15,6 +15,8 @@ module Layout = Cftcg_fuzz.Layout
 module Recorder = Cftcg_coverage.Recorder
 module Testcase = Cftcg_testcase.Testcase
 module Models = Cftcg_bench_models.Bench_models
+module Mutate = Cftcg_fuzz.Mutate
+module Ir_opt = Cftcg_ir.Ir_opt
 
 let load_model path =
   match Models.find path with
@@ -65,9 +67,51 @@ let backend_conv =
   in
   Arg.conv (parse, print)
 
+(* observability flags shared by fuzz and profile: enable collection,
+   run the body, then write the requested exports *)
+let with_observability ?(force = false) ?(want_series = false) ~metrics_out ~trace_out
+    ~coverage_csv body =
+  let module Metrics = Cftcg_obs.Metrics in
+  let module Trace = Cftcg_obs.Trace in
+  let module Series = Cftcg_obs.Series in
+  if force || metrics_out <> None then Metrics.set_collect true;
+  if force || trace_out <> None then Trace.set_enabled true;
+  let series =
+    if force || want_series || coverage_csv <> None then Some (Series.create ()) else None
+  in
+  let result = body series in
+  (match metrics_out with
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Metrics.to_prometheus Metrics.default));
+    Printf.printf "wrote metrics to %s\n" path
+  | None -> ());
+  (match trace_out with
+  | Some path ->
+    Trace.save_chrome path;
+    Printf.printf "wrote Chrome trace to %s (load in about:tracing or ui.perfetto.dev)\n" path
+  | None -> ());
+  (match (coverage_csv, series) with
+  | Some path, Some s ->
+    Series.save_csv s path;
+    Printf.printf "wrote coverage series to %s\n" path
+  | _ -> ());
+  result
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Write a Prometheus text-format metrics dump to FILE at the end of the run (enables metric collection).")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Record tracing spans and write a Chrome trace-event JSON file (loadable in about:tracing / Perfetto).")
+
+let coverage_csv_arg =
+  Arg.(value & opt (some string) None & info [ "coverage-csv" ] ~docv:"FILE" ~doc:"Write the coverage-over-time series (paper Figure 7) as CSV: time_s,execs,probes_covered.")
+
 let fuzz_cmd =
   let run model_path seconds execs out_dir seed ranges seed_dir jobs corpus resume telemetry
-      epoch_execs backend no_opt =
+      epoch_execs backend no_opt metrics_out trace_out coverage_csv html_out =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -97,7 +141,11 @@ let fuzz_cmd =
       }
     in
     let parallel = jobs > 1 || corpus <> None || resume || telemetry <> None in
-    let layout, suite =
+    let series_ref = ref None in
+    let layout, prog, suite =
+      with_observability ~want_series:(html_out <> None) ~metrics_out ~trace_out ~coverage_csv
+      @@ fun series ->
+      series_ref := series;
       if parallel then begin
         (* ensemble campaign: N worker domains in epochs with corpus
            merge, optional persistence/resume, telemetry stream *)
@@ -105,8 +153,13 @@ let fuzz_cmd =
         let module Telemetry = Cftcg_campaign.Telemetry in
         let sinks =
           Telemetry.progress stderr
-          :: (match telemetry with
-             | Some path -> [ Telemetry.jsonl path ]
+          :: ((match telemetry with
+              | Some path -> [ Telemetry.jsonl ~append:resume path ]
+              | None -> [])
+             @ (if metrics_out <> None then [ Telemetry.metrics_bridge () ] else [])
+             @
+             match series with
+             | Some s -> [ Telemetry.series_bridge s ]
              | None -> [])
         in
         let sink = Telemetry.multi sinks in
@@ -128,6 +181,9 @@ let fuzz_cmd =
         let pc = Cftcg.Pipeline.run_parallel_campaign ~config:ccfg model in
         sink.Telemetry.close ();
         let r = pc.Cftcg.Pipeline.pc_result in
+        (match series with
+        | Some s -> Cftcg_obs.Series.set_probes_total s r.Campaign.probes_total
+        | None -> ());
         if r.Campaign.resumed then Printf.printf "resumed from %s\n" (Option.get corpus);
         Printf.printf "jobs: %d\nepochs: %d%s\nexecutions: %d\nprobes: %d/%d\ncorpus: %d entries\n"
           ccfg.Campaign.jobs
@@ -139,7 +195,9 @@ let fuzz_cmd =
           (fun (f : Fuzzer.failure) -> Printf.printf "FAILURE: %s\n" f.Fuzzer.f_message)
           r.Campaign.failures;
         Format.printf "coverage: %a@." Recorder.pp_report pc.Cftcg.Pipeline.pc_coverage;
-        (pc.Cftcg.Pipeline.pc_gen.Cftcg.Pipeline.layout, r.Campaign.suite)
+        ( pc.Cftcg.Pipeline.pc_gen.Cftcg.Pipeline.layout,
+          pc.Cftcg.Pipeline.pc_gen.Cftcg.Pipeline.program,
+          r.Campaign.suite )
       end
       else begin
         let budget =
@@ -147,18 +205,46 @@ let fuzz_cmd =
           | Some n -> Fuzzer.Exec_budget n
           | None -> Fuzzer.Time_budget seconds
         in
-        let campaign = Cftcg.Pipeline.run_campaign ~config model budget in
+        let campaign = Cftcg.Pipeline.run_campaign ~config ?coverage_series:series model budget in
         let stats = campaign.Cftcg.Pipeline.fuzz.Fuzzer.stats in
         Printf.printf "executions: %d\nmodel iterations: %d\niteration rate: %.0f/s\n"
           stats.Fuzzer.executions stats.Fuzzer.iterations
           (float_of_int stats.Fuzzer.iterations /. Float.max stats.Fuzzer.elapsed 1e-9);
         Format.printf "coverage: %a@." Recorder.pp_report campaign.Cftcg.Pipeline.coverage;
         ( campaign.Cftcg.Pipeline.gen.Cftcg.Pipeline.layout,
+          campaign.Cftcg.Pipeline.gen.Cftcg.Pipeline.program,
           List.map
             (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data)
             campaign.Cftcg.Pipeline.fuzz.Fuzzer.test_suite )
       end
     in
+    (match html_out with
+    | Some path ->
+      (* replay the found suite on an instrumented build and render the
+         HTML report, embedding the coverage-over-time curve recorded
+         during the run *)
+      let recorder = Recorder.create prog in
+      let compiled = Cftcg_ir.Ir_compile.compile ~hooks:(Recorder.hooks recorder) prog in
+      List.iter
+        (fun data ->
+          Cftcg_ir.Ir_compile.reset compiled;
+          for tuple = 0 to min (Layout.n_tuples layout data) 4096 - 1 do
+            Layout.load_tuple layout data ~tuple compiled;
+            Cftcg_ir.Ir_compile.step compiled
+          done)
+        suite;
+      let curve =
+        match !series_ref with
+        | Some s ->
+          List.map
+            (fun (p : Cftcg_obs.Series.point) -> (p.Cftcg_obs.Series.pt_time, p.Cftcg_obs.Series.pt_covered))
+            (Cftcg_obs.Series.points s)
+        | None -> []
+      in
+      Cftcg_coverage.Html_report.save ~model_name:model.Graph.model_name ~coverage_curve:curve
+        ~probes_total:prog.Cftcg_ir.Ir.n_probes recorder path;
+      Printf.printf "wrote HTML report to %s\n" path
+    | None -> ());
     let paths = Testcase.save_suite layout ~dir:out_dir ~prefix:model.Graph.model_name suite in
     Printf.printf "wrote %d test cases to %s\n" (List.length paths) out_dir
   in
@@ -198,10 +284,14 @@ let fuzz_cmd =
   let no_opt =
     Arg.(value & flag & info [ "no-opt" ] ~doc:"Disable the bytecode optimizer for the vm backend (escape hatch; campaigns are identical either way).")
   in
+  let html_out =
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc:"Write a self-contained HTML coverage report for the generated suite, including the coverage-over-time curve.")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a CFTCG fuzzing campaign and emit CSV test cases.")
     Term.(const run $ model_arg $ seconds $ execs $ out_dir $ seed_arg $ ranges $ seed_dir $ jobs
-          $ corpus $ resume $ telemetry $ epoch_execs $ backend $ no_opt)
+          $ corpus $ resume $ telemetry $ epoch_execs $ backend $ no_opt $ metrics_out_arg
+          $ trace_out_arg $ coverage_csv_arg $ html_out)
 
 let emit_c_cmd =
   let run model_path branchless =
@@ -356,8 +446,33 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one CSV test case through the model and print the output trace.")
     Term.(const run $ model_arg $ csv $ trace_out)
 
+(* raw float rows (one per model iteration, port order) for the
+   bytecode reference profiler, decoded the way the fuzz driver does *)
+let rows_of_bytes (layout : Layout.t) data ~max_rows =
+  let n = min (Layout.n_tuples layout data) max_rows in
+  Array.init n (fun tuple ->
+      Array.map
+        (fun (f : Layout.field) ->
+          Value.decode_float f.Layout.f_ty data
+            ((tuple * layout.Layout.tuple_len) + f.Layout.f_offset))
+        layout.Layout.fields)
+
+let print_opcode_histogram ?(limit = 16) (bp : Ir_opt.bytecode_profile) =
+  let total = max bp.Ir_opt.bp_dispatches 1 in
+  let items =
+    Array.to_list (Array.mapi (fun op n -> (n, op)) bp.Ir_opt.bp_opcode_dyn)
+    |> List.filter (fun (n, _) -> n > 0)
+    |> List.sort (fun a b -> compare b a)
+  in
+  List.iteri
+    (fun i (n, op) ->
+      if i < limit then
+        Printf.printf "  %-16s %10d  %5.1f%%\n" (Ir_opt.opcode_name op) n
+          (100.0 *. float_of_int n /. float_of_int total))
+    items
+
 let ir_cmd =
-  let run model_path dump instrumented =
+  let run model_path dump instrumented profile steps =
     let model = load_model model_path in
     let prog = Codegen.lower ~mode:Codegen.Full model in
     let lin =
@@ -368,10 +483,10 @@ let ir_cmd =
       in
       Cftcg_ir.Ir_linearize.linearize ~instrument prog
     in
-    let opt = Cftcg_ir.Ir_opt.optimize_bytecode lin in
+    let opt = Ir_opt.optimize_bytecode lin in
     let summary label (l : Cftcg_ir.Ir_linearize.t) =
       Printf.printf "%-12s %5d insts, %4d regs, %3d consts\n" label
-        (Cftcg_ir.Ir_opt.static_count l)
+        (Ir_opt.static_count l)
         l.Cftcg_ir.Ir_linearize.l_n_regs
         (Array.length l.Cftcg_ir.Ir_linearize.l_consts)
     in
@@ -379,11 +494,30 @@ let ir_cmd =
       (if instrumented then "instrumented" else "plain");
     summary "bytecode" lin;
     summary "optimized" opt;
+    let hits =
+      if not profile then None
+      else begin
+        let layout = Layout.of_program prog in
+        let rng = Cftcg_util.Rng.create 1L in
+        let data =
+          Bytes.concat Bytes.empty
+            (List.init steps (fun _ -> Layout.random_tuple_bytes layout rng))
+        in
+        let rows = rows_of_bytes layout data ~max_rows:steps in
+        let bp = Ir_opt.profile_bytecode opt rows in
+        Printf.printf
+          "\nprofile over %d random steps: %d dispatches (init %d, step %d)\nopcode histogram:\n"
+          steps bp.Ir_opt.bp_dispatches bp.Ir_opt.bp_init_dispatches bp.Ir_opt.bp_step_dispatches;
+        print_opcode_histogram bp;
+        Some (bp.Ir_opt.bp_init_hits, bp.Ir_opt.bp_step_hits)
+      end
+    in
     if dump then begin
       print_string "\n== before optimization ==\n";
-      print_string (Cftcg_ir.Ir_opt.disassemble lin);
+      print_string (Ir_opt.disassemble lin);
       print_string "\n== after optimization ==\n";
-      print_string (Cftcg_ir.Ir_opt.disassemble opt)
+      (* hit counts (when profiling) belong to the optimized stream *)
+      print_string (Ir_opt.disassemble ?hits opt)
     end
   in
   let dump =
@@ -392,9 +526,82 @@ let ir_cmd =
   let instrumented =
     Arg.(value & flag & info [ "instrumented" ] ~doc:"Linearize the fuzzing build (probe/branch-hook instructions included) instead of the plain build.")
   in
+  let profile =
+    Arg.(value & flag & info [ "profile" ] ~doc:"Execute the optimized bytecode on random inputs and print the dynamic opcode histogram; with $(b,--dump-bytecode), annotate each instruction with its hit count.")
+  in
+  let steps =
+    Arg.(value & opt int 256 & info [ "profile-steps" ] ~docv:"N" ~doc:"Model iterations to execute in profile mode.")
+  in
   Cmd.v
     (Cmd.info "ir" ~doc:"Show bytecode optimizer statistics (and optionally disassembly) for a model.")
-    Term.(const run $ model_arg $ dump $ instrumented)
+    Term.(const run $ model_arg $ dump $ instrumented $ profile $ steps)
+
+let profile_cmd =
+  let run model_path execs seed out_dir backend =
+    let model = load_model model_path in
+    if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755;
+    let metrics_out = Some (Filename.concat out_dir "metrics.prom") in
+    let trace_out = Some (Filename.concat out_dir "trace.json") in
+    let coverage_csv = Some (Filename.concat out_dir "coverage.csv") in
+    with_observability ~force:true ~metrics_out ~trace_out ~coverage_csv @@ fun series ->
+    let config = { Fuzzer.default_config with Fuzzer.seed = Int64.of_int seed; backend } in
+    let wall0 = Unix.gettimeofday () in
+    let campaign =
+      Cftcg.Pipeline.run_campaign ~config ?coverage_series:series model (Fuzzer.Exec_budget execs)
+    in
+    let wall = Unix.gettimeofday () -. wall0 in
+    let stats = campaign.Cftcg.Pipeline.fuzz.Fuzzer.stats in
+    Printf.printf "model %s: %d executions, %d/%d probes covered, %.0f execs/s\n"
+      model.Graph.model_name stats.Fuzzer.executions stats.Fuzzer.probes_covered
+      stats.Fuzzer.probes_total
+      (float_of_int stats.Fuzzer.executions /. Float.max wall 1e-9);
+    (* per-strategy effectiveness counters (paper Table 1) *)
+    let module Metrics = Cftcg_obs.Metrics in
+    Printf.printf "\nmutation strategy effectiveness:\n  %-24s %8s %8s %8s\n" "strategy" "picked"
+      "new-cov" "kept";
+    Array.iter
+      (fun s ->
+        let labels = [ ("strategy", Mutate.strategy_name s) ] in
+        let v name = Metrics.value (Metrics.counter ~labels name) in
+        Printf.printf "  %-24s %8d %8d %8d\n" (Mutate.strategy_name s)
+          (v "cftcg_fuzz_strategy_picked_total")
+          (v "cftcg_fuzz_strategy_new_coverage_total")
+          (v "cftcg_fuzz_strategy_kept_total"))
+      Mutate.all_strategies;
+    (* VM execution profile, replaying the suite this campaign found *)
+    let gen = campaign.Cftcg.Pipeline.gen in
+    let layout = gen.Cftcg.Pipeline.layout in
+    let data =
+      match
+        List.map
+          (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data)
+          campaign.Cftcg.Pipeline.fuzz.Fuzzer.test_suite
+      with
+      | [] ->
+        let rng = Cftcg_util.Rng.create (Int64.of_int seed) in
+        Bytes.concat Bytes.empty (List.init 64 (fun _ -> Layout.random_tuple_bytes layout rng))
+      | suite -> Bytes.concat Bytes.empty suite
+    in
+    let rows = rows_of_bytes layout data ~max_rows:1024 in
+    let vm = Cftcg_ir.Ir_vm.compile gen.Cftcg.Pipeline.program in
+    let bp = Cftcg_ir.Ir_vm.profile vm rows in
+    Printf.printf "\nvm profile over %d suite steps: %d dispatches\nopcode histogram:\n"
+      (Array.length rows) bp.Ir_opt.bp_dispatches;
+    print_opcode_histogram bp
+  in
+  let execs =
+    Arg.(value & opt int 20_000 & info [ "execs" ] ~docv:"N" ~doc:"Execution budget for the profiled campaign.")
+  in
+  let out_dir =
+    Arg.(value & opt string "profile" & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Directory for trace.json, metrics.prom and coverage.csv.")
+  in
+  let backend =
+    Arg.(value & opt backend_conv Fuzzer.Vm & info [ "backend" ] ~docv:"BACKEND" ~doc:"Execution backend to profile: $(b,vm) or $(b,closures).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a short instrumented campaign and emit a Chrome trace, a Prometheus metrics dump, a Figure-7 coverage CSV, per-strategy effectiveness counters and a VM opcode profile.")
+    Term.(const run $ model_arg $ execs $ seed_arg $ out_dir $ backend)
 
 let models_cmd =
   let run export_dir =
@@ -429,4 +636,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fuzz_cmd; emit_c_cmd; coverage_cmd; minimize_cmd; convert_cmd; simulate_cmd;
-            ir_cmd; models_cmd ]))
+            ir_cmd; profile_cmd; models_cmd ]))

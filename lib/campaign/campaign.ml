@@ -3,6 +3,7 @@ module Fuzzer = Cftcg_fuzz.Fuzzer
 module Layout = Cftcg_fuzz.Layout
 module Rng = Cftcg_util.Rng
 module Bytecodec = Cftcg_util.Bytecodec
+module Trace = Cftcg_obs.Trace
 
 type config = {
   jobs : int;
@@ -136,6 +137,7 @@ let count_covered bitmap =
 let fingerprint bitmap = Bytecodec.hex_of_int64 (Bytecodec.fnv64 bitmap)
 
 let run ?(config = default_config) (prog : Ir.program) =
+  Trace.with_span "campaign.run" @@ fun () ->
   if config.jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
   if (Layout.of_program prog).Layout.tuple_len = 0 then
     invalid_arg "Campaign.run: model has no inports";
@@ -236,10 +238,14 @@ let run ?(config = default_config) (prog : Ir.program) =
              { worker = ix; epoch = this_epoch; probes = tc.Fuzzer.tc_new_probes;
                executions = int_of_float tc.Fuzzer.tc_time })
       in
+      Trace.with_span "campaign.worker"
+        ~args:[ ("worker", string_of_int ix); ("epoch", string_of_int this_epoch) ]
+      @@ fun () ->
       Fuzzer.run ~config:fcfg ~on_test_case ~on_progress
         ~should_stop:(fun () -> Atomic.get abort)
         prog (Fuzzer.Exec_budget (budget_of ix))
     in
+    Trace.with_span "campaign.epoch" ~args:[ ("epoch", string_of_int this_epoch) ] @@ fun () ->
     let results =
       match List.init config.jobs (fun ix -> ix) with
       | [ _lone ] -> [ worker 0 () ]  (* jobs=1: skip domain setup *)
@@ -247,12 +253,16 @@ let run ?(config = default_config) (prog : Ir.program) =
     in
     (* --- coordinator merge (the fork-mode "corpus merge" step) --- *)
     let candidates =
-      List.concat_map
-        (fun (r : Fuzzer.result) ->
-          List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) r.Fuzzer.test_suite)
-        results
+      Trace.with_span "campaign.merge" @@ fun () ->
+      let candidates =
+        List.concat_map
+          (fun (r : Fuzzer.result) ->
+            List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) r.Fuzzer.test_suite)
+          results
+      in
+      List.iter absorb candidates;
+      candidates
     in
-    List.iter absorb candidates;
     List.iter
       (fun (r : Fuzzer.result) ->
         executions := !executions + r.Fuzzer.stats.Fuzzer.executions)
@@ -279,6 +289,7 @@ let run ?(config = default_config) (prog : Ir.program) =
        kill at any point resumes from a consistent state *)
     (match store with
     | Some s ->
+      Trace.with_span "campaign.persist" @@ fun () ->
       Hashtbl.iter
         (fun fp (metric, data) -> ignore (Corpus_store.add s ~fingerprint:fp ~metric data))
         corpus;

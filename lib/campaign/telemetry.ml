@@ -14,20 +14,41 @@ type sink = {
 let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
 
 (* Sinks receive events concurrently from worker domains; every
-   constructor below serializes its [emit] behind one mutex. *)
+   constructor below serializes its [emit] behind one mutex. [close]
+   shares the mutex and runs the underlying close at most once, so
+   every constructed sink is close-idempotent. *)
 let serialized emit close =
   let m = Mutex.create () in
+  let closed = ref false in
   let guard f x =
     Mutex.lock m;
     Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)
   in
-  { emit = guard emit; close = (fun () -> guard close ()) }
+  let close_once () =
+    if not !closed then begin
+      closed := true;
+      close ()
+    end
+  in
+  { emit = guard emit; close = (fun () -> guard close_once ()) }
 
 let multi sinks =
-  {
-    emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
-    close = (fun () -> List.iter (fun s -> s.close ()) sinks);
-  }
+  let close () =
+    (* close every sink even if one raises; re-raise the first error *)
+    let first = ref None in
+    List.iter
+      (fun s ->
+        try s.close () with
+        | e -> (
+          match !first with
+          | None -> first := Some e
+          | Some _ -> ()))
+      sinks;
+    match !first with
+    | Some e -> raise e
+    | None -> ()
+  in
+  serialized (fun e -> List.iter (fun s -> s.emit e) sinks) close
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -96,15 +117,73 @@ let ring ?(capacity = 4096) () =
   in
   (sink, contents)
 
-let jsonl path =
-  let oc = open_out path in
-  let seq = ref 0 in
+(* newline count of an existing file — resumes the seq counter when a
+   campaign appends to its previous event log *)
+let count_lines path =
+  match open_in_bin path with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = ref 0 in
+        (try
+           while true do
+             ignore (input_line ic);
+             incr n
+           done
+         with End_of_file -> ());
+        !n)
+
+let jsonl ?(append = false) path =
+  let seq = ref (if append then count_lines path else 0) in
+  let oc =
+    if append then open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+    else open_out path
+  in
   let emit e =
     output_string oc (to_json ~seq:!seq e);
     output_char oc '\n';
     incr seq
   in
   serialized emit (fun () -> close_out oc)
+
+let metrics_bridge ?registry () =
+  let module M = Cftcg_obs.Metrics in
+  let g name help = M.gauge ?registry ~help name in
+  let c name help = M.counter ?registry ~help name in
+  let execs = g "cftcg_campaign_executions" "Cumulative executions across all workers" in
+  let covered = g "cftcg_campaign_probes_covered" "Probes covered by the merged global corpus" in
+  let corpus = g "cftcg_campaign_corpus_size" "Global corpus size after fingerprint dedup" in
+  let epochs = c "cftcg_campaign_epochs_total" "Completed campaign epochs" in
+  let new_probes = c "cftcg_campaign_new_probe_events_total" "Worker inputs that lit new probes" in
+  let syncs = c "cftcg_campaign_corpus_syncs_total" "Coordinator corpus merges" in
+  let failures = c "cftcg_campaign_failures_total" "Assertion failures observed" in
+  let plateaus = c "cftcg_campaign_plateaus_total" "Early stops due to a coverage plateau" in
+  let emit = function
+    | Epoch_end { executions; probes_covered; corpus_size; _ } ->
+      M.inc epochs;
+      M.set execs (float_of_int executions);
+      M.set covered (float_of_int probes_covered);
+      M.set corpus (float_of_int corpus_size)
+    | New_probe _ -> M.inc new_probes
+    | Corpus_sync _ -> M.inc syncs
+    | Failure _ -> M.inc failures
+    | Plateau _ -> M.inc plateaus
+    | Exec_batch _ -> ()
+  in
+  serialized emit (fun () -> ())
+
+let series_bridge series =
+  let start = Unix.gettimeofday () in
+  let emit = function
+    | Epoch_end { executions; probes_covered; _ } ->
+      Cftcg_obs.Series.record series
+        ~time:(Unix.gettimeofday () -. start)
+        ~execs:executions ~covered:probes_covered
+    | _ -> ()
+  in
+  serialized emit (fun () -> ())
 
 let progress oc =
   let line = ref false in

@@ -43,24 +43,48 @@ type event =
 
 type sink = {
   emit : event -> unit;
-  close : unit -> unit;  (** flush and release resources; idempotence not required *)
+  close : unit -> unit;
+      (** flush and release resources; every constructor in this
+          module returns an idempotent [close] — calling it again is a
+          no-op *)
 }
 
 val null : sink
 (** Discards everything. *)
 
 val multi : sink list -> sink
-(** Fans each event out to every sink, in order. *)
+(** Fans each event out to every sink, in order. [close] closes every
+    sink even if one of them raises (the first exception is re-raised
+    after the rest have been closed), and is idempotent like every
+    other constructor here. *)
 
 val ring : ?capacity:int -> unit -> sink * (unit -> event list)
 (** In-memory ring buffer (default capacity 4096) plus a reader
     returning the retained events oldest-first. When more than
     [capacity] events arrive, the oldest are overwritten. *)
 
-val jsonl : string -> sink
-(** Appends one JSON object per event to [path] (truncating any
-    existing file), with a monotonically increasing ["seq"] field
-    recording global emission order. [close] closes the file. *)
+val jsonl : ?append:bool -> string -> sink
+(** Writes one JSON object per event to [path], with a monotonically
+    increasing ["seq"] field recording global emission order. A fresh
+    run truncates any existing file (the default); with
+    [~append:true] — used when resuming a persisted campaign — new
+    events are appended and the [seq] counter continues from the
+    number of lines already present. [close] closes the file. *)
+
+val metrics_bridge : ?registry:Cftcg_obs.Metrics.t -> unit -> sink
+(** Mirrors the event stream into metrics ([registry] defaults to
+    {!Cftcg_obs.Metrics.default}): campaign-level gauges
+    (executions / probes covered / corpus size, updated at each
+    [Epoch_end]) and counters (epochs, new-probe events, corpus
+    syncs, failures, plateaus). Updates the instruments regardless of
+    {!Cftcg_obs.Metrics.collecting} — attaching the sink is the
+    opt-in. *)
+
+val series_bridge : Cftcg_obs.Series.t -> sink
+(** Records a coverage-over-time point (Figure 7) at every
+    [Epoch_end], with wall-clock time measured from the sink's
+    creation. Epoch granularity — for per-discovery resolution use
+    single-run [Fuzzer.run ?coverage_series]. *)
 
 val progress : out_channel -> sink
 (** Live one-line progress display for interactive use: heartbeats

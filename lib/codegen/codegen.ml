@@ -671,7 +671,7 @@ let rec lower_model ctx buf ~path (m : Graph.t) ~(inputs : Ir.var array) : Ir.va
       | _ -> ())
     m.Graph.blocks;
   (* Phase B: blocks in schedule order. *)
-  let order = Schedule.order_exn m in
+  let order = Cftcg_obs.Trace.with_span "codegen.schedule" (fun () -> Schedule.order_exn m) in
   List.iter
     (fun bid ->
       let b = m.Graph.blocks.(bid) in
@@ -1286,6 +1286,7 @@ and lower_block ctx buf ~bpath kind ins ~mk_out ~set_out ~ty_of_port =
 (* ------------------------------------------------------------------ *)
 
 let lower ?(mode = Full) (m : Graph.t) : Ir.program =
+  Cftcg_obs.Trace.with_span "codegen.lower" @@ fun () ->
   (match Graph.validate m with
   | Ok () -> ()
   | Error msg -> failwith ("Codegen.lower: " ^ msg));

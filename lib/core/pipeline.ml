@@ -12,13 +12,16 @@ type generated = {
   fuzz_driver_c : string;
 }
 
+let span = Cftcg_obs.Trace.with_span
+
 let generate ?(mode = Codegen.Full) ?(optimize = true) m =
+  span "pipeline.generate" @@ fun () ->
   let program = Codegen.lower ~mode m in
   let program = if optimize then Ir_opt.optimize program else program in
   {
     program;
     layout = Layout.of_program program;
-    fuzz_code_c = Cemit.emit_program program;
+    fuzz_code_c = span "pipeline.cemit" (fun () -> Cemit.emit_program program);
     fuzz_driver_c = Cemit.emit_fuzz_driver program;
   }
 
@@ -28,10 +31,13 @@ type campaign = {
   coverage : Recorder.report;
 }
 
-let run_campaign ?(config = Fuzzer.default_config) ?(mode = Codegen.Full) ?(optimize = true) m
-    budget =
+let run_campaign ?(config = Fuzzer.default_config) ?(mode = Codegen.Full) ?(optimize = true)
+    ?coverage_series m budget =
   let gen = generate ~mode ~optimize m in
-  let fuzz = Fuzzer.run ~config gen.program budget in
+  (match coverage_series with
+  | Some s -> Cftcg_obs.Series.set_probes_total s gen.program.Ir.n_probes
+  | None -> ());
+  let fuzz = Fuzzer.run ~config ?coverage_series gen.program budget in
   let scoring_prog =
     (* score on the fully instrumented build even if the campaign ran
        on a reduced one *)

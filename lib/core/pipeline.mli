@@ -30,9 +30,12 @@ type campaign = {
 }
 
 val run_campaign :
-  ?config:Fuzzer.config -> ?mode:Codegen.mode -> ?optimize:bool -> Graph.t -> Fuzzer.budget ->
-  campaign
-(** Generates, fuzzes, and scores one model in one call. *)
+  ?config:Fuzzer.config -> ?mode:Codegen.mode -> ?optimize:bool ->
+  ?coverage_series:Cftcg_obs.Series.t -> Graph.t -> Fuzzer.budget -> campaign
+(** Generates, fuzzes, and scores one model in one call.
+    [coverage_series] is handed to {!Fuzzer.run} (Figure-7
+    coverage-over-time recording); its [probes_total] is filled in
+    from the lowered program. *)
 
 module Campaign = Cftcg_campaign.Campaign
 

@@ -33,7 +33,54 @@ let tile buf label pct covered total =
        {|<div class="tile"><div class="pct">%.0f%%</div><div class="label">%s (%d/%d)</div></div>|}
        pct (escape label) covered total)
 
-let render ~model_name ?signal_ranges recorder =
+(* inline SVG step curve of probes covered vs time — the paper's
+   Figure 7, embedded so the report stays a single self-contained file *)
+let curve_svg ?probes_total points =
+  let w = 640.0 and h = 240.0 and pad = 42.0 in
+  let tmax = List.fold_left (fun a (t, _) -> Float.max a t) 0.0 points in
+  let tmax = if tmax <= 0.0 then 1.0 else tmax in
+  let cmax =
+    match probes_total with
+    | Some n when n > 0 -> n
+    | _ -> max 1 (List.fold_left (fun a (_, c) -> max a c) 1 points)
+  in
+  let x t = pad +. (t /. tmax *. (w -. (2.0 *. pad))) in
+  let y c = h -. pad -. (float_of_int c /. float_of_int cmax *. (h -. (2.0 *. pad))) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg viewBox=\"0 0 %g %g\" width=\"%g\" height=\"%g\" role=\"img\" \
+        aria-label=\"coverage over time\">\n"
+       w h w h);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#888\"/>\n\
+        <line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#888\"/>\n"
+       pad pad pad (h -. pad) pad (h -. pad) (w -. pad) (h -. pad));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%g\" y=\"%g\" font-size=\"11\" text-anchor=\"end\">%d</text>\n\
+        <text x=\"%g\" y=\"%g\" font-size=\"11\" text-anchor=\"end\">0</text>\n\
+        <text x=\"%g\" y=\"%g\" font-size=\"11\" text-anchor=\"end\">%.3g s</text>\n"
+       (pad -. 4.0) (pad +. 4.0) cmax (pad -. 4.0) (h -. pad) (w -. pad) (h -. pad +. 14.0) tmax);
+  (* step path: horizontal to each new time, then vertical to the new
+     coverage level, extended flat to the end of the run *)
+  (match points with
+  | [] -> ()
+  | (t0, c0) :: rest ->
+    let path = Buffer.create 256 in
+    Buffer.add_string path (Printf.sprintf "M %.2f %.2f" (x t0) (y c0));
+    List.iter
+      (fun (t, c) -> Buffer.add_string path (Printf.sprintf " H %.2f V %.2f" (x t) (y c)))
+      rest;
+    Buffer.add_string path (Printf.sprintf " H %.2f" (x tmax));
+    Buffer.add_string buf
+      (Printf.sprintf "<path d=\"%s\" fill=\"none\" stroke=\"#0b62a4\" stroke-width=\"1.5\"/>\n"
+         (Buffer.contents path)));
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let render ~model_name ?signal_ranges ?coverage_curve ?probes_total recorder =
   let r = Recorder.report recorder in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n";
@@ -110,11 +157,18 @@ let render ~model_name ?signal_ranges recorder =
              (escape name) lo hi))
       ranges;
     Buffer.add_string buf "</table>\n");
+  (* coverage-over-time curve (Figure 7) *)
+  (match coverage_curve with
+  | None | Some [] -> ()
+  | Some points ->
+    Buffer.add_string buf "<h2>Coverage over time</h2>\n";
+    Buffer.add_string buf (curve_svg ?probes_total points));
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
 
-let save ~model_name ?signal_ranges recorder path =
+let save ~model_name ?signal_ranges ?coverage_curve ?probes_total recorder path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (render ~model_name ?signal_ranges recorder))
+    (fun () ->
+      output_string oc (render ~model_name ?signal_ranges ?coverage_curve ?probes_total recorder))

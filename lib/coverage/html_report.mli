@@ -8,12 +8,16 @@
     external assets. *)
 
 val render :
-  model_name:string -> ?signal_ranges:(string * float * float) list -> Recorder.t -> string
+  model_name:string -> ?signal_ranges:(string * float * float) list ->
+  ?coverage_curve:(float * int) list -> ?probes_total:int -> Recorder.t -> string
 (** Renders the recorder's current state. [signal_ranges] (from
     {!Cftcg.Evaluate.signal_ranges}) adds the observed min/max table
-    when provided. *)
+    when provided. [coverage_curve] — [(time_s, probes_covered)]
+    corner points, e.g. from [Cftcg_obs.Series.points] — adds the
+    paper's Figure-7 coverage-over-time step curve as an inline SVG;
+    [probes_total] fixes its y-axis to the full probe count. *)
 
 val save :
-  model_name:string -> ?signal_ranges:(string * float * float) list -> Recorder.t -> string ->
-  unit
+  model_name:string -> ?signal_ranges:(string * float * float) list ->
+  ?coverage_curve:(float * int) list -> ?probes_total:int -> Recorder.t -> string -> unit
 (** [save ~model_name recorder path] writes the report to [path]. *)

@@ -1,5 +1,8 @@
 open Cftcg_ir
 module Rng = Cftcg_util.Rng
+module Metrics = Cftcg_obs.Metrics
+module Trace = Cftcg_obs.Trace
+module Series = Cftcg_obs.Series
 
 type backend =
   | Closures
@@ -176,14 +179,74 @@ let select_entry rng corpus n =
   in
   if Rng.int rng 10 < 8 then hi else lo
 
+(* Handles for the fuzzing loop's metrics, created once per run so the
+   hot loop only ever touches Atomic counters. All of this is behind
+   [Metrics.collecting]: with collection off the loop pays a single
+   boolean load and none of these exist. *)
+type obs_handles = {
+  ob_picked : Metrics.counter array;  (* per Mutate.strategy, picked *)
+  ob_new_cov : Metrics.counter array;  (* ... found new coverage *)
+  ob_kept : Metrics.counter array;  (* ... admitted to the corpus *)
+  ob_executions : Metrics.counter;
+  ob_iterations : Metrics.counter;
+  ob_execs_per_s : Metrics.gauge;
+  ob_covered : Metrics.gauge;
+  ob_corpus : Metrics.gauge;
+  ob_schedule_ns : Metrics.histogram;  (* parent selection + mutation *)
+  ob_exec_ns : Metrics.histogram;  (* one input through the backend *)
+  ob_metric_ns : Metrics.histogram;  (* scoring + corpus admission *)
+}
+
+let make_obs_handles () =
+  let per_strategy name help =
+    Array.map
+      (fun s -> Metrics.counter ~help ~labels:[ ("strategy", Mutate.strategy_name s) ] name)
+      Mutate.all_strategies
+  in
+  {
+    ob_picked = per_strategy "cftcg_fuzz_strategy_picked_total" "Mutations applied per strategy";
+    ob_new_cov =
+      per_strategy "cftcg_fuzz_strategy_new_coverage_total"
+        "Mutations that lit a previously-unseen probe, per strategy";
+    ob_kept =
+      per_strategy "cftcg_fuzz_strategy_kept_total"
+        "Mutations whose result entered the corpus, per strategy";
+    ob_executions =
+      Metrics.counter ~help:"Inputs executed by the fuzzing loop" "cftcg_fuzz_executions_total";
+    ob_iterations =
+      Metrics.counter ~help:"Model iterations executed" "cftcg_fuzz_iterations_total";
+    ob_execs_per_s =
+      Metrics.gauge ~help:"Recent fuzzing throughput (wall clock)" "cftcg_fuzz_execs_per_second";
+    ob_covered = Metrics.gauge ~help:"Probe cells covered" "cftcg_fuzz_probes_covered";
+    ob_corpus = Metrics.gauge ~help:"Live corpus entries" "cftcg_fuzz_corpus_size";
+    ob_schedule_ns =
+      Metrics.histogram ~help:"Corpus scheduling + mutation time per input (ns, sampled)"
+        "cftcg_fuzz_schedule_ns";
+    ob_exec_ns =
+      Metrics.histogram ~help:"Backend execution time per input (ns, sampled)"
+        "cftcg_fuzz_exec_ns";
+    ob_metric_ns =
+      Metrics.histogram ~help:"Metric scoring + corpus admission time per input (ns, sampled)"
+        "cftcg_fuzz_metric_ns";
+  }
+
+(* hot loops sample timing histograms on every [sample_mask + 1]-th
+   execution: cheap enough to leave on, dense enough to be useful *)
+let sample_mask = 255
+
 let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress = fun _ -> ())
-    ?(progress_every = 1024) ?(should_stop = fun () -> false) (prog : Ir.program) budget =
+    ?(progress_every = 1024) ?(should_stop = fun () -> false) ?coverage_series
+    (prog : Ir.program) budget =
+  Trace.with_span "fuzzer.run" @@ fun () ->
   let layout = Layout.with_ranges (Layout.of_program prog) config.ranges in
   if layout.Layout.tuple_len = 0 then invalid_arg "Fuzzer.run: model has no inports";
+  let observing = Metrics.collecting () in
+  let obs = if observing then Some (make_obs_handles ()) else None in
   let rng = Rng.create config.seed in
   let n_probes = max prog.Ir.n_probes 1 in
   let g_total = Bytes.make n_probes '\000' in
   let run_input =
+    Trace.with_span "fuzzer.compile" @@ fun () ->
     make_executor ~optimize:config.optimize ~backend:config.backend ~layout ~prog ~g_total
       ~max_tuples:config.max_tuples ~use_metric:config.iteration_metric
   in
@@ -237,14 +300,38 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
       if corpus.(!worst).score <= e.score then corpus.(!worst) <- e
     end
   in
+  (* running covered count (= popcount of g_total), maintained for the
+     coverage series and gauges without rescanning the byte array *)
+  let covered_run = ref 0 in
+  (* out-params of [execute]; refs instead of a returned tuple so the hot
+     loop does not allocate per execution *)
+  let last_fresh = ref 0 in
+  let last_kept = ref false in
   let execute data =
     fresh_cells := [];
+    (* sampled timings: every [sample_mask+1]-th execution reads the
+       clock around the backend call and the scoring/admission tail *)
+    let timed = observing && !executions land sample_mask = 0 in
+    let t0 = if timed then Unix.gettimeofday () else 0.0 in
     let metric, fresh, iters = run_input ~fresh_cells data in
+    let t1 = if timed then Unix.gettimeofday () else 0.0 in
     incr executions;
     iterations := !iterations + iters;
-    if !executions mod progress_every = 0 then on_progress (snapshot ());
+    covered_run := !covered_run + fresh;
+    let at_progress = !executions mod progress_every = 0 in
+    (match obs with
+    | Some ob when at_progress ->
+      let wall = Unix.gettimeofday () -. start in
+      Metrics.set ob.ob_execs_per_s (float_of_int !executions /. Float.max wall 1e-9);
+      Metrics.set ob.ob_covered (float_of_int !covered_run);
+      Metrics.set ob.ob_corpus (float_of_int !corpus_n)
+    | _ -> ());
+    if at_progress then on_progress (snapshot ());
     if fresh > 0 then begin
       let now = elapsed_now () in
+      (match coverage_series with
+      | Some s -> Series.record s ~time:now ~execs:!executions ~covered:!covered_run
+      | None -> ());
       let tc = { tc_data = data; tc_time = now; tc_new_probes = fresh } in
       suite := tc :: !suite;
       on_test_case tc;
@@ -271,37 +358,81 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
          done;
          score > !best / 2))
     in
-    if interesting then add_to_corpus { data; score }
+    if interesting then add_to_corpus { data; score };
+    (match obs with
+    | Some ob when timed ->
+      let t2 = Unix.gettimeofday () in
+      Metrics.observe ob.ob_exec_ns ((t1 -. t0) *. 1e9);
+      Metrics.observe ob.ob_metric_ns ((t2 -. t1) *. 1e9)
+    | _ -> ());
+    last_fresh := fresh;
+    last_kept := interesting
   in
   (* user-provided seed corpus first, then a handful of random short
      streams *)
-  List.iter execute config.seeds;
-  for _ = 1 to 4 do
-    let tuples = 1 + Rng.int rng 8 in
-    let data =
-      Bytes.concat Bytes.empty (List.init tuples (fun _ -> Layout.random_tuple_bytes layout rng))
-    in
-    execute data
-  done;
+  Trace.with_span "fuzzer.seed_corpus" (fun () ->
+      List.iter execute config.seeds;
+      for _ = 1 to 4 do
+        let tuples = 1 + Rng.int rng 8 in
+        let data =
+          Bytes.concat Bytes.empty
+            (List.init tuples (fun _ -> Layout.random_tuple_bytes layout rng))
+        in
+        execute data
+      done);
   let max_len = config.max_tuples * layout.Layout.tuple_len in
+  (* strategy chosen for the current iteration, -1 when mutating blind;
+     an int ref avoids a per-iteration [Some strategy] allocation *)
+  let strat_ix = ref (-1) in
   let should_continue () =
     !executions < deadline_execs
     && ((not (Float.is_finite deadline_time)) || Unix.gettimeofday () < deadline_time)
     && not (should_stop ())
   in
   while should_continue () do
+    let timed = observing && !executions land sample_mask = 0 in
+    let t0 = if timed then Unix.gettimeofday () else 0.0 in
     let parent =
       if !corpus_n = 0 then { data = Layout.random_tuple_bytes layout rng; score = 0 }
       else select_entry rng corpus !corpus_n
     in
     let other = if !corpus_n = 0 then parent.data else (select_entry rng corpus !corpus_n).data in
     let child =
-      if config.field_aware then
-        snd (Mutate.mutate ?dict layout rng parent.data ~other ~max_tuples:config.max_tuples)
-      else Mutate.mutate_blind rng parent.data ~other ~max_len
+      if config.field_aware then begin
+        let s, c = Mutate.mutate ?dict layout rng parent.data ~other ~max_tuples:config.max_tuples in
+        strat_ix := Mutate.strategy_index s;
+        c
+      end
+      else begin
+        strat_ix := -1;
+        Mutate.mutate_blind rng parent.data ~other ~max_len
+      end
     in
-    execute child
+    (match obs with
+    | Some ob when timed ->
+      Metrics.observe ob.ob_schedule_ns ((Unix.gettimeofday () -. t0) *. 1e9)
+    | _ -> ());
+    execute child;
+    match obs with
+    | Some ob when !strat_ix >= 0 ->
+      let ix = !strat_ix in
+      Metrics.inc ob.ob_picked.(ix);
+      if !last_fresh > 0 then Metrics.inc ob.ob_new_cov.(ix);
+      if !last_kept then Metrics.inc ob.ob_kept.(ix)
+    | _ -> ()
   done;
+  (match obs with
+  | Some ob ->
+    Metrics.add ob.ob_executions !executions;
+    Metrics.add ob.ob_iterations !iterations;
+    let wall = Unix.gettimeofday () -. start in
+    Metrics.set ob.ob_execs_per_s (float_of_int !executions /. Float.max wall 1e-9);
+    Metrics.set ob.ob_covered (float_of_int !covered_run);
+    Metrics.set ob.ob_corpus (float_of_int !corpus_n)
+  | None -> ());
+  (match coverage_series with
+  | Some s -> Series.record s ~time:(elapsed_now ()) ~execs:!executions ~covered:!covered_run
+  | None -> ());
   { test_suite = List.rev !suite; failures = List.rev !failures; stats = snapshot () }
 
 let replay_metric ?(config = default_config) (prog : Ir.program) data =

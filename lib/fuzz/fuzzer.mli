@@ -100,6 +100,7 @@ val run :
   ?on_progress:(stats -> unit) ->
   ?progress_every:int ->
   ?should_stop:(unit -> bool) ->
+  ?coverage_series:Cftcg_obs.Series.t ->
   Ir.program -> budget -> result
 (** Runs one campaign on an instrumented program (normally lowered
     with [Codegen.Full]; the Fuzz-Only baseline passes a
@@ -111,7 +112,17 @@ val run :
     returns [true] the run ends early with whatever was found (used by
     multi-worker campaigns to enforce a shared global budget). Neither
     hook perturbs the RNG stream, so enabling them does not change
-    what a run finds. *)
+    what a run finds.
+
+    Observability: when {!Cftcg_obs.Metrics.collecting} is on, the run
+    maintains per-strategy effectiveness counters (picked / new
+    coverage / kept — Table 1), execution totals and gauges, and
+    sampled timing histograms in the default metrics registry.
+    [coverage_series] records a coverage-over-time point (Figure 7)
+    each time fresh probes are covered. All instrumentation is
+    observation-only — it never feeds back into the RNG, scheduling or
+    corpus decisions, so a run with observability on is byte-identical
+    to the same seed with it off. *)
 
 val replay_metric : ?config:config -> Ir.program -> Bytes.t -> int
 (** Executes one input and returns its Iteration Difference Coverage

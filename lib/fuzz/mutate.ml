@@ -16,6 +16,16 @@ let all_strategies =
   [| Change_binary_integer; Change_binary_float; Erase_tuples; Insert_tuple;
      Insert_repeated_tuples; Shuffle_tuples; Copy_tuples; Tuples_cross_over |]
 
+let strategy_index = function
+  | Change_binary_integer -> 0
+  | Change_binary_float -> 1
+  | Erase_tuples -> 2
+  | Insert_tuple -> 3
+  | Insert_repeated_tuples -> 4
+  | Shuffle_tuples -> 5
+  | Copy_tuples -> 6
+  | Tuples_cross_over -> 7
+
 let strategy_name = function
   | Change_binary_integer -> "ChangeBinaryInteger"
   | Change_binary_float -> "ChangeBinaryFloat"

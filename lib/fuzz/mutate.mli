@@ -24,6 +24,11 @@ val all_strategies : strategy array
 
 val strategy_name : strategy -> string
 
+val strategy_index : strategy -> int
+(** Position of a strategy in {!all_strategies} — a stable dense
+    index for per-strategy accounting (Table-1 effectiveness
+    counters). *)
+
 val truncate_tuples : Layout.t -> Bytes.t -> Bytes.t
 (** Drops any ragged tail so the stream is whole tuples. When the
     input is already tuple-aligned — the overwhelmingly common case,

@@ -215,7 +215,15 @@ let eliminate_dead_assignments (p : Ir.program) =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let one_round p = eliminate_dead_assignments (propagate_copies (constant_fold p))
+(* Each tree pass gets its own trace span so `cftcg profile` shows
+   where compile time goes; spans are one boolean load when tracing
+   is off. *)
+let span = Cftcg_obs.Trace.with_span
+
+let one_round p =
+  let p = span "ir_opt.constant_fold" (fun () -> constant_fold p) in
+  let p = span "ir_opt.propagate_copies" (fun () -> propagate_copies p) in
+  span "ir_opt.eliminate_dead_assignments" (fun () -> eliminate_dead_assignments p)
 
 let optimize p =
   let rec go n p =
@@ -225,7 +233,7 @@ let optimize p =
       if Ir.stmt_count p' = Ir.stmt_count p then p' else go (n - 1) p'
     end
   in
-  go 4 p
+  span "ir_opt.optimize" (fun () -> go 4 p)
 
 let stats before after =
   Printf.sprintf "%d -> %d statements (%.0f%% removed)" (Ir.stmt_count before)
@@ -932,6 +940,7 @@ let encode insts =
 (* --- driver ------------------------------------------------------- *)
 
 let optimize_bytecode (lin : L.t) : L.t =
+  span "ir_opt.optimize_bytecode" @@ fun () ->
   let const_base = lin.L.l_const_base in
   let prog = lin.L.l_prog in
   let nbytes = max const_base 1 in
@@ -979,11 +988,11 @@ let optimize_bytecode (lin : L.t) : L.t =
     roots
   in
   let run_passes insts roots =
-    let c1 = const_prop_pass ~pool ~const_base insts in
-    let c2 = copy_prop_pass insts in
-    let c3 = unreachable_pass insts in
-    let c4 = dce_pass insts ~nbytes ~roots ~reads_of in
-    let c5 = thread_pass insts in
+    let c1 = span "ir_opt.bc.const_prop" (fun () -> const_prop_pass ~pool ~const_base insts) in
+    let c2 = span "ir_opt.bc.copy_prop" (fun () -> copy_prop_pass insts) in
+    let c3 = span "ir_opt.bc.unreachable" (fun () -> unreachable_pass insts) in
+    let c4 = span "ir_opt.bc.dce" (fun () -> dce_pass insts ~nbytes ~roots ~reads_of) in
+    let c5 = span "ir_opt.bc.thread" (fun () -> thread_pass insts) in
     c1 || c2 || c3 || c4 || c5
   in
   (* run to a fixpoint: simplify, fuse, then — because fusion and
@@ -1001,8 +1010,8 @@ let optimize_bytecode (lin : L.t) : L.t =
         end
       in
       rounds 8;
-      let fa = fuse_pass init_i ~nbytes ~roots ~reads_of in
-      let fb = fuse_pass step_i ~nbytes ~roots ~reads_of in
+      let fa = span "ir_opt.bc.fuse" (fun () -> fuse_pass init_i ~nbytes ~roots ~reads_of) in
+      let fb = span "ir_opt.bc.fuse" (fun () -> fuse_pass step_i ~nbytes ~roots ~reads_of) in
       if fa then ignore (thread_pass init_i);
       if fb then ignore (thread_pass step_i);
       let roots' = compute_roots () in
@@ -1121,6 +1130,89 @@ let dynamic_count (lin : L.t) (rows : float array array) : int =
     rows;
   !count
 
+(* --- bytecode profiling ------------------------------------------- *)
+
+let opcode_name op = shapes.(op).s_name
+
+type bytecode_profile = {
+  bp_dispatches : int;
+  bp_init_dispatches : int;
+  bp_step_dispatches : int;
+  bp_opcode_dyn : int array;  (* dispatches per opcode, length n_opcodes *)
+  bp_init_hits : int array;  (* hit count per instruction, in stream order *)
+  bp_step_hits : int array;
+}
+
+(* Same reference interpreter as [dynamic_count], but it also fills a
+   per-instruction hit-count array and a per-opcode dispatch
+   histogram. Kept separate from the Ir_vm dispatch loop on purpose:
+   the hot loop stays untouched (and unperturbed) and profiling pays
+   the decoded-form interpretation cost instead, which is fine for an
+   opt-in diagnostic. *)
+let profile_bytecode (lin : L.t) (rows : float array array) : bytecode_profile =
+  let regs = Array.make (max lin.L.l_n_regs 1) 0.0 in
+  let opcode_dyn = Array.make L.n_opcodes 0 in
+  let run insts hits =
+    let dispatched = ref 0 in
+    let rec go i =
+      let b = insts.(i) in
+      incr dispatched;
+      hits.(i) <- hits.(i) + 1;
+      let op = b.b_op in
+      opcode_dyn.(op) <- opcode_dyn.(op) + 1;
+      if op = L.op_halt then ()
+      else if op = L.op_jmp || op = L.op_probe_jmp then go b.b_target
+      else if op = L.op_mov_jmp then begin
+        regs.(b.b_args.(0)) <- regs.(b.b_args.(1));
+        go b.b_target
+      end
+      else if op = L.op_jz then
+        if regs.(b.b_args.(0)) = 0.0 then go b.b_target else go (i + 1)
+      else if op = L.op_jnz then
+        if regs.(b.b_args.(0)) <> 0.0 then go b.b_target else go (i + 1)
+      else if op >= L.op_jlt && op <= L.op_jge then begin
+        let x = regs.(b.b_args.(0)) and y = regs.(b.b_args.(1)) in
+        let holds =
+          if op = L.op_jlt then x < y
+          else if op = L.op_jle then x <= y
+          else if op = L.op_jeq then x = y
+          else if op = L.op_jne then x <> y
+          else if op = L.op_jgt then x > y
+          else x >= y
+        in
+        if holds then go (i + 1) else go b.b_target
+      end
+      else if shapes.(op).s_dst then begin
+        regs.(b.b_args.(0)) <- eval_pure op b.b_args (fun r -> regs.(r));
+        go (i + 1)
+      end
+      else go (i + 1) (* probe / cond / decision / branch hook *)
+    in
+    go 0;
+    !dispatched
+  in
+  let init_i = decode lin.L.l_init and step_i = decode lin.L.l_step in
+  let init_hits = Array.make (max (Array.length init_i) 1) 0 in
+  let step_hits = Array.make (max (Array.length step_i) 1) 0 in
+  Array.fill regs 0 (Array.length regs) 0.0;
+  Array.blit lin.L.l_consts 0 regs lin.L.l_const_base (Array.length lin.L.l_consts);
+  let init_n = run init_i init_hits in
+  let inputs = lin.L.l_prog.Ir.inputs in
+  let step_n = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iteri (fun k f -> regs.(inputs.(k).Ir.vid) <- f) row;
+      step_n := !step_n + run step_i step_hits)
+    rows;
+  {
+    bp_dispatches = init_n + !step_n;
+    bp_init_dispatches = init_n;
+    bp_step_dispatches = !step_n;
+    bp_opcode_dyn = opcode_dyn;
+    bp_init_hits = init_hits;
+    bp_step_hits = step_hits;
+  }
+
 let opcode_histogram (lin : L.t) =
   let h = Array.make L.n_opcodes 0 in
   let scan code =
@@ -1136,14 +1228,21 @@ let opcode_histogram (lin : L.t) =
   scan lin.L.l_step;
   h
 
-let disassemble (lin : L.t) =
+let disassemble ?hits (lin : L.t) =
   let buf = Buffer.create 1024 in
   let const_base = lin.L.l_const_base in
-  let block name code =
+  let block name code block_hits =
     Buffer.add_string buf (name ^ ":\n");
+    let inst_ix = ref 0 in
     let rec go i =
       if i < Array.length code then begin
         let sh = shapes.(code.(i)) in
+        (match block_hits with
+        | Some h ->
+          let n = if !inst_ix < Array.length h then h.(!inst_ix) else 0 in
+          Buffer.add_string buf (Printf.sprintf "%10d x " n)
+        | None -> ());
+        incr inst_ix;
         Buffer.add_string buf (Printf.sprintf "%5d: %-10s" i sh.s_name);
         for slot = 1 to sh.s_size - 1 do
           let v = code.(i + slot) in
@@ -1163,6 +1262,11 @@ let disassemble (lin : L.t) =
     in
     go 0
   in
-  block "init" lin.L.l_init;
-  block "step" lin.L.l_step;
+  let init_hits, step_hits =
+    match hits with
+    | Some (a, b) -> (Some a, Some b)
+    | None -> (None, None)
+  in
+  block "init" lin.L.l_init init_hits;
+  block "step" lin.L.l_step step_hits;
   Buffer.contents buf

@@ -91,6 +91,33 @@ val opcode_histogram : Ir_linearize.t -> int array
 (** Instruction count per opcode (init + step), indexed by opcode
     number; length {!Ir_linearize.n_opcodes}. *)
 
-val disassemble : Ir_linearize.t -> string
+val opcode_name : int -> string
+(** Mnemonic for an opcode number (as printed by {!disassemble}). *)
+
+(** {1 Bytecode profiling}
+
+    The data behind [cftcg ir --profile] and [cftcg profile]'s VM
+    section: per-opcode dynamic dispatch counts and per-instruction
+    hit counts, gathered by the same reference interpreter as
+    {!dynamic_count} so the {!Ir_vm} hot loop needs no counting
+    instrumentation. *)
+
+type bytecode_profile = {
+  bp_dispatches : int;  (** total dispatches, init + all steps *)
+  bp_init_dispatches : int;
+  bp_step_dispatches : int;
+  bp_opcode_dyn : int array;  (** dispatches per opcode; length {!Ir_linearize.n_opcodes} *)
+  bp_init_hits : int array;  (** hit count per init instruction, stream order *)
+  bp_step_hits : int array;  (** hit count per step instruction, stream order *)
+}
+
+val profile_bytecode : Ir_linearize.t -> float array array -> bytecode_profile
+(** [profile_bytecode lin rows] executes init plus one step per row
+    (raw floats per inport, as for {!dynamic_count}) and returns the
+    execution profile. *)
+
+val disassemble : ?hits:int array * int array -> Ir_linearize.t -> string
 (** Human-readable listing of both blocks; constants print as
-    [kN(value)], jump targets as [-> pc]. *)
+    [kN(value)], jump targets as [-> pc]. With [hits] (init and step
+    per-instruction hit counts from {!profile_bytecode}), each line is
+    prefixed with its execution count. *)

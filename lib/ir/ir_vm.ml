@@ -42,7 +42,9 @@ let compile ?(hooks = Hooks.none) ?(optimize = true) (prog : Ir.program) =
       branch = Option.is_some hooks.Hooks.on_branch;
     }
   in
-  let lin = Ir_linearize.linearize ~instrument prog in
+  let lin =
+    Cftcg_obs.Trace.with_span "ir.linearize" (fun () -> Ir_linearize.linearize ~instrument prog)
+  in
   let lin = if optimize then Ir_opt.optimize_bytecode lin else lin in
   let regs = Array.make (max lin.Ir_linearize.l_n_regs 1) 0.0 in
   let branch_hooks =
@@ -539,3 +541,12 @@ let fresh_probes vm =
 let probe_fired vm id = Bytes.get vm.probes.p_fired id <> '\000'
 
 let code_size vm = Ir_linearize.code_size vm.lin
+
+(* Opt-in profile mode: replays the VM's own (possibly optimized)
+   bytecode on Ir_opt's reference interpreter, which dispatches the
+   same opcodes with the same arm formulas but counts as it goes. The
+   fuzzing dispatch loop above stays byte-for-byte identical whether
+   or not anyone profiles. *)
+let profile vm rows = Ir_opt.profile_bytecode vm.lin rows
+
+let linearized vm = vm.lin

@@ -82,3 +82,23 @@ val probe_fired : t -> int -> bool
 
 val code_size : t -> int
 (** Bytecode length (init + step), in int slots. *)
+
+(** {1 Profile mode}
+
+    Opt-in execution profiling of this VM's bytecode: per-opcode
+    dynamic dispatch counts and per-instruction (hence per-block) hit
+    counts. The profile run happens on {!Ir_opt}'s reference
+    interpreter over the same (optimized or not) instruction stream,
+    so the dispatch loop used for fuzzing carries zero profiling
+    overhead. Surfaced through [cftcg ir --profile] and
+    [cftcg profile]. *)
+
+val profile : t -> float array array -> Ir_opt.bytecode_profile
+(** [profile vm rows] runs init plus one step per row (raw floats per
+    inport, in port order — see {!Ir_opt.dynamic_count}) and returns
+    the execution profile. Does not disturb the VM's registers or
+    probe buffers. *)
+
+val linearized : t -> Ir_linearize.t
+(** The (optimized) bytecode this instance executes — pair with
+    {!Ir_opt.disassemble} [?hits] to print a hit-annotated listing. *)

@@ -1,0 +1,203 @@
+(* Counters are Atomic ints (lock-free, shared across Domains);
+   gauges and histograms serialize updates behind one mutex each —
+   they are observed at sampled cadence, never per-execution. The
+   registry itself only locks on instrument creation/lookup. *)
+
+type counter = { c_value : int Atomic.t }
+
+type gauge = {
+  g_mutex : Mutex.t;
+  mutable g_value : float;
+}
+
+type histogram = {
+  h_mutex : Mutex.t;
+  h_bounds : float array;  (* upper bounds, increasing; +Inf implicit *)
+  h_counts : int array;  (* per finite bound, cumulative at export *)
+  mutable h_inf : int;  (* observations above the last bound *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type key = {
+  k_name : string;
+  k_labels : (string * string) list;  (* sorted by label name *)
+}
+
+type t = {
+  r_mutex : Mutex.t;
+  r_instruments : (key, instrument) Hashtbl.t;
+  r_help : (string, string) Hashtbl.t;  (* per metric name *)
+}
+
+let create () =
+  { r_mutex = Mutex.create (); r_instruments = Hashtbl.create 32; r_help = Hashtbl.create 32 }
+
+let default = create ()
+
+let collect_flag = Atomic.make false
+let set_collect b = Atomic.set collect_flag b
+let collecting () = Atomic.get collect_flag
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let key name labels =
+  { k_name = name; k_labels = List.sort (fun (a, _) (b, _) -> compare a b) labels }
+
+(* get-or-create under the registry mutex; kind mismatch is a
+   programming error, reported loudly *)
+let intern r ?help name labels make match_kind =
+  let k = key name labels in
+  locked r.r_mutex (fun () ->
+      (match help with
+      | Some h when not (Hashtbl.mem r.r_help name) -> Hashtbl.replace r.r_help name h
+      | _ -> ());
+      match Hashtbl.find_opt r.r_instruments k with
+      | Some i -> (
+        match match_kind i with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as a different instrument kind" name))
+      | None ->
+        let v, i = make () in
+        Hashtbl.replace r.r_instruments k i;
+        v)
+
+let counter ?(registry = default) ?help ?(labels = []) name =
+  intern registry ?help name labels
+    (fun () ->
+      let c = { c_value = Atomic.make 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let inc c = Atomic.incr c.c_value
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+let value c = Atomic.get c.c_value
+
+let gauge ?(registry = default) ?help ?(labels = []) name =
+  intern registry ?help name labels
+    (fun () ->
+      let g = { g_mutex = Mutex.create (); g_value = 0.0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set g v = locked g.g_mutex (fun () -> g.g_value <- v)
+let gauge_value g = locked g.g_mutex (fun () -> g.g_value)
+
+let default_buckets = [| 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
+let histogram ?(registry = default) ?help ?(labels = []) ?(buckets = default_buckets) name =
+  intern registry ?help name labels
+    (fun () ->
+      let h =
+        { h_mutex = Mutex.create (); h_bounds = Array.copy buckets;
+          h_counts = Array.make (Array.length buckets) 0; h_inf = 0; h_sum = 0.0; h_count = 0 }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v =
+  locked h.h_mutex (fun () ->
+      let n = Array.length h.h_bounds in
+      let rec slot i = if i >= n then -1 else if v <= h.h_bounds.(i) then i else slot (i + 1) in
+      (match slot 0 with
+      | -1 -> h.h_inf <- h.h_inf + 1
+      | i -> h.h_counts.(i) <- h.h_counts.(i) + 1);
+      h.h_sum <- h.h_sum +. v;
+      h.h_count <- h.h_count + 1)
+
+let histogram_count h = locked h.h_mutex (fun () -> h.h_count)
+let histogram_sum h = locked h.h_mutex (fun () -> h.h_sum)
+
+(* --- Prometheus text exposition --------------------------------------- *)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels)
+    ^ "}"
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_prometheus r =
+  locked r.r_mutex (fun () ->
+      let entries = Hashtbl.fold (fun k i acc -> (k, i) :: acc) r.r_instruments [] in
+      let entries =
+        List.sort (fun (a, _) (b, _) -> compare (a.k_name, a.k_labels) (b.k_name, b.k_labels)) entries
+      in
+      let buf = Buffer.create 1024 in
+      let last_name = ref "" in
+      List.iter
+        (fun (k, i) ->
+          if k.k_name <> !last_name then begin
+            last_name := k.k_name;
+            (match Hashtbl.find_opt r.r_help k.k_name with
+            | Some h -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" k.k_name h)
+            | None -> ());
+            let ty =
+              match i with
+              | Counter _ -> "counter"
+              | Gauge _ -> "gauge"
+              | Histogram _ -> "histogram"
+            in
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" k.k_name ty)
+          end;
+          match i with
+          | Counter c ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %d\n" k.k_name (render_labels k.k_labels) (Atomic.get c.c_value))
+          | Gauge g ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %s\n" k.k_name (render_labels k.k_labels)
+                 (float_str (locked g.g_mutex (fun () -> g.g_value))))
+          | Histogram h ->
+            locked h.h_mutex (fun () ->
+                let cum = ref 0 in
+                Array.iteri
+                  (fun ix bound ->
+                    cum := !cum + h.h_counts.(ix);
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_bucket%s %d\n" k.k_name
+                         (render_labels (k.k_labels @ [ ("le", float_str bound) ]))
+                         !cum))
+                  h.h_bounds;
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" k.k_name
+                     (render_labels (k.k_labels @ [ ("le", "+Inf") ]))
+                     h.h_count);
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_sum%s %s\n" k.k_name (render_labels k.k_labels)
+                     (float_str h.h_sum));
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_count%s %d\n" k.k_name (render_labels k.k_labels) h.h_count)))
+        entries;
+      Buffer.contents buf)
+
+let clear r =
+  locked r.r_mutex (fun () ->
+      Hashtbl.reset r.r_instruments;
+      Hashtbl.reset r.r_help)

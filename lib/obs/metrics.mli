@@ -1,0 +1,74 @@
+(** Thread-safe metrics registry with Prometheus text exposition.
+
+    Counters, gauges and histograms keyed by name + label set, safe to
+    update concurrently from Domain workers: counters are lock-free
+    ([Atomic]), gauges and histograms take one short mutex per
+    observation. Instrument lookup ({!counter} / {!gauge} /
+    {!histogram}) is get-or-create and may be done once outside a hot
+    loop; the returned handle is then update-only.
+
+    The {b collection switch} ({!set_collect}) is the cheap global
+    gate the fuzzing hot loops consult: when off (the default),
+    instrumented code skips metric updates entirely, so an idle
+    observability layer costs one boolean load per guarded region.
+    Updating a handle while collection is off still works — the switch
+    is a convention for hot paths, not an enforcement. *)
+
+type t
+(** A registry: an isolated namespace of instruments. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-global registry that the CLI exports. *)
+
+(** {1 Collection switch} *)
+
+val set_collect : bool -> unit
+(** Turns hot-path metric collection on or off (default off). *)
+
+val collecting : unit -> bool
+
+(** {1 Instruments}
+
+    Lookup raises [Invalid_argument] if the same name + label set is
+    already registered as a different instrument kind. *)
+
+type counter
+
+val counter : ?registry:t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+val inc : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+type gauge
+
+val gauge : ?registry:t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type histogram
+
+val histogram :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list -> ?buckets:float array ->
+  string -> histogram
+(** [buckets] are upper bounds in increasing order (a [+Inf] bucket is
+    implicit). The default buckets suit nanosecond timings: powers of
+    10 from 100ns to 1s. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {1 Export} *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format (version 0.0.4): [# HELP] /
+    [# TYPE] comments, one sample line per instrument (histograms
+    expand to [_bucket] / [_sum] / [_count] series), label values
+    escaped. Instruments are emitted in name order so the output is
+    deterministic. *)
+
+val clear : t -> unit
+(** Drops every instrument. Handles obtained before [clear] keep
+    working but are no longer exported. *)

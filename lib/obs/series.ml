@@ -1,0 +1,48 @@
+type point = {
+  pt_time : float;
+  pt_execs : int;
+  pt_covered : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable points : point list;  (* newest first *)
+  mutable total : int option;
+}
+
+let create ?probes_total () = { mutex = Mutex.create (); points = []; total = probes_total }
+
+let set_probes_total t n = t.total <- Some n
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record t ~time ~execs ~covered =
+  let p = { pt_time = time; pt_execs = execs; pt_covered = covered } in
+  locked t (fun () ->
+      match t.points with
+      (* same coverage as the previous point: slide it forward instead
+         of stacking duplicates — keeps the step curve's corners only *)
+      | last :: rest when last.pt_covered = covered -> t.points <- p :: rest
+      | _ -> t.points <- p :: t.points)
+
+let points t = locked t (fun () -> List.rev t.points)
+
+let probes_total t = t.total
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  (match t.total with
+  | Some n -> Buffer.add_string buf (Printf.sprintf "# probes_total=%d\n" n)
+  | None -> ());
+  Buffer.add_string buf "time_s,execs,probes_covered\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "%.6f,%d,%d\n" p.pt_time p.pt_execs p.pt_covered))
+    (points t);
+  Buffer.contents buf
+
+let save_csv t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))

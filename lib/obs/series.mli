@@ -1,0 +1,43 @@
+(** Coverage-over-time series — the data behind the paper's Figure 7.
+
+    A monotone step curve of probes covered versus wall clock and
+    execution index. Producers ({!Cftcg_fuzz.Fuzzer} with
+    [?coverage_series], the campaign's [Telemetry.series_bridge])
+    append points whenever coverage grows; consumers export CSV or
+    feed the curve to {!Cftcg_coverage.Html_report}. Thread-safe. *)
+
+type point = {
+  pt_time : float;  (** seconds since campaign start (or the virtual
+                        exec-index clock under an exec budget) *)
+  pt_execs : int;  (** execution index when recorded *)
+  pt_covered : int;  (** probes covered at that instant *)
+}
+
+type t
+
+val create : ?probes_total:int -> unit -> t
+(** [probes_total] (when known) is carried into the CSV header as a
+    comment so plots can show percentages. *)
+
+val set_probes_total : t -> int -> unit
+(** For producers that learn the probe count only after creating the
+    series (e.g. the CLI, which creates the series before lowering the
+    model). *)
+
+val record : t -> time:float -> execs:int -> covered:int -> unit
+(** Appends a point. Consecutive points with the same [covered] value
+    are collapsed (the last one wins), keeping the series the compact
+    corner set of the step curve; a final flat point therefore still
+    extends the curve to the end of the run. *)
+
+val points : t -> point list
+(** Oldest first. *)
+
+val probes_total : t -> int option
+
+val to_csv : t -> string
+(** [time_s,execs,probes_covered] with a header row (and a
+    [# probes_total=N] comment when known) — load with any plotting
+    tool to reproduce Figure 7. *)
+
+val save_csv : t -> string -> unit

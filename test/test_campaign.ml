@@ -168,6 +168,145 @@ let test_telemetry_jsonl_file () =
     lines;
   Sys.remove path
 
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+let test_telemetry_jsonl_append () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "cftcg_test_append.jsonl" in
+  if Sys.file_exists path then Sys.remove path;
+  (* first run: 6 events, seq 0..5 *)
+  let sink = Telemetry.jsonl path in
+  List.iter sink.Telemetry.emit some_events;
+  sink.Telemetry.close ();
+  (* resumed run appends and continues the seq counter *)
+  let sink = Telemetry.jsonl ~append:true path in
+  List.iter sink.Telemetry.emit some_events;
+  sink.Telemetry.close ();
+  let lines = read_lines path in
+  Alcotest.(check int) "appended" (2 * List.length some_events) (List.length lines);
+  List.iteri
+    (fun i line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seq %d continues" i)
+        true
+        (contains (Printf.sprintf "\"seq\":%d" i) line))
+    lines;
+  (* fresh (non-append) run truncates back to one event set *)
+  let sink = Telemetry.jsonl path in
+  List.iter sink.Telemetry.emit some_events;
+  sink.Telemetry.close ();
+  let lines = read_lines path in
+  Alcotest.(check int) "truncated" (List.length some_events) (List.length lines);
+  Alcotest.(check bool) "seq restarts" true (contains "\"seq\":0" (List.nth lines 0));
+  (* append to a path that does not exist yet: starts at seq 0 *)
+  Sys.remove path;
+  let sink = Telemetry.jsonl ~append:true path in
+  sink.Telemetry.emit (List.hd some_events);
+  sink.Telemetry.close ();
+  Alcotest.(check bool) "append creates" true (contains "\"seq\":0" (List.hd (read_lines path)));
+  Sys.remove path
+
+let test_telemetry_close_idempotent () =
+  (* closing any constructed sink twice must be a no-op, not a crash
+     (jsonl's second close would otherwise close_out a closed channel) *)
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "cftcg_test_close.jsonl" in
+  let sink = Telemetry.jsonl path in
+  sink.Telemetry.emit (List.hd some_events);
+  sink.Telemetry.close ();
+  sink.Telemetry.close ();
+  Sys.remove path;
+  let ring, _ = Telemetry.ring () in
+  ring.Telemetry.close ();
+  ring.Telemetry.close ();
+  let m = Telemetry.multi [ Telemetry.null ] in
+  m.Telemetry.close ();
+  m.Telemetry.close ()
+
+let test_telemetry_multi_close_exception_safe () =
+  let closed = Array.make 3 false in
+  let plain ix = { Telemetry.emit = (fun _ -> ()); close = (fun () -> closed.(ix) <- true) } in
+  let failing ix =
+    { Telemetry.emit = (fun _ -> ());
+      close =
+        (fun () ->
+          closed.(ix) <- true;
+          failwith "sink close failed")
+    }
+  in
+  let m = Telemetry.multi [ plain 0; failing 1; plain 2 ] in
+  (match m.Telemetry.close () with
+  | exception Failure msg -> Alcotest.(check string) "first error re-raised" "sink close failed" msg
+  | () -> Alcotest.fail "close must re-raise the sink failure");
+  Alcotest.(check (array bool)) "every sink closed" [| true; true; true |] closed;
+  (* idempotent even after a failing close: nothing runs again *)
+  Array.fill closed 0 3 false;
+  m.Telemetry.close ();
+  Alcotest.(check (array bool)) "second close is a no-op" [| false; false; false |] closed
+
+(* snapshot of the progress renderer's terminal protocol: heartbeats
+   overwrite one line (\r, no newline), epoch ends and failures commit
+   it with a newline, and close commits a dangling heartbeat line *)
+let progress_output events =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "cftcg_test_progress.txt" in
+  let oc = open_out path in
+  let sink = Telemetry.progress oc in
+  List.iter sink.Telemetry.emit events;
+  sink.Telemetry.close ();
+  close_out oc;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let pad78 s = Printf.sprintf "\r%-78s" s
+
+let test_telemetry_progress_snapshot () =
+  let hb n =
+    Telemetry.Exec_batch { worker = 1; epoch = 0; executions = n; iterations = 2 * n; probes_covered = 7 }
+  in
+  (* two heartbeats: the second overwrites the first, close commits *)
+  Alcotest.(check string) "heartbeat overwrite"
+    (pad78 "  worker 1: 512 execs, 7 probes covered"
+    ^ pad78 "  worker 1: 1024 execs, 7 probes covered"
+    ^ "\n")
+    (progress_output [ hb 512; hb 1024 ]);
+  (* epoch end commits the line: no dangling line for close to finish *)
+  Alcotest.(check string) "epoch commit"
+    (pad78 "  worker 1: 512 execs, 7 probes covered"
+    ^ pad78 "  epoch 3: 4096 execs, 9/20 probes, corpus 5"
+    ^ "\n")
+    (progress_output
+       [ hb 512;
+         Telemetry.Epoch_end
+           { epoch = 3; executions = 4096; probes_covered = 9; probes_total = 20; corpus_size = 5 }
+       ]);
+  (* a failure commits its own line even mid-heartbeat *)
+  Alcotest.(check string) "failure commit"
+    (pad78 "  worker 1: 512 execs, 7 probes covered"
+    ^ pad78 "  FAILURE (worker 2): assert blew up"
+    ^ "\n"
+    ^ pad78 "  worker 1: 1024 execs, 7 probes covered"
+    ^ "\n")
+    (progress_output
+       [ hb 512;
+         Telemetry.Failure { worker = 2; epoch = 0; message = "assert blew up" };
+         hb 1024
+       ]);
+  (* silent events leave no output at all *)
+  Alcotest.(check string) "silent events" ""
+    (progress_output
+       [ Telemetry.New_probe { worker = 0; epoch = 0; probes = 1; executions = 3 };
+         Telemetry.Corpus_sync { epoch = 0; candidates = 1; kept = 1; probes_covered = 1 }
+       ])
+
 (* --- Fuzzer determinism under Exec_budget (virtual clock) --- *)
 
 let test_exec_budget_deterministic () =
@@ -377,7 +516,12 @@ let suites =
     ( "campaign.telemetry",
       [ Alcotest.test_case "ring buffer" `Quick test_telemetry_ring;
         Alcotest.test_case "json encoding" `Quick test_telemetry_json;
-        Alcotest.test_case "jsonl file" `Quick test_telemetry_jsonl_file ] );
+        Alcotest.test_case "jsonl file" `Quick test_telemetry_jsonl_file;
+        Alcotest.test_case "jsonl append on resume" `Quick test_telemetry_jsonl_append;
+        Alcotest.test_case "close is idempotent" `Quick test_telemetry_close_idempotent;
+        Alcotest.test_case "multi close is exception-safe" `Quick
+          test_telemetry_multi_close_exception_safe;
+        Alcotest.test_case "progress line snapshot" `Quick test_telemetry_progress_snapshot ] );
     ( "campaign.orchestrator",
       [ Alcotest.test_case "exec-budget runs are deterministic" `Quick
           test_exec_budget_deterministic;

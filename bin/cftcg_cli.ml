@@ -5,6 +5,7 @@
      emit-c    print the generated C fuzz code + driver for a model
      coverage  replay a CSV test suite and report coverage
      convert   convert one binary (hex) test case to CSV or back
+     corpus    maintain on-disk corpus directories (fsck)
      models    list / export the built-in benchmark models *)
 
 open Cmdliner
@@ -67,6 +68,38 @@ let backend_conv =
   in
   Arg.conv (parse, print)
 
+let crash_policy_conv =
+  let module Campaign = Cftcg_campaign.Campaign in
+  let parse = function
+    | "abort" -> Ok Campaign.Abort
+    | "degrade" -> Ok Campaign.Degrade
+    | s -> Error (`Msg (Printf.sprintf "unknown crash policy %S (expected abort or degrade)" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with Campaign.Abort -> "abort" | Campaign.Degrade -> "degrade")
+  in
+  Arg.conv (parse, print)
+
+(* arm the fault-injection harness for chaos runs; prints the
+   injection tally at exit so a scripted run can see what fired *)
+let arm_faults spec fault_seed =
+  match spec with
+  | None -> ()
+  | Some spec ->
+    let module Fault = Cftcg_util.Fault in
+    (try Fault.arm_spec ~seed:(Int64.of_int fault_seed) spec with
+    | Invalid_argument msg ->
+      Printf.eprintf "bad --inject-faults spec: %s\n" msg;
+      exit 1);
+    at_exit (fun () ->
+        Array.iter
+          (fun p ->
+            if Fault.hits p > 0 then
+              Printf.eprintf "fault %s: %d injected / %d checks\n" (Fault.point_name p)
+                (Fault.injected p) (Fault.hits p))
+          Fault.all_points)
+
 (* observability flags shared by fuzz and profile: enable collection,
    run the body, then write the requested exports *)
 let with_observability ?(force = false) ?(want_series = false) ~metrics_out ~trace_out
@@ -111,7 +144,8 @@ let coverage_csv_arg =
 
 let fuzz_cmd =
   let run model_path seconds execs out_dir seed ranges seed_dir jobs corpus resume telemetry
-      epoch_execs backend no_opt metrics_out trace_out coverage_csv html_out =
+      epoch_execs backend no_opt max_runtime epoch_deadline on_worker_crash inject_faults
+      fault_seed metrics_out trace_out coverage_csv html_out =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -120,6 +154,7 @@ let fuzz_cmd =
       Printf.eprintf "--resume requires --corpus (there is no manifest to resume from)\n";
       exit 1
     end;
+    arm_faults inject_faults fault_seed;
     let model = load_model model_path in
     let seeds =
       match seed_dir with
@@ -175,10 +210,18 @@ let fuzz_cmd =
             fuzzer = config;
             corpus_dir = corpus;
             resume;
-            sink
+            sink;
+            on_worker_crash;
+            max_runtime;
+            epoch_deadline
           }
         in
-        let pc = Cftcg.Pipeline.run_parallel_campaign ~config:ccfg model in
+        let pc =
+          try Cftcg.Pipeline.run_parallel_campaign ~config:ccfg model with
+          | Campaign.Worker_crashed { worker; epoch; message } ->
+            Printf.eprintf "worker %d crashed in epoch %d: %s\n" worker epoch message;
+            exit 1
+        in
         sink.Telemetry.close ();
         let r = pc.Cftcg.Pipeline.pc_result in
         (match series with
@@ -201,9 +244,11 @@ let fuzz_cmd =
       end
       else begin
         let budget =
-          match execs with
-          | Some n -> Fuzzer.Exec_budget n
-          | None -> Fuzzer.Time_budget seconds
+          match (execs, max_runtime) with
+          | Some n, Some s -> Fuzzer.Wall_budget { max_execs = n; max_seconds = s }
+          | Some n, None -> Fuzzer.Exec_budget n
+          | None, Some s -> Fuzzer.Time_budget (Float.min s seconds)
+          | None, None -> Fuzzer.Time_budget seconds
         in
         let campaign = Cftcg.Pipeline.run_campaign ~config ?coverage_series:series model budget in
         let stats = campaign.Cftcg.Pipeline.fuzz.Fuzzer.stats in
@@ -284,13 +329,30 @@ let fuzz_cmd =
   let no_opt =
     Arg.(value & flag & info [ "no-opt" ] ~doc:"Disable the bytecode optimizer for the vm backend (escape hatch; campaigns are identical either way).")
   in
+  let max_runtime =
+    Arg.(value & opt (some float) None & info [ "max-runtime" ] ~docv:"SECONDS" ~doc:"Hard wall-clock ceiling on the whole run: with $(b,--execs) the run ends at whichever limit is hit first, so a stalled target cannot hang the campaign. Without it, exec-budget runs stay purely on the virtual clock (byte-identical per seed).")
+  in
+  let epoch_deadline =
+    Arg.(value & opt (some float) None & info [ "epoch-deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock ceiling per worker epoch run (parallel mode).")
+  in
+  let on_worker_crash =
+    Arg.(value & opt crash_policy_conv Cftcg_campaign.Campaign.Degrade
+         & info [ "on-worker-crash" ] ~docv:"POLICY" ~doc:"What to do when a worker domain raises: $(b,degrade) (default) salvages the survivors and continues with one worker fewer; $(b,abort) stops the campaign with an error.")
+  in
+  let inject_faults =
+    Arg.(value & opt (some string) None & info [ "inject-faults" ] ~docv:"SPEC" ~doc:"Arm the deterministic fault-injection harness (testing): comma-separated $(i,point=rate), $(i,point@k) or bare $(i,point) entries over store_write, store_rename, worker_raise, exec_stall — e.g. $(b,store_write=0.1,worker_raise\\@2).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc:"Seed for the $(b,--inject-faults) schedule.")
+  in
   let html_out =
     Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc:"Write a self-contained HTML coverage report for the generated suite, including the coverage-over-time curve.")
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a CFTCG fuzzing campaign and emit CSV test cases.")
     Term.(const run $ model_arg $ seconds $ execs $ out_dir $ seed_arg $ ranges $ seed_dir $ jobs
-          $ corpus $ resume $ telemetry $ epoch_execs $ backend $ no_opt $ metrics_out_arg
+          $ corpus $ resume $ telemetry $ epoch_execs $ backend $ no_opt $ max_runtime
+          $ epoch_deadline $ on_worker_crash $ inject_faults $ fault_seed $ metrics_out_arg
           $ trace_out_arg $ coverage_csv_arg $ html_out)
 
 let emit_c_cmd =
@@ -603,6 +665,38 @@ let profile_cmd =
        ~doc:"Run a short instrumented campaign and emit a Chrome trace, a Prometheus metrics dump, a Figure-7 coverage CSV, per-strategy effectiveness counters and a VM opcode profile.")
     Term.(const run $ model_arg $ execs $ seed_arg $ out_dir $ backend)
 
+let corpus_cmd =
+  let module Store = Cftcg_campaign.Corpus_store in
+  let fsck_cmd =
+    let run dir quiet =
+      if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+        Printf.eprintf "no such corpus directory: %s\n" dir;
+        exit 1
+      end;
+      let report =
+        Store.fsck ~on_salvage:(fun msg -> if not quiet then Printf.printf "quarantined: %s\n" msg) dir
+      in
+      Printf.printf "entries: %d valid\nmanifest: %s\norphans: %d\nquarantined: %d\n"
+        report.Store.fsck_entries
+        (match report.Store.fsck_manifest with
+        | `Ok -> "ok"
+        | `Missing -> "missing (campaign accounting lost; entries recovered on next open)"
+        | `Quarantined -> "corrupt, quarantined (entries recovered on next open)")
+        report.Store.fsck_orphans
+        (List.length report.Store.fsck_quarantined);
+      if report.Store.fsck_quarantined <> [] then exit 1
+    in
+    let dir =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Corpus directory (as passed to fuzz --corpus).")
+    in
+    let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary.") in
+    Cmd.v
+      (Cmd.info "fsck"
+         ~doc:"Validate and repair a corpus directory: quarantine half-written or undecodable files to *.corrupt-N (never deleting data) and report what is left. Exits 1 if anything was quarantined.")
+      Term.(const run $ dir $ quiet)
+  in
+  Cmd.group (Cmd.info "corpus" ~doc:"Maintain on-disk corpus directories.") [ fsck_cmd ]
+
 let models_cmd =
   let run export_dir =
     (match export_dir with
@@ -636,4 +730,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fuzz_cmd; emit_c_cmd; coverage_cmd; minimize_cmd; convert_cmd; simulate_cmd;
-            ir_cmd; profile_cmd; models_cmd ]))
+            ir_cmd; profile_cmd; corpus_cmd; models_cmd ]))

@@ -2,8 +2,15 @@ open Cftcg_ir
 module Fuzzer = Cftcg_fuzz.Fuzzer
 module Layout = Cftcg_fuzz.Layout
 module Rng = Cftcg_util.Rng
+module Fault = Cftcg_util.Fault
 module Bytecodec = Cftcg_util.Bytecodec
 module Trace = Cftcg_obs.Trace
+
+type crash_policy =
+  | Abort
+  | Degrade
+
+exception Worker_crashed of { worker : int; epoch : int; message : string }
 
 type config = {
   jobs : int;
@@ -18,6 +25,9 @@ type config = {
   corpus_dir : string option;
   resume : bool;
   sink : Telemetry.sink;
+  on_worker_crash : crash_policy;
+  max_runtime : float option;
+  epoch_deadline : float option;
 }
 
 let default_config =
@@ -34,6 +44,9 @@ let default_config =
     corpus_dir = None;
     resume = false;
     sink = Telemetry.null;
+    on_worker_crash = Degrade;
+    max_runtime = None;
+    epoch_deadline = None;
   }
 
 type epoch_stat = {
@@ -52,6 +65,7 @@ type result = {
   epochs : epoch_stat list;
   resumed : bool;
   plateaued : bool;
+  worker_crashes : int;
 }
 
 (* Per-(epoch, worker) seed: one splitmix64 step over a slot derived
@@ -147,7 +161,11 @@ let run ?(config = default_config) (prog : Ir.program) =
       ~max_tuples:config.fuzzer.Fuzzer.max_tuples
   in
   let emit = config.sink.Telemetry.emit in
-  let store = Option.map Corpus_store.open_ config.corpus_dir in
+  let store =
+    Option.map
+      (Corpus_store.open_ ~on_salvage:(fun message -> emit (Telemetry.Salvage { message })))
+      config.corpus_dir
+  in
   (* global campaign state *)
   let coverage = Bytes.make n_probes '\000' in
   let corpus : (string, int * Bytes.t) Hashtbl.t = Hashtbl.create 64 in
@@ -196,12 +214,30 @@ let run ?(config = default_config) (prog : Ir.program) =
   let stop = ref false in
   let fully_covered () = prog.Ir.n_probes > 0 && count_covered coverage >= prog.Ir.n_probes in
   if config.stop_on_full && fully_covered () then stop := true;
+  (* crash isolation state: [live_jobs] degrades when a worker crashes
+     under the Degrade policy, so a persistently failing slot stops
+     burning budget; a crashed worker's unspent slice flows back into
+     the global accounting automatically (only real executions are
+     charged against [total_execs]) *)
+  let worker_crashes = ref 0 in
+  let live_jobs = ref config.jobs in
+  let dead_epochs = ref 0 in
+  let campaign_deadline =
+    match config.max_runtime with
+    | None -> Float.infinity
+    | Some s -> Unix.gettimeofday () +. s
+  in
+  let past_deadline () =
+    Float.is_finite campaign_deadline && Unix.gettimeofday () >= campaign_deadline
+  in
   while
     (not !stop)
     && !executions < config.total_execs
     && (config.max_epochs = 0 || !epoch - !epoch0 < config.max_epochs)
+    && not (past_deadline ())
   do
     let this_epoch = !epoch in
+    let jobs_now = !live_jobs in
     (* redistribute the best corpus entries as the shared seed corpus:
        metric-descending, fingerprint tie-break, capped *)
     let seeds =
@@ -213,12 +249,35 @@ let run ?(config = default_config) (prog : Ir.program) =
     (* exact global budget accounting: this epoch's executions are
        divided across workers ahead of time *)
     let remaining = config.total_execs - !executions in
-    let epoch_total = min remaining (config.execs_per_epoch * config.jobs) in
+    let epoch_total = min remaining (config.execs_per_epoch * jobs_now) in
     let budget_of ix =
-      (epoch_total / config.jobs) + (if ix < epoch_total mod config.jobs then 1 else 0)
+      (epoch_total / jobs_now) + (if ix < epoch_total mod jobs_now then 1 else 0)
+    in
+    (* per-epoch wall deadline: the per-epoch cap (if any) clipped to
+       what is left of the campaign's --max-runtime. When neither is
+       set workers run plain Exec_budgets and never read the wall
+       clock, keeping same-seed campaigns byte-identical. *)
+    let epoch_deadline_s =
+      let campaign_left =
+        if Float.is_finite campaign_deadline then
+          Some (Float.max (campaign_deadline -. Unix.gettimeofday ()) 0.01)
+        else None
+      in
+      match (config.epoch_deadline, campaign_left) with
+      | None, None -> None
+      | Some d, None -> Some d
+      | None, Some l -> Some l
+      | Some d, Some l -> Some (Float.min d l)
+    in
+    let budget_for ix =
+      match epoch_deadline_s with
+      | None -> Fuzzer.Exec_budget (budget_of ix)
+      | Some s -> Fuzzer.Wall_budget { max_execs = budget_of ix; max_seconds = s }
     in
     let abort = Atomic.make false in
     let worker ix () =
+      (* fault injection: a raising worker exercises the salvage path *)
+      Fault.check Fault.Worker_raise;
       let wseed = derive_seed config.seed ~epoch:this_epoch ~worker:ix in
       let fcfg = { config.fuzzer with Fuzzer.seed = wseed; seeds } in
       let on_progress (st : Fuzzer.stats) =
@@ -243,13 +302,46 @@ let run ?(config = default_config) (prog : Ir.program) =
       @@ fun () ->
       Fuzzer.run ~config:fcfg ~on_test_case ~on_progress
         ~should_stop:(fun () -> Atomic.get abort)
-        prog (Fuzzer.Exec_budget (budget_of ix))
+        prog (budget_for ix)
     in
     Trace.with_span "campaign.epoch" ~args:[ ("epoch", string_of_int this_epoch) ] @@ fun () ->
+    (* Crash isolation: every domain body is wrapped so Domain.join
+       yields a result instead of re-raising — one raising worker can
+       no longer destroy the whole epoch. All domains are joined
+       before any crash is acted on, so even Abort never leaks a
+       running domain. *)
+    let guarded ix () =
+      match worker ix () with
+      | r -> Ok r
+      | exception e -> Error (Printexc.to_string e)
+    in
+    let joined =
+      match List.init jobs_now (fun ix -> ix) with
+      | [ _lone ] -> [ (0, guarded 0 ()) ]  (* jobs=1: skip domain setup *)
+      | ixs ->
+        List.map
+          (fun (ix, d) -> (ix, Domain.join d))
+          (List.map (fun ix -> (ix, Domain.spawn (guarded ix))) ixs)
+    in
     let results =
-      match List.init config.jobs (fun ix -> ix) with
-      | [ _lone ] -> [ worker 0 () ]  (* jobs=1: skip domain setup *)
-      | ixs -> List.map Domain.join (List.map (fun ix -> Domain.spawn (worker ix)) ixs)
+      List.filter_map
+        (fun (ix, r) ->
+          match r with
+          | Ok r -> Some r
+          | Error message ->
+            incr worker_crashes;
+            emit (Telemetry.Worker_crash { worker = ix; epoch = this_epoch; message });
+            emit
+              (Telemetry.Failure
+                 { worker = ix; epoch = this_epoch; message = "worker crashed: " ^ message });
+            (match config.on_worker_crash with
+            | Abort ->
+              config.sink.Telemetry.close ();
+              raise (Worker_crashed { worker = ix; epoch = this_epoch; message })
+            | Degrade ->
+              live_jobs := max 1 (!live_jobs - 1);
+              None))
+        joined
     in
     (* --- coordinator merge (the fork-mode "corpus merge" step) --- *)
     let candidates =
@@ -286,22 +378,43 @@ let run ?(config = default_config) (prog : Ir.program) =
          { epoch = this_epoch; candidates = List.length candidates;
            kept = Hashtbl.length corpus; probes_covered = covered });
     (* persist: entries first, manifest last, each write atomic — a
-       kill at any point resumes from a consistent state *)
+       kill at any point resumes from a consistent state. Writes are
+       retried with backoff inside Corpus_store; an operation that
+       still fails is skipped (not fatal): the in-memory corpus is
+       intact and the entry or manifest is re-persisted next epoch. *)
     (match store with
     | Some s ->
       Trace.with_span "campaign.persist" @@ fun () ->
+      let persist_failures = ref 0 in
+      let transient = function
+        | Fault.Injected _ | Sys_error _ | Unix.Unix_error _ -> true
+        | _ -> false
+      in
       Hashtbl.iter
-        (fun fp (metric, data) -> ignore (Corpus_store.add s ~fingerprint:fp ~metric data))
+        (fun fp (metric, data) ->
+          try ignore (Corpus_store.add s ~fingerprint:fp ~metric data) with
+          | e when transient e -> incr persist_failures)
         corpus;
-      Corpus_store.save_manifest s
-        {
-          Corpus_store.m_seed = config.seed;
-          m_jobs = config.jobs;
-          m_epoch = this_epoch + 1;
-          m_executions = !executions;
-          m_probes_total = prog.Ir.n_probes;
-          m_coverage = coverage;
-        }
+      (try
+         Corpus_store.save_manifest s
+           {
+             Corpus_store.m_seed = config.seed;
+             m_jobs = config.jobs;
+             m_epoch = this_epoch + 1;
+             m_executions = !executions;
+             m_probes_total = prog.Ir.n_probes;
+             m_coverage = coverage;
+           }
+       with
+      | e when transient e -> incr persist_failures);
+      if !persist_failures > 0 then
+        emit
+          (Telemetry.Salvage
+             { message =
+                 Printf.sprintf
+                   "epoch %d: %d persist operation(s) failed after retries; will retry next epoch"
+                   this_epoch !persist_failures
+             })
     | None -> ());
     emit
       (Telemetry.Epoch_end
@@ -313,12 +426,17 @@ let run ?(config = default_config) (prog : Ir.program) =
       :: !epoch_stats;
     if covered > !last_covered then stalled := 0 else incr stalled;
     last_covered := covered;
+    (* an epoch in which every worker crashed makes no progress at
+       all; two in a row means the failure is not transient — stop
+       instead of spinning on a budget that can never be spent *)
+    if results = [] then incr dead_epochs else dead_epochs := 0;
     if config.stop_on_full && fully_covered () then stop := true
     else if !stalled >= config.plateau_epochs then begin
       plateaued := true;
       emit (Telemetry.Plateau { epoch = this_epoch; stalled_epochs = !stalled });
       stop := true
-    end;
+    end
+    else if !dead_epochs >= 2 then stop := true;
     incr epoch
   done;
   let suite =
@@ -335,4 +453,5 @@ let run ?(config = default_config) (prog : Ir.program) =
     epochs = List.rev !epoch_stats;
     resumed = !resumed;
     plateaued = !plateaued;
+    worker_crashes = !worker_crashes;
   }

@@ -25,13 +25,37 @@
     Workers run under execution budgets and therefore on the
     {!Fuzzer} virtual clock, and the merge step is order-independent,
     so a campaign's outcome is a deterministic function of
-    (program, config) — independent of domain scheduling. The only
-    exception is [stop_on_full]: once some worker covers everything,
-    the others are cut short at a scheduling-dependent point; coverage
-    is complete either way. *)
+    (program, config) — independent of domain scheduling. The
+    exceptions are [stop_on_full] (once some worker covers
+    everything, the others are cut short at a scheduling-dependent
+    point; coverage is complete either way) and the wall-clock
+    deadlines [max_runtime] / [epoch_deadline], which by nature
+    depend on real time.
+
+    {b Fault tolerance.} A worker domain that raises does not bring
+    the campaign down: the coordinator joins every domain, salvages
+    the surviving workers' results, emits {!Telemetry.Worker_crash}
+    and {!Telemetry.Failure} events, and applies [on_worker_crash].
+    Because only real executions are charged against the budget, a
+    crashed worker's unspent slice is automatically redistributed
+    over the following epochs. Corpus persistence retries transient
+    I/O errors with backoff (inside {!Corpus_store}) and, if an
+    operation still fails, skips it for the epoch and re-persists on
+    the next one — the in-memory corpus is authoritative. *)
 
 open Cftcg_ir
 module Fuzzer = Cftcg_fuzz.Fuzzer
+
+type crash_policy =
+  | Abort  (** join all domains, then re-raise as {!Worker_crashed} *)
+  | Degrade
+      (** drop the crashed worker (never below one) and continue the
+          campaign with the survivors *)
+
+exception Worker_crashed of { worker : int; epoch : int; message : string }
+(** Raised by {!run} under the {!Abort} policy. All domains have been
+    joined and the telemetry sink closed before this escapes — no
+    resources leak. *)
 
 type config = {
   jobs : int;  (** concurrent workers (>= 1) *)
@@ -50,11 +74,22 @@ type config = {
   corpus_dir : string option;  (** attach an on-disk {!Corpus_store} *)
   resume : bool;  (** restore epoch/execution accounting from the manifest *)
   sink : Telemetry.sink;
+  on_worker_crash : crash_policy;  (** default {!Degrade} *)
+  max_runtime : float option;
+      (** wall-clock ceiling (seconds) on the whole campaign: no new
+          epoch starts past the deadline, and workers of the running
+          epoch get the remaining time as their {!Fuzzer.Wall_budget}
+          ceiling. [None] (the default) keeps the campaign purely on
+          the virtual clock — byte-identical same-seed runs *)
+  epoch_deadline : float option;
+      (** wall-clock ceiling (seconds) per worker epoch run, so one
+          stalled target cannot wedge an epoch; [None] by default *)
 }
 
 val default_config : config
 (** 4 jobs, 20k total executions in epochs of 1k per worker, plateau
-    window 3, seed 1, no persistence, no telemetry. *)
+    window 3, seed 1, no persistence, no telemetry, crash policy
+    {!Degrade}, no deadlines. *)
 
 type epoch_stat = {
   ep_epoch : int;
@@ -77,9 +112,16 @@ type result = {
   epochs : epoch_stat list;  (** chronological, this run only *)
   resumed : bool;
   plateaued : bool;  (** stopped by the plateau detector *)
+  worker_crashes : int;
+      (** worker domains that raised and were salvaged (under
+          {!Degrade}; under {!Abort} the first crash raises) *)
 }
 
 val run : ?config:config -> Ir.program -> result
 (** Raises [Invalid_argument] if [jobs < 1], if the model has no
     inports, or if [resume] finds a manifest recorded for a program
-    with a different probe count. *)
+    with a different probe count. Raises {!Worker_crashed} if a
+    worker domain raises and [on_worker_crash = Abort]. If every
+    live worker crashes for two consecutive epochs the campaign stops
+    (the failure is clearly not transient) instead of spinning on a
+    budget that can never be spent. *)

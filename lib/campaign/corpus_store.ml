@@ -1,9 +1,12 @@
 module Bytecodec = Cftcg_util.Bytecodec
+module Fault = Cftcg_util.Fault
+module Metrics = Cftcg_obs.Metrics
 
 type t = {
   dir : string;
   entries_dir : string;
   index : (string, int) Hashtbl.t;  (* fingerprint -> best metric seen *)
+  mutable salvaged : string list;  (* quarantine actions, newest first *)
 }
 
 type manifest = {
@@ -15,11 +18,30 @@ type manifest = {
   m_coverage : Bytes.t;
 }
 
+type fsck_report = {
+  fsck_entries : int;
+  fsck_quarantined : string list;
+  fsck_manifest : [ `Ok | `Missing | `Quarantined ];
+  fsck_orphans : int;
+}
+
 exception Corrupt of string
 
 let magic = "cftcg-corpus 1"
 
 let entry_suffix = ".tc"
+
+(* instruments are lazy so a process that never touches a store
+   registers nothing in the default metrics registry *)
+let retries_metric =
+  lazy
+    (Metrics.counter ~help:"Transient corpus-store write failures retried with backoff"
+       "cftcg_store_persist_retries_total")
+
+let quarantined_metric =
+  lazy
+    (Metrics.counter ~help:"Corrupt corpus files quarantined to *.corrupt-N"
+       "cftcg_store_quarantined_total")
 
 let mkdir_p dir =
   let rec go d =
@@ -35,14 +57,48 @@ let manifest_path t = Filename.concat t.dir "manifest"
 
 let entry_path t fp = Filename.concat t.entries_dir (fp ^ entry_suffix)
 
+let is_transient = function
+  | Fault.Injected _ | Sys_error _ | Unix.Unix_error _ -> true
+  | _ -> false
+
+let retry_attempts = 3
+
+(* Bounded retry with exponential backoff (1ms, 2ms) for transient
+   filesystem errors — and injected faults, which is how the recovery
+   path is exercised deterministically in tests. Non-transient
+   exceptions propagate immediately. *)
+let with_retries f =
+  let rec go attempt =
+    try f () with
+    | e when attempt + 1 < retry_attempts && is_transient e ->
+      Metrics.inc (Lazy.force retries_metric);
+      Unix.sleepf (0.001 *. float_of_int (1 lsl attempt));
+      go (attempt + 1)
+  in
+  go 0
+
 (* All writes go through write-then-rename so a killed campaign never
    leaves a half-written entry or manifest behind; readers either see
-   the old version or the new one. *)
+   the old version or the new one. A failure at any step (disk full,
+   injected fault) closes and unlinks the tmp file before re-raising,
+   so failed writes leak neither an fd nor a stray [.tmp]. *)
 let write_atomic ~path content =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
-  Unix.rename tmp path
+  (try
+     Fault.check Fault.Store_write;
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try
+    Fault.check Fault.Store_rename;
+    Unix.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let read_file path =
   let ic = open_in_bin path in
@@ -53,6 +109,30 @@ let read_file path =
 let is_entry_file name = Filename.check_suffix name entry_suffix
 
 let fp_of_entry_file name = Filename.chop_suffix name entry_suffix
+
+(* entry files are content-addressed by hex_of_int64 fingerprints:
+   up to 16 lowercase hex characters (campaigns write exactly 16;
+   shorter ones are accepted so hand-rolled corpora stay loadable) *)
+let valid_fingerprint fp =
+  String.length fp >= 1
+  && String.length fp <= 16
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) fp
+
+(* moves a damaged file to the first free [path.corrupt-N] instead of
+   deleting it, so a human (or a bug report) can still inspect it *)
+let quarantine t path reason =
+  let rec free n =
+    let q = Printf.sprintf "%s.corrupt-%d" path n in
+    if Sys.file_exists q then free (n + 1) else q
+  in
+  let q = free 0 in
+  Sys.rename path q;
+  Metrics.inc (Lazy.force quarantined_metric);
+  let msg = Printf.sprintf "%s -> %s (%s)" (Filename.basename path) (Filename.basename q) reason in
+  t.salvaged <- msg :: t.salvaged;
+  msg
+
+let salvaged t = List.rev t.salvaged
 
 let parse_manifest_lines t lines =
   match lines with
@@ -112,20 +192,36 @@ let load_manifest t =
     in
     Some (parse_manifest_lines t lines)
 
-let open_ dir =
+let open_ ?(on_salvage = fun _ -> ()) dir =
   let entries_dir = Filename.concat dir "entries" in
   mkdir_p entries_dir;
-  let t = { dir; entries_dir; index = Hashtbl.create 64 } in
-  ignore (load_manifest t);
+  let t = { dir; entries_dir; index = Hashtbl.create 64; salvaged = [] } in
+  (match load_manifest t with
+  | _ -> ()
+  | exception Corrupt reason ->
+    (* A damaged manifest must not kill --resume: the parse may have
+       half-populated the index, so drop it, quarantine the manifest
+       and rebuild from the entry files, which are individually
+       atomic. Campaign accounting (epoch, executions, coverage) is
+       lost, but every input survives. *)
+    Hashtbl.reset t.index;
+    on_salvage (quarantine t (manifest_path t) reason));
   (* entries written after the last manifest save (interrupted
-     campaign) are recovered with an unknown (0) metric *)
+     campaign) are recovered with an unknown (0) metric; entry files
+     whose name is not a fingerprint are left for fsck *)
+  let recovered = ref 0 in
   Array.iter
     (fun name ->
       if is_entry_file name then begin
         let fp = fp_of_entry_file name in
-        if not (Hashtbl.mem t.index fp) then Hashtbl.replace t.index fp 0
+        if valid_fingerprint fp && not (Hashtbl.mem t.index fp) then begin
+          Hashtbl.replace t.index fp 0;
+          incr recovered
+        end
       end)
     (Sys.readdir entries_dir);
+  if t.salvaged <> [] && !recovered > 0 then
+    on_salvage (Printf.sprintf "rebuilt index from entry files: %d entries recovered" !recovered);
   t
 
 let add t ~fingerprint ~metric data =
@@ -133,7 +229,8 @@ let add t ~fingerprint ~metric data =
   match known with
   | Some best when best >= metric -> `Kept
   | _ ->
-    write_atomic ~path:(entry_path t fingerprint) (Bytes.to_string data);
+    with_retries (fun () ->
+        write_atomic ~path:(entry_path t fingerprint) (Bytes.to_string data));
     Hashtbl.replace t.index fingerprint metric;
     if known = None then `Added else `Replaced
 
@@ -163,7 +260,7 @@ let save_manifest t m =
   List.iter
     (fun fp -> Printf.bprintf buf "entry %s %d\n" fp (Hashtbl.find t.index fp))
     (fingerprints t);
-  write_atomic ~path:(manifest_path t) (Buffer.contents buf)
+  with_retries (fun () -> write_atomic ~path:(manifest_path t) (Buffer.contents buf))
 
 let merge t ~from =
   List.fold_left
@@ -181,3 +278,61 @@ let merge t ~from =
           else acc)
         acc (fingerprints src))
     0 from
+
+let fsck ?(on_salvage = fun _ -> ()) dir =
+  let entries_dir = Filename.concat dir "entries" in
+  mkdir_p entries_dir;
+  let t = { dir; entries_dir; index = Hashtbl.create 64; salvaged = [] } in
+  (* scrub the entries directory: interrupted writes and files that do
+     not decode as content-addressed entries are quarantined *)
+  Array.iter
+    (fun name ->
+      let path = Filename.concat entries_dir name in
+      if Filename.check_suffix name ".tmp" then
+        on_salvage (quarantine t path "interrupted write")
+      else if is_entry_file name then begin
+        let fp = fp_of_entry_file name in
+        if not (valid_fingerprint fp) then
+          on_salvage (quarantine t path "entry name is not a fingerprint")
+        else
+          match read_file path with
+          | "" -> on_salvage (quarantine t path "empty entry")
+          | _ -> ()
+          | exception Sys_error _ -> on_salvage (quarantine t path "unreadable entry")
+      end)
+    (Sys.readdir entries_dir);
+  let mpath = Filename.concat dir "manifest" in
+  if Sys.file_exists (mpath ^ ".tmp") then
+    on_salvage (quarantine t (mpath ^ ".tmp") "interrupted manifest write");
+  (* the manifest must parse; a corrupt one is quarantined (not
+     rebuilt: campaign accounting is unrecoverable, and --resume
+     degrades gracefully when no manifest is present) *)
+  let manifest_state =
+    if not (Sys.file_exists mpath) then `Missing
+    else begin
+      match load_manifest t with
+      | Some _ -> `Ok
+      | None -> `Missing
+      | exception Corrupt reason ->
+        Hashtbl.reset t.index;
+        on_salvage (quarantine t mpath reason);
+        `Quarantined
+    end
+  in
+  let valid = ref 0 and orphans = ref 0 in
+  Array.iter
+    (fun name ->
+      if is_entry_file name then begin
+        let fp = fp_of_entry_file name in
+        if valid_fingerprint fp then begin
+          incr valid;
+          if manifest_state = `Ok && not (Hashtbl.mem t.index fp) then incr orphans
+        end
+      end)
+    (Sys.readdir entries_dir);
+  {
+    fsck_entries = !valid;
+    fsck_quarantined = List.rev t.salvaged;
+    fsck_manifest = manifest_state;
+    fsck_orphans = !orphans;
+  }

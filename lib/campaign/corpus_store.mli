@@ -20,6 +20,17 @@
     entries carry a stale metric (recovered as 0) until the next
     manifest save.
 
+    {b Fault tolerance.} Persistence is wrapped in a bounded
+    retry-with-backoff for transient failures ([Sys_error],
+    [Unix_error], injected {!Cftcg_util.Fault} faults); a failed write
+    never leaks its temporary file or descriptor. Damaged files are
+    never deleted: {!open_} quarantines a corrupt manifest to
+    [manifest.corrupt-N] and rebuilds the index from the entry files,
+    and {!fsck} does the same for undecodable or half-written entries.
+    Retries and quarantines are counted in {!Cftcg_obs.Metrics}
+    ([cftcg_store_persist_retries_total],
+    [cftcg_store_quarantined_total]).
+
     Not thread-safe: only the campaign coordinator touches the store. *)
 
 type t
@@ -34,18 +45,35 @@ type manifest = {
 }
 
 exception Corrupt of string
-(** Raised by {!open_} / [load_manifest] on a damaged manifest. *)
+(** Raised by [load_manifest] on a damaged manifest. {!open_} and
+    {!fsck} never let it escape — they quarantine instead. *)
 
-val open_ : string -> t
+val open_ : ?on_salvage:(string -> unit) -> string -> t
 (** Opens (creating directories as needed) a corpus at [dir] and loads
     the entry index from the manifest plus any entry files written
-    after the last manifest save. *)
+    after the last manifest save.
+
+    A corrupt manifest does {e not} raise: it is quarantined to
+    [manifest.corrupt-N] and the index is rebuilt from the entry files
+    (each individually atomic), so an interrupted or damaged campaign
+    directory always opens. Campaign accounting (epoch counter,
+    cumulative executions, coverage bitmap) recorded only in the
+    manifest is lost in that case; every input survives. [on_salvage]
+    (default: ignore) receives one human-readable line per recovery
+    action. *)
+
+val salvaged : t -> string list
+(** Recovery actions performed by {!open_} on this handle, oldest
+    first; empty for a healthy store. *)
 
 val add : t -> fingerprint:string -> metric:int -> Bytes.t -> [ `Added | `Replaced | `Kept ]
 (** Content-addressed insert. [`Added]: new fingerprint; [`Replaced]:
     same fingerprint but a higher metric, the entry file is
     overwritten (atomically); [`Kept]: an equal-or-better
-    representative already exists, nothing written. *)
+    representative already exists, nothing written. Transient write
+    failures are retried with backoff; if they persist the exception
+    propagates with the index unchanged and no temporary file left
+    behind, so the add can simply be reattempted later. *)
 
 val mem : t -> string -> bool
 
@@ -71,3 +99,23 @@ val merge : t -> from:string list -> int
     entries were added or replaced. Coverage bitmaps are {e not}
     merged — run a campaign (or replay) over the merged corpus to
     regenerate the manifest. *)
+
+type fsck_report = {
+  fsck_entries : int;  (** valid entries after the scrub *)
+  fsck_quarantined : string list;
+      (** one line per file moved to [*.corrupt-N], oldest first *)
+  fsck_manifest : [ `Ok | `Missing | `Quarantined ];
+  fsck_orphans : int;
+      (** valid entries not referenced by the manifest (written after
+          the last save; recovered at metric 0 on the next open) *)
+}
+
+val fsck : ?on_salvage:(string -> unit) -> string -> fsck_report
+(** Validates and repairs a corpus directory in place: stray [.tmp]
+    files (interrupted writes), entry files whose name is not a
+    hex fingerprint, empty or unreadable entries, and a
+    manifest that fails to parse are each quarantined to
+    [*.corrupt-N]. Never raises on damaged content, never deletes
+    data. A report with [fsck_quarantined = []] and no orphans means
+    the directory is byte-for-byte consistent. Exposed on the CLI as
+    [cftcg corpus fsck DIR]. *)

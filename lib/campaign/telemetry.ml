@@ -5,6 +5,8 @@ type event =
   | Epoch_end of { epoch : int; executions : int; probes_covered : int; probes_total : int; corpus_size : int }
   | Plateau of { epoch : int; stalled_epochs : int }
   | Failure of { worker : int; epoch : int; message : string }
+  | Worker_crash of { worker : int; epoch : int; message : string }
+  | Salvage of { message : string }
 
 type sink = {
   emit : event -> unit;
@@ -87,6 +89,10 @@ let to_json ?seq e =
     | Failure { worker; epoch; message } ->
       [ ("type", `S "failure"); ("worker", `I worker); ("epoch", `I epoch);
         ("message", `S message) ]
+    | Worker_crash { worker; epoch; message } ->
+      [ ("type", `S "worker_crash"); ("worker", `I worker); ("epoch", `I epoch);
+        ("message", `S message) ]
+    | Salvage { message } -> [ ("type", `S "salvage"); ("message", `S message) ]
   in
   let fields =
     match seq with
@@ -160,6 +166,8 @@ let metrics_bridge ?registry () =
   let syncs = c "cftcg_campaign_corpus_syncs_total" "Coordinator corpus merges" in
   let failures = c "cftcg_campaign_failures_total" "Assertion failures observed" in
   let plateaus = c "cftcg_campaign_plateaus_total" "Early stops due to a coverage plateau" in
+  let crashes = c "cftcg_campaign_worker_crashes_total" "Worker domains that raised and were salvaged" in
+  let salvages = c "cftcg_campaign_salvage_events_total" "Corpus-store recovery actions" in
   let emit = function
     | Epoch_end { executions; probes_covered; corpus_size; _ } ->
       M.inc epochs;
@@ -170,6 +178,8 @@ let metrics_bridge ?registry () =
     | Corpus_sync _ -> M.inc syncs
     | Failure _ -> M.inc failures
     | Plateau _ -> M.inc plateaus
+    | Worker_crash _ -> M.inc crashes
+    | Salvage _ -> M.inc salvages
     | Exec_batch _ -> ()
   in
   serialized emit (fun () -> ())
@@ -206,6 +216,10 @@ let progress oc =
            stalled_epochs epoch)
     | Failure { worker; message; _ } ->
       Printf.fprintf oc "\r%-78s\n%!" (Printf.sprintf "  FAILURE (worker %d): %s" worker message)
+    | Worker_crash { worker; message; _ } ->
+      Printf.fprintf oc "\r%-78s\n%!"
+        (Printf.sprintf "  WORKER CRASH (worker %d): %s" worker message)
+    | Salvage { message } -> Printf.fprintf oc "\r%-78s\n%!" ("  salvage: " ^ message)
     | New_probe _ | Corpus_sync _ -> ()
   in
   serialized emit (fun () -> if !line then Printf.fprintf oc "\n%!")

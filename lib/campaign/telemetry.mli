@@ -40,6 +40,14 @@ type event =
           campaign stops early *)
   | Failure of { worker : int; epoch : int; message : string }
       (** an Assertion block was violated *)
+  | Worker_crash of { worker : int; epoch : int; message : string }
+      (** a worker domain raised; the coordinator salvaged the
+          surviving workers' results and applied the campaign's
+          crash policy *)
+  | Salvage of { message : string }
+      (** a corpus-store recovery action: a quarantined corrupt file,
+          a rebuilt index, or persistence skipped after exhausted
+          retries *)
 
 type sink = {
   emit : event -> unit;

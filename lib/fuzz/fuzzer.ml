@@ -1,5 +1,6 @@
 open Cftcg_ir
 module Rng = Cftcg_util.Rng
+module Fault = Cftcg_util.Fault
 module Metrics = Cftcg_obs.Metrics
 module Trace = Cftcg_obs.Trace
 module Series = Cftcg_obs.Series
@@ -28,6 +29,7 @@ let default_config =
 type budget =
   | Time_budget of float
   | Exec_budget of int
+  | Wall_budget of { max_execs : int; max_seconds : float }
 
 type test_case = {
   tc_data : Bytes.t;
@@ -234,6 +236,11 @@ let make_obs_handles () =
    execution: cheap enough to leave on, dense enough to be useful *)
 let sample_mask = 255
 
+(* sleep per fired Exec_stall fault — long enough that a handful of
+   stalls trips a sub-second wall deadline, short enough that armed
+   test runs stay fast *)
+let exec_stall_seconds = 0.002
+
 let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress = fun _ -> ())
     ?(progress_every = 1024) ?(should_stop = fun () -> false) ?coverage_series
     (prog : Ir.program) budget =
@@ -256,6 +263,7 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
     match budget with
     | Time_budget s -> (max_int, start +. s)
     | Exec_budget n -> (n, Float.infinity)
+    | Wall_budget { max_execs; max_seconds } -> (max_execs, start +. max_seconds)
   in
   (* preallocated to corpus_cap: admission is O(1) until the cap,
      then O(n) eviction of the worst entry — never Array.append *)
@@ -267,10 +275,13 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
   let iterations = ref 0 in
   (* Exec-budget runs use a virtual clock (the execution index) so
      same-seed runs are byte-identical, timestamps included; wall
-     clock is only read under a time budget. *)
+     clock is only read under a time budget. Wall_budget stays on the
+     virtual clock too — its wall deadline bounds the run but never
+     feeds timestamps, so runs the deadline does not cut short are
+     byte-identical to the plain Exec_budget run. *)
   let elapsed_now () =
     match budget with
-    | Exec_budget _ -> float_of_int !executions
+    | Exec_budget _ | Wall_budget _ -> float_of_int !executions
     | Time_budget _ -> Unix.gettimeofday () -. start
   in
   let snapshot () =
@@ -390,6 +401,9 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
     && not (should_stop ())
   in
   while should_continue () do
+    (* fault injection: a stalled target is simulated by sleeping, so
+       wall-deadline shutdown is testable; one atomic load when off *)
+    if Fault.fire Fault.Exec_stall then Unix.sleepf exec_stall_seconds;
     let timed = observing && !executions land sample_mask = 0 in
     let t0 = if timed then Unix.gettimeofday () else 0.0 in
     let parent =

@@ -59,13 +59,21 @@ val default_config : config
 type budget =
   | Time_budget of float  (** seconds of wall clock *)
   | Exec_budget of int  (** number of inputs executed *)
+  | Wall_budget of { max_execs : int; max_seconds : float }
+      (** an {!Exec_budget} with a hard wall-clock ceiling: the run
+          ends at whichever limit is hit first, so a stalled target
+          cannot hang the campaign. Timestamps and [elapsed] stay on
+          the {!Exec_budget} virtual clock — when the deadline does
+          not fire, the run is byte-identical to
+          [Exec_budget max_execs] with the same seed. *)
 
 type test_case = {
   tc_data : Bytes.t;
   tc_time : float;
       (** seconds since campaign start under a {!Time_budget}; the
-          execution index under an {!Exec_budget} (a virtual clock, so
-          same-seed exec-budget runs are byte-identical) *)
+          execution index under an {!Exec_budget} or {!Wall_budget}
+          (a virtual clock, so same-seed exec-budget runs are
+          byte-identical) *)
   tc_new_probes : int;  (** previously-unseen cells this input lit *)
 }
 
@@ -80,7 +88,8 @@ type stats = {
   iterations : int;  (** total model steps across all inputs *)
   elapsed : float;
       (** wall-clock seconds under a {!Time_budget}; the execution
-          count under an {!Exec_budget} (virtual clock) *)
+          count under an {!Exec_budget} or {!Wall_budget} (virtual
+          clock) *)
   corpus_size : int;
   probes_covered : int;
   probes_total : int;

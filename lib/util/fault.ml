@@ -1,0 +1,159 @@
+type point =
+  | Store_write
+  | Store_rename
+  | Worker_raise
+  | Exec_stall
+
+type mode =
+  | Off
+  | Rate of float
+  | Nth of int
+
+exception Injected of string
+
+let n_points = 4
+
+let index = function
+  | Store_write -> 0
+  | Store_rename -> 1
+  | Worker_raise -> 2
+  | Exec_stall -> 3
+
+let all_points = [| Store_write; Store_rename; Worker_raise; Exec_stall |]
+
+let point_name = function
+  | Store_write -> "store_write"
+  | Store_rename -> "store_rename"
+  | Worker_raise -> "worker_raise"
+  | Exec_stall -> "exec_stall"
+
+let point_of_name = function
+  | "store_write" -> Some Store_write
+  | "store_rename" -> Some Store_rename
+  | "worker_raise" -> Some Worker_raise
+  | "exec_stall" -> Some Exec_stall
+  | _ -> None
+
+(* Global schedule. [armed_flag] is the only state the hot paths ever
+   read when injection is off, so a disarmed harness costs one atomic
+   load per guarded site. The rest is written by [arm]/[disarm] before
+   workers start and read-only afterwards; hit and injection counters
+   are atomics so worker domains can draw concurrently. *)
+let armed_flag = Atomic.make false
+
+let modes = Array.make n_points Off
+
+let schedule_seed = ref 1L
+
+let hit_counts = Array.init n_points (fun _ -> Atomic.make 0)
+
+let injected_counts = Array.init n_points (fun _ -> Atomic.make 0)
+
+let armed () = Atomic.get armed_flag
+
+(* Stateless splitmix64 draw keyed by (seed, point, hit index): the
+   decision for the k-th check of a point is a pure function of the
+   schedule seed, independent of which domain performs it or how draws
+   interleave across points. *)
+let mix key =
+  let z = Int64.add key 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float_of_key key =
+  Int64.to_float (Int64.shift_right_logical (mix key) 11) /. 9007199254740992.0
+
+let fire p =
+  if not (Atomic.get armed_flag) then false
+  else begin
+    let ix = index p in
+    match modes.(ix) with
+    | Off -> false
+    | Nth k ->
+      let h = 1 + Atomic.fetch_and_add hit_counts.(ix) 1 in
+      if h = k then begin
+        Atomic.incr injected_counts.(ix);
+        true
+      end
+      else false
+    | Rate r ->
+      let h = Atomic.fetch_and_add hit_counts.(ix) 1 in
+      let key =
+        Int64.add !schedule_seed
+          (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (((h + 1) * n_points) + ix)))
+      in
+      if unit_float_of_key key < r then begin
+        Atomic.incr injected_counts.(ix);
+        true
+      end
+      else false
+  end
+
+let check p = if fire p then raise (Injected (Printf.sprintf "injected fault at %s" (point_name p)))
+
+let hits p = Atomic.get hit_counts.(index p)
+
+let injected p = Atomic.get injected_counts.(index p)
+
+let injected_total () =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 injected_counts
+
+let disarm () =
+  (* counters survive disarm so tests can inspect what a run injected *)
+  Atomic.set armed_flag false;
+  Array.fill modes 0 n_points Off
+
+let arm ?(seed = 1L) spec =
+  disarm ();
+  schedule_seed := seed;
+  Array.iter (fun c -> Atomic.set c 0) hit_counts;
+  Array.iter (fun c -> Atomic.set c 0) injected_counts;
+  List.iter
+    (fun (p, m) ->
+      (match m with
+      | Rate r when not (Float.is_finite r) || r < 0.0 || r > 1.0 ->
+        invalid_arg "Fault.arm: rate must be in [0, 1]"
+      | Nth k when k < 1 -> invalid_arg "Fault.arm: @k must be >= 1"
+      | _ -> ());
+      modes.(index p) <- m)
+    spec;
+  Atomic.set armed_flag true
+
+let parse_spec s =
+  let entry item =
+    let item = String.trim item in
+    let name, m =
+      match String.index_opt item '@' with
+      | Some i ->
+        let k = String.sub item (i + 1) (String.length item - i - 1) in
+        (match int_of_string_opt k with
+        | Some k when k >= 1 -> (String.sub item 0 i, Nth k)
+        | _ -> invalid_arg (Printf.sprintf "Fault.parse_spec: bad hit index in %S" item))
+      | None -> (
+        match String.index_opt item '=' with
+        | Some i ->
+          let r = String.sub item (i + 1) (String.length item - i - 1) in
+          (match float_of_string_opt r with
+          | Some r when Float.is_finite r && r >= 0.0 && r <= 1.0 ->
+            (String.sub item 0 i, Rate r)
+          | _ -> invalid_arg (Printf.sprintf "Fault.parse_spec: bad rate in %S" item))
+        | None -> (item, Rate 1.0))
+    in
+    match point_of_name (String.trim name) with
+    | Some p -> (p, m)
+    | None -> invalid_arg (Printf.sprintf "Fault.parse_spec: unknown injection point %S" name)
+  in
+  match
+    String.split_on_char ',' s
+    |> List.filter (fun item -> String.trim item <> "")
+    |> List.map entry
+  with
+  | [] -> invalid_arg "Fault.parse_spec: empty schedule"
+  | schedule -> schedule
+
+let arm_spec ?seed s = arm ?seed (parse_spec s)
+
+let with_armed ?seed spec f =
+  arm ?seed spec;
+  Fun.protect ~finally:disarm f

@@ -1,0 +1,94 @@
+(** Deterministic fault injection for the campaign stack.
+
+    Long campaigns are only trustworthy if the recovery paths — corpus
+    quarantine, persist retries, worker-crash salvage, deadline
+    shutdown — are exercised on purpose, not just when a disk finally
+    fills up. This module names the places where the runtime can be
+    made to fail ({!point}) and arms them with a seeded schedule, so a
+    test or a chaos run injects {e exactly} the same faults every time.
+
+    The harness is process-global and {b zero-cost when disarmed}: a
+    guarded site pays one atomic boolean load and nothing else, and no
+    schedule state exists until {!arm} is called. Arming never perturbs
+    {!Rng} streams — the schedule draws from its own stateless
+    splitmix64 keyed by (seed, point, hit index) — so an {e unarmed}
+    run is byte-identical to a build without the harness, and an armed
+    run's injection decisions are independent of domain interleaving
+    for {!Nth} schedules and per-hit-index deterministic for {!Rate}
+    schedules.
+
+    Arm/disarm are not meant to race with guarded sites: configure the
+    schedule before spawning workers (the counters themselves are
+    atomics and safe to bump from any domain). *)
+
+(** Named injection points, one per guarded site class:
+    - [Store_write]: fails the data write of {!Corpus_store}'s
+      write-then-rename (simulates a full disk / I/O error);
+    - [Store_rename]: fails the rename publish step;
+    - [Worker_raise]: makes a campaign worker domain raise mid-epoch;
+    - [Exec_stall]: makes the fuzzing loop sleep, simulating a stalled
+      target so deadlines can be tested. *)
+type point =
+  | Store_write
+  | Store_rename
+  | Worker_raise
+  | Exec_stall
+
+(** Per-point schedule: [Rate r] fires each check independently with
+    probability [r] (seeded, deterministic per hit index); [Nth k]
+    fires exactly once, on the k-th check of that point. *)
+type mode =
+  | Off
+  | Rate of float
+  | Nth of int
+
+exception Injected of string
+(** Raised by {!check} when the schedule fires. Recovery code treats
+    it like a transient [Sys_error]. *)
+
+val all_points : point array
+
+val point_name : point -> string
+(** ["store_write"], ["store_rename"], ["worker_raise"], ["exec_stall"]. *)
+
+val armed : unit -> bool
+(** The cheap hot-path guard: one atomic load. *)
+
+val arm : ?seed:int64 -> (point * mode) list -> unit
+(** Installs a schedule (unlisted points stay [Off]), resets all
+    counters and arms the harness. Raises [Invalid_argument] on a rate
+    outside [0, 1] or a hit index < 1. *)
+
+val disarm : unit -> unit
+(** Disarms every point. Counters are kept for inspection. *)
+
+val parse_spec : string -> (point * mode) list
+(** Parses a comma-separated schedule, e.g.
+    ["store_write=0.1,store_rename=0.05,worker_raise@2"]:
+    [name=rate] is {!Rate}, [name@k] is {!Nth}, a bare [name] is
+    [Rate 1.0]. Raises [Invalid_argument] on unknown points,
+    malformed entries, or an empty schedule. *)
+
+val arm_spec : ?seed:int64 -> string -> unit
+(** [arm] ∘ [parse_spec]. *)
+
+val with_armed : ?seed:int64 -> (point * mode) list -> (unit -> 'a) -> 'a
+(** Runs [f] with the schedule armed and disarms afterwards, even on
+    exceptions — the test-suite entry point. *)
+
+val fire : point -> bool
+(** Consumes one schedule decision for [point]; [true] when the fault
+    should happen. Sites that simulate non-raising faults (stalls)
+    branch on this directly. *)
+
+val check : point -> unit
+(** [if fire p then raise (Injected ...)] — the guard for sites whose
+    failure mode is an exception. *)
+
+val hits : point -> int
+(** Checks performed since the last {!arm}. *)
+
+val injected : point -> int
+(** Faults actually fired since the last {!arm}. *)
+
+val injected_total : unit -> int

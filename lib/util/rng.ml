@@ -18,8 +18,20 @@ let split t = create (next64 t)
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let mask = Int64.to_int (Int64.logand (next64 t) 0x3FFFFFFFFFFFFFFFL) in
-  mask mod n
+  (* Rejection sampling over 62 uniform bits: [mask mod n] alone
+     over-weights the first [2^62 mod n] residues, so draws from the
+     incomplete final block are rejected and redrawn. [max_int] is
+     2^62 - 1, so [cutoff] is the largest draw inside a complete
+     block; for the small bounds the fuzzer uses, the rejection region
+     is < n/2^62 of the space and the accepted draw is the same value
+     the biased version produced, keeping seeded streams stable. *)
+  let r62 = ((max_int mod n) + 1) mod n in
+  let cutoff = max_int - r62 in
+  let rec draw () =
+    let mask = Int64.to_int (Int64.logand (next64 t) 0x3FFFFFFFFFFFFFFFL) in
+    if mask > cutoff then draw () else mask mod n
+  in
+  draw ()
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";

@@ -22,8 +22,9 @@ val next64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t n] is uniform in [0, n). Raises [Invalid_argument] if
-    [n <= 0]. *)
+(** [int t n] is {e exactly} uniform in [0, n) — draws use rejection
+    sampling, so there is no modulo bias even for bounds that do not
+    divide 2^62. Raises [Invalid_argument] if [n <= 0]. *)
 
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)

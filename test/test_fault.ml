@@ -1,0 +1,435 @@
+(* Tests for the fault-tolerance layer: the deterministic injection
+   harness itself, corpus-store quarantine/retry recovery, campaign
+   worker-crash salvage, wall-clock deadlines, and the exact
+   (rejection-sampled) Rng.int. *)
+
+module Codegen = Cftcg_codegen.Codegen
+module Fuzzer = Cftcg_fuzz.Fuzzer
+module Campaign = Cftcg_campaign.Campaign
+module Corpus_store = Cftcg_campaign.Corpus_store
+module Telemetry = Cftcg_campaign.Telemetry
+module Fault = Cftcg_util.Fault
+module Rng = Cftcg_util.Rng
+module Models = Cftcg_bench_models.Bench_models
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  rm_rf dir;
+  dir
+
+let solar_pv () =
+  let e = Option.get (Models.find "SolarPV") in
+  Codegen.lower ~mode:Codegen.Full (Lazy.force e.Models.model)
+
+let ls dir = if Sys.file_exists dir then Array.to_list (Sys.readdir dir) else []
+
+let tmp_files dir = List.filter (fun f -> Filename.check_suffix f ".tmp") (ls dir)
+
+(* --- the harness itself --- *)
+
+let test_parse_spec () =
+  Alcotest.(check bool) "rates and nth" true
+    (Fault.parse_spec "store_write=0.25,store_rename@2,exec_stall"
+    = [ (Fault.Store_write, Fault.Rate 0.25);
+        (Fault.Store_rename, Fault.Nth 2);
+        (Fault.Exec_stall, Fault.Rate 1.0) ]);
+  List.iter
+    (fun bad ->
+      match Fault.parse_spec bad with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail ("accepted bad spec " ^ bad))
+    [ "no_such_point"; "store_write=nope"; "worker_raise@0"; "store_write=1.5"; "" ]
+
+let test_nth_fires_exactly_once () =
+  Fault.with_armed [ (Fault.Worker_raise, Fault.Nth 3) ] @@ fun () ->
+  let fired = List.init 10 (fun _ -> Fault.fire Fault.Worker_raise) in
+  Alcotest.(check (list bool)) "only the 3rd check"
+    [ false; false; true; false; false; false; false; false; false; false ]
+    fired;
+  Alcotest.(check int) "hits counted" 10 (Fault.hits Fault.Worker_raise);
+  Alcotest.(check int) "one injection" 1 (Fault.injected Fault.Worker_raise)
+
+let test_rate_schedule_deterministic () =
+  let draw () =
+    Fault.with_armed ~seed:99L [ (Fault.Store_write, Fault.Rate 0.5) ] @@ fun () ->
+    List.init 200 (fun _ -> Fault.fire Fault.Store_write)
+  in
+  let a = draw () and b = draw () in
+  Alcotest.(check bool) "same seed, same schedule" true (a = b);
+  let fired = List.length (List.filter Fun.id a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly the rate (%d/200)" fired)
+    true
+    (fired > 50 && fired < 150)
+
+let test_disarmed_is_noop () =
+  Fault.disarm ();
+  Alcotest.(check bool) "disarmed" false (Fault.armed ());
+  Alcotest.(check bool) "fire is false" false (Fault.fire Fault.Exec_stall);
+  Fault.check Fault.Store_write (* must not raise *)
+
+let test_with_armed_restores_on_exception () =
+  (match
+     Fault.with_armed [ (Fault.Store_write, Fault.Rate 1.0) ] (fun () -> failwith "boom")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check bool) "disarmed after raise" false (Fault.armed ())
+
+(* --- corpus store under injected faults --- *)
+
+let test_write_retries_transient_fault () =
+  let dir = fresh_dir "cftcg_fault_retry" in
+  Fault.with_armed [ (Fault.Store_write, Fault.Nth 1) ] (fun () ->
+      let s = Corpus_store.open_ dir in
+      (* the first write attempt fails; the bounded retry succeeds *)
+      match Corpus_store.add s ~fingerprint:"00000000000000aa" ~metric:1 (Bytes.of_string "x") with
+      | `Added -> ()
+      | _ -> Alcotest.fail "add did not succeed after retry");
+  Alcotest.(check int) "injected once" 1 (Fault.injected Fault.Store_write);
+  let entries = Filename.concat dir "entries" in
+  Alcotest.(check (list string)) "no tmp leaked" [] (tmp_files entries);
+  let s2 = Corpus_store.open_ dir in
+  Alcotest.(check bool) "entry readable" true (Corpus_store.mem s2 "00000000000000aa");
+  rm_rf dir
+
+let test_write_failure_leaks_nothing () =
+  (* every attempt fails: the exception propagates, but no temp file
+     or index entry is left behind, and a later retry just works *)
+  let dir = fresh_dir "cftcg_fault_leak" in
+  let s = Corpus_store.open_ dir in
+  List.iter
+    (fun point ->
+      Fault.with_armed [ (point, Fault.Rate 1.0) ] (fun () ->
+          match Corpus_store.add s ~fingerprint:"00000000000000bb" ~metric:1 (Bytes.of_string "y") with
+          | exception Fault.Injected _ -> ()
+          | _ -> Alcotest.fail "add must fail when every attempt is injected");
+      let entries = Filename.concat dir "entries" in
+      Alcotest.(check (list string))
+        (Fault.point_name point ^ ": no tmp leaked")
+        [] (tmp_files entries);
+      Alcotest.(check bool)
+        (Fault.point_name point ^ ": index unchanged")
+        false
+        (Corpus_store.mem s "00000000000000bb"))
+    [ Fault.Store_write; Fault.Store_rename ];
+  (match Corpus_store.add s ~fingerprint:"00000000000000bb" ~metric:1 (Bytes.of_string "y") with
+  | `Added -> ()
+  | _ -> Alcotest.fail "disarmed add must succeed");
+  rm_rf dir
+
+let test_corrupt_manifest_recovery () =
+  let dir = fresh_dir "cftcg_fault_manifest" in
+  let s = Corpus_store.open_ dir in
+  ignore (Corpus_store.add s ~fingerprint:"00000000000000c1" ~metric:3 (Bytes.of_string "one"));
+  ignore (Corpus_store.add s ~fingerprint:"00000000000000c2" ~metric:5 (Bytes.of_string "two"));
+  Corpus_store.save_manifest s
+    { Corpus_store.m_seed = 1L; m_jobs = 2; m_epoch = 1; m_executions = 100;
+      m_probes_total = 8; m_coverage = Bytes.make 8 '\001' };
+  (* smash the manifest *)
+  let oc = open_out (Filename.concat dir "manifest") in
+  output_string oc "this is not a manifest\n\000\255garbage";
+  close_out oc;
+  let salvage_lines = ref [] in
+  let s2 = Corpus_store.open_ ~on_salvage:(fun m -> salvage_lines := m :: !salvage_lines) dir in
+  Alcotest.(check bool) "salvage callback fired" true (!salvage_lines <> []);
+  Alcotest.(check bool) "salvaged recorded on handle" true (Corpus_store.salvaged s2 <> []);
+  Alcotest.(check bool) "manifest quarantined" true
+    (Sys.file_exists (Filename.concat dir "manifest.corrupt-0"));
+  Alcotest.(check (option reject)) "accounting gone" None (Corpus_store.load_manifest s2);
+  Alcotest.(check int) "entries recovered" 2 (Corpus_store.size s2);
+  Alcotest.(check (list bytes)) "payloads intact"
+    [ Bytes.of_string "one"; Bytes.of_string "two" ]
+    (Corpus_store.entries s2);
+  (* a campaign pointed at the damaged dir with --resume must not
+     crash: it degrades to a fresh campaign seeded from the entries *)
+  let r =
+    Campaign.run
+      ~config:
+        { Campaign.default_config with
+          Campaign.jobs = 2;
+          seed = 11L;
+          total_execs = 600;
+          execs_per_epoch = 150;
+          corpus_dir = Some dir;
+          resume = true
+        }
+      (solar_pv ())
+  in
+  Alcotest.(check bool) "not flagged as resumed" false r.Campaign.resumed;
+  Alcotest.(check bool) "campaign completes" true (r.Campaign.executions > 0);
+  rm_rf dir
+
+let test_fsck_quarantines_damage () =
+  let dir = fresh_dir "cftcg_fault_fsck" in
+  let s = Corpus_store.open_ dir in
+  ignore (Corpus_store.add s ~fingerprint:"00000000000000d1" ~metric:1 (Bytes.of_string "ok"));
+  Corpus_store.save_manifest s
+    { Corpus_store.m_seed = 1L; m_jobs = 1; m_epoch = 1; m_executions = 10;
+      m_probes_total = 4; m_coverage = Bytes.make 4 '\000' };
+  (* orphan: a valid entry the manifest does not know about *)
+  ignore (Corpus_store.add s ~fingerprint:"00000000000000d2" ~metric:1 (Bytes.of_string "orphan"));
+  let entries = Filename.concat dir "entries" in
+  let spill name content =
+    let oc = open_out (Filename.concat entries name) in
+    output_string oc content;
+    close_out oc
+  in
+  spill "00000000000000d3.tc.tmp" "half-written";
+  spill "not-a-fp.tc" "junk";
+  spill "00000000000000d4.tc" "";
+  let report = Corpus_store.fsck dir in
+  Alcotest.(check int) "three quarantines" 3 (List.length report.Corpus_store.fsck_quarantined);
+  Alcotest.(check int) "valid entries survive" 2 report.Corpus_store.fsck_entries;
+  Alcotest.(check int) "orphan counted" 1 report.Corpus_store.fsck_orphans;
+  Alcotest.(check bool) "manifest ok" true (report.Corpus_store.fsck_manifest = `Ok);
+  Alcotest.(check bool) "quarantine files exist" true
+    (Sys.file_exists (Filename.concat entries "not-a-fp.tc.corrupt-0")
+    && Sys.file_exists (Filename.concat entries "00000000000000d4.tc.corrupt-0"));
+  (* now smash the manifest too: fsck quarantines it, never rebuilds *)
+  let oc = open_out (Filename.concat dir "manifest") in
+  output_string oc "garbage";
+  close_out oc;
+  let report = Corpus_store.fsck dir in
+  Alcotest.(check bool) "manifest quarantined" true
+    (report.Corpus_store.fsck_manifest = `Quarantined);
+  Alcotest.(check bool) "no manifest left behind" false
+    (Sys.file_exists (Filename.concat dir "manifest"));
+  (* second pass: everything damaged is already quarantined *)
+  let clean = Corpus_store.fsck dir in
+  Alcotest.(check (list string)) "clean pass" [] clean.Corpus_store.fsck_quarantined;
+  Alcotest.(check bool) "manifest now missing" true (clean.Corpus_store.fsck_manifest = `Missing);
+  rm_rf dir
+
+(* qcheck: whatever single-point damage the manifest suffers —
+   truncation or a byte smashed at a random offset (a kill mid-persist
+   at worst truncates, since writes are write-then-rename) — open_
+   never raises and every entry survives *)
+let prop_manifest_corruption_recovers =
+  QCheck.Test.make ~name:"open_ survives arbitrary manifest damage" ~count:60
+    QCheck.(make Gen.(triple bool (int_bound 5000) (int_bound 255)))
+    (fun (truncate, pos, byte) ->
+      let dir = fresh_dir "cftcg_fault_qcheck" in
+      let s = Corpus_store.open_ dir in
+      ignore (Corpus_store.add s ~fingerprint:"00000000000000e1" ~metric:2 (Bytes.of_string "p1"));
+      ignore (Corpus_store.add s ~fingerprint:"00000000000000e2" ~metric:4 (Bytes.of_string "p2"));
+      Corpus_store.save_manifest s
+        { Corpus_store.m_seed = 7L; m_jobs = 2; m_epoch = 2; m_executions = 999;
+          m_probes_total = 16; m_coverage = Bytes.make 16 '\001' };
+      let mpath = Filename.concat dir "manifest" in
+      let content = In_channel.with_open_bin mpath In_channel.input_all in
+      let len = String.length content in
+      let damaged =
+        if truncate then String.sub content 0 (pos mod (len + 1))
+        else begin
+          let b = Bytes.of_string content in
+          Bytes.set b (pos mod len) (Char.chr byte);
+          Bytes.to_string b
+        end
+      in
+      let oc = open_out_bin mpath in
+      output_string oc damaged;
+      close_out oc;
+      let ok =
+        match Corpus_store.open_ dir with
+        | s2 ->
+          Corpus_store.mem s2 "00000000000000e1"
+          && Corpus_store.mem s2 "00000000000000e2"
+          && Corpus_store.size s2 >= 2
+        | exception _ -> false
+      in
+      rm_rf dir;
+      ok)
+
+(* --- campaign crash isolation --- *)
+
+let crash_config ?(policy = Campaign.Degrade) ~sink seed =
+  { Campaign.default_config with
+    Campaign.jobs = 2;
+    seed;
+    total_execs = 2_000;
+    execs_per_epoch = 500;
+    sink;
+    on_worker_crash = policy
+  }
+
+let test_worker_crash_salvage () =
+  let prog = solar_pv () in
+  let sink, contents = Telemetry.ring () in
+  let r =
+    Fault.with_armed [ (Fault.Worker_raise, Fault.Nth 1) ] @@ fun () ->
+    Campaign.run ~config:(crash_config ~sink 13L) prog
+  in
+  Alcotest.(check int) "one crash salvaged" 1 r.Campaign.worker_crashes;
+  Alcotest.(check bool) "campaign still terminates with results" true
+    (r.Campaign.suite <> [] && r.Campaign.probes_covered > 0);
+  let events = contents () in
+  Alcotest.(check bool) "worker_crash event emitted" true
+    (List.exists (function Telemetry.Worker_crash _ -> true | _ -> false) events);
+  Alcotest.(check bool) "crash also reported as failure" true
+    (List.exists
+       (function
+         | Telemetry.Failure { message; _ } ->
+           String.length message >= 14 && String.sub message 0 14 = "worker crashed"
+         | _ -> false)
+       events)
+
+let test_worker_crash_abort_policy () =
+  let prog = solar_pv () in
+  let sink, _ = Telemetry.ring () in
+  match
+    Fault.with_armed [ (Fault.Worker_raise, Fault.Nth 1) ] @@ fun () ->
+    Campaign.run ~config:(crash_config ~policy:Campaign.Abort ~sink 13L) prog
+  with
+  | exception Campaign.Worker_crashed { epoch; _ } ->
+    Alcotest.(check int) "crashed in the first epoch" 0 epoch
+  | _ -> Alcotest.fail "abort policy must raise Worker_crashed"
+
+let test_unarmed_runs_identical_around_armed_one () =
+  (* arming and disarming the harness must leave zero residue: an
+     unarmed campaign after a chaos run is byte-identical to one
+     before it *)
+  let prog = solar_pv () in
+  let config =
+    { Campaign.default_config with
+      Campaign.jobs = 2;
+      seed = 17L;
+      total_execs = 1_000;
+      execs_per_epoch = 250;
+      stop_on_full = false;
+      plateau_epochs = max_int
+    }
+  in
+  let before = Campaign.run ~config prog in
+  ignore
+    (Fault.with_armed [ (Fault.Worker_raise, Fault.Nth 1) ] @@ fun () ->
+     Campaign.run ~config prog);
+  let after = Campaign.run ~config prog in
+  Alcotest.(check bool) "identical results" true (before = after)
+
+(* --- wall-clock deadlines --- *)
+
+let test_wall_budget_identity_without_deadline () =
+  let prog = solar_pv () in
+  let run budget =
+    Fuzzer.run ~config:{ Fuzzer.default_config with Fuzzer.seed = 23L } prog budget
+  in
+  let pure = run (Fuzzer.Exec_budget 1_500) in
+  let wall = run (Fuzzer.Wall_budget { max_execs = 1_500; max_seconds = 3600.0 }) in
+  Alcotest.(check bool) "byte-identical when the deadline does not fire" true (pure = wall)
+
+let test_wall_budget_stops_stalled_run () =
+  let prog = solar_pv () in
+  let r =
+    Fault.with_armed [ (Fault.Exec_stall, Fault.Rate 1.0) ] @@ fun () ->
+    Fuzzer.run
+      ~config:{ Fuzzer.default_config with Fuzzer.seed = 23L }
+      prog
+      (Fuzzer.Wall_budget { max_execs = 1_000_000; max_seconds = 0.15 })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "deadline cut the run short (%d execs)" r.Fuzzer.stats.Fuzzer.executions)
+    true
+    (r.Fuzzer.stats.Fuzzer.executions > 0 && r.Fuzzer.stats.Fuzzer.executions < 1_000_000)
+
+let test_campaign_max_runtime () =
+  let prog = solar_pv () in
+  let r =
+    Fault.with_armed [ (Fault.Exec_stall, Fault.Rate 1.0) ] @@ fun () ->
+    Campaign.run
+      ~config:
+        { Campaign.default_config with
+          Campaign.jobs = 2;
+          seed = 29L;
+          total_execs = 100_000;
+          execs_per_epoch = 1_000;
+          max_runtime = Some 0.3;
+          stop_on_full = false;
+          plateau_epochs = max_int
+        }
+      prog
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "stopped by the wall clock (%d execs)" r.Campaign.executions)
+    true
+    (r.Campaign.executions > 0 && r.Campaign.executions < 100_000)
+
+(* --- exact Rng.int (rejection sampling) --- *)
+
+let test_rng_int_golden () =
+  (* pinned stream: the rejection-sampling fix must not perturb
+     common-case draws (the cutoff only rejects a vanishing sliver of
+     the 62-bit space), so these values are stable across releases *)
+  let r = Rng.create 42L in
+  Alcotest.(check (list int)) "seed-42 bound-1000 stream"
+    [ 605; 291; 954; 860; 250; 350; 925; 196 ]
+    (List.init 8 (fun _ -> Rng.int r 1000))
+
+let test_rng_int_uniform () =
+  (* n = 3 is a worst case for modulo bias over a fixed-width draw;
+     rejection sampling makes every residue exactly equally likely *)
+  let r = Rng.create 1234L in
+  let counts = Array.make 3 0 in
+  let draws = 30_000 in
+  for _ = 1 to draws do
+    let v = Rng.int r 3 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "residue %d balanced (%d/%d)" i c draws)
+        true
+        (abs (c - (draws / 3)) < 500))
+    counts
+
+let test_rng_int_huge_bound () =
+  (* bounds above 2^61 exercise the rejection path hard: the naive
+     mask-mod would be visibly biased and a broken cutoff would loop
+     or overflow *)
+  let r = Rng.create 5L in
+  let n = (1 lsl 61) + 1 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int r n in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < n)
+  done
+
+let suites =
+  [ ( "fault.harness",
+      [ Alcotest.test_case "parse_spec" `Quick test_parse_spec;
+        Alcotest.test_case "nth fires exactly once" `Quick test_nth_fires_exactly_once;
+        Alcotest.test_case "rate schedule is seeded" `Quick test_rate_schedule_deterministic;
+        Alcotest.test_case "disarmed is a no-op" `Quick test_disarmed_is_noop;
+        Alcotest.test_case "with_armed restores on exception" `Quick
+          test_with_armed_restores_on_exception ] );
+    ( "fault.store",
+      [ Alcotest.test_case "transient write fault is retried" `Quick
+          test_write_retries_transient_fault;
+        Alcotest.test_case "persistent write fault leaks nothing" `Quick
+          test_write_failure_leaks_nothing;
+        Alcotest.test_case "corrupt manifest is quarantined" `Slow test_corrupt_manifest_recovery;
+        Alcotest.test_case "fsck quarantines damage" `Quick test_fsck_quarantines_damage;
+        QCheck_alcotest.to_alcotest ~verbose:false prop_manifest_corruption_recovers ] );
+    ( "fault.campaign",
+      [ Alcotest.test_case "worker crash is salvaged" `Slow test_worker_crash_salvage;
+        Alcotest.test_case "abort policy raises" `Slow test_worker_crash_abort_policy;
+        Alcotest.test_case "arming leaves no residue" `Slow
+          test_unarmed_runs_identical_around_armed_one ] );
+    ( "fault.deadline",
+      [ Alcotest.test_case "wall budget without deadline is exec budget" `Slow
+          test_wall_budget_identity_without_deadline;
+        Alcotest.test_case "wall budget stops a stalled run" `Slow
+          test_wall_budget_stops_stalled_run;
+        Alcotest.test_case "campaign --max-runtime" `Slow test_campaign_max_runtime ] );
+    ( "fault.rng",
+      [ Alcotest.test_case "golden stream" `Quick test_rng_int_golden;
+        Alcotest.test_case "uniform residues" `Quick test_rng_int_uniform;
+        Alcotest.test_case "huge bound" `Quick test_rng_int_huge_bound ] ) ]

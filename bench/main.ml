@@ -8,6 +8,8 @@
      speed    — compiled vs interpreted iteration rate (§4 text)
      ablation — CFTCG ingredient ablations (DESIGN.md §5)
      scaling  — ensemble campaign throughput at jobs 1/2/4/8
+     serve    — DRR scheduler multiplexing overhead vs solo runs,
+                sharded corpus-store add throughput
      uncovered — per-model list of decisions CFTCG left unreached
 
    Usage: main.exe [experiment ...] [--budget SECONDS] [--reps N]
@@ -843,6 +845,121 @@ let scaling () =
     t
 
 (* ------------------------------------------------------------------ *)
+(* Serve: scheduler multiplexing overhead and shard store throughput  *)
+(* ------------------------------------------------------------------ *)
+
+module Scheduler = Cftcg_serve.Scheduler
+module Serve_job = Cftcg_serve.Job
+module Worker_pool = Cftcg_campaign.Worker_pool
+module Store = Cftcg_campaign.Corpus_store
+module Bytecodec = Cftcg_util.Bytecodec
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let serve_bench () =
+  let e =
+    match selected_models () with
+    | e :: _ -> e
+    | [] -> Option.get (Models.find "SolarPV")
+  in
+  let prog = Codegen.lower ~mode:Codegen.Full (Lazy.force e.Models.model) in
+  let n = 8 in
+  let total = max 500 (int_of_float (opts.budget *. 4_000.)) in
+  let config_for i =
+    { Campaign.default_config with
+      Campaign.jobs = 2;
+      seed = Int64.of_int (opts.seed + i);
+      total_execs = total;
+      execs_per_epoch = max 1 (total / 4);
+      stop_on_full = false;
+      plateau_epochs = max_int
+    }
+  in
+  (* back-to-back solo runs: the no-scheduler baseline *)
+  let t0 = Unix.gettimeofday () in
+  let execs_solo =
+    List.fold_left ( + ) 0
+      (List.init n (fun i -> (Campaign.run ~config:(config_for i) prog).Campaign.executions))
+  in
+  let solo_wall = Unix.gettimeofday () -. t0 in
+  (* the same campaigns multiplexed through the DRR scheduler *)
+  let pool = Worker_pool.create (Worker_pool.default_capacity ()) in
+  let sched = Scheduler.create ~pool () in
+  let t0 = Unix.gettimeofday () in
+  let ids =
+    List.init n (fun i ->
+        let sub =
+          { Scheduler.sb_model = e.Models.name; sb_tenant = Printf.sprintf "t%d" (i mod 3);
+            sb_weight = 1; sb_tenant_budget = None; sb_config = config_for i }
+        in
+        Result.get_ok (Scheduler.submit sched sub prog))
+  in
+  let rec drain ids =
+    let live =
+      List.filter
+        (fun id ->
+          match Scheduler.find sched id with
+          | Some j -> not (Serve_job.terminal j.Serve_job.jb_status)
+          | None -> false)
+        ids
+    in
+    if live <> [] then begin
+      Thread.delay 0.01;
+      drain live
+    end
+  in
+  drain ids;
+  let sched_wall = Unix.gettimeofday () -. t0 in
+  let execs_sched =
+    List.fold_left (fun acc j -> acc + j.Serve_job.jb_spent) 0 (Scheduler.jobs sched)
+  in
+  Scheduler.shutdown sched;
+  let t = Tt.create [ "Mode"; "Campaigns"; "Executions"; "Wall s"; "Execs/s" ] in
+  let row label execs wall =
+    Tt.add_row t
+      [ label; string_of_int n; string_of_int execs; Printf.sprintf "%.2f" wall;
+        Printf.sprintf "%.0f" (float_of_int execs /. Float.max wall 1e-9) ]
+  in
+  row "solo, back to back" execs_solo solo_wall;
+  row "DRR scheduler" execs_sched sched_wall;
+  print_table
+    (Printf.sprintf "Serve: %d multiplexed %s campaigns vs solo (pool %d)" n e.Models.name
+       (Worker_pool.default_capacity ()))
+    t;
+  (* sharded store: add throughput, 1 writer vs 4 concurrent domains *)
+  let adds = 4_000 in
+  let throughput writers =
+    let dir = Filename.concat (Filename.get_temp_dir_name ()) "cftcg_bench_store" in
+    rm_rf dir;
+    let store = Store.open_ dir in
+    let per = adds / writers in
+    let t0 = Unix.gettimeofday () in
+    let ds =
+      List.init writers (fun w ->
+          Domain.spawn (fun () ->
+              for i = 0 to per - 1 do
+                let fp = Bytecodec.hex_of_int64 (Int64.of_int ((w * 7_000_019) + i + 1)) in
+                ignore (Store.add store ~fingerprint:fp ~metric:i (Bytes.make 64 'x'))
+              done))
+    in
+    List.iter Domain.join ds;
+    let wall = Unix.gettimeofday () -. t0 in
+    rm_rf dir;
+    float_of_int (per * writers) /. Float.max wall 1e-9
+  in
+  let t = Tt.create [ "Writers"; "Adds/s" ] in
+  List.iter
+    (fun w -> Tt.add_row t [ string_of_int w; Printf.sprintf "%.0f" (throughput w) ])
+    [ 1; 4 ];
+  print_table (Printf.sprintf "Sharded corpus store: %d adds" adds) t
+
+(* ------------------------------------------------------------------ *)
 (* Uncovered-decision diagnostic (not a paper artifact)                *)
 (* ------------------------------------------------------------------ *)
 
@@ -879,7 +996,8 @@ let uncovered () =
 
 let all_experiments =
   [ ("table2", table2); ("table3", table3); ("figure7", figure7); ("figure8", figure8);
-    ("speed", speed); ("ablation", ablation); ("scaling", scaling); ("uncovered", uncovered) ]
+    ("speed", speed); ("ablation", ablation); ("scaling", scaling); ("serve", serve_bench);
+    ("uncovered", uncovered) ]
 
 let () =
   parse_args ();

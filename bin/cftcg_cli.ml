@@ -6,7 +6,10 @@
      coverage  replay a CSV test suite and report coverage
      convert   convert one binary (hex) test case to CSV or back
      corpus    maintain on-disk corpus directories (fsck)
-     models    list / export the built-in benchmark models *)
+     models    list / export the built-in benchmark models
+     serve     fuzzing-as-a-service daemon (multi-tenant scheduler)
+     submit    submit a campaign to a running daemon
+     status    query a running daemon *)
 
 open Cmdliner
 open Cftcg_model
@@ -146,8 +149,10 @@ let fuzz_cmd =
   let run model_path seconds execs out_dir seed ranges seed_dir jobs corpus resume telemetry
       epoch_execs backend no_opt max_runtime epoch_deadline on_worker_crash inject_faults
       fault_seed metrics_out trace_out coverage_csv html_out =
+    (* --jobs 0: one worker per hardware thread, minus the coordinator *)
+    let jobs = if jobs = 0 then Cftcg_campaign.Worker_pool.default_capacity () else jobs in
     if jobs < 1 then begin
-      Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+      Printf.eprintf "--jobs must be >= 0 (got %d)\n" jobs;
       exit 1
     end;
     if resume && corpus = None then begin
@@ -309,7 +314,7 @@ let fuzz_cmd =
     Arg.(value & opt (some dir) None & info [ "seeds" ] ~docv:"DIR" ~doc:"Seed corpus: directory of CSV test cases executed first.")
   in
   let jobs =
-    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Parallel fuzzing workers (ensemble campaign with corpus merge between epochs).")
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Parallel fuzzing workers (ensemble campaign with corpus merge between epochs). $(b,0) resolves to the machine default: one worker per hardware thread, minus one for the coordinator (never below 1).")
   in
   let corpus =
     Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc:"Persist the merged corpus (content-addressed entries + manifest) to DIR after every epoch.")
@@ -676,14 +681,21 @@ let corpus_cmd =
       let report =
         Store.fsck ~on_salvage:(fun msg -> if not quiet then Printf.printf "quarantined: %s\n" msg) dir
       in
-      Printf.printf "entries: %d valid\nmanifest: %s\norphans: %d\nquarantined: %d\n"
-        report.Store.fsck_entries
+      Printf.printf "entries: %d valid (%d shards)\nmanifest: %s\norphans: %d\nquarantined: %d\n"
+        report.Store.fsck_entries report.Store.fsck_shards
         (match report.Store.fsck_manifest with
         | `Ok -> "ok"
         | `Missing -> "missing (campaign accounting lost; entries recovered on next open)"
         | `Quarantined -> "corrupt, quarantined (entries recovered on next open)")
         report.Store.fsck_orphans
         (List.length report.Store.fsck_quarantined);
+      let c = report.Store.fsck_counts in
+      (* per-kind breakdown in a stable machine-greppable form; CI
+         jobs assert on these lines *)
+      Printf.printf
+        "  tmp_files: %d\n  bad_names: %d\n  empty_entries: %d\n  unreadable: %d\n  corrupt_manifests: %d\n  corrupt_shard_manifests: %d\n"
+        c.Store.fc_tmp_files c.Store.fc_bad_names c.Store.fc_empty_entries c.Store.fc_unreadable
+        c.Store.fc_corrupt_manifests c.Store.fc_corrupt_shard_manifests;
       if report.Store.fsck_quarantined <> [] then exit 1
     in
     let dir =
@@ -724,10 +736,215 @@ let models_cmd =
   Cmd.v (Cmd.info "models" ~doc:"List (and optionally export) the built-in benchmark models.")
     Term.(const run $ export)
 
+(* ------------------------------------------------------------------ *)
+(* service mode: a long-lived daemon multiplexing campaigns over one
+   worker pool, plus the submit/status clients that talk to it *)
+
+module Serve_wire = Cftcg_serve.Wire
+module Worker_pool = Cftcg_campaign.Worker_pool
+
+let parse_addr spec =
+  match Serve_wire.addr_of_string spec with
+  | Ok a -> a
+  | Error msg ->
+    Printf.eprintf "bad endpoint %S: %s\n" spec msg;
+    exit 1
+
+let socket_arg =
+  Arg.(value & opt string "cftcg.sock"
+       & info [ "s"; "socket" ] ~docv:"ENDPOINT"
+           ~doc:"Daemon endpoint: a Unix-domain socket path (optionally $(b,unix:)PATH) or $(b,tcp:)HOST:PORT (localhost only is recommended; the protocol is unauthenticated).")
+
+let serve_cmd =
+  let run socket pool_size quantum inject_faults fault_seed =
+    arm_faults inject_faults fault_seed;
+    (* the daemon always collects: /metrics is its reason to exist *)
+    Cftcg_obs.Metrics.set_collect true;
+    let addr = parse_addr socket in
+    let capacity = if pool_size = 0 then Worker_pool.default_capacity () else pool_size in
+    if capacity < 1 then begin
+      Printf.eprintf "--pool must be >= 0 (got %d)\n" pool_size;
+      exit 1
+    end;
+    let pool = Worker_pool.create capacity in
+    let sched = Cftcg_serve.Scheduler.create ~quantum ~pool () in
+    let stop = Atomic.make false in
+    List.iter
+      (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
+      [ Sys.sigterm; Sys.sigint ];
+    let resolve name =
+      match Models.find name with
+      | Some e -> Ok (Cftcg.Pipeline.generate (Lazy.force e.Models.model)).Cftcg.Pipeline.program
+      | None -> (
+        match Slx.load_file name with
+        | m -> Ok (Cftcg.Pipeline.generate m).Cftcg.Pipeline.program
+        | exception Slx.Load_error msg -> Error msg
+        | exception Sys_error msg -> Error msg)
+    in
+    Printf.printf "cftcg serve: listening on %s (pool: %d worker slots, quantum: %d execs)\n%!"
+      (Serve_wire.addr_to_string addr) capacity quantum;
+    (try Cftcg_serve.Server.serve ~resolve ~sched ~stop:(fun () -> Atomic.get stop) addr with
+    | Failure msg ->
+      Printf.eprintf "cftcg serve: %s\n" msg;
+      exit 1);
+    Printf.printf "cftcg serve: shut down cleanly\n%!"
+  in
+  let pool_size =
+    Arg.(value & opt int 0
+         & info [ "pool" ] ~docv:"N"
+             ~doc:"Shared worker-pool capacity: how many fuzzing domains may run at once across every campaign. $(b,0) (default) resolves to the machine default, one slot per hardware thread minus the coordinator.")
+  in
+  let quantum =
+    Arg.(value & opt int 1000
+         & info [ "quantum" ] ~docv:"EXECS"
+             ~doc:"Fair-share quantum: executions of deficit credited to every live campaign per scheduling round (multiplied by the campaign's weight).")
+  in
+  let inject_faults =
+    Arg.(value & opt (some string) None
+         & info [ "inject-faults" ] ~docv:"SPEC"
+             ~doc:"Arm the deterministic fault-injection harness for the whole daemon (chaos testing), e.g. $(b,worker_raise\\@3).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc:"Seed for the $(b,--inject-faults) schedule.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the fuzzing-as-a-service daemon: accept campaign submissions over a Unix-domain socket (or localhost TCP), multiplex them over one shared worker pool with per-tenant budgets and deficit round-robin fair scheduling, and export live Prometheus metrics on /metrics.")
+    Term.(const run $ socket_arg $ pool_size $ quantum $ inject_faults $ fault_seed)
+
+let request_or_die addr ~meth ~path ?body () =
+  match Serve_wire.http_request addr ~meth ~path ?body () with
+  | status, body -> (status, body)
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "cannot reach daemon at %s: %s\n" (Serve_wire.addr_to_string addr)
+      (Unix.error_message e);
+    exit 1
+
+let submit_cmd =
+  let run socket model tenant weight tenant_budget seed jobs execs epoch_execs corpus resume
+      backend =
+    let addr = parse_addr socket in
+    let fields =
+      [
+        ("model", Serve_wire.Str model);
+        ("tenant", Serve_wire.Str tenant);
+        ("weight", Serve_wire.Num (float_of_int weight));
+        ("seed", Serve_wire.Num (float_of_int seed));
+        ("jobs", Serve_wire.Num (float_of_int jobs));
+        ("total_execs", Serve_wire.Num (float_of_int execs));
+        ("execs_per_epoch", Serve_wire.Num (float_of_int epoch_execs));
+        ("resume", Serve_wire.Bool resume);
+        ("backend", Serve_wire.Str (match backend with Fuzzer.Vm -> "vm" | Fuzzer.Closures -> "closures"));
+      ]
+      @ (match tenant_budget with
+        | Some b -> [ ("tenant_budget", Serve_wire.Num (float_of_int b)) ]
+        | None -> [])
+      @ match corpus with
+        | Some dir -> [ ("corpus_dir", Serve_wire.Str dir) ]
+        | None -> []
+    in
+    let body = Serve_wire.to_string (Serve_wire.Obj fields) in
+    match request_or_die addr ~meth:"POST" ~path:"/campaigns" ~body () with
+    | 201, body ->
+      let id = Serve_wire.get_string "id" (Serve_wire.of_string body) in
+      Printf.printf "%s\n" id
+    | status, body ->
+      Printf.eprintf "submission rejected (HTTP %d): %s\n" status body;
+      exit 1
+  in
+  let model =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL"
+         ~doc:"Model: a built-in benchmark name or a .slx.xml path readable by the daemon.")
+  in
+  let tenant =
+    Arg.(value & opt string "default" & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant to account this campaign against.")
+  in
+  let weight =
+    Arg.(value & opt int 1 & info [ "weight" ] ~docv:"N" ~doc:"Fair-share weight relative to other campaigns.")
+  in
+  let tenant_budget =
+    Arg.(value & opt (some int) None & info [ "tenant-budget" ] ~docv:"N"
+         ~doc:"Set (or overwrite) the tenant's total execution budget across all its campaigns.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains per epoch; $(b,0) resolves to the daemon machine's default.")
+  in
+  let execs =
+    Arg.(value & opt int 20_000 & info [ "execs" ] ~docv:"N" ~doc:"Total execution budget.")
+  in
+  let epoch_execs =
+    Arg.(value & opt int 1000 & info [ "epoch-execs" ] ~docv:"N" ~doc:"Per-worker executions between corpus merges.")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc:"Persist the corpus to DIR on the daemon's filesystem (campaigns naming the same DIR share one sharded store).")
+  in
+  let resume = Arg.(value & flag & info [ "resume" ] ~doc:"Resume from the corpus manifest (requires --corpus).") in
+  let backend =
+    Arg.(value & opt backend_conv Fuzzer.Vm & info [ "backend" ] ~docv:"BACKEND" ~doc:"Execution backend: $(b,vm) or $(b,closures).")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a campaign to a running $(b,cftcg serve) daemon; prints the campaign id.")
+    Term.(const run $ socket_arg $ model $ tenant $ weight $ tenant_budget $ seed_arg $ jobs
+          $ execs $ epoch_execs $ corpus $ resume $ backend)
+
+let status_cmd =
+  let run socket id events wait =
+    let addr = parse_addr socket in
+    match id with
+    | None ->
+      (* no id: list all campaigns *)
+      let status, body = request_or_die addr ~meth:"GET" ~path:"/campaigns" () in
+      print_string body;
+      print_newline ();
+      if status <> 200 then exit 1
+    | Some id ->
+      let path = Printf.sprintf "/campaigns/%s%s" id (if events then "/events" else "") in
+      let rec poll () =
+        let status, body = request_or_die addr ~meth:"GET" ~path () in
+        if status <> 200 then begin
+          Printf.eprintf "HTTP %d: %s\n" status body;
+          exit 1
+        end;
+        let terminal =
+          (not wait) || events
+          ||
+          match Serve_wire.get_string ~default:"" "status" (Serve_wire.of_string body) with
+          | "done" | "failed" | "cancelled" -> true
+          | _ -> false
+        in
+        if terminal then begin
+          print_string body;
+          print_newline ();
+          if wait && not events then
+            match Serve_wire.get_string ~default:"" "status" (Serve_wire.of_string body) with
+            | "failed" -> exit 1
+            | _ -> ()
+        end
+        else begin
+          Unix.sleepf 0.2;
+          poll ()
+        end
+      in
+      poll ()
+  in
+  let id =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID"
+         ~doc:"Campaign id (as printed by $(b,cftcg submit)); without it, list every campaign.")
+  in
+  let events =
+    Arg.(value & flag & info [ "events" ] ~doc:"Fetch the campaign's buffered telemetry feed (JSON lines) instead of the status document.")
+  in
+  let wait =
+    Arg.(value & flag & info [ "wait" ] ~doc:"Poll until the campaign reaches a terminal state; exit 1 if it failed.")
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Query a running $(b,cftcg serve) daemon for campaign status or telemetry.")
+    Term.(const run $ socket_arg $ id $ events $ wait)
+
 let () =
   let info = Cmd.info "cftcg" ~version:"1.0.0" ~doc:"Fuzzing-based test case generation for Simulink-like models." in
   exit
     (Cmd.eval
        (Cmd.group info
           [ fuzz_cmd; emit_c_cmd; coverage_cmd; minimize_cmd; convert_cmd; simulate_cmd;
-            ir_cmd; profile_cmd; corpus_cmd; models_cmd ]))
+            ir_cmd; profile_cmd; corpus_cmd; models_cmd; serve_cmd; submit_cmd; status_cmd ]))

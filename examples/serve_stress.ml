@@ -1,0 +1,122 @@
+(* Stress the fuzzing-as-a-service scheduler: dozens of campaigns from
+   several tenants multiplexed over one shared worker pool, with the
+   fault-injection harness armed so worker crashes and store-write
+   failures fire throughout — every campaign must still land in a
+   terminal state and the shared sharded corpus must pass fsck.
+
+     dune exec examples/serve_stress.exe -- [campaigns] [pool_size] *)
+
+module Models = Cftcg_bench_models.Bench_models
+module Codegen = Cftcg_codegen.Codegen
+module Campaign = Cftcg_campaign.Campaign
+module Store = Cftcg_campaign.Corpus_store
+module Worker_pool = Cftcg_campaign.Worker_pool
+module Fault = Cftcg_util.Fault
+module Job = Cftcg_serve.Job
+module Scheduler = Cftcg_serve.Scheduler
+module Tt = Cftcg_util.Texttable
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 24 in
+  let pool_size =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2)
+    else Worker_pool.default_capacity ()
+  in
+  let entry = Option.get (Models.find "SolarPV") in
+  let prog = Codegen.lower ~mode:Codegen.Full (Lazy.force entry.Models.model) in
+  let corpus_dir = Filename.concat (Filename.get_temp_dir_name ()) "cftcg_serve_stress_corpus" in
+  rm_rf corpus_dir;
+
+  (* chaos: every ~25th worker epoch raises, ~2% of store writes fail
+     (the store retries those with backoff) *)
+  Fault.arm ~seed:1337L [ (Fault.Worker_raise, Fault.Rate 0.04); (Fault.Store_write, Fault.Rate 0.02) ];
+
+  let pool = Worker_pool.create pool_size in
+  let sched = Scheduler.create ~quantum:500 ~pool () in
+  let tenants = [| ("gold", 3); ("silver", 2); ("bronze", 1) |] in
+  Printf.printf "submitting %d campaigns from %d tenants over a %d-worker pool\n%!" n
+    (Array.length tenants) pool_size;
+  let t0 = Unix.gettimeofday () in
+  let ids =
+    List.init n (fun i ->
+        let tenant, weight = tenants.(i mod Array.length tenants) in
+        let config =
+          { Campaign.default_config with
+            Campaign.jobs = 2;
+            seed = Int64.of_int (100 + i);
+            total_execs = 2_000;
+            execs_per_epoch = 250;
+            corpus_dir = Some corpus_dir
+          }
+        in
+        let sub =
+          { Scheduler.sb_model = "SolarPV"; sb_tenant = tenant; sb_weight = weight;
+            sb_tenant_budget = None; sb_config = config }
+        in
+        match Scheduler.submit sched sub prog with
+        | Ok id -> id
+        | Error msg -> failwith msg)
+  in
+
+  (* wait for every campaign to reach a terminal state *)
+  let rec drain remaining =
+    let live =
+      List.filter
+        (fun id ->
+          match Scheduler.find sched id with
+          | Some job -> not (Job.terminal job.Job.jb_status)
+          | None -> false)
+        remaining
+    in
+    if live <> [] then begin
+      Thread.delay 0.1;
+      drain live
+    end
+  in
+  drain ids;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Fault.disarm ();
+
+  let t = Tt.create [ "Tenant"; "Campaigns"; "Done"; "Failed"; "Executions"; "Crashes" ] in
+  Array.iter
+    (fun (tenant, _) ->
+      let jobs = List.filter (fun j -> j.Job.jb_tenant = tenant) (Scheduler.jobs sched) in
+      let count p = List.length (List.filter p jobs) in
+      let execs = List.fold_left (fun acc j -> acc + j.Job.jb_spent) 0 jobs in
+      let crashes =
+        List.fold_left
+          (fun acc j ->
+            acc
+            + match j.Job.jb_progress with Some p -> p.Campaign.pg_worker_crashes | None -> 0)
+          0 jobs
+      in
+      Tt.add_row t
+        [ tenant; string_of_int (List.length jobs);
+          string_of_int (count (fun j -> match j.Job.jb_status with Job.Done _ -> true | _ -> false));
+          string_of_int (count (fun j -> match j.Job.jb_status with Job.Failed _ -> true | _ -> false));
+          string_of_int execs; string_of_int crashes ])
+    tenants;
+  print_string (Tt.render t);
+  Printf.printf "\n%d campaigns terminal in %.1fs under armed worker_raise/store_write faults\n" n
+    elapsed;
+  Scheduler.shutdown sched;
+
+  (* the shared store must be consistent after all that *)
+  let report = Store.fsck corpus_dir in
+  Printf.printf "shared corpus fsck: %d entries across %d shards, %d quarantined, %d orphans\n"
+    report.Store.fsck_entries report.Store.fsck_shards
+    (List.length report.Store.fsck_quarantined)
+    report.Store.fsck_orphans;
+  if report.Store.fsck_quarantined <> [] || report.Store.fsck_orphans <> 0 then begin
+    prerr_endline "FSCK FOUND DAMAGE";
+    exit 1
+  end;
+  rm_rf corpus_dir

@@ -23,6 +23,7 @@ type config = {
   stop_on_full : bool;
   fuzzer : Fuzzer.config;
   corpus_dir : string option;
+  store : Corpus_store.t option;
   resume : bool;
   sink : Telemetry.sink;
   on_worker_crash : crash_policy;
@@ -42,6 +43,7 @@ let default_config =
     stop_on_full = true;
     fuzzer = Fuzzer.default_config;
     corpus_dir = None;
+    store = None;
     resume = false;
     sink = Telemetry.null;
     on_worker_crash = Degrade;
@@ -150,11 +152,58 @@ let count_covered bitmap =
 
 let fingerprint bitmap = Bytecodec.hex_of_int64 (Bytecodec.fnv64 bitmap)
 
-let run ?(config = default_config) (prog : Ir.program) =
-  Trace.with_span "campaign.run" @@ fun () ->
-  if config.jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
+(* ------------------------------------------------------------------ *)
+(* Stepwise campaign state: [start] builds it, [step] runs one epoch,
+   [finished] is the loop condition, [finish] extracts the result.
+   [run] composes them; a scheduler ([cftcg serve]) interleaves many
+   states over one shared Worker_pool instead. *)
+
+type state = {
+  st_config : config;
+  st_prog : Ir.program;
+  st_n_probes : int;
+  st_replay : Bytes.t -> Bytes.t * int;
+  st_emit : Telemetry.event -> unit;
+  st_store : Corpus_store.t option;
+  st_coverage : Bytes.t;
+  st_corpus : (string, int * Bytes.t) Hashtbl.t;
+  st_seen_failures : (string, unit) Hashtbl.t;
+  mutable st_executions : int;
+  mutable st_epoch0 : int;
+  mutable st_epoch : int;
+  mutable st_resumed : bool;
+  mutable st_plateaued : bool;
+  mutable st_failures : Fuzzer.failure list;
+  mutable st_epoch_stats : epoch_stat list;
+  mutable st_stalled : int;
+  mutable st_last_covered : int;
+  mutable st_stop : bool;
+  mutable st_worker_crashes : int;
+  mutable st_live_jobs : int;
+  mutable st_dead_epochs : int;
+  st_deadline : float;  (* wall clock; infinity when max_runtime unset *)
+}
+
+let fully_covered st =
+  st.st_prog.Ir.n_probes > 0 && count_covered st.st_coverage >= st.st_prog.Ir.n_probes
+
+let absorb st data =
+  let bitmap, metric = st.st_replay data in
+  if Bytes.exists (fun c -> c <> '\000') bitmap then begin
+    for i = 0 to st.st_n_probes - 1 do
+      if Bytes.unsafe_get bitmap i <> '\000' then Bytes.unsafe_set st.st_coverage i '\001'
+    done;
+    let fp = fingerprint bitmap in
+    match Hashtbl.find_opt st.st_corpus fp with
+    | Some (best, _) when best >= metric -> ()
+    | _ -> Hashtbl.replace st.st_corpus fp (metric, data)
+  end
+
+let start ?(config = default_config) (prog : Ir.program) =
+  Trace.with_span "campaign.start" @@ fun () ->
+  if config.jobs < 1 then invalid_arg "Campaign.start: jobs must be >= 1";
   if (Layout.of_program prog).Layout.tuple_len = 0 then
-    invalid_arg "Campaign.run: model has no inports";
+    invalid_arg "Campaign.start: model has no inports";
   let n_probes = max prog.Ir.n_probes 1 in
   let replay =
     make_replayer prog ~backend:config.fuzzer.Fuzzer.backend
@@ -162,28 +211,42 @@ let run ?(config = default_config) (prog : Ir.program) =
   in
   let emit = config.sink.Telemetry.emit in
   let store =
-    Option.map
-      (Corpus_store.open_ ~on_salvage:(fun message -> emit (Telemetry.Salvage { message })))
-      config.corpus_dir
+    match config.store with
+    | Some _ as s -> s
+    | None ->
+      Option.map
+        (Corpus_store.open_ ~on_salvage:(fun message -> emit (Telemetry.Salvage { message })))
+        config.corpus_dir
   in
-  (* global campaign state *)
-  let coverage = Bytes.make n_probes '\000' in
-  let corpus : (string, int * Bytes.t) Hashtbl.t = Hashtbl.create 64 in
-  let executions = ref 0 in
-  let epoch0 = ref 0 in
-  let resumed = ref false in
-  let plateaued = ref false in
-  let absorb data =
-    let bitmap, metric = replay data in
-    if Bytes.exists (fun c -> c <> '\000') bitmap then begin
-      for i = 0 to n_probes - 1 do
-        if Bytes.unsafe_get bitmap i <> '\000' then Bytes.unsafe_set coverage i '\001'
-      done;
-      let fp = fingerprint bitmap in
-      match Hashtbl.find_opt corpus fp with
-      | Some (best, _) when best >= metric -> ()
-      | _ -> Hashtbl.replace corpus fp (metric, data)
-    end
+  let st =
+    {
+      st_config = config;
+      st_prog = prog;
+      st_n_probes = n_probes;
+      st_replay = replay;
+      st_emit = emit;
+      st_store = store;
+      st_coverage = Bytes.make n_probes '\000';
+      st_corpus = Hashtbl.create 64;
+      st_seen_failures = Hashtbl.create 4;
+      st_executions = 0;
+      st_epoch0 = 0;
+      st_epoch = 0;
+      st_resumed = false;
+      st_plateaued = false;
+      st_failures = [];
+      st_epoch_stats = [];
+      st_stalled = 0;
+      st_last_covered = 0;
+      st_stop = false;
+      st_worker_crashes = 0;
+      st_live_jobs = config.jobs;
+      st_dead_epochs = 0;
+      st_deadline =
+        (match config.max_runtime with
+        | None -> Float.infinity
+        | Some s -> Unix.gettimeofday () +. s);
+    }
   in
   (* resume accounting from the manifest; corpus entries on disk are
      always absorbed as seeds, manifest or not (LibFuzzer semantics:
@@ -192,266 +255,306 @@ let run ?(config = default_config) (prog : Ir.program) =
   | Some s ->
     (match Corpus_store.load_manifest s with
     | Some m when config.resume ->
-      if m.m_probes_total <> prog.Ir.n_probes then
-        invalid_arg "Campaign.run: corpus was recorded for a different program";
-      resumed := true;
-      epoch0 := m.m_epoch;
-      executions := m.m_executions;
-      if Bytes.length m.m_coverage = n_probes then
+      if m.Corpus_store.m_probes_total <> prog.Ir.n_probes then
+        invalid_arg "Campaign.start: corpus was recorded for a different program";
+      st.st_resumed <- true;
+      st.st_epoch0 <- m.Corpus_store.m_epoch;
+      st.st_executions <- m.Corpus_store.m_executions;
+      if Bytes.length m.Corpus_store.m_coverage = n_probes then
         for i = 0 to n_probes - 1 do
-          if Bytes.unsafe_get m.m_coverage i <> '\000' then Bytes.unsafe_set coverage i '\001'
+          if Bytes.unsafe_get m.Corpus_store.m_coverage i <> '\000' then
+            Bytes.unsafe_set st.st_coverage i '\001'
         done
     | Some _ | None -> ());
-    List.iter absorb (Corpus_store.entries s)
+    List.iter (absorb st) (Corpus_store.entries s)
   | None -> ());
-  List.iter absorb config.fuzzer.Fuzzer.seeds;
-  let failures = ref [] in
-  let seen_failures = Hashtbl.create 4 in
-  let epoch_stats = ref [] in
-  let epoch = ref !epoch0 in
-  let stalled = ref 0 in
-  let last_covered = ref (count_covered coverage) in
-  let stop = ref false in
-  let fully_covered () = prog.Ir.n_probes > 0 && count_covered coverage >= prog.Ir.n_probes in
-  if config.stop_on_full && fully_covered () then stop := true;
-  (* crash isolation state: [live_jobs] degrades when a worker crashes
-     under the Degrade policy, so a persistently failing slot stops
-     burning budget; a crashed worker's unspent slice flows back into
-     the global accounting automatically (only real executions are
-     charged against [total_execs]) *)
-  let worker_crashes = ref 0 in
-  let live_jobs = ref config.jobs in
-  let dead_epochs = ref 0 in
-  let campaign_deadline =
-    match config.max_runtime with
-    | None -> Float.infinity
-    | Some s -> Unix.gettimeofday () +. s
+  List.iter (absorb st) config.fuzzer.Fuzzer.seeds;
+  st.st_epoch <- st.st_epoch0;
+  st.st_last_covered <- count_covered st.st_coverage;
+  if config.stop_on_full && fully_covered st then st.st_stop <- true;
+  st
+
+let past_deadline st = Float.is_finite st.st_deadline && Unix.gettimeofday () >= st.st_deadline
+
+let finished st =
+  let c = st.st_config in
+  st.st_stop
+  || st.st_executions >= c.total_execs
+  || (c.max_epochs > 0 && st.st_epoch - st.st_epoch0 >= c.max_epochs)
+  || past_deadline st
+
+(* One epoch: distribute budgets, run the workers (through the shared
+   pool when given one), merge and persist. Returns the executions the
+   epoch actually performed, so a scheduler can charge them against
+   the submitting tenant's budget. *)
+let step ?workers ?max_execs ?(should_stop = fun () -> false) ?pool st =
+  let config = st.st_config in
+  let emit = st.st_emit in
+  let this_epoch = st.st_epoch in
+  let jobs_now =
+    match workers with
+    | None -> st.st_live_jobs
+    | Some w -> max 1 (min w st.st_live_jobs)
   in
-  let past_deadline () =
-    Float.is_finite campaign_deadline && Unix.gettimeofday () >= campaign_deadline
+  let execs_before = st.st_executions in
+  (* redistribute the best corpus entries as the shared seed corpus:
+     metric-descending, fingerprint tie-break, capped *)
+  let seeds =
+    Hashtbl.fold (fun fp (metric, data) acc -> (metric, fp, data) :: acc) st.st_corpus []
+    |> List.sort (fun (m1, f1, _) (m2, f2, _) -> compare (-m1, f1) (-m2, f2))
+    |> List.filteri (fun i _ -> i < config.seed_cap)
+    |> List.map (fun (_, _, data) -> data)
   in
-  while
-    (not !stop)
-    && !executions < config.total_execs
-    && (config.max_epochs = 0 || !epoch - !epoch0 < config.max_epochs)
-    && not (past_deadline ())
-  do
-    let this_epoch = !epoch in
-    let jobs_now = !live_jobs in
-    (* redistribute the best corpus entries as the shared seed corpus:
-       metric-descending, fingerprint tie-break, capped *)
-    let seeds =
-      Hashtbl.fold (fun fp (metric, data) acc -> (metric, fp, data) :: acc) corpus []
-      |> List.sort (fun (m1, f1, _) (m2, f2, _) -> compare (-m1, f1) (-m2, f2))
-      |> List.filteri (fun i _ -> i < config.seed_cap)
-      |> List.map (fun (_, _, data) -> data)
+  (* exact global budget accounting: this epoch's executions are
+     divided across workers ahead of time. [max_execs] (a scheduler
+     grant) clips the epoch the same way the end of the global budget
+     does, so a granted epoch is a prefix-identical campaign. *)
+  let remaining = config.total_execs - st.st_executions in
+  let remaining =
+    match max_execs with
+    | None -> remaining
+    | Some g -> min remaining (max 0 g)
+  in
+  let epoch_total = min remaining (config.execs_per_epoch * jobs_now) in
+  let budget_of ix =
+    (epoch_total / jobs_now) + (if ix < epoch_total mod jobs_now then 1 else 0)
+  in
+  (* per-epoch wall deadline: the per-epoch cap (if any) clipped to
+     what is left of the campaign's --max-runtime. When neither is
+     set workers run plain Exec_budgets and never read the wall
+     clock, keeping same-seed campaigns byte-identical. *)
+  let epoch_deadline_s =
+    let campaign_left =
+      if Float.is_finite st.st_deadline then
+        Some (Float.max (st.st_deadline -. Unix.gettimeofday ()) 0.01)
+      else None
     in
-    (* exact global budget accounting: this epoch's executions are
-       divided across workers ahead of time *)
-    let remaining = config.total_execs - !executions in
-    let epoch_total = min remaining (config.execs_per_epoch * jobs_now) in
-    let budget_of ix =
-      (epoch_total / jobs_now) + (if ix < epoch_total mod jobs_now then 1 else 0)
+    match (config.epoch_deadline, campaign_left) with
+    | None, None -> None
+    | Some d, None -> Some d
+    | None, Some l -> Some l
+    | Some d, Some l -> Some (Float.min d l)
+  in
+  let budget_for ix =
+    match epoch_deadline_s with
+    | None -> Fuzzer.Exec_budget (budget_of ix)
+    | Some s -> Fuzzer.Wall_budget { max_execs = budget_of ix; max_seconds = s }
+  in
+  let abort = Atomic.make false in
+  let worker ix () =
+    (* fault injection: a raising worker exercises the salvage path *)
+    Fault.check Fault.Worker_raise;
+    let wseed = derive_seed config.seed ~epoch:this_epoch ~worker:ix in
+    let fcfg = { config.fuzzer with Fuzzer.seed = wseed; seeds } in
+    let on_progress (st : Fuzzer.stats) =
+      emit
+        (Telemetry.Exec_batch
+           { worker = ix; epoch = this_epoch; executions = st.Fuzzer.executions;
+             iterations = st.Fuzzer.iterations; probes_covered = st.Fuzzer.probes_covered });
+      (* a worker that has lit every probe locally has lit every
+         probe globally: let the other workers stop early *)
+      if config.stop_on_full && st.Fuzzer.probes_total > 0
+         && st.Fuzzer.probes_covered >= st.Fuzzer.probes_total
+      then Atomic.set abort true
     in
-    (* per-epoch wall deadline: the per-epoch cap (if any) clipped to
-       what is left of the campaign's --max-runtime. When neither is
-       set workers run plain Exec_budgets and never read the wall
-       clock, keeping same-seed campaigns byte-identical. *)
-    let epoch_deadline_s =
-      let campaign_left =
-        if Float.is_finite campaign_deadline then
-          Some (Float.max (campaign_deadline -. Unix.gettimeofday ()) 0.01)
-        else None
-      in
-      match (config.epoch_deadline, campaign_left) with
-      | None, None -> None
-      | Some d, None -> Some d
-      | None, Some l -> Some l
-      | Some d, Some l -> Some (Float.min d l)
+    let on_test_case (tc : Fuzzer.test_case) =
+      emit
+        (Telemetry.New_probe
+           { worker = ix; epoch = this_epoch; probes = tc.Fuzzer.tc_new_probes;
+             executions = int_of_float tc.Fuzzer.tc_time })
     in
-    let budget_for ix =
-      match epoch_deadline_s with
-      | None -> Fuzzer.Exec_budget (budget_of ix)
-      | Some s -> Fuzzer.Wall_budget { max_execs = budget_of ix; max_seconds = s }
+    Trace.with_span "campaign.worker"
+      ~args:[ ("worker", string_of_int ix); ("epoch", string_of_int this_epoch) ]
+    @@ fun () ->
+    Fuzzer.run ~config:fcfg ~on_test_case ~on_progress
+      ~should_stop:(fun () -> Atomic.get abort || should_stop ())
+      st.st_prog (budget_for ix)
+  in
+  Trace.with_span "campaign.epoch" ~args:[ ("epoch", string_of_int this_epoch) ] @@ fun () ->
+  (* Crash isolation: every domain body is wrapped so Domain.join
+     yields a result instead of re-raising — one raising worker can
+     no longer destroy the whole epoch. All domains are joined
+     before any crash is acted on, so even Abort never leaks a
+     running domain. *)
+  let guarded ix () =
+    match worker ix () with
+    | r -> Ok r
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let spawn_and_join () =
+    match List.init jobs_now (fun ix -> ix) with
+    | [ _lone ] -> [ (0, guarded 0 ()) ]  (* jobs=1: skip domain setup *)
+    | ixs ->
+      List.map
+        (fun (ix, d) -> (ix, Domain.join d))
+        (List.map (fun ix -> (ix, Domain.spawn (guarded ix))) ixs)
+  in
+  let joined =
+    match pool with
+    | None -> spawn_and_join ()
+    | Some p -> Worker_pool.with_slots p (min jobs_now (Worker_pool.capacity p)) spawn_and_join
+  in
+  let results =
+    List.filter_map
+      (fun (ix, r) ->
+        match r with
+        | Ok r -> Some r
+        | Error message ->
+          st.st_worker_crashes <- st.st_worker_crashes + 1;
+          emit (Telemetry.Worker_crash { worker = ix; epoch = this_epoch; message });
+          emit
+            (Telemetry.Failure
+               { worker = ix; epoch = this_epoch; message = "worker crashed: " ^ message });
+          (match config.on_worker_crash with
+          | Abort ->
+            config.sink.Telemetry.close ();
+            raise (Worker_crashed { worker = ix; epoch = this_epoch; message })
+          | Degrade ->
+            st.st_live_jobs <- max 1 (st.st_live_jobs - 1);
+            None))
+      joined
+  in
+  (* --- coordinator merge (the fork-mode "corpus merge" step) --- *)
+  let candidates =
+    Trace.with_span "campaign.merge" @@ fun () ->
+    let candidates =
+      List.concat_map
+        (fun (r : Fuzzer.result) ->
+          List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) r.Fuzzer.test_suite)
+        results
     in
-    let abort = Atomic.make false in
-    let worker ix () =
-      (* fault injection: a raising worker exercises the salvage path *)
-      Fault.check Fault.Worker_raise;
-      let wseed = derive_seed config.seed ~epoch:this_epoch ~worker:ix in
-      let fcfg = { config.fuzzer with Fuzzer.seed = wseed; seeds } in
-      let on_progress (st : Fuzzer.stats) =
-        emit
-          (Telemetry.Exec_batch
-             { worker = ix; epoch = this_epoch; executions = st.Fuzzer.executions;
-               iterations = st.Fuzzer.iterations; probes_covered = st.Fuzzer.probes_covered });
-        (* a worker that has lit every probe locally has lit every
-           probe globally: let the other workers stop early *)
-        if config.stop_on_full && st.Fuzzer.probes_total > 0
-           && st.Fuzzer.probes_covered >= st.Fuzzer.probes_total
-        then Atomic.set abort true
-      in
-      let on_test_case (tc : Fuzzer.test_case) =
-        emit
-          (Telemetry.New_probe
-             { worker = ix; epoch = this_epoch; probes = tc.Fuzzer.tc_new_probes;
-               executions = int_of_float tc.Fuzzer.tc_time })
-      in
-      Trace.with_span "campaign.worker"
-        ~args:[ ("worker", string_of_int ix); ("epoch", string_of_int this_epoch) ]
-      @@ fun () ->
-      Fuzzer.run ~config:fcfg ~on_test_case ~on_progress
-        ~should_stop:(fun () -> Atomic.get abort)
-        prog (budget_for ix)
-    in
-    Trace.with_span "campaign.epoch" ~args:[ ("epoch", string_of_int this_epoch) ] @@ fun () ->
-    (* Crash isolation: every domain body is wrapped so Domain.join
-       yields a result instead of re-raising — one raising worker can
-       no longer destroy the whole epoch. All domains are joined
-       before any crash is acted on, so even Abort never leaks a
-       running domain. *)
-    let guarded ix () =
-      match worker ix () with
-      | r -> Ok r
-      | exception e -> Error (Printexc.to_string e)
-    in
-    let joined =
-      match List.init jobs_now (fun ix -> ix) with
-      | [ _lone ] -> [ (0, guarded 0 ()) ]  (* jobs=1: skip domain setup *)
-      | ixs ->
-        List.map
-          (fun (ix, d) -> (ix, Domain.join d))
-          (List.map (fun ix -> (ix, Domain.spawn (guarded ix))) ixs)
-    in
-    let results =
-      List.filter_map
-        (fun (ix, r) ->
-          match r with
-          | Ok r -> Some r
-          | Error message ->
-            incr worker_crashes;
-            emit (Telemetry.Worker_crash { worker = ix; epoch = this_epoch; message });
+    List.iter (absorb st) candidates;
+    candidates
+  in
+  List.iter
+    (fun (r : Fuzzer.result) ->
+      st.st_executions <- st.st_executions + r.Fuzzer.stats.Fuzzer.executions)
+    results;
+  List.iteri
+    (fun ix (r : Fuzzer.result) ->
+      List.iter
+        (fun (f : Fuzzer.failure) ->
+          if not (Hashtbl.mem st.st_seen_failures f.Fuzzer.f_message) then begin
+            Hashtbl.replace st.st_seen_failures f.Fuzzer.f_message ();
+            st.st_failures <- f :: st.st_failures;
             emit
               (Telemetry.Failure
-                 { worker = ix; epoch = this_epoch; message = "worker crashed: " ^ message });
-            (match config.on_worker_crash with
-            | Abort ->
-              config.sink.Telemetry.close ();
-              raise (Worker_crashed { worker = ix; epoch = this_epoch; message })
-            | Degrade ->
-              live_jobs := max 1 (!live_jobs - 1);
-              None))
-        joined
+                 { worker = ix; epoch = this_epoch; message = f.Fuzzer.f_message })
+          end)
+        r.Fuzzer.failures)
+    results;
+  let covered = count_covered st.st_coverage in
+  emit
+    (Telemetry.Corpus_sync
+       { epoch = this_epoch; candidates = List.length candidates;
+         kept = Hashtbl.length st.st_corpus; probes_covered = covered });
+  (* persist: entries first, manifest last, each write atomic — a
+     kill at any point resumes from a consistent state. Writes are
+     retried with backoff inside Corpus_store; an operation that
+     still fails is skipped (not fatal): the in-memory corpus is
+     intact and the entry or manifest is re-persisted next epoch. *)
+  (match st.st_store with
+  | Some s ->
+    Trace.with_span "campaign.persist" @@ fun () ->
+    let persist_failures = ref 0 in
+    let transient = function
+      | Fault.Injected _ | Sys_error _ | Unix.Unix_error _ -> true
+      | _ -> false
     in
-    (* --- coordinator merge (the fork-mode "corpus merge" step) --- *)
-    let candidates =
-      Trace.with_span "campaign.merge" @@ fun () ->
-      let candidates =
-        List.concat_map
-          (fun (r : Fuzzer.result) ->
-            List.map (fun (tc : Fuzzer.test_case) -> tc.Fuzzer.tc_data) r.Fuzzer.test_suite)
-          results
-      in
-      List.iter absorb candidates;
-      candidates
-    in
-    List.iter
-      (fun (r : Fuzzer.result) ->
-        executions := !executions + r.Fuzzer.stats.Fuzzer.executions)
-      results;
-    List.iteri
-      (fun ix (r : Fuzzer.result) ->
-        List.iter
-          (fun (f : Fuzzer.failure) ->
-            if not (Hashtbl.mem seen_failures f.Fuzzer.f_message) then begin
-              Hashtbl.replace seen_failures f.Fuzzer.f_message ();
-              failures := f :: !failures;
-              emit
-                (Telemetry.Failure
-                   { worker = ix; epoch = this_epoch; message = f.Fuzzer.f_message })
-            end)
-          r.Fuzzer.failures)
-      results;
-    let covered = count_covered coverage in
-    emit
-      (Telemetry.Corpus_sync
-         { epoch = this_epoch; candidates = List.length candidates;
-           kept = Hashtbl.length corpus; probes_covered = covered });
-    (* persist: entries first, manifest last, each write atomic — a
-       kill at any point resumes from a consistent state. Writes are
-       retried with backoff inside Corpus_store; an operation that
-       still fails is skipped (not fatal): the in-memory corpus is
-       intact and the entry or manifest is re-persisted next epoch. *)
-    (match store with
-    | Some s ->
-      Trace.with_span "campaign.persist" @@ fun () ->
-      let persist_failures = ref 0 in
-      let transient = function
-        | Fault.Injected _ | Sys_error _ | Unix.Unix_error _ -> true
-        | _ -> false
-      in
-      Hashtbl.iter
-        (fun fp (metric, data) ->
-          try ignore (Corpus_store.add s ~fingerprint:fp ~metric data) with
-          | e when transient e -> incr persist_failures)
-        corpus;
-      (try
-         Corpus_store.save_manifest s
-           {
-             Corpus_store.m_seed = config.seed;
-             m_jobs = config.jobs;
-             m_epoch = this_epoch + 1;
-             m_executions = !executions;
-             m_probes_total = prog.Ir.n_probes;
-             m_coverage = coverage;
-           }
-       with
-      | e when transient e -> incr persist_failures);
-      if !persist_failures > 0 then
-        emit
-          (Telemetry.Salvage
-             { message =
-                 Printf.sprintf
-                   "epoch %d: %d persist operation(s) failed after retries; will retry next epoch"
-                   this_epoch !persist_failures
-             })
-    | None -> ());
-    emit
-      (Telemetry.Epoch_end
-         { epoch = this_epoch; executions = !executions; probes_covered = covered;
-           probes_total = prog.Ir.n_probes; corpus_size = Hashtbl.length corpus });
-    epoch_stats :=
-      { ep_epoch = this_epoch; ep_executions = !executions; ep_probes_covered = covered;
-        ep_corpus_size = Hashtbl.length corpus }
-      :: !epoch_stats;
-    if covered > !last_covered then stalled := 0 else incr stalled;
-    last_covered := covered;
-    (* an epoch in which every worker crashed makes no progress at
-       all; two in a row means the failure is not transient — stop
-       instead of spinning on a budget that can never be spent *)
-    if results = [] then incr dead_epochs else dead_epochs := 0;
-    if config.stop_on_full && fully_covered () then stop := true
-    else if !stalled >= config.plateau_epochs then begin
-      plateaued := true;
-      emit (Telemetry.Plateau { epoch = this_epoch; stalled_epochs = !stalled });
-      stop := true
-    end
-    else if !dead_epochs >= 2 then stop := true;
-    incr epoch
-  done;
+    Hashtbl.iter
+      (fun fp (metric, data) ->
+        try ignore (Corpus_store.add s ~fingerprint:fp ~metric data) with
+        | e when transient e -> incr persist_failures)
+      st.st_corpus;
+    (try
+       Corpus_store.save_manifest s
+         {
+           Corpus_store.m_seed = config.seed;
+           m_jobs = config.jobs;
+           m_epoch = this_epoch + 1;
+           m_executions = st.st_executions;
+           m_probes_total = st.st_prog.Ir.n_probes;
+           m_coverage = st.st_coverage;
+         }
+     with
+    | e when transient e -> incr persist_failures);
+    if !persist_failures > 0 then
+      emit
+        (Telemetry.Salvage
+           { message =
+               Printf.sprintf
+                 "epoch %d: %d persist operation(s) failed after retries; will retry next epoch"
+                 this_epoch !persist_failures
+           })
+  | None -> ());
+  emit
+    (Telemetry.Epoch_end
+       { epoch = this_epoch; executions = st.st_executions; probes_covered = covered;
+         probes_total = st.st_prog.Ir.n_probes; corpus_size = Hashtbl.length st.st_corpus });
+  st.st_epoch_stats <-
+    { ep_epoch = this_epoch; ep_executions = st.st_executions; ep_probes_covered = covered;
+      ep_corpus_size = Hashtbl.length st.st_corpus }
+    :: st.st_epoch_stats;
+  if covered > st.st_last_covered then st.st_stalled <- 0
+  else st.st_stalled <- st.st_stalled + 1;
+  st.st_last_covered <- covered;
+  (* an epoch in which every worker crashed makes no progress at
+     all; two in a row means the failure is not transient — stop
+     instead of spinning on a budget that can never be spent *)
+  if results = [] then st.st_dead_epochs <- st.st_dead_epochs + 1 else st.st_dead_epochs <- 0;
+  if config.stop_on_full && fully_covered st then st.st_stop <- true
+  else if st.st_stalled >= config.plateau_epochs then begin
+    st.st_plateaued <- true;
+    emit (Telemetry.Plateau { epoch = this_epoch; stalled_epochs = st.st_stalled });
+    st.st_stop <- true
+  end
+  else if st.st_dead_epochs >= 2 then st.st_stop <- true;
+  st.st_epoch <- st.st_epoch + 1;
+  st.st_executions - execs_before
+
+let finish st =
   let suite =
-    Hashtbl.fold (fun fp (_, data) acc -> (fp, data) :: acc) corpus []
+    Hashtbl.fold (fun fp (_, data) acc -> (fp, data) :: acc) st.st_corpus []
     |> List.sort (fun (f1, _) (f2, _) -> compare f1 f2)
     |> List.map snd
   in
   {
     suite;
-    failures = List.rev !failures;
-    probes_covered = count_covered coverage;
-    probes_total = prog.Ir.n_probes;
-    executions = !executions;
-    epochs = List.rev !epoch_stats;
-    resumed = !resumed;
-    plateaued = !plateaued;
-    worker_crashes = !worker_crashes;
+    failures = List.rev st.st_failures;
+    probes_covered = count_covered st.st_coverage;
+    probes_total = st.st_prog.Ir.n_probes;
+    executions = st.st_executions;
+    epochs = List.rev st.st_epoch_stats;
+    resumed = st.st_resumed;
+    plateaued = st.st_plateaued;
+    worker_crashes = st.st_worker_crashes;
   }
+
+type progress = {
+  pg_epoch : int;
+  pg_executions : int;
+  pg_probes_covered : int;
+  pg_probes_total : int;
+  pg_corpus_size : int;
+  pg_worker_crashes : int;
+  pg_plateaued : bool;
+}
+
+let progress st =
+  {
+    pg_epoch = st.st_epoch;
+    pg_executions = st.st_executions;
+    pg_probes_covered = count_covered st.st_coverage;
+    pg_probes_total = st.st_prog.Ir.n_probes;
+    pg_corpus_size = Hashtbl.length st.st_corpus;
+    pg_worker_crashes = st.st_worker_crashes;
+    pg_plateaued = st.st_plateaued;
+  }
+
+let run ?(config = default_config) (prog : Ir.program) =
+  Trace.with_span "campaign.run" @@ fun () ->
+  let st = start ~config prog in
+  while not (finished st) do
+    ignore (step st)
+  done;
+  finish st

@@ -72,6 +72,10 @@ type config = {
       (** per-worker loop configuration; [seed] is overridden per
           worker, [seeds] only seeds the initial corpus *)
   corpus_dir : string option;  (** attach an on-disk {!Corpus_store} *)
+  store : Corpus_store.t option;
+      (** attach an already-open store handle instead; takes precedence
+          over [corpus_dir]. Lets several campaigns share one sharded
+          store ([cftcg serve] does) *)
   resume : bool;  (** restore epoch/execution accounting from the manifest *)
   sink : Telemetry.sink;
   on_worker_crash : crash_policy;  (** default {!Degrade} *)
@@ -125,3 +129,61 @@ val run : ?config:config -> Ir.program -> result
     live worker crashes for two consecutive epochs the campaign stops
     (the failure is clearly not transient) instead of spinning on a
     budget that can never be spent. *)
+
+(** {2 Stepwise interface}
+
+    [run] is [start] + a [step] loop + [finish]. The pieces are
+    exposed so an external scheduler (the [cftcg serve] daemon) can
+    interleave the epochs of many campaigns over one shared
+    {!Worker_pool}, charge per-tenant budgets, and observe progress
+    between epochs. A [step] with no clipping arguments is exactly one
+    iteration of [run]'s loop, so a campaign stepped to completion
+    produces the identical result to a solo [run] with the same
+    configuration. *)
+
+type state
+
+val start : ?config:config -> Ir.program -> state
+(** Opens the store (unless [config.store] is given), absorbs on-disk
+    and configured seeds, and restores resume accounting. Same
+    [Invalid_argument] cases as {!run}. *)
+
+val finished : state -> bool
+(** True once the budget is spent, the epoch cap or a deadline is hit,
+    or a previous [step] decided to stop (full coverage, plateau, dead
+    epochs). *)
+
+val step :
+  ?workers:int ->
+  ?max_execs:int ->
+  ?should_stop:(unit -> bool) ->
+  ?pool:Worker_pool.t ->
+  state ->
+  int
+(** Runs one epoch and returns the executions it actually performed
+    (what a fair-share scheduler charges the tenant). [workers] caps
+    the epoch's parallelism below [config.jobs]; [max_execs] clips the
+    epoch's execution grant the same way the end of the global budget
+    does — a granted campaign is a prefix-identical campaign.
+    [should_stop] is polled by the workers (cooperative cancellation
+    between fuzzing iterations). With [pool], the epoch's domains are
+    spawned only once the pool admits that many slots. Raises
+    {!Worker_crashed} under the {!Abort} policy. *)
+
+val finish : state -> result
+(** Extracts the result. Does not close the sink and may be called
+    while the campaign is still steppable (the result is a snapshot). *)
+
+type progress = {
+  pg_epoch : int;
+  pg_executions : int;
+  pg_probes_covered : int;
+  pg_probes_total : int;
+  pg_corpus_size : int;
+  pg_worker_crashes : int;
+  pg_plateaued : bool;
+}
+
+val progress : state -> progress
+(** Cheap snapshot for status endpoints. Call it between [step]s (the
+    state is not internally locked). *)

@@ -9,29 +9,43 @@
     cumulative execution count, and the global coverage bitmap, so an
     interrupted campaign resumes exactly where it stopped.
 
-    Layout on disk:
+    {b Sharded layout (v2).} Entries are bucketed into 16 shards by
+    the first hex character of their fingerprint, each shard with its
+    own manifest, so concurrent campaigns persisting into one store
+    never serialize on a single manifest file:
     {v
-    DIR/manifest            key-value text, written atomically
-    DIR/entries/<fp>.tc     raw input bytes, <fp> = 16-hex-char fingerprint
+    DIR/manifest             global accounting, written atomically
+    DIR/shards/<h>/<fp>.tc   raw input bytes, <h> = first hex char of <fp>
+    DIR/shards/<h>/manifest  per-shard entry index (fingerprint -> metric)
+    DIR/entries/             legacy v1 flat layout (migrated on open)
     v}
 
-    Every file write is write-then-rename, so a campaign killed at any
-    point leaves the directory consistent: at worst the last few
-    entries carry a stale metric (recovered as 0) until the next
-    manifest save.
+    A v1 store (flat [DIR/entries] plus a global manifest carrying
+    [entry] lines) opens transparently: {!open_} moves every legacy
+    entry into its shard, preserving the recorded metrics, and the
+    next {!save_manifest} writes the v2 layout. Every file write is
+    write-then-rename, so a campaign killed at any point leaves the
+    directory consistent: at worst the last few entries carry a stale
+    metric (recovered as 0) until the next manifest save.
 
     {b Fault tolerance.} Persistence is wrapped in a bounded
     retry-with-backoff for transient failures ([Sys_error],
     [Unix_error], injected {!Cftcg_util.Fault} faults); a failed write
     never leaks its temporary file or descriptor. Damaged files are
     never deleted: {!open_} quarantines a corrupt manifest to
-    [manifest.corrupt-N] and rebuilds the index from the entry files,
-    and {!fsck} does the same for undecodable or half-written entries.
-    Retries and quarantines are counted in {!Cftcg_obs.Metrics}
+    [manifest.corrupt-N] and rebuilds the index from the shard
+    manifests and entry files, and {!fsck} does the same for
+    undecodable or half-written entries. Retries, quarantines and
+    migrations are counted in {!Cftcg_obs.Metrics}
     ([cftcg_store_persist_retries_total],
-    [cftcg_store_quarantined_total]).
+    [cftcg_store_quarantined_total],
+    [cftcg_store_migrated_entries_total]).
 
-    Not thread-safe: only the campaign coordinator touches the store. *)
+    {b Thread safety.} A handle may be shared by concurrent campaigns
+    (the [cftcg serve] scheduler does): the index takes one short
+    mutex per operation, and file writes take a per-shard mutex, so
+    writers on different shards proceed in parallel — there is no
+    global lock on the persistence path. *)
 
 type t
 
@@ -50,17 +64,18 @@ exception Corrupt of string
 
 val open_ : ?on_salvage:(string -> unit) -> string -> t
 (** Opens (creating directories as needed) a corpus at [dir] and loads
-    the entry index from the manifest plus any entry files written
-    after the last manifest save.
+    the entry index from the global manifest, the per-shard manifests,
+    and any entry files written after the last manifest save. Legacy
+    v1 flat-layout entries are migrated into their shards.
 
     A corrupt manifest does {e not} raise: it is quarantined to
-    [manifest.corrupt-N] and the index is rebuilt from the entry files
-    (each individually atomic), so an interrupted or damaged campaign
-    directory always opens. Campaign accounting (epoch counter,
-    cumulative executions, coverage bitmap) recorded only in the
-    manifest is lost in that case; every input survives. [on_salvage]
-    (default: ignore) receives one human-readable line per recovery
-    action. *)
+    [manifest.corrupt-N] and the index is rebuilt from the shard
+    manifests and entry files (each individually atomic), so an
+    interrupted or damaged campaign directory always opens. Campaign
+    accounting (epoch counter, cumulative executions, coverage bitmap)
+    recorded only in the global manifest is lost in that case; every
+    input survives. [on_salvage] (default: ignore) receives one
+    human-readable line per recovery or migration action. *)
 
 val salvaged : t -> string list
 (** Recovery actions performed by {!open_} on this handle, oldest
@@ -80,6 +95,9 @@ val mem : t -> string -> bool
 val size : t -> int
 (** Number of distinct fingerprints. *)
 
+val metric : t -> string -> int option
+(** Best metric recorded for a fingerprint, if present. *)
+
 val fingerprints : t -> string list
 (** Sorted — iteration order is deterministic. *)
 
@@ -87,8 +105,10 @@ val entries : t -> Bytes.t list
 (** All entry payloads, in {!fingerprints} order. *)
 
 val save_manifest : t -> manifest -> unit
-(** Atomically writes the manifest, including the current entry index
-    (fingerprint → metric). *)
+(** Atomically writes the per-shard manifests of every shard touched
+    since the last save, then the global accounting manifest. A shard
+    whose manifest write fails stays marked dirty and is retried by
+    the next save. *)
 
 val load_manifest : t -> manifest option
 (** [None] when no manifest has been saved yet. *)
@@ -100,21 +120,38 @@ val merge : t -> from:string list -> int
     merged — run a campaign (or replay) over the merged corpus to
     regenerate the manifest. *)
 
+type fsck_counts = {
+  fc_tmp_files : int;  (** interrupted writes ([*.tmp]) quarantined *)
+  fc_bad_names : int;  (** entry files whose name is not a fingerprint *)
+  fc_empty_entries : int;
+  fc_unreadable : int;
+  fc_corrupt_manifests : int;  (** global manifests that failed to parse *)
+  fc_corrupt_shard_manifests : int;
+}
+(** Per-finding-kind tally of one {!fsck} pass; all zero for a healthy
+    store. The CLI ([cftcg corpus fsck]) prints these and exits
+    non-zero when any is non-zero, so CI jobs can assert on them. *)
+
 type fsck_report = {
-  fsck_entries : int;  (** valid entries after the scrub *)
+  fsck_entries : int;  (** valid entries after the scrub, across all shards *)
   fsck_quarantined : string list;
       (** one line per file moved to [*.corrupt-N], oldest first *)
   fsck_manifest : [ `Ok | `Missing | `Quarantined ];
   fsck_orphans : int;
-      (** valid entries not referenced by the manifest (written after
-          the last save; recovered at metric 0 on the next open) *)
+      (** valid entries not referenced by any manifest (written after
+          the last save; recovered at metric 0 on the next open).
+          Reported as 0 when a manifest was quarantined this pass —
+          the reference index is gone, so the count would be noise. *)
+  fsck_shards : int;  (** shard directories walked *)
+  fsck_counts : fsck_counts;
 }
 
 val fsck : ?on_salvage:(string -> unit) -> string -> fsck_report
-(** Validates and repairs a corpus directory in place: stray [.tmp]
-    files (interrupted writes), entry files whose name is not a
-    hex fingerprint, empty or unreadable entries, and a
-    manifest that fails to parse are each quarantined to
+(** Validates and repairs a corpus directory in place, walking the
+    legacy flat layout and every shard: stray [.tmp] files
+    (interrupted writes), entry files whose name is not a hex
+    fingerprint (or sit in the wrong shard), empty or unreadable
+    entries, and manifests that fail to parse are each quarantined to
     [*.corrupt-N]. Never raises on damaged content, never deletes
     data. A report with [fsck_quarantined = []] and no orphans means
     the directory is byte-for-byte consistent. Exposed on the CLI as

@@ -152,7 +152,15 @@ let jsonl ?(append = false) path =
     output_char oc '\n';
     incr seq
   in
-  serialized emit (fun () -> close_out oc)
+  (* close durably: a campaign result is only as trustworthy as its
+     telemetry trail, so the feed must survive a power cut that
+     happens right after the process exits *)
+  let close () =
+    flush oc;
+    (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+    close_out oc
+  in
+  serialized emit close
 
 let metrics_bridge ?registry () =
   let module M = Cftcg_obs.Metrics in

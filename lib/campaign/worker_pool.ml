@@ -1,0 +1,66 @@
+(* A counting pool of Domain worker slots shared by concurrent
+   campaigns. The pool does not own domains — epochs spawn and join
+   their own, exactly as a standalone campaign does — it bounds how
+   many may run at once, so a daemon multiplexing many campaigns never
+   oversubscribes the machine. Acquisition is all-or-nothing under one
+   mutex: a request blocks until its full slot count is free, and
+   FIFO-ordered wakeups (plain [Condition.broadcast] with re-check)
+   keep a large request from being starved by a stream of small
+   ones. *)
+
+type t = {
+  capacity : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable free : int;
+  mutable next_ticket : int;  (* FIFO order: tickets issued on arrival *)
+  mutable serving : int;  (* lowest ticket allowed to acquire *)
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Worker_pool.create: capacity must be >= 1";
+  {
+    capacity;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    free = capacity;
+    next_ticket = 0;
+    serving = 0;
+  }
+
+let capacity t = t.capacity
+
+let default_capacity () = max 1 (Domain.recommended_domain_count () - 1)
+
+let acquire t n =
+  if n < 1 then invalid_arg "Worker_pool.acquire: n must be >= 1";
+  if n > t.capacity then
+    invalid_arg
+      (Printf.sprintf "Worker_pool.acquire: requested %d slots from a pool of %d" n t.capacity);
+  Mutex.lock t.mutex;
+  let ticket = t.next_ticket in
+  t.next_ticket <- t.next_ticket + 1;
+  while not (t.serving = ticket && t.free >= n) do
+    Condition.wait t.cond t.mutex
+  done;
+  t.serving <- t.serving + 1;
+  t.free <- t.free - n;
+  (* the next ticket may be satisfiable immediately *)
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let release t n =
+  Mutex.lock t.mutex;
+  t.free <- min t.capacity (t.free + n);
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let with_slots t n f =
+  acquire t n;
+  Fun.protect ~finally:(fun () -> release t n) f
+
+let free t =
+  Mutex.lock t.mutex;
+  let n = t.free in
+  Mutex.unlock t.mutex;
+  n

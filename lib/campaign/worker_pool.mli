@@ -1,0 +1,39 @@
+(** A counting pool of Domain worker slots shared by concurrent
+    campaigns.
+
+    The pool does not own domains: a campaign epoch still spawns and
+    joins its own worker domains, exactly as a standalone
+    {!Campaign.run} does. What the pool bounds is how many such
+    domains may run {e at once} across every campaign that shares it,
+    so a daemon multiplexing dozens of campaigns ([cftcg serve]) never
+    oversubscribes the machine.
+
+    Acquisition is all-or-nothing and FIFO: a request for [n] slots
+    blocks until [n] are simultaneously free {e and} every
+    earlier-arrived request has been served, so a wide epoch cannot be
+    starved by a stream of narrow ones. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] — total worker slots. Raises [Invalid_argument]
+    if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val default_capacity : unit -> int
+(** [Domain.recommended_domain_count () - 1], clamped to at least 1 —
+    one slot per hardware thread minus the coordinator. The value
+    behind [--jobs 0] and the serve pool default. *)
+
+val acquire : t -> int -> unit
+(** Blocks until [n] slots are free (FIFO-ordered). Raises
+    [Invalid_argument] if [n < 1] or [n] exceeds the capacity. *)
+
+val release : t -> int -> unit
+
+val with_slots : t -> int -> (unit -> 'a) -> 'a
+(** [acquire]/[release] bracket, exception-safe. *)
+
+val free : t -> int
+(** Currently free slots (a snapshot — informational only). *)

@@ -117,6 +117,10 @@ let observe h v =
 let histogram_count h = locked h.h_mutex (fun () -> h.h_count)
 let histogram_sum h = locked h.h_mutex (fun () -> h.h_sum)
 
+let remove_labeled ?(registry = default) name labels =
+  let k = key name labels in
+  locked registry.r_mutex (fun () -> Hashtbl.remove registry.r_instruments k)
+
 (* --- Prometheus text exposition --------------------------------------- *)
 
 let escape_label_value s =

@@ -60,6 +60,13 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val remove_labeled : ?registry:t -> string -> (string * string) list -> unit
+(** Unregisters the single instrument with exactly this name + label
+    set, so a long-lived exporter (the [cftcg serve] daemon) can
+    retire per-campaign series once the campaign is deleted. Handles
+    obtained earlier keep working but are no longer exported; removing
+    an unknown instrument is a no-op. *)
+
 (** {1 Export} *)
 
 val to_prometheus : t -> string

@@ -1,0 +1,69 @@
+(** One submitted campaign inside the serve daemon.
+
+    A job bundles the campaign's identity and configuration with the
+    three things the service layers need to observe it: the mutable
+    scheduling state the deficit round-robin arbiter works on (guarded
+    by the owning {!Scheduler}'s mutex), a bounded in-memory JSONL
+    event feed (own lock — a slow [/events] reader never stalls the
+    arbiter), and per-job labeled metrics exported on [/metrics] and
+    retired when the job record is deleted. *)
+
+module Campaign = Cftcg_campaign.Campaign
+module Telemetry = Cftcg_campaign.Telemetry
+
+type status =
+  | Queued
+  | Running
+  | Done of Campaign.result
+  | Failed of string  (** the campaign raised; message preserved *)
+  | Cancelled
+
+val status_name : status -> string
+val terminal : status -> bool
+
+type t = {
+  jb_id : string;
+  jb_model : string;
+  jb_tenant : string;
+  jb_weight : int;  (** fair-share weight (>= 1) *)
+  jb_prog : Cftcg_ir.Ir.program;
+  mutable jb_config : Campaign.config;
+  mutable jb_status : status;
+  mutable jb_deficit : int;  (** DRR deficit; may go negative (epoch overrun debt) *)
+  mutable jb_spent : int;  (** executions charged to the tenant *)
+  mutable jb_cancel : bool;
+  mutable jb_progress : Campaign.progress option;
+  mutable jb_thread : Thread.t option;
+  ev_mutex : Mutex.t;
+  ev_lines : string Queue.t;
+  mutable ev_seq : int;
+  mutable ev_dropped : int;
+  jm_executions : Cftcg_obs.Metrics.gauge;
+  jm_covered : Cftcg_obs.Metrics.gauge;
+  jm_epochs : Cftcg_obs.Metrics.counter;
+}
+
+val create :
+  id:string ->
+  model:string ->
+  tenant:string ->
+  weight:int ->
+  config:Campaign.config ->
+  Cftcg_ir.Ir.program ->
+  t
+
+val sink : t -> Telemetry.sink
+(** The sink to attach to the job's campaign config: buffers each
+    event as a pre-encoded JSONL line (bounded at 10k lines, oldest
+    dropped and counted) and mirrors [Epoch_end] into the job's
+    labeled gauges so [/metrics] shows live progress. *)
+
+val event_lines : t -> string list * int
+(** Retained feed lines oldest-first, plus how many were dropped. *)
+
+val retire_metrics : t -> unit
+(** Unregisters the job's labeled series from the default registry
+    (called when the job record is deleted). *)
+
+val status_json : t -> Wire.json
+val summary_json : t -> Wire.json

@@ -1,0 +1,76 @@
+(** Multi-tenant campaign scheduler — the core of [cftcg serve].
+
+    Each submitted campaign gets a runner thread that steps the
+    campaign epoch by epoch ({!Campaign.step}); a runner may only
+    start an epoch once the {e deficit round-robin} arbiter grants it
+    the executions that epoch wants. Every scheduling round credits
+    each live job [quantum * weight] executions of deficit; a job
+    whose deficit covers its next epoch runs it (the executions
+    actually spent are charged, so overruns carry over as debt),
+    everyone else waits, and a round advances only when no live job
+    can proceed. Per-tenant execution budgets clip grants: a tenant
+    whose budget is spent has its jobs stopped at the next epoch
+    boundary — budgets hold within one epoch's slack, never by killing
+    a worker mid-run.
+
+    Grants always cover a full epoch, so a campaign stepped under the
+    scheduler performs exactly the epochs a solo {!Campaign.run}
+    would, with the same per-(epoch, worker) seeds — concurrency
+    changes wall-clock interleaving, not results. Epoch parallelism is
+    bounded by one shared {!Worker_pool}; campaigns naming the same
+    corpus directory share one open sharded {!Corpus_store} handle. *)
+
+module Campaign = Cftcg_campaign.Campaign
+module Worker_pool = Cftcg_campaign.Worker_pool
+
+type t
+
+val create : ?quantum:int -> pool:Worker_pool.t -> unit -> t
+(** [quantum] (default 1000) is the per-round, per-weight deficit
+    credit in executions. Registers the service-level counters
+    ([cftcg_serve_campaigns_*]) on the default metrics registry. *)
+
+val pool : t -> Worker_pool.t
+
+type submission = {
+  sb_model : string;  (** informational label echoed in status documents *)
+  sb_tenant : string;
+  sb_weight : int;  (** fair-share weight, clamped to >= 1 *)
+  sb_tenant_budget : int option;
+      (** when set, installs/overwrites the tenant's total execution
+          budget (shared by all that tenant's jobs) *)
+  sb_config : Campaign.config;
+      (** the [sink] field is replaced by the job's own event feed;
+          [corpus_dir] (if any) is rerouted through the shared store
+          cache *)
+}
+
+val submit : t -> submission -> Cftcg_ir.Ir.program -> (string, string) result
+(** Creates the job, spawns its runner thread, returns the job id.
+    [Error] only when the daemon is shutting down. A campaign whose
+    configuration is invalid still submits — it lands in
+    [Failed] state immediately (the error is in the status document),
+    which keeps submission non-blocking. *)
+
+val find : t -> string -> Job.t option
+
+val jobs : t -> Job.t list
+(** Submission order. *)
+
+val cancel : t -> string -> (Job.t, string) result
+(** Requests cooperative cancellation; the job reaches [Cancelled]
+    once its runner observes the flag (between fuzzing iterations).
+    Cancelling a terminal job is a no-op returning the job. *)
+
+val delete : t -> string -> ([ `Deleted | `Cancelling ], [ `Not_found ]) result
+(** A terminal job is removed and its labeled metric series retired;
+    a live one is cancelled and kept ([`Cancelling]) — delete again
+    once it lands. *)
+
+val shutdown : t -> unit
+(** Stops granting, flags every runner to stop, joins them all. Jobs
+    interrupted mid-campaign land in [Cancelled]; corpus state is
+    already on disk (campaigns persist every epoch). Idempotent. *)
+
+val stats_json : t -> Wire.json
+(** The [/healthz] document: job counts and pool occupancy. *)

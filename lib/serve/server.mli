@@ -1,0 +1,19 @@
+(** Accept loop of the serve daemon.
+
+    One thread per connection, one request per connection
+    ([Connection: close]); the accept is a [select] with a 200 ms
+    timeout so the [stop] flag — typically set from a SIGTERM
+    handler — is honoured promptly. *)
+
+val serve :
+  resolve:(string -> (Cftcg_ir.Ir.program, string) result) ->
+  sched:Scheduler.t ->
+  stop:(unit -> bool) ->
+  Wire.addr ->
+  unit
+(** Binds [addr] (a stale Unix-socket file with no listener is
+    reclaimed; a live one raises [Failure]) and serves until [stop ()]
+    turns true, then shuts down in order: stop accepting, drain
+    in-flight connections, {!Scheduler.shutdown} (joins every runner
+    thread), unlink the socket file. SIGPIPE is set to ignore — a
+    client closing mid-response must not kill the daemon. *)

@@ -213,6 +213,27 @@ let test_telemetry_jsonl_append () =
   Alcotest.(check bool) "append creates" true (contains "\"seq\":0" (List.hd (read_lines path)));
   Sys.remove path
 
+let test_telemetry_jsonl_durable_close () =
+  (* close flushes and fsyncs: every emitted line must be readable
+     from a fresh descriptor the instant close returns, with no
+     buffered tail *)
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "cftcg_test_durable.jsonl" in
+  let sink = Telemetry.jsonl path in
+  for _ = 1 to 500 do
+    List.iter sink.Telemetry.emit some_events
+  done;
+  sink.Telemetry.close ();
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  Unix.close fd;
+  let lines = read_lines path in
+  Alcotest.(check int) "all lines on disk" (500 * List.length some_events) (List.length lines);
+  Alcotest.(check bool) "last line complete" true
+    (contains (Printf.sprintf "\"seq\":%d" ((500 * List.length some_events) - 1))
+       (List.nth lines ((500 * List.length some_events) - 1)));
+  Alcotest.(check bool) "nothing buffered" true (size > 0);
+  Sys.remove path
+
 let test_telemetry_close_idempotent () =
   (* closing any constructed sink twice must be a no-op, not a crash
      (jsonl's second close would otherwise close_out a closed channel) *)
@@ -518,6 +539,7 @@ let suites =
         Alcotest.test_case "json encoding" `Quick test_telemetry_json;
         Alcotest.test_case "jsonl file" `Quick test_telemetry_jsonl_file;
         Alcotest.test_case "jsonl append on resume" `Quick test_telemetry_jsonl_append;
+        Alcotest.test_case "jsonl durable close" `Quick test_telemetry_jsonl_durable_close;
         Alcotest.test_case "close is idempotent" `Quick test_telemetry_close_idempotent;
         Alcotest.test_case "multi close is exception-safe" `Quick
           test_telemetry_multi_close_exception_safe;

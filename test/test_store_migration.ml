@@ -1,0 +1,314 @@
+(* Flat-layout (v1) -> sharded (v2) corpus-store migration coverage:
+   hand-built legacy directories must open transparently with every
+   entry and metric preserved, campaigns must resume across the
+   layout change, fsck must stay clean on both sides, and the shard
+   layout must hold up under concurrent writers. *)
+
+module Codegen = Cftcg_codegen.Codegen
+module Campaign = Cftcg_campaign.Campaign
+module Store = Cftcg_campaign.Corpus_store
+module Bytecodec = Cftcg_util.Bytecodec
+module Models = Cftcg_bench_models.Bench_models
+
+let solar_pv () =
+  let e = Option.get (Models.find "SolarPV") in
+  Codegen.lower ~mode:Codegen.Full (Lazy.force e.Models.model)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  rm_rf dir;
+  dir
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      Unix.mkdir d 0o755
+    end
+  in
+  go dir
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+(* Build a v1 flat-layout corpus by hand: DIR/entries/<fp>.tc payload
+   files plus a global manifest carrying the accounting and one
+   [entry <fp> <metric>] line per entry — exactly what pre-shard
+   versions of the store wrote. *)
+let write_legacy_store dir ~manifest ~entries =
+  mkdir_p (Filename.concat dir "entries");
+  List.iter
+    (fun (fp, _metric, payload) ->
+      write_file (Filename.concat (Filename.concat dir "entries") (fp ^ ".tc")) (Bytes.to_string payload))
+    entries;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "cftcg-corpus 1\n";
+  Printf.bprintf buf "seed %Ld\n" manifest.Store.m_seed;
+  Printf.bprintf buf "jobs %d\n" manifest.Store.m_jobs;
+  Printf.bprintf buf "epoch %d\n" manifest.Store.m_epoch;
+  Printf.bprintf buf "executions %d\n" manifest.Store.m_executions;
+  Printf.bprintf buf "probes_total %d\n" manifest.Store.m_probes_total;
+  Printf.bprintf buf "coverage %s\n" (Bytecodec.hex_of_bytes manifest.Store.m_coverage);
+  List.iter (fun (fp, metric, _) -> Printf.bprintf buf "entry %s %d\n" fp metric) entries;
+  write_file (Filename.concat dir "manifest") (Buffer.contents buf)
+
+let check_counts_zero label (r : Store.fsck_report) =
+  Alcotest.(check (list string)) (label ^ ": nothing quarantined") [] r.Store.fsck_quarantined;
+  Alcotest.(check int) (label ^ ": no orphans") 0 r.Store.fsck_orphans;
+  let c = r.Store.fsck_counts in
+  List.iter
+    (fun (what, n) -> Alcotest.(check int) (label ^ ": " ^ what) 0 n)
+    [
+      ("tmp files", c.Store.fc_tmp_files);
+      ("bad names", c.Store.fc_bad_names);
+      ("empty entries", c.Store.fc_empty_entries);
+      ("unreadable", c.Store.fc_unreadable);
+      ("corrupt manifests", c.Store.fc_corrupt_manifests);
+      ("corrupt shard manifests", c.Store.fc_corrupt_shard_manifests);
+    ]
+
+let sample_entries =
+  [
+    ("00ff12", 3, Bytes.of_string "alpha");
+    ("8a9b0c1d2e3f4455", 10, Bytes.of_string "bravo");
+    ("8fffffffffffffff", 1, Bytes.of_string "charlie");
+    ("f0e1d2c3b4a59687", 7, Bytes.of_string "delta\x00\x01\x02");
+  ]
+
+let sample_manifest =
+  {
+    Store.m_seed = 42L;
+    m_jobs = 2;
+    m_epoch = 5;
+    m_executions = 12_345;
+    m_probes_total = 16;
+    m_coverage = Bytes.init 16 (fun i -> if i mod 2 = 0 then '\001' else '\000');
+  }
+
+let test_migrate_flat_layout () =
+  let dir = fresh_dir "cftcg_migrate_basic" in
+  write_legacy_store dir ~manifest:sample_manifest ~entries:sample_entries;
+  (* the legacy layout is already fsck-clean *)
+  check_counts_zero "before" (Store.fsck dir);
+  let messages = ref [] in
+  let t = Store.open_ ~on_salvage:(fun m -> messages := m :: !messages) dir in
+  Alcotest.(check bool) "migration reported" true
+    (List.exists (fun m -> contains m "migrated 4 legacy flat-layout entries") !messages);
+  Alcotest.(check int) "all entries survive" (List.length sample_entries) (Store.size t);
+  List.iter
+    (fun (fp, metric, payload) ->
+      Alcotest.(check bool) (fp ^ " present") true (Store.mem t fp);
+      Alcotest.(check (option int)) (fp ^ " metric preserved") (Some metric) (Store.metric t fp);
+      (* the payload moved into its shard, byte for byte *)
+      let shard = Filename.concat (Filename.concat dir "shards") (String.make 1 fp.[0]) in
+      let moved = Filename.concat shard (fp ^ ".tc") in
+      Alcotest.(check bool) (fp ^ " sharded") true (Sys.file_exists moved);
+      let ic = open_in_bin moved in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) (fp ^ " payload") (Bytes.to_string payload) data;
+      Alcotest.(check bool) (fp ^ " left the flat layout") false
+        (Sys.file_exists (Filename.concat (Filename.concat dir "entries") (fp ^ ".tc"))))
+    sample_entries;
+  (* accounting from the v1 manifest is intact *)
+  (match Store.load_manifest t with
+  | None -> Alcotest.fail "manifest lost"
+  | Some m ->
+    Alcotest.(check int64) "seed" sample_manifest.Store.m_seed m.Store.m_seed;
+    Alcotest.(check int) "epoch" sample_manifest.Store.m_epoch m.Store.m_epoch;
+    Alcotest.(check int) "executions" sample_manifest.Store.m_executions m.Store.m_executions;
+    Alcotest.(check bytes) "coverage" sample_manifest.Store.m_coverage m.Store.m_coverage);
+  (* persist the v2 layout and make sure a reopen is quiet and equal *)
+  Store.save_manifest t sample_manifest;
+  check_counts_zero "after save" (Store.fsck dir);
+  let reopened = Store.open_ dir in
+  Alcotest.(check (list string)) "reopen is quiet" [] (Store.salvaged reopened);
+  Alcotest.(check (list string)) "fingerprints stable" (Store.fingerprints t)
+    (Store.fingerprints reopened);
+  List.iter
+    (fun (fp, metric, _) ->
+      Alcotest.(check (option int)) (fp ^ " metric after reopen") (Some metric)
+        (Store.metric reopened fp))
+    sample_entries;
+  rm_rf dir
+
+let test_migrate_duplicate_quarantined () =
+  (* a legacy entry whose fingerprint already exists sharded must be
+     quarantined, not silently clobbered *)
+  let dir = fresh_dir "cftcg_migrate_dup" in
+  let t = Store.open_ dir in
+  ignore (Store.add t ~fingerprint:"aa11" ~metric:9 (Bytes.of_string "sharded"));
+  Store.save_manifest t
+    { Store.m_seed = 1L; m_jobs = 1; m_epoch = 1; m_executions = 1; m_probes_total = 1;
+      m_coverage = Bytes.empty };
+  (* now plant a stale flat-layout copy of the same fingerprint *)
+  mkdir_p (Filename.concat dir "entries");
+  write_file (Filename.concat (Filename.concat dir "entries") "aa11.tc") "stale";
+  let messages = ref [] in
+  let t2 = Store.open_ ~on_salvage:(fun m -> messages := m :: !messages) dir in
+  Alcotest.(check bool) "duplicate reported" true
+    (List.exists (fun m -> contains m "legacy duplicate") !messages);
+  Alcotest.(check (option int)) "sharded copy wins" (Some 9) (Store.metric t2 "aa11");
+  let shard = Filename.concat (Filename.concat dir "shards") "a" in
+  let ic = open_in_bin (Filename.concat shard "aa11.tc") in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "sharded payload untouched" "sharded" data;
+  rm_rf dir
+
+let test_campaign_resume_across_layouts () =
+  (* run half a campaign into a sharded store, rebuild the same state
+     as a v1 flat layout by hand, and resume from both: the layout
+     must be invisible to the campaign *)
+  let prog = solar_pv () in
+  let v2_dir = fresh_dir "cftcg_migrate_resume_v2" in
+  let config =
+    { Campaign.default_config with
+      Campaign.jobs = 2;
+      seed = 11L;
+      total_execs = 400;
+      execs_per_epoch = 100;
+      stop_on_full = false;
+      corpus_dir = Some v2_dir
+    }
+  in
+  let (_ : Campaign.result) = Campaign.run ~config prog in
+  (* downgrade: read the v2 store and write its exact contents as v1 *)
+  let t = Store.open_ v2_dir in
+  let manifest = Option.get (Store.load_manifest t) in
+  let entries =
+    List.map
+      (fun (fp, payload) -> (fp, Option.get (Store.metric t fp), payload))
+      (List.combine (Store.fingerprints t) (Store.entries t))
+  in
+  let v1_dir = fresh_dir "cftcg_migrate_resume_v1" in
+  write_legacy_store v1_dir ~manifest ~entries;
+  (* resume both with a doubled budget; results must be identical *)
+  let resume dir =
+    let config =
+      { config with Campaign.corpus_dir = Some dir; resume = true; total_execs = 800 }
+    in
+    Campaign.run ~config prog
+  in
+  let from_v2 = resume v2_dir in
+  let from_v1 = resume v1_dir in
+  Alcotest.(check bool) "resumed" true (from_v1.Campaign.resumed && from_v2.Campaign.resumed);
+  Alcotest.(check int) "coverage equal" from_v2.Campaign.probes_covered
+    from_v1.Campaign.probes_covered;
+  Alcotest.(check int) "executions equal" from_v2.Campaign.executions
+    from_v1.Campaign.executions;
+  Alcotest.(check (list bytes)) "suites identical" from_v2.Campaign.suite from_v1.Campaign.suite;
+  check_counts_zero "v1 after resume" (Store.fsck v1_dir);
+  check_counts_zero "v2 after resume" (Store.fsck v2_dir);
+  rm_rf v1_dir;
+  rm_rf v2_dir
+
+let test_migration_qcheck =
+  let open QCheck in
+  (* random legacy entry sets: distinct hex fingerprints, non-empty
+     payloads, arbitrary metrics *)
+  let entry_gen =
+    Gen.map2
+      (fun fp_seed (metric, payload) ->
+        (Bytecodec.hex_of_int64 fp_seed, abs metric, Bytes.of_string (payload ^ "!")))
+      Gen.int64
+      (Gen.pair Gen.int Gen.string_printable)
+  in
+  let entries_gen =
+    Gen.map
+      (fun l ->
+        (* dedupe by fingerprint: one representative each *)
+        let tbl = Hashtbl.create 16 in
+        List.filter
+          (fun (fp, _, _) ->
+            if Hashtbl.mem tbl fp then false
+            else begin
+              Hashtbl.add tbl fp ();
+              true
+            end)
+          l)
+      (Gen.list_size (Gen.int_range 0 40) entry_gen)
+  in
+  let print_entries l =
+    String.concat ";" (List.map (fun (fp, m, _) -> Printf.sprintf "%s=%d" fp m) l)
+  in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~name:"random legacy stores migrate losslessly" ~count:30
+       (make ~print:print_entries entries_gen)
+       (fun entries ->
+         let dir = fresh_dir "cftcg_migrate_prop" in
+         write_legacy_store dir ~manifest:sample_manifest ~entries;
+         let t = Store.open_ dir in
+         let ok_size = Store.size t = List.length entries in
+         let ok_entries =
+           List.for_all
+             (fun (fp, metric, payload) ->
+               Store.metric t fp = Some metric
+               &&
+               let shard = Filename.concat (Filename.concat dir "shards") (String.make 1 fp.[0]) in
+               let ic = open_in_bin (Filename.concat shard (fp ^ ".tc")) in
+               let data = really_input_string ic (in_channel_length ic) in
+               close_in ic;
+               data = Bytes.to_string payload)
+             entries
+         in
+         Store.save_manifest t sample_manifest;
+         let report = Store.fsck dir in
+         let ok_fsck =
+           report.Store.fsck_quarantined = []
+           && report.Store.fsck_orphans = 0
+           && report.Store.fsck_entries = List.length entries
+         in
+         rm_rf dir;
+         ok_size && ok_entries && ok_fsck))
+
+let test_concurrent_writers () =
+  (* the acceptance bar for the sharded layout: concurrent writers on
+     one handle, no torn state, fsck clean afterwards *)
+  let dir = fresh_dir "cftcg_shard_concurrent" in
+  let t = Store.open_ dir in
+  let writers = 4 and per_writer = 64 in
+  let domains =
+    List.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_writer - 1 do
+              let fp = Bytecodec.hex_of_int64 (Int64.of_int ((w * 1_000_003) + (i * 97) + 1)) in
+              ignore (Store.add t ~fingerprint:fp ~metric:(i + 1) (Bytes.of_string (Printf.sprintf "w%d-%d" w i)))
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every entry landed" (writers * per_writer) (Store.size t);
+  Store.save_manifest t sample_manifest;
+  check_counts_zero "after concurrent writes" (Store.fsck dir);
+  let reopened = Store.open_ dir in
+  Alcotest.(check int) "reopen sees all" (writers * per_writer) (Store.size reopened);
+  Alcotest.(check (list string)) "reopen is quiet" [] (Store.salvaged reopened);
+  rm_rf dir
+
+let suites =
+  [
+    ( "store.migration",
+      [
+        Alcotest.test_case "flat layout migrates" `Quick test_migrate_flat_layout;
+        Alcotest.test_case "legacy duplicate quarantined" `Quick test_migrate_duplicate_quarantined;
+        Alcotest.test_case "campaign resumes across layouts" `Slow test_campaign_resume_across_layouts;
+        test_migration_qcheck;
+      ] );
+    ( "store.sharded",
+      [ Alcotest.test_case "concurrent writers" `Slow test_concurrent_writers ] );
+  ]

@@ -20,11 +20,17 @@ type config = {
   use_dictionary : bool;
   backend : backend;
   optimize : bool;
+  batch : int;
 }
+
+(* Children are drafted in fixed-size generations regardless of the
+   batch width, so campaigns are byte-identical across batch settings
+   (see the scheduler below); [draft_size] caps the useful batch. *)
+let draft_size = 16
 
 let default_config =
   { seed = 1L; max_tuples = 256; corpus_cap = 256; field_aware = true; iteration_metric = true;
-    ranges = []; seeds = []; use_dictionary = true; backend = Vm; optimize = true }
+    ranges = []; seeds = []; use_dictionary = true; backend = Vm; optimize = true; batch = 8 }
 
 type budget =
   | Time_budget of float
@@ -146,7 +152,11 @@ let run_one_vm ~layout ~vm ~pa ~pb ~g_total ~max_tuples ~use_metric ~fresh_cells
 (* Builds the per-input execution function for the configured
    backend; each returns (metric, fresh, iterations). *)
 let make_executor ?(optimize = true) ~backend ~layout ~(prog : Ir.program) ~g_total ~max_tuples
-    ~use_metric =
+    ~use_metric () =
+  (* the trailing [()] makes the one-time compile happen at this
+     application even when [?optimize] is omitted — otherwise OCaml
+     defers optional-argument discharge (and this whole body) to the
+     first positional application, i.e. to every input *)
   match backend with
   | Vm ->
     let vm = Ir_vm.compile ~optimize prog in
@@ -162,6 +172,153 @@ let make_executor ?(optimize = true) ~backend ~layout ~(prog : Ir.program) ~g_to
     let compiled = Ir_compile.compile ~hooks prog in
     fun ~fresh_cells data ->
       run_one ~layout ~compiled ~curr ~last ~g_total ~max_tuples ~use_metric ~fresh_cells data
+
+(* ------------------------------------------------------------------ *)
+(* Batched execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* State for the K-lane chunk executor. [bx_pa]/[bx_pb] double-buffer
+   consecutive tuples' fired sets per lane, as [run_one_vm] does with
+   the scalar buffers — the iteration-difference metric is their
+   per-lane symmetric difference, which only depends on the lane's own
+   stream and so can be computed during batched execution. [bx_acc]
+   is a detached buffer serving as a per-lane ordered distinct-fire
+   accumulator: fresh coverage depends on the campaign-global
+   [g_total], so it cannot be accounted while K inputs run
+   interleaved; instead the caller replays each lane's accumulator
+   against [g_total] in draft order after the chunk, which reproduces
+   the sequential run's fresh counts, cell discovery order and
+   [g_total] evolution exactly. That replay is what keeps same-seed
+   campaigns byte-identical across batch widths. *)
+type batch_exec = {
+  bx_vm : Ir_vm_batch.t;
+  bx_pa : Ir_vm_batch.probes;
+  bx_pb : Ir_vm_batch.probes;
+  bx_acc : Ir_vm_batch.probes;
+  bx_metric : int array;  (* per lane *)
+  bx_iters : int array;  (* per lane *)
+  bx_lane_of : int array;  (* chunk draft index -> lane *)
+}
+
+let make_batch_exec ~optimize ~k prog =
+  let bvm = Ir_vm_batch.compile ~optimize ~k prog in
+  {
+    bx_vm = bvm;
+    bx_pa = Ir_vm_batch.probes bvm;
+    bx_pb = Ir_vm_batch.fresh_probes bvm;
+    bx_acc = Ir_vm_batch.fresh_probes bvm;
+    bx_metric = Array.make k 0;
+    bx_iters = Array.make k 0;
+    bx_lane_of = Array.make k 0;
+  }
+
+(* Executes [children.(off .. off+m-1)] through the K-lane VM in
+   lockstep. Longer inputs are assigned to lower lanes so the set of
+   still-running lanes is always a prefix and partial tuples can use
+   [step ~lanes]. Fills [bx_metric] / [bx_iters] / [bx_acc] per lane;
+   [bx_lane_of] maps chunk draft order back to lanes for the caller's
+   accounting replay. Leaves all probe buffers except [bx_acc] clean. *)
+let run_chunk bx ~layout ~max_tuples ~use_metric (children : Bytes.t array) ~off m =
+  let bvm = bx.bx_vm in
+  let kk = Ir_vm_batch.k bvm in
+  let n_of =
+    Array.init m (fun d -> min (Layout.n_tuples layout children.(off + d)) max_tuples)
+  in
+  let order = Array.init m (fun d -> d) in
+  Array.sort
+    (fun a b -> if n_of.(a) <> n_of.(b) then compare n_of.(b) n_of.(a) else compare a b)
+    order;
+  for lane = 0 to m - 1 do
+    bx.bx_lane_of.(order.(lane)) <- lane;
+    bx.bx_metric.(lane) <- 0;
+    bx.bx_iters.(lane) <- n_of.(order.(lane))
+  done;
+  Ir_vm_batch.set_probes bvm bx.bx_pa;
+  Ir_vm_batch.reset ~lanes:m bvm;
+  (* init-block probes are warm-up, not coverage (as in run_one_vm) *)
+  Ir_vm_batch.clear_probes bx.bx_pa;
+  let max_n = Array.fold_left max 0 n_of in
+  let curr = ref bx.bx_pa in
+  let last = ref bx.bx_pb in
+  for tuple = 0 to max_n - 1 do
+    let live = ref 0 in
+    while !live < m && n_of.(order.(!live)) > tuple do
+      incr live
+    done;
+    let live = !live in
+    let c = !curr in
+    let l = !last in
+    Ir_vm_batch.set_probes bvm c;
+    for lane = 0 to live - 1 do
+      Layout.load_tuple_bvm layout children.(off + order.(lane)) ~tuple bvm ~lane
+    done;
+    Ir_vm_batch.step ~lanes:live bvm;
+    for lane = 0 to live - 1 do
+      let cd = Array.unsafe_get c.Ir_vm_batch.bp_dirty lane in
+      let cn = Array.unsafe_get c.Ir_vm_batch.bp_n lane in
+      let metric = ref 0 in
+      for j = 0 to cn - 1 do
+        let id = Array.unsafe_get cd j in
+        if use_metric && Bytes.unsafe_get l.Ir_vm_batch.bp_fired ((id * kk) + lane) = '\000'
+        then incr metric;
+        Ir_vm_batch.record bx.bx_acc ~lane id
+      done;
+      if use_metric then begin
+        let ld = Array.unsafe_get l.Ir_vm_batch.bp_dirty lane in
+        for j = 0 to Array.unsafe_get l.Ir_vm_batch.bp_n lane - 1 do
+          if
+            Bytes.unsafe_get c.Ir_vm_batch.bp_fired ((Array.unsafe_get ld j * kk) + lane)
+            = '\000'
+          then incr metric
+        done
+      end;
+      bx.bx_metric.(lane) <- bx.bx_metric.(lane) + !metric;
+      Ir_vm_batch.clear_lane l ~lane
+    done;
+    curr := l;
+    last := c
+  done;
+  (* lanes that ended early still hold their final tuple's fires *)
+  for lane = 0 to m - 1 do
+    Ir_vm_batch.clear_lane bx.bx_pa ~lane;
+    Ir_vm_batch.clear_lane bx.bx_pb ~lane
+  done
+
+(* Batched counterpart of [make_executor], exposed for benchmarks and
+   tooling: executes up to [k] inputs in lockstep per call with the
+   same coverage accounting a campaign performs (iteration metric,
+   fresh-coverage replay against [g_total] in draft order) and
+   returns the summed (metric, fresh, iterations). *)
+let make_batch_executor ?(optimize = true) ~k ~layout ~(prog : Ir.program) ~g_total ~max_tuples
+    ~use_metric () =
+  (* the trailing [()] pins the compile here: without it a partial
+     application that omits [?optimize] would defer the whole body —
+     including [Ir_vm_batch.compile] — to every per-call positional
+     application *)
+  let bx = make_batch_exec ~optimize ~k prog in
+  fun (children : Bytes.t array) ->
+    let n = Array.length children in
+    if n > k then invalid_arg "Fuzzer.make_batch_executor: more inputs than lanes";
+    run_chunk bx ~layout ~max_tuples ~use_metric children ~off:0 n;
+    let metric = ref 0 in
+    let fresh = ref 0 in
+    let iters = ref 0 in
+    let acc = bx.bx_acc in
+    for d = 0 to n - 1 do
+      let lane = bx.bx_lane_of.(d) in
+      let ad = acc.Ir_vm_batch.bp_dirty.(lane) in
+      for j = 0 to acc.Ir_vm_batch.bp_n.(lane) - 1 do
+        let id = Array.unsafe_get ad j in
+        if Bytes.unsafe_get g_total id = '\000' then begin
+          Bytes.unsafe_set g_total id '\001';
+          incr fresh
+        end
+      done;
+      metric := !metric + bx.bx_metric.(lane);
+      iters := !iters + bx.bx_iters.(lane);
+      Ir_vm_batch.clear_lane acc ~lane
+    done;
+    (!metric, !fresh, !iters)
 
 let count_covered g_total =
   let n = ref 0 in
@@ -252,11 +409,36 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
   let rng = Rng.create config.seed in
   let n_probes = max prog.Ir.n_probes 1 in
   let g_total = Bytes.make n_probes '\000' in
-  let run_input =
-    Trace.with_span "fuzzer.compile" @@ fun () ->
-    make_executor ~optimize:config.optimize ~backend:config.backend ~layout ~prog ~g_total
-      ~max_tuples:config.max_tuples ~use_metric:config.iteration_metric
+  (* Effective lane count: the batched lockstep VM serves the Vm
+     backend when [batch > 1]; Closures always runs scalar. Capped at
+     [draft_size] — a generation can never fill more lanes than it
+     drafts. *)
+  let batch_k =
+    match config.backend with
+    | Vm -> max 1 (min config.batch draft_size)
+    | Closures -> 1
   in
+  let make_seq () =
+    `Seq
+      (make_executor ~optimize:config.optimize ~backend:config.backend ~layout ~prog ~g_total
+         ~max_tuples:config.max_tuples ~use_metric:config.iteration_metric ())
+  in
+  (* Lockstep execution only pays off when lanes mostly agree on
+     branches; on branch-heavy models the split handling costs more
+     than the amortized dispatch saves. The executor therefore starts
+     batched and watches the VM's divergence counters — a pure
+     function of the seed, so the decision is deterministic — and
+     drops to the scalar executor for the rest of the campaign once
+     splits exceed one per [batch_k] model steps. Either way the
+     campaign transcript is byte-identical: batching and the fallback
+     only change throughput. *)
+  let executor =
+    ref
+      (Trace.with_span "fuzzer.compile" @@ fun () ->
+       if batch_k > 1 then `Batch (make_batch_exec ~optimize:config.optimize ~k:batch_k prog)
+       else make_seq ())
+  in
+  let divergence_decided = ref (batch_k <= 1) in
   let dict = if config.use_dictionary then Some (Dictionary.of_program prog) else None in
   let start = Unix.gettimeofday () in
   let deadline_execs, deadline_time =
@@ -314,18 +496,14 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
   (* running covered count (= popcount of g_total), maintained for the
      coverage series and gauges without rescanning the byte array *)
   let covered_run = ref 0 in
-  (* out-params of [execute]; refs instead of a returned tuple so the hot
-     loop does not allocate per execution *)
-  let last_fresh = ref 0 in
-  let last_kept = ref false in
-  let execute data =
-    fresh_cells := [];
-    (* sampled timings: every [sample_mask+1]-th execution reads the
-       clock around the backend call and the scoring/admission tail *)
-    let timed = observing && !executions land sample_mask = 0 in
-    let t0 = if timed then Unix.gettimeofday () else 0.0 in
-    let metric, fresh, iters = run_input ~fresh_cells data in
-    let t1 = if timed then Unix.gettimeofday () else 0.0 in
+  (* Accounting for one executed input — everything downstream of the
+     backend call: counters, suite and failure capture, corpus
+     admission, per-strategy attribution. Shared by the scalar path
+     and the batched path's replay so the two produce byte-identical
+     campaigns. [fresh_cells] must hold the input's newly-covered
+     cells, latest first. [strat] is the mutation strategy index, -1
+     for seeds and blind mutation. *)
+  let account data ~metric ~fresh ~iters ~strat =
     incr executions;
     iterations := !iterations + iters;
     covered_run := !covered_run + fresh;
@@ -370,70 +548,156 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
          score > !best / 2))
     in
     if interesting then add_to_corpus { data; score };
-    (match obs with
+    match obs with
+    | Some ob when strat >= 0 ->
+      Metrics.inc ob.ob_picked.(strat);
+      if fresh > 0 then Metrics.inc ob.ob_new_cov.(strat);
+      if interesting then Metrics.inc ob.ob_kept.(strat)
+    | _ -> ()
+  in
+  (* scalar path: one input straight through the sequential executor *)
+  let execute_seq run_input ~strat data =
+    fresh_cells := [];
+    (* sampled timings: every [sample_mask+1]-th execution reads the
+       clock around the backend call and the scoring/admission tail *)
+    let timed = observing && !executions land sample_mask = 0 in
+    let t0 = if timed then Unix.gettimeofday () else 0.0 in
+    let metric, fresh, iters = run_input ~fresh_cells data in
+    let t1 = if timed then Unix.gettimeofday () else 0.0 in
+    account data ~metric ~fresh ~iters ~strat;
+    match obs with
     | Some ob when timed ->
       let t2 = Unix.gettimeofday () in
       Metrics.observe ob.ob_exec_ns ((t1 -. t0) *. 1e9);
       Metrics.observe ob.ob_metric_ns ((t2 -. t1) *. 1e9)
-    | _ -> ());
-    last_fresh := fresh;
-    last_kept := interesting
+    | _ -> ()
   in
-  (* user-provided seed corpus first, then a handful of random short
-     streams *)
-  Trace.with_span "fuzzer.seed_corpus" (fun () ->
-      List.iter execute config.seeds;
-      for _ = 1 to 4 do
-        let tuples = 1 + Rng.int rng 8 in
-        let data =
-          Bytes.concat Bytes.empty
-            (List.init tuples (fun _ -> Layout.random_tuple_bytes layout rng))
-        in
-        execute data
+  (* Runs [children.(0 .. n-1)] (strategy indices alongside in
+     [strats]) through the configured executor. The batched path cuts
+     the draft into K-lane chunks, runs each chunk in lockstep, then
+     replays every lane's accumulated coverage against [g_total] in
+     draft order — see [run_chunk] for why that replay makes the
+     campaign transcript independent of the batch width. Sampled exec
+     timings divide the chunk's wall time by its width so the
+     histogram stays per-input comparable across batch settings —
+     amortized dispatch shows up as a lower per-input cost, which is
+     the quantity of interest. *)
+  let process children strats n =
+    (match !executor with
+    | `Seq run_input ->
+      for d = 0 to n - 1 do
+        execute_seq run_input ~strat:strats.(d) children.(d)
+      done
+    | `Batch bx ->
+      let pos = ref 0 in
+      while !pos < n do
+        let m = min batch_k (n - !pos) in
+        (* timed iff one of the chunk's execution indices lands on the
+           sample grid, matching the scalar path's sampling density *)
+        let r = !executions land sample_mask in
+        let timed = observing && (sample_mask + 1 - r) land sample_mask < m in
+        let t0 = if timed then Unix.gettimeofday () else 0.0 in
+        run_chunk bx ~layout ~max_tuples:config.max_tuples ~use_metric:config.iteration_metric
+          children ~off:!pos m;
+        let t1 = if timed then Unix.gettimeofday () else 0.0 in
+        let acc = bx.bx_acc in
+        for d = 0 to m - 1 do
+          let lane = bx.bx_lane_of.(d) in
+          fresh_cells := [];
+          let fresh = ref 0 in
+          let ad = acc.Ir_vm_batch.bp_dirty.(lane) in
+          for j = 0 to acc.Ir_vm_batch.bp_n.(lane) - 1 do
+            let id = Array.unsafe_get ad j in
+            if Bytes.unsafe_get g_total id = '\000' then begin
+              Bytes.unsafe_set g_total id '\001';
+              incr fresh;
+              fresh_cells := id :: !fresh_cells
+            end
+          done;
+          account
+            children.(!pos + d)
+            ~metric:bx.bx_metric.(lane) ~fresh:!fresh ~iters:bx.bx_iters.(lane)
+            ~strat:strats.(!pos + d)
+        done;
+        for lane = 0 to m - 1 do
+          Ir_vm_batch.clear_lane acc ~lane
+        done;
+        (match obs with
+        | Some ob when timed ->
+          let t2 = Unix.gettimeofday () in
+          let fm = float_of_int m in
+          Metrics.observe ob.ob_exec_ns ((t1 -. t0) *. 1e9 /. fm);
+          Metrics.observe ob.ob_metric_ns ((t2 -. t1) *. 1e9 /. fm)
+        | _ -> ());
+        pos := !pos + m
       done);
+    match !executor with
+    | `Batch bx when (not !divergence_decided) && !iterations >= 256 ->
+      divergence_decided := true;
+      if Ir_vm_batch.total_divergence bx.bx_vm * batch_k > !iterations then
+        executor := make_seq ()
+    | _ -> ()
+  in
+  (* User-provided seed corpus first, then a handful of random short
+     streams, processed as one draft. Execution consumes no
+     randomness, so drawing the random streams upfront leaves the RNG
+     stream identical to drawing each just before its run. *)
+  Trace.with_span "fuzzer.seed_corpus" (fun () ->
+      let seeds = Array.of_list config.seeds in
+      let randoms =
+        Array.init 4 (fun _ ->
+            let tuples = 1 + Rng.int rng 8 in
+            Bytes.concat Bytes.empty
+              (List.init tuples (fun _ -> Layout.random_tuple_bytes layout rng)))
+      in
+      let all = Array.append seeds randoms in
+      process all (Array.make (Array.length all) (-1)) (Array.length all));
   let max_len = config.max_tuples * layout.Layout.tuple_len in
-  (* strategy chosen for the current iteration, -1 when mutating blind;
-     an int ref avoids a per-iteration [Some strategy] allocation *)
-  let strat_ix = ref (-1) in
   let should_continue () =
     !executions < deadline_execs
     && ((not (Float.is_finite deadline_time)) || Unix.gettimeofday () < deadline_time)
     && not (should_stop ())
   in
+  (* Main loop: children are drafted in generations of [draft_size]
+     against a corpus frozen for the generation, then executed and
+     accounted in draft order. Drafting consumes the RNG identically
+     whatever the batch width and execution consumes none, so the
+     campaign transcript is a function of the seed alone — batch=1
+     and batch=K runs are byte-identical. The generation is clipped
+     to the remaining exec budget so Exec_budget runs stop on exactly
+     the same input as before. *)
+  let draft = Array.make draft_size Bytes.empty in
+  let draft_strat = Array.make draft_size (-1) in
   while should_continue () do
-    (* fault injection: a stalled target is simulated by sleeping, so
-       wall-deadline shutdown is testable; one atomic load when off *)
-    if Fault.fire Fault.Exec_stall then Unix.sleepf exec_stall_seconds;
-    let timed = observing && !executions land sample_mask = 0 in
-    let t0 = if timed then Unix.gettimeofday () else 0.0 in
-    let parent =
-      if !corpus_n = 0 then { data = Layout.random_tuple_bytes layout rng; score = 0 }
-      else select_entry rng corpus !corpus_n
-    in
-    let other = if !corpus_n = 0 then parent.data else (select_entry rng corpus !corpus_n).data in
-    let child =
-      if config.field_aware then begin
-        let s, c = Mutate.mutate ?dict layout rng parent.data ~other ~max_tuples:config.max_tuples in
-        strat_ix := Mutate.strategy_index s;
-        c
-      end
-      else begin
-        strat_ix := -1;
-        Mutate.mutate_blind rng parent.data ~other ~max_len
-      end
-    in
-    (match obs with
-    | Some ob when timed ->
-      Metrics.observe ob.ob_schedule_ns ((Unix.gettimeofday () -. t0) *. 1e9)
-    | _ -> ());
-    execute child;
-    match obs with
-    | Some ob when !strat_ix >= 0 ->
-      let ix = !strat_ix in
-      Metrics.inc ob.ob_picked.(ix);
-      if !last_fresh > 0 then Metrics.inc ob.ob_new_cov.(ix);
-      if !last_kept then Metrics.inc ob.ob_kept.(ix)
-    | _ -> ()
+    let gen = min draft_size (deadline_execs - !executions) in
+    for d = 0 to gen - 1 do
+      (* fault injection: a stalled target is simulated by sleeping, so
+         wall-deadline shutdown is testable; one atomic load when off *)
+      if Fault.fire Fault.Exec_stall then Unix.sleepf exec_stall_seconds;
+      let timed = observing && (!executions + d) land sample_mask = 0 in
+      let t0 = if timed then Unix.gettimeofday () else 0.0 in
+      let parent =
+        if !corpus_n = 0 then { data = Layout.random_tuple_bytes layout rng; score = 0 }
+        else select_entry rng corpus !corpus_n
+      in
+      let other = if !corpus_n = 0 then parent.data else (select_entry rng corpus !corpus_n).data in
+      (if config.field_aware then begin
+         let s, c =
+           Mutate.mutate ?dict layout rng parent.data ~other ~max_tuples:config.max_tuples
+         in
+         draft_strat.(d) <- Mutate.strategy_index s;
+         draft.(d) <- c
+       end
+       else begin
+         draft_strat.(d) <- -1;
+         draft.(d) <- Mutate.mutate_blind rng parent.data ~other ~max_len
+       end);
+      match obs with
+      | Some ob when timed ->
+        Metrics.observe ob.ob_schedule_ns ((Unix.gettimeofday () -. t0) *. 1e9)
+      | _ -> ()
+    done;
+    process draft draft_strat gen
   done;
   (match obs with
   | Some ob ->
@@ -454,7 +718,7 @@ let replay_metric ?(config = default_config) (prog : Ir.program) data =
   let g_total = Bytes.make (max prog.Ir.n_probes 1) '\000' in
   let run_input =
     make_executor ~optimize:config.optimize ~backend:config.backend ~layout ~prog ~g_total
-      ~max_tuples:config.max_tuples ~use_metric:true
+      ~max_tuples:config.max_tuples ~use_metric:true ()
   in
   let metric, _, _ = run_input ~fresh_cells:(ref []) data in
   metric

@@ -52,9 +52,30 @@ type config = {
       (** run {!Ir_opt.optimize_bytecode} on the {!Vm} backend's
           bytecode (default true; no effect on {!Closures}). Same
           campaigns either way — CLI [--no-opt] is the escape hatch *)
+  batch : int;
+      (** lanes of the batched lockstep VM ({!Ir_vm_batch}) the {!Vm}
+          backend executes per dispatch (default 8; clamped to
+          [1 .. draft_size]; [1] and {!Closures} run scalar). The
+          scheduler drafts children in fixed-size generations and
+          replays coverage in draft order, so same-seed campaigns are
+          byte-identical across batch settings — batching only buys
+          throughput. Lockstep only pays off when lanes mostly agree
+          at branches, so after a fixed warm-up the run inspects the
+          batched VM's divergence counters and permanently falls back
+          to scalar execution if the model splits lanes more than
+          once per batched step on average. The decision is a pure
+          function of seed and bytecode — still deterministic, still
+          byte-identical *)
 }
 
 val default_config : config
+
+val draft_size : int
+(** Children drafted per scheduler generation (16). Constant across
+    batch settings — the batch width only controls how many lanes
+    execute a generation together — which is what pins the RNG stream
+    and corpus admission order, keeping campaigns byte-identical from
+    [batch = 1] to [batch = draft_size]. *)
 
 type budget =
   | Time_budget of float  (** seconds of wall clock *)
@@ -145,13 +166,35 @@ val make_executor :
   g_total:Bytes.t ->
   max_tuples:int ->
   use_metric:bool ->
+  unit ->
   fresh_cells:int list ref ->
   Bytes.t ->
   int * int * int
 (** The fuzzer's inner loop for one backend, as used by {!run}:
     executes one input against the campaign-global coverage bytes
     [g_total] and returns (iteration-difference metric, newly covered
-    probes, model iterations). Compiles the program once at partial
-    application — apply to [~backend .. ~use_metric] once and reuse
-    the result per input. Exposed for benchmarks and tooling that
+    probes, model iterations). Compiles the program once at the [()]
+    application — apply through [()] once and reuse the result per
+    input; the explicit [unit] stops an omitted [?optimize] from
+    silently deferring the compile to every input. Exposed for benchmarks and tooling that
     need per-execution costs without a whole campaign. *)
+
+val make_batch_executor :
+  ?optimize:bool ->
+  k:int ->
+  layout:Layout.t ->
+  prog:Ir.program ->
+  g_total:Bytes.t ->
+  max_tuples:int ->
+  use_metric:bool ->
+  unit ->
+  Bytes.t array ->
+  int * int * int
+(** Batched counterpart of {!make_executor}: each call executes up to
+    [k] inputs in lockstep through {!Ir_vm_batch} with the campaign's
+    full coverage accounting (iteration metric, fresh replay against
+    [g_total] in input order) and returns the summed
+    (metric, fresh, iterations). The trailing [unit] closes the
+    compile-time partial application — apply through [()] once and
+    reuse the returned function per chunk. The number the batch
+    scheduler's throughput gate measures. *)

@@ -56,6 +56,9 @@ val load_tuple : t -> Bytes.t -> tuple:int -> Ir_compile.t -> unit
 val load_tuple_vm : t -> Bytes.t -> tuple:int -> Ir_vm.t -> unit
 (** Same fast path for the bytecode VM backend. *)
 
+val load_tuple_bvm : t -> Bytes.t -> tuple:int -> Ir_vm_batch.t -> lane:int -> unit
+(** Same fast path into one lane of the batched lockstep VM. *)
+
 val load_tuple_values : t -> Bytes.t -> tuple:int -> Value.t array
 (** Boxed decode, for the reference evaluator and CSV output. *)
 

@@ -94,7 +94,24 @@ let op_div_f32 = 57
 let op_probe_jmp = 58
 let op_mov_jmp = 59
 
-let n_opcodes = 60
+(* probe-carrying conditional branches: a fused compare-and-jump (or
+   jz/jnz) immediately followed by a coverage [probe] collapses into
+   one dispatch. The branch-arm probe is the single most common
+   instrumented shape (every then-arm opens with one), so on the
+   instrumented hot path these save a dispatch per taken branch.
+   Semantics are exactly the pair's: when the branch falls through the
+   probe fires, when it jumps the probe is skipped.
+   Layout: [jlt.p a, b, id, L] / [jz.p r, id, L]. *)
+let op_jlt_p = 60
+let op_jle_p = 61
+let op_jeq_p = 62
+let op_jne_p = 63
+let op_jgt_p = 64
+let op_jge_p = 65
+let op_jz_p = 66
+let op_jnz_p = 67
+
+let n_opcodes = 68
 
 type instrumentation = {
   probe_hook : bool;  (** emit [op_probe_h] (buffer write + hook call) per probe *)

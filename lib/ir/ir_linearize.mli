@@ -116,5 +116,20 @@ val op_div_f32 : int
 val op_probe_jmp : int
 val op_mov_jmp : int
 
+(** Probe-carrying conditional branches: a fused compare-and-jump (or
+    [jz]/[jnz]) whose fall-through successor is an [op_probe] — the
+    probe fires only when the branch falls through, exactly as the
+    unfused pair behaved. Layout [op, a, b, id, target] for the
+    compare forms, [op, r, id, target] for [op_jz_p]/[op_jnz_p]. *)
+
+val op_jlt_p : int
+val op_jle_p : int
+val op_jeq_p : int
+val op_jne_p : int
+val op_jgt_p : int
+val op_jge_p : int
+val op_jz_p : int
+val op_jnz_p : int
+
 val n_opcodes : int
 (** One past the highest opcode number. *)

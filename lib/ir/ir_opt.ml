@@ -347,6 +347,14 @@ let shapes : shape array =
   def L.op_div_f32 "div.f32" 4 true [ 2; 3 ] (-1);
   def L.op_probe_jmp "probe.jmp" 3 false [] 2;
   def L.op_mov_jmp "mov.jmp" 4 true [ 2 ] 3;
+  def L.op_jlt_p "jlt.p" 5 false [ 1; 2 ] 4;
+  def L.op_jle_p "jle.p" 5 false [ 1; 2 ] 4;
+  def L.op_jeq_p "jeq.p" 5 false [ 1; 2 ] 4;
+  def L.op_jne_p "jne.p" 5 false [ 1; 2 ] 4;
+  def L.op_jgt_p "jgt.p" 5 false [ 1; 2 ] 4;
+  def L.op_jge_p "jge.p" 5 false [ 1; 2 ] 4;
+  def L.op_jz_p "jz.p" 4 false [ 1 ] 3;
+  def L.op_jnz_p "jnz.p" 4 false [ 1 ] 3;
   t
 
 (* --- decoded form ------------------------------------------------- *)
@@ -391,7 +399,14 @@ let first_live insts t =
 let next_live insts i = first_live insts (i + 1)
 
 let is_cond_jump op =
-  op = L.op_jz || op = L.op_jnz || (op >= L.op_jlt && op <= L.op_jge)
+  op = L.op_jz || op = L.op_jnz
+  || (op >= L.op_jlt && op <= L.op_jge)
+  || (op >= L.op_jlt_p && op <= L.op_jnz_p)
+
+(* conditional jumps that fire a probe on fall-through — they carry a
+   side effect, so they can never be deleted even when the branch
+   itself becomes redundant *)
+let is_probe_jump op = op >= L.op_jlt_p && op <= L.op_jnz_p
 
 (* jumps that never fall through *)
 let is_uncond_jump op = op = L.op_jmp || op = L.op_probe_jmp || op = L.op_mov_jmp
@@ -809,19 +824,25 @@ let thread_pass insts =
       if t' = fallthrough then begin
         (* a branch to the fall-through is a no-op — but the fused
            forms carry a side effect that must survive as the unfused
-           instruction *)
+           instruction. Probe-carrying branches stay as they are: both
+           paths continue at the same pc, yet whether the probe fires
+           still depends on the condition. *)
         if b.b_op = L.op_probe_jmp then begin
           b.b_op <- L.op_probe;
           b.b_args <- [| b.b_args.(0) |];
-          b.b_target <- -1
+          b.b_target <- -1;
+          changed := true
         end
         else if b.b_op = L.op_mov_jmp then begin
           b.b_op <- L.op_mov;
           b.b_args <- [| b.b_args.(0); b.b_args.(1) |];
-          b.b_target <- -1
+          b.b_target <- -1;
+          changed := true
         end
-        else b.b_dead <- true;
-        changed := true
+        else if not (is_probe_jump b.b_op) then begin
+          b.b_dead <- true;
+          changed := true
+        end
       end
       else if b.b_op = L.op_jmp && insts.(t').b_op = L.op_halt then begin
         b.b_op <- L.op_halt;
@@ -901,6 +922,26 @@ let fuse_pass insts ~nbytes ~roots ~reads_of =
         f.b_dead <- true;
         changed := true
       end
+      else if
+        adjacent && b.b_op >= L.op_jlt && b.b_op <= L.op_jge && f.b_op = L.op_probe
+      then begin
+        (* branch + then-arm probe: the probe fires exactly when the
+           branch falls through, so it rides along in the branch's own
+           dispatch (leaders guard against jumps into the pair, so the
+           jump path never reached the probe either) *)
+        b.b_op <- b.b_op - L.op_jlt + L.op_jlt_p;
+        b.b_args <- [| b.b_args.(0); b.b_args.(1); f.b_args.(0); 0 |];
+        f.b_dead <- true;
+        changed := true
+      end
+      else if
+        adjacent && (b.b_op = L.op_jz || b.b_op = L.op_jnz) && f.b_op = L.op_probe
+      then begin
+        b.b_op <- (if b.b_op = L.op_jz then L.op_jz_p else L.op_jnz_p);
+        b.b_args <- [| b.b_args.(0); f.b_args.(0); 0 |];
+        f.b_dead <- true;
+        changed := true
+      end
       else if adjacent && b.b_op = L.op_mov && f.b_op = L.op_jmp then begin
         b.b_op <- L.op_mov_jmp;
         b.b_args <- [| b.b_args.(0); b.b_args.(1); 0 |];
@@ -910,6 +951,41 @@ let fuse_pass insts ~nbytes ~roots ~reads_of =
       end
     end
   done;
+  !changed
+
+(* --- pass: block-local probe dedup -------------------------------- *)
+
+(* Within a straight-line region, a [probe id] whose cell is already
+   known to have fired on the path reaching it is a no-op: the buffer
+   write is idempotent and the dirty-list append is guarded by the
+   fired byte, so dropping it is observationally invisible. Knowledge
+   comes from an earlier [probe id] in the region and from the
+   fall-through of a probe-carrying branch (reaching the next
+   instruction in line implies the branch fell through, hence fired).
+   [probe_h] is never removed (its hook must fire every time) and
+   contributes no knowledge, since hook-instrumented code must keep
+   calling the hook even when the buffer byte is already set. *)
+let probe_dedup_pass insts =
+  let changed = ref false in
+  let leaders = compute_leaders insts in
+  let fired : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i b ->
+      if leaders.(i) then Hashtbl.reset fired;
+      if not b.b_dead then begin
+        let op = b.b_op in
+        if op = L.op_probe then begin
+          let id = b.b_args.(0) in
+          if Hashtbl.mem fired id then begin
+            b.b_dead <- true;
+            changed := true
+          end
+          else Hashtbl.replace fired id ()
+        end
+        else if op >= L.op_jlt_p && op <= L.op_jge_p then Hashtbl.replace fired b.b_args.(2) ()
+        else if op = L.op_jz_p || op = L.op_jnz_p then Hashtbl.replace fired b.b_args.(1) ()
+      end)
+    insts;
   !changed
 
 (* --- encode ------------------------------------------------------- *)
@@ -993,7 +1069,8 @@ let optimize_bytecode (lin : L.t) : L.t =
     let c3 = span "ir_opt.bc.unreachable" (fun () -> unreachable_pass insts) in
     let c4 = span "ir_opt.bc.dce" (fun () -> dce_pass insts ~nbytes ~roots ~reads_of) in
     let c5 = span "ir_opt.bc.thread" (fun () -> thread_pass insts) in
-    c1 || c2 || c3 || c4 || c5
+    let c6 = span "ir_opt.bc.probe_dedup" (fun () -> probe_dedup_pass insts) in
+    c1 || c2 || c3 || c4 || c5 || c6
   in
   (* run to a fixpoint: simplify, fuse, then — because fusion and
      shrinking code can both expose more work (and shrink the root
@@ -1110,6 +1187,22 @@ let dynamic_count (lin : L.t) (rows : float array array) : int =
         in
         if holds then go (i + 1) else go b.b_target
       end
+      else if op >= L.op_jlt_p && op <= L.op_jge_p then begin
+        let x = regs.(b.b_args.(0)) and y = regs.(b.b_args.(1)) in
+        let holds =
+          if op = L.op_jlt_p then x < y
+          else if op = L.op_jle_p then x <= y
+          else if op = L.op_jeq_p then x = y
+          else if op = L.op_jne_p then x <> y
+          else if op = L.op_jgt_p then x > y
+          else x >= y
+        in
+        if holds then go (i + 1) else go b.b_target
+      end
+      else if op = L.op_jz_p then
+        if regs.(b.b_args.(0)) = 0.0 then go b.b_target else go (i + 1)
+      else if op = L.op_jnz_p then
+        if regs.(b.b_args.(0)) <> 0.0 then go b.b_target else go (i + 1)
       else if shapes.(op).s_dst then begin
         regs.(b.b_args.(0)) <- eval_pure op b.b_args (fun r -> regs.(r));
         go (i + 1)
@@ -1182,6 +1275,22 @@ let profile_bytecode (lin : L.t) (rows : float array array) : bytecode_profile =
         in
         if holds then go (i + 1) else go b.b_target
       end
+      else if op >= L.op_jlt_p && op <= L.op_jge_p then begin
+        let x = regs.(b.b_args.(0)) and y = regs.(b.b_args.(1)) in
+        let holds =
+          if op = L.op_jlt_p then x < y
+          else if op = L.op_jle_p then x <= y
+          else if op = L.op_jeq_p then x = y
+          else if op = L.op_jne_p then x <> y
+          else if op = L.op_jgt_p then x > y
+          else x >= y
+        in
+        if holds then go (i + 1) else go b.b_target
+      end
+      else if op = L.op_jz_p then
+        if regs.(b.b_args.(0)) = 0.0 then go b.b_target else go (i + 1)
+      else if op = L.op_jnz_p then
+        if regs.(b.b_args.(0)) <> 0.0 then go b.b_target else go (i + 1)
       else if shapes.(op).s_dst then begin
         regs.(b.b_args.(0)) <- eval_pure op b.b_args (fun r -> regs.(r));
         go (i + 1)

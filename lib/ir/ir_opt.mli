@@ -63,7 +63,18 @@ val stats : Ir.program -> Ir.program -> string
       ([op_jlt]..[op_jge]), [not; jz] becomes [op_jnz], float32
       [arith; round_f32] pairs become [op_*_f32], and branch-arm
       tails [probe; jmp] / [mov; jmp] become [op_probe_jmp] /
-      [op_mov_jmp].
+      [op_mov_jmp]. Probe-aware fusion then folds a branch's
+      then-arm [probe] into the branch itself
+      ([op_jlt_p]..[op_jge_p], [op_jz_p], [op_jnz_p]) — the probe
+      fires exactly when the branch falls through, so the
+      instrumented hot path pays no extra dispatch for coverage on
+      taken branch arms;
+    + {b probe dedup} — within straight-line regions, [probe]
+      instructions whose cell is already known fired (an earlier
+      probe, or the fall-through of a probe-carrying branch) are
+      dropped: the coverage-buffer write is idempotent, so this is
+      observationally invisible. Hook-carrying [probe_h] is never
+      touched.
 
     The pipeline iterates simplify-then-fuse cycles until a whole
     cycle changes nothing, so [optimize_bytecode] is idempotent.

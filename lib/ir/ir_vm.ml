@@ -80,7 +80,7 @@ let[@inline] wrap n mask half =
   let m = n land mask in
   if m >= half then m - (mask + 1) else m
 
-(* Opcode numbers match Ir_linearize.op_* (dense 0..59, so the match
+(* Opcode numbers match Ir_linearize.op_* (dense 0..67, so the match
    compiles to a jump table). All register and code accesses are
    unsafe: the linearizer only ever emits in-range indices, and every
    block ends in HALT so dispatch needs no bounds check — each arm
@@ -489,6 +489,118 @@ let exec vm code =
         (Array.unsafe_get code (i + 1))
         (Array.unsafe_get regs (Array.unsafe_get code (i + 2)));
       go (Array.unsafe_get code (i + 3))
+    (* probe-carrying conditional branches 60..67: the branch-arm
+       probe fused into the branch itself. Fall through => the probe
+       fires; jump => it is skipped — bit-identical to the unfused
+       [j..; probe] pair, NaN behaviour included. *)
+    | 60 (* jlt.p *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        < Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then begin
+        let id = Array.unsafe_get code (i + 3) in
+        if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+          Bytes.unsafe_set pb.p_fired id '\001';
+          Array.unsafe_set pb.p_dirty pb.p_n id;
+          pb.p_n <- pb.p_n + 1
+        end;
+        go (i + 5)
+      end
+      else go (Array.unsafe_get code (i + 4))
+    | 61 (* jle.p *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        <= Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then begin
+        let id = Array.unsafe_get code (i + 3) in
+        if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+          Bytes.unsafe_set pb.p_fired id '\001';
+          Array.unsafe_set pb.p_dirty pb.p_n id;
+          pb.p_n <- pb.p_n + 1
+        end;
+        go (i + 5)
+      end
+      else go (Array.unsafe_get code (i + 4))
+    | 62 (* jeq.p *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        = Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then begin
+        let id = Array.unsafe_get code (i + 3) in
+        if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+          Bytes.unsafe_set pb.p_fired id '\001';
+          Array.unsafe_set pb.p_dirty pb.p_n id;
+          pb.p_n <- pb.p_n + 1
+        end;
+        go (i + 5)
+      end
+      else go (Array.unsafe_get code (i + 4))
+    | 63 (* jne.p *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        <> Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then begin
+        let id = Array.unsafe_get code (i + 3) in
+        if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+          Bytes.unsafe_set pb.p_fired id '\001';
+          Array.unsafe_set pb.p_dirty pb.p_n id;
+          pb.p_n <- pb.p_n + 1
+        end;
+        go (i + 5)
+      end
+      else go (Array.unsafe_get code (i + 4))
+    | 64 (* jgt.p *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        > Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then begin
+        let id = Array.unsafe_get code (i + 3) in
+        if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+          Bytes.unsafe_set pb.p_fired id '\001';
+          Array.unsafe_set pb.p_dirty pb.p_n id;
+          pb.p_n <- pb.p_n + 1
+        end;
+        go (i + 5)
+      end
+      else go (Array.unsafe_get code (i + 4))
+    | 65 (* jge.p *) ->
+      if
+        Array.unsafe_get regs (Array.unsafe_get code (i + 1))
+        >= Array.unsafe_get regs (Array.unsafe_get code (i + 2))
+      then begin
+        let id = Array.unsafe_get code (i + 3) in
+        if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+          Bytes.unsafe_set pb.p_fired id '\001';
+          Array.unsafe_set pb.p_dirty pb.p_n id;
+          pb.p_n <- pb.p_n + 1
+        end;
+        go (i + 5)
+      end
+      else go (Array.unsafe_get code (i + 4))
+    | 66 (* jz.p *) ->
+      if Array.unsafe_get regs (Array.unsafe_get code (i + 1)) = 0.0 then
+        go (Array.unsafe_get code (i + 3))
+      else begin
+        let id = Array.unsafe_get code (i + 2) in
+        if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+          Bytes.unsafe_set pb.p_fired id '\001';
+          Array.unsafe_set pb.p_dirty pb.p_n id;
+          pb.p_n <- pb.p_n + 1
+        end;
+        go (i + 4)
+      end
+    | 67 (* jnz.p *) ->
+      if Array.unsafe_get regs (Array.unsafe_get code (i + 1)) <> 0.0 then
+        go (Array.unsafe_get code (i + 3))
+      else begin
+        let id = Array.unsafe_get code (i + 2) in
+        if Bytes.unsafe_get pb.p_fired id = '\000' then begin
+          Bytes.unsafe_set pb.p_fired id '\001';
+          Array.unsafe_set pb.p_dirty pb.p_n id;
+          pb.p_n <- pb.p_n + 1
+        end;
+        go (i + 4)
+      end
     | _ -> assert false
   in
   go 0

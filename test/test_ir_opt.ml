@@ -329,7 +329,9 @@ let test_bc_fused_jnz () =
   let prog = Codegen.lower ~mode:Codegen.Full (Build.finish b) in
   let opt = Ir_opt.optimize_bytecode (L.linearize prog) in
   let h = Ir_opt.opcode_histogram opt in
-  Alcotest.(check bool) "jnz emitted" true (h.(L.op_jnz) > 0);
+  (* with probes instrumented the jnz may fuse one step further into
+     the probe-carrying jnz.p — either way the [not; jz] pair is gone *)
+  Alcotest.(check bool) "jnz emitted" true (h.(L.op_jnz) > 0 || h.(L.op_jnz_p) > 0);
   same_outputs "fused jnz" prog ~steps:60
 
 let test_bc_fused_f32_arith () =
@@ -361,6 +363,118 @@ let test_bc_fused_arm_tails () =
   Alcotest.(check bool) "probe.jmp or mov.jmp emitted" true
     (h.(L.op_probe_jmp) > 0 || h.(L.op_mov_jmp) > 0);
   same_outputs "fused arm tails" prog ~steps:60
+
+(* probe parity for the probe-aware rules: the optimized bytecode must
+   fire exactly the same probe set per step as the unoptimized *)
+let same_probes name prog ~steps =
+  let vm_opt = Ir_vm.compile prog in
+  let vm_raw = Ir_vm.compile ~optimize:false prog in
+  Ir_vm.reset vm_opt;
+  Ir_vm.reset vm_raw;
+  let po = Ir_vm.probes vm_opt and pr = Ir_vm.probes vm_raw in
+  Ir_vm.clear_probes po;
+  Ir_vm.clear_probes pr;
+  let fired (p : Ir_vm.probes) =
+    List.sort compare (Array.to_list (Array.sub p.Ir_vm.p_dirty 0 p.Ir_vm.p_n))
+  in
+  let rng = Cftcg_util.Rng.create 99L in
+  for step = 1 to steps do
+    Array.iteri
+      (fun i var ->
+        let v = rng_input rng var in
+        Ir_vm.set_input vm_opt i v;
+        Ir_vm.set_input vm_raw i v)
+      prog.Ir.inputs;
+    Ir_vm.step vm_opt;
+    Ir_vm.step vm_raw;
+    if fired po <> fired pr then Alcotest.failf "%s: probe sets diverge at step %d" name step;
+    Ir_vm.clear_probes po;
+    Ir_vm.clear_probes pr
+  done
+
+let test_bc_probe_compare_jumps () =
+  (* instrumented switch: the decision probe on the fall-through arm
+     rides along in the compare-jump's own dispatch (jlt.p .. jge.p) *)
+  List.iter
+    (fun (rel, fused_p, label) ->
+      let b = Build.create ("BPC" ^ label) in
+      let u = Build.inport b "u" Dtype.Float64 in
+      let v = Build.inport b "v" Dtype.Float64 in
+      let c = Build.relational b rel u v in
+      Build.outport b "y" (Build.switch b c (Build.sum b [ u; v ]) (Build.neg b u));
+      let prog = Codegen.lower ~mode:Codegen.Full (Build.finish b) in
+      let opt = Ir_opt.optimize_bytecode (L.linearize prog) in
+      let h = Ir_opt.opcode_histogram opt in
+      Alcotest.(check bool) (label ^ " probe-carrying compare emitted") true (h.(fused_p) > 0);
+      same_outputs ("probe fused " ^ label) prog ~steps:60;
+      same_probes ("probe fused " ^ label) prog ~steps:60)
+    [ (Graph.R_lt, L.op_jlt_p, "jlt.p"); (Graph.R_le, L.op_jle_p, "jle.p");
+      (Graph.R_eq, L.op_jeq_p, "jeq.p"); (Graph.R_ne, L.op_jne_p, "jne.p");
+      (Graph.R_gt, L.op_jgt_p, "jgt.p"); (Graph.R_ge, L.op_jge_p, "jge.p") ]
+
+let test_bc_probe_logic_jumps () =
+  (* a logic-op condition keeps its jz (no compare to fuse with), so
+     the arm probe lands in jz.p / jnz.p *)
+  let b = Build.create "BPL" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  let v = Build.inport b "v" Dtype.Float64 in
+  let c = Build.and_ b (Build.compare_const b Graph.R_gt 0.0 u) (Build.compare_const b Graph.R_lt 1.0 v) in
+  Build.outport b "y" (Build.switch b c (Build.sum b [ u; v ]) (Build.neg b u));
+  let prog = Codegen.lower ~mode:Codegen.Full (Build.finish b) in
+  let opt = Ir_opt.optimize_bytecode (L.linearize prog) in
+  let h = Ir_opt.opcode_histogram opt in
+  Alcotest.(check bool) "jz.p or jnz.p emitted" true (h.(L.op_jz_p) > 0 || h.(L.op_jnz_p) > 0);
+  same_outputs "probe fused jz" prog ~steps:60;
+  same_probes "probe fused jz" prog ~steps:60
+
+(* base linearization for the hand-written bytecode below: a real
+   instrumented model supplies valid n_probes / register counts, its
+   step stream is replaced per test *)
+let dedup_base () =
+  let b = Build.create "BDEDUP" in
+  let u = Build.inport b "u" Dtype.Float64 in
+  Build.outport b "y"
+    (Build.switch b (Build.compare_const b Graph.R_gt 0.0 u) u (Build.neg b u));
+  L.linearize (Codegen.lower ~mode:Codegen.Full (Build.finish b))
+
+let test_bc_probe_dedup_straight_line () =
+  (* three fires of the same cell in a straight line: the buffer write
+     is idempotent, so only the first survives *)
+  let lin = dedup_base () in
+  let dup =
+    { lin with L.l_init = [| L.op_halt |];
+               l_step = [| L.op_probe; 0; L.op_probe; 0; L.op_probe; 0; L.op_halt |] }
+  in
+  let opt = Ir_opt.optimize_bytecode dup in
+  Alcotest.(check int) "duplicates dropped" 1 (Ir_opt.opcode_histogram opt).(L.op_probe)
+
+let test_bc_probe_dedup_stops_at_join () =
+  (* pc0: probe 0;  pc2: jz r0 -> 9;  pc5: probe 0 (dominated, drops);
+     pc7: halt;  pc8: probe 0 (jump target: new region, survives) *)
+  let lin = dedup_base () in
+  let joined =
+    { lin with L.l_init = [| L.op_halt |];
+               l_step = [| L.op_probe; 0; L.op_jz; 0; 8; L.op_probe; 0; L.op_halt;
+                           L.op_probe; 0; L.op_halt |] }
+  in
+  let opt = Ir_opt.optimize_bytecode joined in
+  Alcotest.(check int) "dominated copy dropped, join copy kept" 2
+    (Ir_opt.opcode_histogram opt).(L.op_probe)
+
+let test_bc_probe_dedup_uses_branch_knowledge () =
+  (* reaching the instruction after a probe-carrying branch means the
+     branch fell through and its probe fired — a plain re-fire of the
+     same cell on that path is dead *)
+  let lin = dedup_base () in
+  let carried =
+    { lin with L.l_init = [| L.op_halt |];
+               l_step = [| L.op_jgt_p; 0; 0; 0; 8; L.op_probe; 0; L.op_halt;
+                           L.op_probe; 0; L.op_halt |] }
+  in
+  let opt = Ir_opt.optimize_bytecode carried in
+  let h = Ir_opt.opcode_histogram opt in
+  Alcotest.(check int) "fall-through re-fire dropped" 1 h.(L.op_probe);
+  Alcotest.(check int) "branch keeps its probe" 1 h.(L.op_jgt_p)
 
 let test_bc_shrinks_bench_models () =
   List.iter
@@ -402,5 +516,11 @@ let suites =
         Alcotest.test_case "fused jnz" `Quick test_bc_fused_jnz;
         Alcotest.test_case "fused f32 arithmetic" `Quick test_bc_fused_f32_arith;
         Alcotest.test_case "fused arm tails" `Quick test_bc_fused_arm_tails;
+        Alcotest.test_case "probe-carrying compare jumps" `Quick test_bc_probe_compare_jumps;
+        Alcotest.test_case "probe-carrying logic jumps" `Quick test_bc_probe_logic_jumps;
+        Alcotest.test_case "probe dedup straight line" `Quick test_bc_probe_dedup_straight_line;
+        Alcotest.test_case "probe dedup stops at join" `Quick test_bc_probe_dedup_stops_at_join;
+        Alcotest.test_case "probe dedup uses branch knowledge" `Quick
+          test_bc_probe_dedup_uses_branch_knowledge;
         Alcotest.test_case "shrinks bench bytecode" `Quick test_bc_shrinks_bench_models;
         Alcotest.test_case "idempotent" `Quick test_bc_idempotent ] ) ]

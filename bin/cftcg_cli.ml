@@ -85,16 +85,28 @@ let crash_policy_conv =
   Arg.conv (parse, print)
 
 (* arm the fault-injection harness for chaos runs; prints the
-   injection tally at exit so a scripted run can see what fired *)
+   injection tally at exit so a scripted run can see what fired.
+   A chaos run always gets the flight recorder: every fired fault is
+   recorded in the ring, and a salvaged worker crash dumps a
+   post-mortem naming the injection point. *)
 let arm_faults spec fault_seed =
   match spec with
   | None -> ()
   | Some spec ->
     let module Fault = Cftcg_util.Fault in
+    let module Flight = Cftcg_obs.Flight in
+    let module Log = Cftcg_obs.Log in
     (try Fault.arm_spec ~seed:(Int64.of_int fault_seed) spec with
     | Invalid_argument msg ->
       Printf.eprintf "bad --inject-faults spec: %s\n" msg;
       exit 1);
+    Flight.set_enabled true;
+    Fault.set_on_inject (fun p ->
+        let name = Fault.point_name p in
+        if Log.enabled Log.Warn then
+          Log.warn ~fields:[ ("fault", name) ] "fault injected at %s" name
+        else Flight.record ~fields:[ ("fault", name) ] ~level:"warn"
+            (Printf.sprintf "fault injected at %s" name));
     at_exit (fun () ->
         Array.iter
           (fun p ->
@@ -145,10 +157,37 @@ let trace_out_arg =
 let coverage_csv_arg =
   Arg.(value & opt (some string) None & info [ "coverage-csv" ] ~docv:"FILE" ~doc:"Write the coverage-over-time series (paper Figure 7) as CSV: time_s,execs,probes_covered.")
 
+let log_out_arg =
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc:"Write structured JSONL log lines (with job/worker/epoch correlation ids) to FILE; enables logging at $(b,--log-level).")
+
+let log_level_arg =
+  Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL" ~doc:"Logging threshold: $(b,debug), $(b,info) (default), $(b,warn), $(b,error), or $(b,off).")
+
+(* parse --log-level, open the --log sink and enable the flight
+   recorder. [always] (the serve daemon) turns logging on even
+   without --log — the ring then feeds /debug/log and post-mortem
+   dumps; a local fuzz run only logs when a file is requested. *)
+let setup_logging ?(always = false) log_out log_level =
+  let module Log = Cftcg_obs.Log in
+  let module Flight = Cftcg_obs.Flight in
+  match Log.level_of_string log_level with
+  | Error msg ->
+    Printf.eprintf "bad --log-level: %s\n" msg;
+    exit 1
+  | Ok lvl ->
+    if always || log_out <> None then begin
+      Log.set_level lvl;
+      Flight.set_enabled true;
+      (match log_out with
+      | Some path -> Log.open_file path
+      | None -> ());
+      at_exit Log.close_file
+    end
+
 let fuzz_cmd =
   let run model_path seconds execs out_dir seed ranges seed_dir jobs corpus resume telemetry
       epoch_execs backend no_opt batch max_runtime epoch_deadline on_worker_crash inject_faults
-      fault_seed metrics_out trace_out coverage_csv html_out =
+      fault_seed metrics_out trace_out coverage_csv html_out log_out log_level =
     (* --jobs 0: one worker per hardware thread, minus the coordinator *)
     let jobs = if jobs = 0 then Cftcg_campaign.Worker_pool.default_capacity () else jobs in
     if jobs < 1 then begin
@@ -160,6 +199,7 @@ let fuzz_cmd =
       exit 1
     end;
     arm_faults inject_faults fault_seed;
+    setup_logging log_out log_level;
     let model = load_model model_path in
     let seeds =
       match seed_dir with
@@ -219,7 +259,8 @@ let fuzz_cmd =
             sink;
             on_worker_crash;
             max_runtime;
-            epoch_deadline
+            epoch_deadline;
+            job = Some (Printf.sprintf "fuzz-%d" (Unix.getpid ()))
           }
         in
         let pc =
@@ -364,7 +405,7 @@ let fuzz_cmd =
     Term.(const run $ model_arg $ seconds $ execs $ out_dir $ seed_arg $ ranges $ seed_dir $ jobs
           $ corpus $ resume $ telemetry $ epoch_execs $ backend $ no_opt $ batch $ max_runtime
           $ epoch_deadline $ on_worker_crash $ inject_faults $ fault_seed $ metrics_out_arg
-          $ trace_out_arg $ coverage_csv_arg $ html_out)
+          $ trace_out_arg $ coverage_csv_arg $ html_out $ log_out_arg $ log_level_arg)
 
 let emit_c_cmd =
   let run model_path branchless =
@@ -810,10 +851,12 @@ let socket_arg =
            ~doc:"Daemon endpoint: a Unix-domain socket path (optionally $(b,unix:)PATH) or $(b,tcp:)HOST:PORT (localhost only is recommended; the protocol is unauthenticated).")
 
 let serve_cmd =
-  let run socket pool_size quantum inject_faults fault_seed =
+  let run socket pool_size quantum inject_faults fault_seed log_out log_level =
     arm_faults inject_faults fault_seed;
-    (* the daemon always collects: /metrics is its reason to exist *)
+    (* the daemon always collects: /metrics is its reason to exist,
+       and the flight recorder feeds /debug/log and post-mortems *)
     Cftcg_obs.Metrics.set_collect true;
+    setup_logging ~always:true log_out log_level;
     let addr = parse_addr socket in
     let capacity = if pool_size = 0 then Worker_pool.default_capacity () else pool_size in
     if capacity < 1 then begin
@@ -840,6 +883,14 @@ let serve_cmd =
     (try Cftcg_serve.Server.serve ~resolve ~sched ~stop:(fun () -> Atomic.get stop) addr with
     | Failure msg ->
       Printf.eprintf "cftcg serve: %s\n" msg;
+      exit 1
+    | e ->
+      (* daemon abort: dump the flight-recorder ring before dying so
+         the crash context survives the process *)
+      let msg = Printexc.to_string e in
+      (match Cftcg_obs.Flight.dump ~reason:("daemon abort: " ^ msg) () with
+      | Some path -> Printf.eprintf "cftcg serve: aborted (%s); post-mortem: %s\n" msg path
+      | None -> Printf.eprintf "cftcg serve: aborted (%s)\n" msg);
       exit 1);
     Printf.printf "cftcg serve: shut down cleanly\n%!"
   in
@@ -864,7 +915,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the fuzzing-as-a-service daemon: accept campaign submissions over a Unix-domain socket (or localhost TCP), multiplex them over one shared worker pool with per-tenant budgets and deficit round-robin fair scheduling, and export live Prometheus metrics on /metrics.")
-    Term.(const run $ socket_arg $ pool_size $ quantum $ inject_faults $ fault_seed)
+    Term.(const run $ socket_arg $ pool_size $ quantum $ inject_faults $ fault_seed $ log_out_arg
+          $ log_level_arg)
 
 let request_or_die addr ~meth ~path ?body () =
   match Serve_wire.http_request addr ~meth ~path ?body () with

@@ -5,6 +5,8 @@ module Rng = Cftcg_util.Rng
 module Fault = Cftcg_util.Fault
 module Bytecodec = Cftcg_util.Bytecodec
 module Trace = Cftcg_obs.Trace
+module Log = Cftcg_obs.Log
+module Flight = Cftcg_obs.Flight
 
 type crash_policy =
   | Abort
@@ -29,6 +31,7 @@ type config = {
   on_worker_crash : crash_policy;
   max_runtime : float option;
   epoch_deadline : float option;
+  job : string option;
 }
 
 let default_config =
@@ -49,7 +52,14 @@ let default_config =
     on_worker_crash = Degrade;
     max_runtime = None;
     epoch_deadline = None;
+    job = None;
   }
+
+(* Correlation fields shared by every log line / dump of a campaign.
+   The job id is minted at the serve boundary (or by the CLI for
+   local runs); a plain library call just has no job field. *)
+let job_fields config =
+  match config.job with Some j -> [ ("job", j) ] | None -> []
 
 type epoch_stat = {
   ep_epoch : int;
@@ -272,6 +282,10 @@ let start ?(config = default_config) (prog : Ir.program) =
   st.st_epoch <- st.st_epoch0;
   st.st_last_covered <- count_covered st.st_coverage;
   if config.stop_on_full && fully_covered st then st.st_stop <- true;
+  Log.info ~fields:(job_fields config)
+    "campaign start: %d jobs, %d exec budget, seed %Ld%s" config.jobs
+    config.total_execs config.seed
+    (if st.st_resumed then Printf.sprintf " (resumed at epoch %d)" st.st_epoch0 else "");
   st
 
 let past_deadline st = Float.is_finite st.st_deadline && Unix.gettimeofday () >= st.st_deadline
@@ -291,6 +305,10 @@ let step ?workers ?max_execs ?(should_stop = fun () -> false) ?pool st =
   let config = st.st_config in
   let emit = st.st_emit in
   let this_epoch = st.st_epoch in
+  (* outside the campaign.epoch trace span so the span records with
+     the job/epoch correlation context installed *)
+  Log.with_ctx (job_fields config @ [ ("epoch", string_of_int this_epoch) ])
+  @@ fun () ->
   let jobs_now =
     match workers with
     | None -> st.st_live_jobs
@@ -363,12 +381,26 @@ let step ?workers ?max_execs ?(should_stop = fun () -> false) ?pool st =
            { worker = ix; epoch = this_epoch; probes = tc.Fuzzer.tc_new_probes;
              executions = int_of_float tc.Fuzzer.tc_time })
     in
+    (* workers run in fresh domains, so the coordinator's ambient
+       context does not reach them: install the full correlation set
+       (job/worker/epoch) here, outside the trace span *)
+    Log.with_ctx
+      (job_fields config
+      @ [ ("worker", string_of_int ix); ("epoch", string_of_int this_epoch) ])
+    @@ fun () ->
+    Log.debug "worker start: budget %d execs" (budget_of ix);
     Trace.with_span "campaign.worker"
       ~args:[ ("worker", string_of_int ix); ("epoch", string_of_int this_epoch) ]
     @@ fun () ->
-    Fuzzer.run ~config:fcfg ~on_test_case ~on_progress
-      ~should_stop:(fun () -> Atomic.get abort || should_stop ())
-      st.st_prog (budget_for ix)
+    let r =
+      Fuzzer.run ~config:fcfg ~on_test_case ~on_progress
+        ~should_stop:(fun () -> Atomic.get abort || should_stop ())
+        st.st_prog (budget_for ix)
+    in
+    Log.debug "worker done: %d execs, %d/%d probes"
+      r.Fuzzer.stats.Fuzzer.executions r.Fuzzer.stats.Fuzzer.probes_covered
+      r.Fuzzer.stats.Fuzzer.probes_total;
+    r
   in
   Trace.with_span "campaign.epoch" ~args:[ ("epoch", string_of_int this_epoch) ] @@ fun () ->
   (* Crash isolation: every domain body is wrapped so Domain.join
@@ -401,6 +433,15 @@ let step ?workers ?max_execs ?(should_stop = fun () -> false) ?pool st =
         | Ok r -> Some r
         | Error message ->
           st.st_worker_crashes <- st.st_worker_crashes + 1;
+          (* black-box capture before the policy acts: the dump
+             carries the crashing job's correlation ids and the ring
+             tail leading up to the crash *)
+          let crash_fields =
+            job_fields config
+            @ [ ("worker", string_of_int ix); ("epoch", string_of_int this_epoch) ]
+          in
+          Log.error ~fields:crash_fields "worker crashed: %s" message;
+          ignore (Flight.dump ~fields:crash_fields ~reason:("worker crash: " ^ message) ());
           emit (Telemetry.Worker_crash { worker = ix; epoch = this_epoch; message });
           emit
             (Telemetry.Failure
@@ -448,6 +489,8 @@ let step ?workers ?max_execs ?(should_stop = fun () -> false) ?pool st =
     (Telemetry.Corpus_sync
        { epoch = this_epoch; candidates = List.length candidates;
          kept = Hashtbl.length st.st_corpus; probes_covered = covered });
+  Log.debug "merge: %d candidates, corpus %d, %d probes covered"
+    (List.length candidates) (Hashtbl.length st.st_corpus) covered;
   (* persist: entries first, manifest last, each write atomic — a
      kill at any point resumes from a consistent state. Writes are
      retried with backoff inside Corpus_store; an operation that
@@ -478,7 +521,9 @@ let step ?workers ?max_execs ?(should_stop = fun () -> false) ?pool st =
          }
      with
     | e when transient e -> incr persist_failures);
-    if !persist_failures > 0 then
+    if !persist_failures > 0 then begin
+      Log.warn "%d persist operation(s) failed after retries; will retry next epoch"
+        !persist_failures;
       emit
         (Telemetry.Salvage
            { message =
@@ -486,11 +531,14 @@ let step ?workers ?max_execs ?(should_stop = fun () -> false) ?pool st =
                  "epoch %d: %d persist operation(s) failed after retries; will retry next epoch"
                  this_epoch !persist_failures
            })
+    end
   | None -> ());
   emit
     (Telemetry.Epoch_end
        { epoch = this_epoch; executions = st.st_executions; probes_covered = covered;
          probes_total = st.st_prog.Ir.n_probes; corpus_size = Hashtbl.length st.st_corpus });
+  Log.info "epoch complete: %d execs total, %d/%d probes, corpus %d"
+    st.st_executions covered st.st_prog.Ir.n_probes (Hashtbl.length st.st_corpus);
   st.st_epoch_stats <-
     { ep_epoch = this_epoch; ep_executions = st.st_executions; ep_probes_covered = covered;
       ep_corpus_size = Hashtbl.length st.st_corpus }
@@ -505,6 +553,7 @@ let step ?workers ?max_execs ?(should_stop = fun () -> false) ?pool st =
   if config.stop_on_full && fully_covered st then st.st_stop <- true
   else if st.st_stalled >= config.plateau_epochs then begin
     st.st_plateaued <- true;
+    Log.info "plateau: no new coverage for %d epochs, stopping" st.st_stalled;
     emit (Telemetry.Plateau { epoch = this_epoch; stalled_epochs = st.st_stalled });
     st.st_stop <- true
   end

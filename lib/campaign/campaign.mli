@@ -88,12 +88,19 @@ type config = {
   epoch_deadline : float option;
       (** wall-clock ceiling (seconds) per worker epoch run, so one
           stalled target cannot wedge an epoch; [None] by default *)
+  job : string option;
+      (** correlation id carried by every {!Cftcg_obs.Log} line,
+          {!Cftcg_obs.Trace} span and post-mortem dump this campaign
+          produces. [cftcg serve] mints one per submitted job; local
+          CLI runs mint a [fuzz-<pid>] id; [None] (the default) logs
+          without a job field. Purely observational — never affects
+          campaign results *)
 }
 
 val default_config : config
 (** 4 jobs, 20k total executions in epochs of 1k per worker, plateau
     window 3, seed 1, no persistence, no telemetry, crash policy
-    {!Degrade}, no deadlines. *)
+    {!Degrade}, no deadlines, no job id. *)
 
 type epoch_stat = {
   ep_epoch : int;

@@ -87,6 +87,45 @@ let migrated_metric =
     (Metrics.counter ~help:"Legacy flat-layout entries migrated into shards"
        "cftcg_store_migrated_entries_total")
 
+(* Last-ops ring surfaced in post-mortem dumps: which entries were
+   written, which manifests saved, what was quarantined in the moments
+   before a crash. Gated on the flight recorder, so a disabled run
+   pays one atomic load per op and never renders the description. *)
+module Flight = Cftcg_obs.Flight
+
+let ops_capacity = 64
+let recent_ops : string option array = Array.make ops_capacity None
+let recent_ops_cursor = Atomic.make 0
+
+let note_op fmt =
+  if not (Flight.enabled ()) then Printf.ikfprintf (fun () -> ()) () fmt
+  else
+    Printf.ksprintf
+      (fun op ->
+        let slot = Atomic.fetch_and_add recent_ops_cursor 1 in
+        recent_ops.(slot mod ops_capacity) <- Some op)
+      fmt
+
+let () =
+  Flight.register_provider "corpus_store" (fun () ->
+      let cursor = Atomic.get recent_ops_cursor in
+      let first = max 0 (cursor - ops_capacity) in
+      let buf = Buffer.create 256 in
+      Buffer.add_char buf '[';
+      let n = ref 0 in
+      for i = first to cursor - 1 do
+        match recent_ops.(i mod ops_capacity) with
+        | Some op ->
+          if !n > 0 then Buffer.add_char buf ',';
+          incr n;
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (Flight.json_escape op);
+          Buffer.add_char buf '"'
+        | None -> ()
+      done;
+      Buffer.add_char buf ']';
+      Buffer.contents buf)
+
 let mkdir_p dir =
   let rec go d =
     if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
@@ -197,6 +236,7 @@ let quarantine t path reason =
   let q = free 0 in
   Sys.rename path q;
   Metrics.inc (Lazy.force quarantined_metric);
+  note_op "quarantine %s (%s)" (Filename.basename q) reason;
   let msg = Printf.sprintf "%s -> %s (%s)" (Filename.basename path) (Filename.basename q) reason in
   t.salvaged <- msg :: t.salvaged;
   msg
@@ -388,6 +428,9 @@ let add t ~fingerprint ~metric data =
     locked t.ix_mutex (fun () ->
         index_best t fingerprint metric;
         t.dirty.(ix) <- true);
+    note_op "%s %s shard %x metric %d"
+      (if known = None then "add" else "replace")
+      fingerprint ix metric;
     if known = None then `Added else `Replaced
 
 let mem t fingerprint = locked t.ix_mutex (fun () -> Hashtbl.mem t.index fingerprint)
@@ -454,7 +497,8 @@ let save_manifest t m =
   Printf.bprintf buf "executions %d\n" m.m_executions;
   Printf.bprintf buf "probes_total %d\n" m.m_probes_total;
   Printf.bprintf buf "coverage %s\n" (Bytecodec.hex_of_bytes m.m_coverage);
-  with_retries (fun () -> write_atomic ~path:(manifest_path t) (Buffer.contents buf))
+  with_retries (fun () -> write_atomic ~path:(manifest_path t) (Buffer.contents buf));
+  note_op "save_manifest epoch %d (%d dirty shards)" m.m_epoch (List.length dirty_shards)
 
 let merge t ~from =
   List.fold_left

@@ -141,26 +141,80 @@ let count_lines path =
          with End_of_file -> ());
         !n)
 
-let jsonl ?(append = false) path =
-  let seq = ref (if append then count_lines path else 0) in
-  let oc =
+let jsonl ?(append = false) ?max_bytes path =
+  (match max_bytes with
+  | Some m when m < 1 -> invalid_arg "Telemetry.jsonl: max_bytes must be >= 1"
+  | _ -> ());
+  let rotated n = path ^ "." ^ string_of_int n in
+  (* a fresh (non-append) feed owns the whole chain: drop rotations
+     left behind by a previous run so old events cannot resurface *)
+  if (not append) && max_bytes <> None then begin
+    let n = ref 1 in
+    while Sys.file_exists (rotated !n) do
+      (try Sys.remove (rotated !n) with Sys_error _ -> ());
+      incr n
+    done
+  end;
+  (* resume the seq counter across the whole chain so it stays
+     monotonic even after rotations *)
+  let seq =
+    ref
+      (if append then begin
+         let total = ref (count_lines path) in
+         let n = ref 1 in
+         while Sys.file_exists (rotated !n) do
+           total := !total + count_lines (rotated !n);
+           incr n
+         done;
+         !total
+       end
+       else 0)
+  in
+  let open_current () =
     if append then open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
     else open_out path
   in
-  let emit e =
-    output_string oc (to_json ~seq:!seq e);
-    output_char oc '\n';
-    incr seq
+  let oc = ref (open_current ()) in
+  let bytes =
+    ref
+      (if append then (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0)
+       else 0)
   in
   (* close durably: a campaign result is only as trustworthy as its
      telemetry trail, so the feed must survive a power cut that
      happens right after the process exits *)
-  let close () =
-    flush oc;
-    (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
-    close_out oc
+  let close_current () =
+    flush !oc;
+    (try Unix.fsync (Unix.descr_of_out_channel !oc) with Unix.Unix_error _ -> ());
+    close_out !oc
   in
-  serialized emit close
+  (* shift path.N -> path.N+1 (highest first), then path -> path.1 and
+     reopen; the durable close keeps rotated segments as trustworthy
+     as a final one *)
+  let rotate () =
+    close_current ();
+    let last = ref 0 in
+    while Sys.file_exists (rotated (!last + 1)) do
+      incr last
+    done;
+    for i = !last downto 1 do
+      Sys.rename (rotated i) (rotated (i + 1))
+    done;
+    Sys.rename path (rotated 1);
+    oc := open_out path;
+    bytes := 0
+  in
+  let emit e =
+    let line = to_json ~seq:!seq e in
+    output_string !oc line;
+    output_char !oc '\n';
+    incr seq;
+    bytes := !bytes + String.length line + 1;
+    match max_bytes with
+    | Some m when !bytes >= m -> rotate ()
+    | _ -> ()
+  in
+  serialized emit close_current
 
 let metrics_bridge ?registry () =
   let module M = Cftcg_obs.Metrics in

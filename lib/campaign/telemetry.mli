@@ -71,13 +71,27 @@ val ring : ?capacity:int -> unit -> sink * (unit -> event list)
     returning the retained events oldest-first. When more than
     [capacity] events arrive, the oldest are overwritten. *)
 
-val jsonl : ?append:bool -> string -> sink
+val jsonl : ?append:bool -> ?max_bytes:int -> string -> sink
 (** Writes one JSON object per event to [path], with a monotonically
     increasing ["seq"] field recording global emission order. A fresh
     run truncates any existing file (the default); with
     [~append:true] — used when resuming a persisted campaign — new
     events are appended and the [seq] counter continues from the
-    number of lines already present. [close] closes the file. *)
+    number of lines already present. [close] flushes, fsyncs and
+    closes the file.
+
+    [?max_bytes] bounds a long-lived feed (daemon job event logs):
+    once the current file reaches the limit it is rotated — existing
+    [path.N] segments shift to [path.N+1] (highest first), the
+    current file becomes [path.1], and writing resumes in a fresh
+    [path] — so [path.1] is always the most recent rotated segment.
+    Rotation happens after the event that crossed the limit, so a
+    segment may exceed [max_bytes] by one line. Segments are closed
+    with the same fsync-on-close discipline, the ["seq"] counter runs
+    across the whole chain, and [~append:true] resumes it from the
+    total line count of [path] plus every [path.N]. A fresh
+    (non-append) feed removes any leftover [path.N] chain first.
+    Raises [Invalid_argument] when [max_bytes < 1]. *)
 
 val metrics_bridge : ?registry:Cftcg_obs.Metrics.t -> unit -> sink
 (** Mirrors the event stream into metrics ([registry] defaults to

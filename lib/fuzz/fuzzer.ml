@@ -3,6 +3,7 @@ module Rng = Cftcg_util.Rng
 module Fault = Cftcg_util.Fault
 module Metrics = Cftcg_obs.Metrics
 module Trace = Cftcg_obs.Trace
+module Log = Cftcg_obs.Log
 module Series = Cftcg_obs.Series
 
 type backend =
@@ -398,6 +399,21 @@ let sample_mask = 255
    test runs stay fast *)
 let exec_stall_seconds = 0.002
 
+(* Process-global batched-VM health counters, snapshotted into
+   post-mortem dumps: how many runs abandoned lockstep for the scalar
+   executor, and the divergence totals that drove those decisions. *)
+let batch_fallbacks_total = Atomic.make 0
+let batch_divergence_total = Atomic.make 0
+let batch_runs_total = Atomic.make 0
+
+let () =
+  Cftcg_obs.Flight.register_provider "ir_vm_batch" (fun () ->
+      Printf.sprintf
+        "{\"batch_runs\":%d,\"scalar_fallbacks\":%d,\"divergence_total\":%d}"
+        (Atomic.get batch_runs_total)
+        (Atomic.get batch_fallbacks_total)
+        (Atomic.get batch_divergence_total))
+
 let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress = fun _ -> ())
     ?(progress_every = 1024) ?(should_stop = fun () -> false) ?coverage_series
     (prog : Ir.program) budget =
@@ -439,6 +455,8 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
        else make_seq ())
   in
   let divergence_decided = ref (batch_k <= 1) in
+  if batch_k > 1 then Atomic.incr batch_runs_total;
+  Log.debug "fuzzer run start: seed %Ld, batch %d" config.seed batch_k;
   let dict = if config.use_dictionary then Some (Dictionary.of_program prog) else None in
   let start = Unix.gettimeofday () in
   let deadline_execs, deadline_time =
@@ -634,8 +652,16 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
     match !executor with
     | `Batch bx when (not !divergence_decided) && !iterations >= 256 ->
       divergence_decided := true;
-      if Ir_vm_batch.total_divergence bx.bx_vm * batch_k > !iterations then
+      let dv = Ir_vm_batch.total_divergence bx.bx_vm in
+      if dv * batch_k > !iterations then begin
+        (* the batch VM is dropped here, so bank its divergence total
+           now; runs that stay batched bank theirs at run end *)
+        ignore (Atomic.fetch_and_add batch_divergence_total dv);
+        Atomic.incr batch_fallbacks_total;
+        Log.info "batch fallback to scalar: %d splits over %d iterations (k=%d)" dv
+          !iterations batch_k;
         executor := make_seq ()
+      end
     | _ -> ()
   in
   (* User-provided seed corpus first, then a handful of random short
@@ -711,6 +737,12 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
   (match coverage_series with
   | Some s -> Series.record s ~time:(elapsed_now ()) ~execs:!executions ~covered:!covered_run
   | None -> ());
+  (match !executor with
+  | `Batch bx when batch_k > 1 ->
+    ignore (Atomic.fetch_and_add batch_divergence_total (Ir_vm_batch.total_divergence bx.bx_vm))
+  | _ -> ());
+  Log.debug "fuzzer run done: %d execs, %d/%d probes, corpus %d" !executions !covered_run
+    prog.Ir.n_probes !corpus_n;
   { test_suite = List.rev !suite; failures = List.rev !failures; stats = snapshot () }
 
 let replay_metric ?(config = default_config) (prog : Ir.program) data =

@@ -1,0 +1,147 @@
+(* Structured leveled JSONL logging with (domain, thread)-scoped
+   correlation context. See log.mli. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_int = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Ok (Some Debug)
+  | "info" -> Ok (Some Info)
+  | "warn" | "warning" -> Ok (Some Warn)
+  | "error" -> Ok (Some Error)
+  | "off" | "none" -> Ok None
+  | _ -> Error (Printf.sprintf "unknown log level %S" s)
+
+(* 4 = off; a level passes when its int is >= the threshold. *)
+let threshold = Atomic.make 4
+
+let set_level = function
+  | None -> Atomic.set threshold 4
+  | Some l -> Atomic.set threshold (level_int l)
+
+let current_level () =
+  match Atomic.get threshold with
+  | 0 -> Some Debug
+  | 1 -> Some Info
+  | 2 -> Some Warn
+  | 3 -> Some Error
+  | _ -> None
+
+let enabled lvl = level_int lvl >= Atomic.get threshold
+
+(* --- file sink --- *)
+
+let sink_mutex = Mutex.create ()
+let sink : out_channel option ref = ref None
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let close_file () =
+  locked sink_mutex (fun () ->
+      match !sink with
+      | None -> ()
+      | Some oc ->
+          sink := None;
+          (try flush oc with _ -> ());
+          (try close_out oc with _ -> ()))
+
+let open_file ?(append = false) path =
+  close_file ();
+  let flags =
+    if append then [ Open_wronly; Open_creat; Open_append ]
+    else [ Open_wronly; Open_creat; Open_trunc ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  locked sink_mutex (fun () -> sink := Some oc)
+
+(* --- correlation context ---
+
+   Keyed by (domain, thread), not by domain alone: the serve tier
+   runs one scheduler thread per job inside domain 0, so domain-local
+   storage would bleed one job's ids into another's. Campaign worker
+   domains install their own context on entry (DLS would not
+   propagate there either way). *)
+
+let ctx_mutex = Mutex.create ()
+
+let ctx_tbl : (int * int, (string * string) list) Hashtbl.t =
+  Hashtbl.create 32
+
+let self_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let ctx () =
+  let key = self_key () in
+  locked ctx_mutex (fun () ->
+      Option.value ~default:[] (Hashtbl.find_opt ctx_tbl key))
+
+let with_ctx fields f =
+  let key = self_key () in
+  let prev =
+    locked ctx_mutex (fun () -> Hashtbl.find_opt ctx_tbl key)
+  in
+  let base = Option.value ~default:[] prev in
+  let merged =
+    List.filter (fun (k, _) -> not (List.mem_assoc k fields)) base @ fields
+  in
+  locked ctx_mutex (fun () -> Hashtbl.replace ctx_tbl key merged);
+  Fun.protect
+    ~finally:(fun () ->
+      locked ctx_mutex (fun () ->
+          match prev with
+          | Some p -> Hashtbl.replace ctx_tbl key p
+          | None -> Hashtbl.remove ctx_tbl key))
+    f
+
+(* --- emission --- *)
+
+let reserved k = k = "ts" || k = "level" || k = "msg"
+
+let merge_fields ambient explicit =
+  List.filter
+    (fun (k, _) ->
+      (not (reserved k)) && not (List.mem_assoc k explicit))
+    ambient
+  @ List.filter (fun (k, _) -> not (reserved k)) explicit
+
+let emit lvl fields msg =
+  let ts = Unix.gettimeofday () in
+  let fields = merge_fields (ctx ()) fields in
+  let level = level_to_string lvl in
+  Flight.record ~ts ~fields ~level msg;
+  locked sink_mutex (fun () ->
+      match !sink with
+      | None -> ()
+      | Some oc ->
+          let buf = Buffer.create 128 in
+          Buffer.add_string buf (Printf.sprintf "{\"ts\":%.6f," ts);
+          Buffer.add_string buf
+            (Printf.sprintf "\"level\":\"%s\",\"msg\":\"%s\"" level
+               (Flight.json_escape msg));
+          List.iter
+            (fun (k, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf ",\"%s\":\"%s\"" (Flight.json_escape k)
+                   (Flight.json_escape v)))
+            fields;
+          Buffer.add_string buf "}\n";
+          Buffer.output_buffer oc buf;
+          flush oc)
+
+let logf lvl ?(fields = []) fmt =
+  if not (enabled lvl) then Printf.ikfprintf (fun () -> ()) () fmt
+  else Printf.ksprintf (emit lvl fields) fmt
+
+let debug ?fields fmt = logf Debug ?fields fmt
+let info ?fields fmt = logf Info ?fields fmt
+let warn ?fields fmt = logf Warn ?fields fmt
+let error ?fields fmt = logf Error ?fields fmt

@@ -135,6 +135,20 @@ let escape_label_value s =
     s;
   Buffer.contents buf
 
+(* HELP text uses a narrower escape set than label values: the 0.0.4
+   format only escapes backslash and newline there (a bare double
+   quote is legal in HELP). *)
+let escape_help s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let render_labels = function
   | [] -> ""
   | labels ->
@@ -160,7 +174,8 @@ let to_prometheus r =
           if k.k_name <> !last_name then begin
             last_name := k.k_name;
             (match Hashtbl.find_opt r.r_help k.k_name with
-            | Some h -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" k.k_name h)
+            | Some h ->
+              Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" k.k_name (escape_help h))
             | None -> ());
             let ty =
               match i with

@@ -47,6 +47,13 @@ let rel_us t =
 
 let domain_id () = (Domain.self () :> int)
 
+(* Append the ambient correlation context (job/worker/epoch ids from
+   Log.with_ctx) to an event's args, without shadowing explicit keys. *)
+let with_correlation args =
+  match Log.ctx () with
+  | [] -> args
+  | ctx -> args @ List.filter (fun (k, _) -> not (List.mem_assoc k args)) ctx
+
 let with_span ?(args = []) name f =
   if not (Atomic.get flag) then f ()
   else begin
@@ -54,6 +61,7 @@ let with_span ?(args = []) name f =
     Fun.protect
       ~finally:(fun () ->
         let t1 = now () in
+        let args = with_correlation args in
         locked (fun () ->
             let ts = rel_us t0 in
             buffer :=
@@ -64,14 +72,16 @@ let with_span ?(args = []) name f =
   end
 
 let instant ?(args = []) name =
-  if Atomic.get flag then
+  if Atomic.get flag then begin
     let t = now () in
+    let args = with_correlation args in
     locked (fun () ->
         let ts = rel_us t in
         buffer :=
           { ev_name = name; ev_ts_us = ts; ev_dur_us = 0.0; ev_tid = domain_id ();
             ev_instant = true; ev_args = args }
           :: !buffer)
+  end
 
 let events () = locked (fun () -> List.rev !buffer)
 

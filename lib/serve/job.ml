@@ -121,6 +121,22 @@ let event_lines t =
   Mutex.unlock t.ev_mutex;
   (List.rev lines, dropped)
 
+(* tail of the feed, for /debug/jobs — cheaper than hauling the whole
+   bounded feed (up to 10k lines) through the router per request *)
+let recent_event_lines ?(limit = 20) t =
+  Mutex.lock t.ev_mutex;
+  let n = Queue.length t.ev_lines in
+  let skip = max 0 (n - limit) in
+  let lines = ref [] in
+  let i = ref 0 in
+  Queue.iter
+    (fun l ->
+      if !i >= skip then lines := l :: !lines;
+      incr i)
+    t.ev_lines;
+  Mutex.unlock t.ev_mutex;
+  List.rev !lines
+
 (* status document for GET /campaigns/:id — progress fields come from
    the snapshot the runner publishes after each epoch *)
 let status_json t =
@@ -170,3 +186,25 @@ let summary_json t =
       ("tenant", Wire.Str t.jb_tenant);
       ("status", Wire.Str (status_name t.jb_status));
     ]
+
+(* GET /debug/jobs document: the status fields plus the scheduler
+   internals the status endpoint hides (weight, deficit) and the tail
+   of the event feed, re-parsed so the endpoint serves structured
+   events rather than strings of JSON *)
+let debug_json t =
+  let events =
+    List.filter_map
+      (fun l -> match Wire.of_string l with v -> Some v | exception _ -> None)
+      (recent_event_lines t)
+  in
+  let extra =
+    [
+      ("weight", Wire.Num (float_of_int t.jb_weight));
+      ("deficit", Wire.Num (float_of_int t.jb_deficit));
+      ("dropped_events", Wire.Num (float_of_int t.ev_dropped));
+      ("recent_events", Wire.Arr events);
+    ]
+  in
+  match status_json t with
+  | Wire.Obj fields -> Wire.Obj (fields @ extra)
+  | v -> v

@@ -61,9 +61,17 @@ val sink : t -> Telemetry.sink
 val event_lines : t -> string list * int
 (** Retained feed lines oldest-first, plus how many were dropped. *)
 
+val recent_event_lines : ?limit:int -> t -> string list
+(** The newest [limit] (default 20) feed lines, oldest-first. *)
+
 val retire_metrics : t -> unit
 (** Unregisters the job's labeled series from the default registry
     (called when the job record is deleted). *)
 
 val status_json : t -> Wire.json
 val summary_json : t -> Wire.json
+
+val debug_json : t -> Wire.json
+(** [status_json] extended with scheduler internals (weight, deficit,
+    dropped-event count) and the tail of the event feed as structured
+    values — the per-job document behind [GET /debug/jobs]. *)

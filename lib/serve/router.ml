@@ -8,6 +8,7 @@ module Campaign = Cftcg_campaign.Campaign
 module Worker_pool = Cftcg_campaign.Worker_pool
 module Fuzzer = Cftcg_fuzz.Fuzzer
 module Metrics = Cftcg_obs.Metrics
+module Flight = Cftcg_obs.Flight
 
 (* POST /campaigns body -> submission. Unknown fields are ignored;
    malformed ones raise Wire.Parse_error, turned into a 400 below. *)
@@ -51,6 +52,17 @@ let submission_of_body body =
       sb_tenant_budget = Wire.get_int_opt "tenant_budget" j;
       sb_config = config;
     } )
+
+(* GET /debug/log entry: the reserved keys plus the correlation
+   fields flattened alongside, mirroring the JSONL line schema *)
+let flight_entry_json (e : Flight.entry) =
+  Wire.Obj
+    ([
+       ("ts", Wire.Num e.Flight.fl_ts);
+       ("level", Wire.Str e.Flight.fl_level);
+       ("msg", Wire.Str e.Flight.fl_msg);
+     ]
+    @ List.map (fun (k, v) -> (k, Wire.Str v)) e.Flight.fl_fields)
 
 let segments path =
   (* strip a query string if any; the protocol defines none *)
@@ -105,7 +117,18 @@ let dispatch ~resolve sched (rq : Wire.request) =
       | Error `Not_found -> error_response 404 "no such campaign"
       | Ok `Deleted -> json_response 200 (Obj [ ("id", Str id); ("status", Str "deleted") ])
       | Ok `Cancelling -> json_response 202 (Obj [ ("id", Str id); ("status", Str "cancelling") ]))
-    | _, ("campaigns" :: _ | [ "healthz" ] | [ "metrics" ]) -> error_response 405 "method not allowed"
+    | "GET", [ "debug"; "jobs" ] ->
+      json_response 200 (Arr (List.map Job.debug_json (Scheduler.jobs sched)))
+    | "GET", [ "debug"; "log" ] ->
+      let entries = Flight.recent ~limit:200 () in
+      json_response 200
+        (Obj
+           [
+             ("enabled", Bool (Flight.enabled ()));
+             ("entries", Arr (List.map flight_entry_json entries));
+           ])
+    | _, ("campaigns" :: _ | "debug" :: _ | [ "healthz" ] | [ "metrics" ]) ->
+      error_response 405 "method not allowed"
     | _ -> error_response 404 "not found"
   with
   | Wire.Parse_error msg -> error_response 400 msg

@@ -8,6 +8,8 @@
     DELETE /campaigns/:id         cancel a live job / delete a terminal record
     GET    /metrics               live Prometheus scrape (default registry)
     GET    /healthz               daemon + pool stats
+    GET    /debug/jobs            per-job status + scheduler internals + recent events
+    GET    /debug/log             tail of the flight-recorder ring (structured log lines)
     v}
 
     Submission body fields (all optional except [model]): [model],

@@ -33,6 +33,8 @@ module Telemetry = Cftcg_campaign.Telemetry
 module Corpus_store = Cftcg_campaign.Corpus_store
 module Worker_pool = Cftcg_campaign.Worker_pool
 module Metrics = Cftcg_obs.Metrics
+module Log = Cftcg_obs.Log
+module Flight = Cftcg_obs.Flight
 
 type tenant = {
   tn_name : string;
@@ -181,7 +183,22 @@ let epoch_want (job : Job.t) (pg : Campaign.progress) =
   max 0 (min (c.Campaign.total_execs - pg.Campaign.pg_executions) (c.Campaign.execs_per_epoch * jobs))
 
 let runner t (job : Job.t) () =
-  let finish_with status = set_status t job status in
+  (* the job id minted at submit is the correlation root: every log
+     line and trace span below here inherits it *)
+  Log.with_ctx [ ("job", job.Job.jb_id) ] @@ fun () ->
+  let finish_with status =
+    (match status with
+    | Job.Done r ->
+      Log.info "campaign done: %d execs, %d/%d probes" r.Campaign.executions
+        r.Campaign.probes_covered r.Campaign.probes_total
+    | Job.Failed msg ->
+      Log.error "campaign failed: %s" msg;
+      ignore
+        (Flight.dump ~fields:[ ("job", job.Job.jb_id) ] ~reason:("job failed: " ^ msg) ())
+    | Job.Cancelled -> Log.info "campaign cancelled"
+    | _ -> ());
+    set_status t job status
+  in
   match Campaign.start ~config:job.Job.jb_config job.Job.jb_prog with
   | exception e -> finish_with (Job.Failed (Printexc.to_string e))
   | st -> (
@@ -195,6 +212,8 @@ let runner t (job : Job.t) () =
         match next_grant t job ~want with
         | None -> ()
         | Some grant ->
+          Log.debug "grant: %d execs (wanted %d, deficit %d)" grant want
+            job.Job.jb_deficit;
           let spent = Campaign.step ~max_execs:grant ~should_stop ~pool:t.pool st in
           charge t job spent;
           job.Job.jb_progress <- Some (Campaign.progress st);
@@ -249,7 +268,13 @@ let submit t (sub : submission) prog =
           | None -> sub.sb_config
         in
         let job = Job.create ~id ~model:sub.sb_model ~tenant:sub.sb_tenant ~weight:sub.sb_weight ~config prog in
-        job.Job.jb_config <- { config with Campaign.sink = Job.sink job };
+        job.Job.jb_config <-
+          { config with Campaign.sink = Job.sink job; Campaign.job = Some id };
+        Log.info
+          ~fields:
+            [ ("job", id); ("tenant", sub.sb_tenant); ("model", sub.sb_model) ]
+          "campaign submitted: %d jobs, %d exec budget"
+          config.Campaign.jobs config.Campaign.total_execs;
         Hashtbl.replace t.jobs id job;
         t.order <- id :: t.order;
         Metrics.inc t.sm_submitted;

@@ -6,6 +6,8 @@
    the scheduler down (joining every runner), remove the socket
    file. *)
 
+module Log = Cftcg_obs.Log
+
 let poll_interval = 0.2
 
 type t = {
@@ -25,6 +27,9 @@ let handle_connection srv client =
       | None -> ()
       | Some rq -> (
         let response = Router.dispatch ~resolve:srv.sv_resolve srv.sv_sched rq in
+        Log.debug
+          ~fields:[ ("method", rq.Wire.rq_method); ("path", rq.Wire.rq_path) ]
+          "request: %d" response.Wire.rs_status;
         try Wire.write_response oc response with
         | Sys_error _ | Unix.Unix_error _ -> () (* client went away; nothing to salvage *)))
 
@@ -49,6 +54,7 @@ let serve ~resolve ~sched ~stop addr =
   (* a client closing mid-response must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let fd = Wire.listen addr in
+  Log.info "daemon listening on %s" (Wire.addr_to_string addr);
   let srv =
     { sv_sched = sched; sv_resolve = resolve; sv_conn_mutex = Mutex.create (); sv_conns = [] }
   in
@@ -61,6 +67,7 @@ let serve ~resolve ~sched ~stop addr =
       srv.sv_conns <- [];
       Mutex.unlock srv.sv_conn_mutex;
       List.iter Thread.join conns;
+      Log.info "daemon shutting down: draining runners";
       Scheduler.shutdown sched;
       match addr with
       | Wire.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())

@@ -51,6 +51,17 @@ let injected_counts = Array.init n_points (fun _ -> Atomic.make 0)
 
 let armed () = Atomic.get armed_flag
 
+(* Notification hook, invoked with the point that actually fired.
+   Keeps this module free of observability dependencies: the CLI
+   installs a hook that records the injection in the flight-recorder
+   ring so post-mortem dumps name the fault that killed the worker.
+   A raising hook must not change injection behavior. *)
+let on_inject : (point -> unit) ref = ref (fun _ -> ())
+
+let set_on_inject f = on_inject := f
+
+let notify_inject p = try !on_inject p with _ -> ()
+
 (* Stateless splitmix64 draw keyed by (seed, point, hit index): the
    decision for the k-th check of a point is a pure function of the
    schedule seed, independent of which domain performs it or how draws
@@ -74,6 +85,7 @@ let fire p =
       let h = 1 + Atomic.fetch_and_add hit_counts.(ix) 1 in
       if h = k then begin
         Atomic.incr injected_counts.(ix);
+        notify_inject p;
         true
       end
       else false
@@ -85,6 +97,7 @@ let fire p =
       in
       if unit_float_of_key key < r then begin
         Atomic.incr injected_counts.(ix);
+        notify_inject p;
         true
       end
       else false

@@ -92,3 +92,12 @@ val injected : point -> int
 (** Faults actually fired since the last {!arm}. *)
 
 val injected_total : unit -> int
+
+val set_on_inject : (point -> unit) -> unit
+(** Installs a process-global hook invoked with the point each time a
+    fault actually fires (after the injection counter is bumped,
+    before the site raises). The CLI uses it to record injections in
+    the flight-recorder ring so post-mortem dumps name the fault that
+    killed a worker. A raising hook is swallowed — it must never
+    change injection behavior. [set_on_inject (fun _ -> ())] removes
+    the hook. *)

@@ -8,6 +8,8 @@ open Cftcg_model
 module Metrics = Cftcg_obs.Metrics
 module Trace = Cftcg_obs.Trace
 module Series = Cftcg_obs.Series
+module Log = Cftcg_obs.Log
+module Flight = Cftcg_obs.Flight
 module Codegen = Cftcg_codegen.Codegen
 module Fuzzer = Cftcg_fuzz.Fuzzer
 module Layout = Cftcg_fuzz.Layout
@@ -30,7 +32,11 @@ let with_obs_off f =
     ~finally:(fun () ->
       Metrics.set_collect false;
       Trace.set_enabled false;
-      Trace.clear ())
+      Trace.clear ();
+      Log.set_level None;
+      Log.close_file ();
+      Flight.set_enabled false;
+      Flight.clear ())
     f
 
 (* --- Metrics --- *)
@@ -81,6 +87,25 @@ let test_metrics_prometheus () =
   Alcotest.(check int) "histogram_count" 3 (Metrics.histogram_count h);
   (* deterministic: exporting twice gives the same text *)
   Alcotest.(check string) "stable" out (Metrics.to_prometheus r)
+
+(* exposition-format 0.0.4: label values escape backslash, quote and
+   newline; HELP text escapes only backslash and newline *)
+let test_metrics_adversarial_escaping () =
+  let r = Metrics.create () in
+  let adversarial = "q\"uo\\te\nnl\ttab" in
+  let c = Metrics.counter ~registry:r ~help:"back\\slash and\nnewline" ~labels:[ ("v", adversarial) ] "adv_total" in
+  Metrics.inc c;
+  let out = Metrics.to_prometheus r in
+  Alcotest.(check bool) "help escaped" true
+    (contains "# HELP adv_total back\\\\slash and\\nnewline" out);
+  Alcotest.(check bool) "label escaped" true
+    (contains "adv_total{v=\"q\\\"uo\\\\te\\nnl\ttab\"} 1" out);
+  (* an empty label value and a value that is only escapes round-trip *)
+  let c2 = Metrics.counter ~registry:r ~labels:[ ("a", ""); ("b", "\\\n\"") ] "adv2_total" in
+  Metrics.inc c2;
+  let out2 = Metrics.to_prometheus r in
+  Alcotest.(check bool) "empty + all-escape values" true
+    (contains "adv2_total{a=\"\",b=\"\\\\\\n\\\"\"} 1" out2)
 
 let test_metrics_clear () =
   let r = Metrics.create () in
@@ -224,6 +249,70 @@ let test_campaign_parity_obs_on_off () =
   let epochs = Metrics.value (Metrics.counter "cftcg_campaign_epochs_total") in
   Alcotest.(check int) "bridge counted epochs" (List.length on.Campaign.epochs) epochs
 
+(* --- byte-parity: logging must not perturb campaigns either --- *)
+
+let with_logging_on f =
+  let path = Filename.temp_file "cftcg_log" ".jsonl" in
+  Log.set_level (Some Log.Debug);
+  Flight.set_enabled true;
+  Log.open_file path;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level None;
+      Log.close_file ();
+      Flight.set_enabled false;
+      Flight.clear ();
+      Sys.remove path)
+    (fun () -> f path)
+
+let test_fuzzer_parity_log_on_off () =
+  with_obs_off @@ fun () ->
+  let prog = solar_pv () in
+  let config = { Fuzzer.default_config with Fuzzer.seed = 78L } in
+  let run () = Fuzzer.run ~config prog (Fuzzer.Exec_budget 3000) in
+  let off = run () in
+  let on = with_logging_on (fun _ -> run ()) in
+  Alcotest.(check (list bytes)) "same suite bytes" (suite_bytes off) (suite_bytes on);
+  Alcotest.(check int) "same executions" off.Fuzzer.stats.Fuzzer.executions
+    on.Fuzzer.stats.Fuzzer.executions;
+  Alcotest.(check int) "same coverage" off.Fuzzer.stats.Fuzzer.probes_covered
+    on.Fuzzer.stats.Fuzzer.probes_covered
+
+let test_campaign_parity_log_on_off () =
+  with_obs_off @@ fun () ->
+  let prog = solar_pv () in
+  let ccfg =
+    { Campaign.default_config with
+      Campaign.jobs = 2;
+      seed = 6L;
+      total_execs = 4000;
+      execs_per_epoch = 500;
+      stop_on_full = false;
+      job = Some "parity"
+    }
+  in
+  let off = Campaign.run ~config:ccfg prog in
+  let on, logged =
+    with_logging_on (fun path ->
+        let r = Campaign.run ~config:ccfg prog in
+        Log.close_file ();
+        let ic = open_in path in
+        let n = ref 0 in
+        (try
+           while true do
+             ignore (input_line ic);
+             incr n
+           done
+         with End_of_file -> ());
+        close_in ic;
+        (r, !n))
+  in
+  Alcotest.(check (list bytes)) "same merged suite" off.Campaign.suite on.Campaign.suite;
+  Alcotest.(check int) "same executions" off.Campaign.executions on.Campaign.executions;
+  Alcotest.(check int) "same coverage" off.Campaign.probes_covered on.Campaign.probes_covered;
+  (* the logged run actually logged something *)
+  Alcotest.(check bool) "log lines written" true (logged > 0)
+
 (* --- VM profile mode --- *)
 
 let test_vm_profile_matches_reference () =
@@ -290,6 +379,7 @@ let suites =
       [ Alcotest.test_case "counter" `Quick test_metrics_counter;
         Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
         Alcotest.test_case "prometheus exposition" `Quick test_metrics_prometheus;
+        Alcotest.test_case "adversarial escaping" `Quick test_metrics_adversarial_escaping;
         Alcotest.test_case "clear" `Quick test_metrics_clear ] );
     ( "obs.trace",
       [ Alcotest.test_case "disabled passthrough" `Quick test_trace_disabled_is_passthrough;
@@ -301,7 +391,10 @@ let suites =
     ( "obs.parity",
       [ Alcotest.test_case "fuzzer byte-parity obs on/off" `Slow test_fuzzer_parity_obs_on_off;
         Alcotest.test_case "campaign byte-parity obs on/off" `Slow
-          test_campaign_parity_obs_on_off ] );
+          test_campaign_parity_obs_on_off;
+        Alcotest.test_case "fuzzer byte-parity log on/off" `Slow test_fuzzer_parity_log_on_off;
+        Alcotest.test_case "campaign byte-parity log on/off" `Slow
+          test_campaign_parity_log_on_off ] );
     ( "obs.profile",
       [ Alcotest.test_case "vm profile matches reference" `Quick
           test_vm_profile_matches_reference ] );

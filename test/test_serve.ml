@@ -13,6 +13,8 @@ module Wire = Cftcg_serve.Wire
 module Job = Cftcg_serve.Job
 module Scheduler = Cftcg_serve.Scheduler
 module Server = Cftcg_serve.Server
+module Log = Cftcg_obs.Log
+module Flight = Cftcg_obs.Flight
 
 let solar_pv () =
   let e = Option.get (Models.find "SolarPV") in
@@ -473,6 +475,132 @@ let test_http_shared_corpus () =
   Alcotest.(check int) "no orphans" 0 report.Store.fsck_orphans;
   Alcotest.(check bool) "entries persisted" true (report.Store.fsck_entries > 0)
 
+(* --- debug endpoints + end-to-end correlation ------------------------ *)
+
+let test_http_debug_and_correlation () =
+  (* two concurrent campaigns with debug logging into the flight ring:
+     every grant/epoch/worker log entry must carry the job id it
+     belongs to, the two ids must never cross-contaminate, and the
+     /debug endpoints must expose the state *)
+  Log.set_level (Some Log.Debug);
+  Flight.set_enabled true;
+  Flight.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level None;
+      Flight.set_enabled false;
+      Flight.clear ())
+  @@ fun () ->
+  with_daemon @@ fun addr ->
+  let submit seed =
+    let body =
+      Wire.to_string
+        (Wire.Obj
+           [
+             ("model", Wire.Str "solar");
+             ("seed", Wire.Num (float_of_int seed));
+             ("jobs", Wire.Num 2.0);
+             ("total_execs", Wire.Num 600.0);
+             ("execs_per_epoch", Wire.Num 200.0);
+           ])
+    in
+    let status, rbody = request addr ~meth:"POST" ~path:"/campaigns" ~body () in
+    Alcotest.(check int) "accepted" 201 status;
+    Wire.get_string "id" (Wire.of_string rbody)
+  in
+  let id1 = submit 1 in
+  let id2 = submit 2 in
+  let deadline = Unix.gettimeofday () +. 90.0 in
+  let rec wait id =
+    let _, body = request addr ~meth:"GET" ~path:("/campaigns/" ^ id) () in
+    match Wire.get_string "status" (Wire.of_string body) with
+    | "done" -> ()
+    | "failed" -> Alcotest.failf "campaign %s failed: %s" id body
+    | _ ->
+      if Unix.gettimeofday () > deadline then Alcotest.fail "campaigns did not finish";
+      Thread.delay 0.05;
+      wait id
+  in
+  wait id1;
+  wait id2;
+  (* /debug/jobs exposes scheduler internals and the event feed tail *)
+  let status, body = request addr ~meth:"GET" ~path:"/debug/jobs" () in
+  Alcotest.(check int) "debug jobs readable" 200 status;
+  (match Wire.of_string body with
+  | Wire.Arr jobs ->
+    Alcotest.(check int) "both jobs listed" 2 (List.length jobs);
+    List.iter
+      (fun j ->
+        Alcotest.(check bool) "has deficit" true (Wire.member "deficit" j <> None);
+        Alcotest.(check bool) "has weight" true (Wire.member "weight" j <> None);
+        match Wire.member "recent_events" j with
+        | Some (Wire.Arr (_ :: _)) -> ()
+        | _ -> Alcotest.fail "recent_events must be a non-empty array")
+      jobs
+  | _ -> Alcotest.fail "debug jobs must be an array");
+  (* /debug/log serves the ring tail *)
+  let status, body = request addr ~meth:"GET" ~path:"/debug/log" () in
+  Alcotest.(check int) "debug log readable" 200 status;
+  let dbg = Wire.of_string body in
+  Alcotest.(check bool) "recorder on" true (Wire.member "enabled" dbg = Some (Wire.Bool true));
+  (match Wire.member "entries" dbg with
+  | Some (Wire.Arr (_ :: _)) -> ()
+  | _ -> Alcotest.fail "entries must be non-empty");
+  let status, _ = request addr ~meth:"POST" ~path:"/debug/log" () in
+  Alcotest.(check int) "debug is GET-only" 405 status;
+  (* correlation: the daemon runs in-process, so the flight ring holds
+     its log lines. Every job-tagged entry names one of the two ids. *)
+  let entries = Flight.recent ~limit:1000 () in
+  let tagged =
+    List.filter_map (fun e -> List.assoc_opt "job" e.Flight.fl_fields) entries
+  in
+  Alcotest.(check bool) "job-tagged entries exist" true (tagged <> []);
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) (Printf.sprintf "unknown job id %s" j) true (j = id1 || j = id2))
+    tagged;
+  Alcotest.(check bool) "first job present" true (List.mem id1 tagged);
+  Alcotest.(check bool) "second job present" true (List.mem id2 tagged);
+  (* the whole pipeline is tagged: scheduler grants, epochs, workers
+     and the completion line each carry the job id *)
+  let has_msg_for id prefix =
+    List.exists
+      (fun e ->
+        List.assoc_opt "job" e.Flight.fl_fields = Some id
+        && String.length e.Flight.fl_msg >= String.length prefix
+        && String.sub e.Flight.fl_msg 0 (String.length prefix) = prefix)
+      entries
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " grant tagged") true (has_msg_for id "grant:");
+      Alcotest.(check bool) (id ^ " epoch tagged") true (has_msg_for id "epoch");
+      Alcotest.(check bool) (id ^ " worker tagged") true (has_msg_for id "worker");
+      Alcotest.(check bool) (id ^ " completion tagged") true (has_msg_for id "campaign done:"))
+    [ id1; id2 ];
+  (* no swap: the campaign-start line of each job names its own seed *)
+  let start_of id =
+    List.find_map
+      (fun e ->
+        if
+          List.assoc_opt "job" e.Flight.fl_fields = Some id
+          && String.length e.Flight.fl_msg >= 14
+          && String.sub e.Flight.fl_msg 0 14 = "campaign start"
+        then Some e.Flight.fl_msg
+        else None)
+      entries
+  in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (match (start_of id1, start_of id2) with
+  | Some s1, Some s2 ->
+    Alcotest.(check bool) "job1 started with seed 1" true (contains "seed 1" s1);
+    Alcotest.(check bool) "job2 started with seed 2" true (contains "seed 2" s2)
+  | _ -> Alcotest.fail "both campaign-start lines must be tagged")
+
 let suites =
   [
     ( "serve.wire",
@@ -499,5 +627,7 @@ let suites =
       [
         Alcotest.test_case "end to end" `Slow test_http_end_to_end;
         Alcotest.test_case "shared sharded corpus" `Slow test_http_shared_corpus;
+        Alcotest.test_case "debug endpoints + correlation" `Slow
+          test_http_debug_and_correlation;
       ] );
   ]

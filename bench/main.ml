@@ -8,6 +8,9 @@
      speed    — compiled vs interpreted iteration rate (§4 text)
      ablation — CFTCG ingredient ablations (DESIGN.md §5)
      scaling  — ensemble campaign throughput at jobs 1/2/4/8
+     hybrid   — fuzz-only plateau vs plateau→solve→resume campaigns
+                on the deep-state models (TCP, RAC), same seed and
+                execution budget
      serve    — DRR scheduler multiplexing overhead vs solo runs,
                 sharded corpus-store add throughput
      uncovered — per-model list of decisions CFTCG left unreached
@@ -1214,6 +1217,78 @@ let scaling () =
     t
 
 (* ------------------------------------------------------------------ *)
+(* Hybrid: fuzz-only plateau vs plateau→solve→resume campaigns        *)
+(* ------------------------------------------------------------------ *)
+
+(* Table-3-style comparison on the deep-state models (TCP's handshake
+   and RAC's guarded transitions hide probes behind cross-inport
+   equality constraints that random mutation essentially never
+   satisfies): the same seeded campaign once with the classic plateau
+   stop and once with the hybrid concolic phase. Both runs share seed
+   and execution budget — the hybrid run spends part of its budget
+   inside the solver — so any coverage gap is the solver phase's
+   contribution, not extra executions. *)
+let hybrid_bench () =
+  let models =
+    match opts.models with
+    | Some _ -> selected_models ()
+    | None -> List.filter_map Models.find [ "TCP"; "RAC" ]
+  in
+  (* small epochs so fuzzing plateaus while solvable targets remain,
+     and a generous per-phase solver budget (clipped to what is left of
+     the total anyway): the regime where the alternation pays *)
+  let total = max 40_000 (int_of_float (opts.budget *. 20_000.)) in
+  let config hybrid =
+    { Campaign.default_config with
+      Campaign.jobs = 2;
+      seed = Int64.of_int opts.seed;
+      total_execs = total;
+      execs_per_epoch = max 1 (total / 64);
+      plateau_epochs = 2;
+      stop_on_full = true;
+      hybrid =
+        (if hybrid then
+           Some { Campaign.default_hybrid with Campaign.solver_execs = 3 * total / 4 }
+         else None)
+    }
+  in
+  let t =
+    Tt.create
+      [ "Model"; "Mode"; "Probes"; "Executions"; "Solver phases"; "Solver closed"; "Stop reason" ]
+  in
+  let gains = ref [] in
+  List.iter
+    (fun (e : Models.entry) ->
+      let prog = Codegen.lower ~mode:Codegen.Full (Lazy.force e.Models.model) in
+      let row mode hybrid =
+        let r = Campaign.run ~config:(config hybrid) prog in
+        Tt.add_row t
+          [ e.Models.name; mode;
+            Printf.sprintf "%d/%d" r.Campaign.probes_covered r.Campaign.probes_total;
+            string_of_int r.Campaign.executions; string_of_int r.Campaign.solver_rounds;
+            string_of_int r.Campaign.solver_solved;
+            (match r.Campaign.stop_reason with
+            | Some reason -> Campaign.stop_reason_string reason
+            | None -> "-") ];
+        r
+      in
+      let fuzz_only = row "fuzz-only" false in
+      let hybrid = row "hybrid" true in
+      gains :=
+        (e.Models.name, hybrid.Campaign.probes_covered - fuzz_only.Campaign.probes_covered)
+        :: !gains;
+      Tt.add_separator t)
+    models;
+  print_table
+    (Printf.sprintf "Hybrid: fuzz-only plateau vs plateau-solve-resume (%d execs, seed %d)" total
+       opts.seed)
+    t;
+  List.iter
+    (fun (name, gain) ->
+      Printf.printf "hybrid gain on %s: %+d probe(s) over fuzz-only at the same budget\n" name gain)
+    (List.rev !gains)
+
+(* ------------------------------------------------------------------ *)
 (* Serve: scheduler multiplexing overhead and shard store throughput  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1365,8 +1440,8 @@ let uncovered () =
 
 let all_experiments =
   [ ("table2", table2); ("table3", table3); ("figure7", figure7); ("figure8", figure8);
-    ("speed", speed); ("ablation", ablation); ("scaling", scaling); ("serve", serve_bench);
-    ("uncovered", uncovered) ]
+    ("speed", speed); ("ablation", ablation); ("scaling", scaling); ("hybrid", hybrid_bench);
+    ("serve", serve_bench); ("uncovered", uncovered) ]
 
 let () =
   parse_args ();

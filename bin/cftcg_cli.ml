@@ -187,7 +187,8 @@ let setup_logging ?(always = false) log_out log_level =
 let fuzz_cmd =
   let run model_path seconds execs out_dir seed ranges seed_dir jobs corpus resume telemetry
       epoch_execs backend no_opt batch max_runtime epoch_deadline on_worker_crash inject_faults
-      fault_seed metrics_out trace_out coverage_csv html_out log_out log_level =
+      fault_seed metrics_out trace_out coverage_csv html_out log_out log_level hybrid
+      solver_budget solver_rounds =
     (* --jobs 0: one worker per hardware thread, minus the coordinator *)
     let jobs = if jobs = 0 then Cftcg_campaign.Worker_pool.default_capacity () else jobs in
     if jobs < 1 then begin
@@ -221,7 +222,10 @@ let fuzz_cmd =
         batch
       }
     in
-    let parallel = jobs > 1 || corpus <> None || resume || telemetry <> None in
+    (* --hybrid needs the campaign machinery (plateau detection and
+       the coordinator's merged coverage map), so it forces the
+       campaign path even single-worker *)
+    let parallel = jobs > 1 || corpus <> None || resume || telemetry <> None || hybrid in
     let series_ref = ref None in
     let layout, prog, suite =
       with_observability ~want_series:(html_out <> None) ~metrics_out ~trace_out ~coverage_csv
@@ -260,7 +264,15 @@ let fuzz_cmd =
             on_worker_crash;
             max_runtime;
             epoch_deadline;
-            job = Some (Printf.sprintf "fuzz-%d" (Unix.getpid ()))
+            job = Some (Printf.sprintf "fuzz-%d" (Unix.getpid ()));
+            hybrid =
+              (if hybrid then
+                 Some
+                   { Campaign.default_hybrid with
+                     Campaign.solver_execs = solver_budget;
+                     solver_rounds
+                   }
+               else None)
           }
         in
         let pc =
@@ -281,6 +293,12 @@ let fuzz_cmd =
           (if r.Campaign.plateaued then " (stopped on plateau)" else "")
           r.Campaign.executions r.Campaign.probes_covered r.Campaign.probes_total
           (List.length r.Campaign.suite);
+        if r.Campaign.solver_rounds > 0 then
+          Printf.printf "solver: %d phase(s), %d probe(s) closed, %d execs\n"
+            r.Campaign.solver_rounds r.Campaign.solver_solved r.Campaign.solver_executions;
+        (match r.Campaign.stop_reason with
+        | Some reason -> Printf.printf "stop reason: %s\n" (Campaign.stop_reason_string reason)
+        | None -> ());
         List.iter
           (fun (f : Fuzzer.failure) -> Printf.printf "FAILURE: %s\n" f.Fuzzer.f_message)
           r.Campaign.failures;
@@ -400,12 +418,24 @@ let fuzz_cmd =
   let html_out =
     Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc:"Write a self-contained HTML coverage report for the generated suite, including the coverage-over-time curve.")
   in
+  let hybrid =
+    Arg.(value & flag & info [ "hybrid" ] ~doc:"Hybrid concolic campaign: at a coverage plateau, hand the still-uncovered probes to the bounded constraint solver under a deterministic exec budget, absorb the solved inputs as corpus seeds, and resume fuzzing — alternating until neither phase makes progress. Forces campaign mode; same-seed runs stay byte-identical.")
+  in
+  let solver_budget =
+    Arg.(value & opt int Cftcg_campaign.Campaign.default_hybrid.Cftcg_campaign.Campaign.solver_execs
+         & info [ "solver-budget" ] ~docv:"N" ~doc:"Solver executions per $(b,--hybrid) phase (clipped to the remaining $(b,--execs) budget).")
+  in
+  let solver_rounds =
+    Arg.(value & opt int Cftcg_campaign.Campaign.default_hybrid.Cftcg_campaign.Campaign.solver_rounds
+         & info [ "solver-rounds" ] ~docv:"K" ~doc:"Maximum solver phases per $(b,--hybrid) campaign.")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a CFTCG fuzzing campaign and emit CSV test cases.")
     Term.(const run $ model_arg $ seconds $ execs $ out_dir $ seed_arg $ ranges $ seed_dir $ jobs
           $ corpus $ resume $ telemetry $ epoch_execs $ backend $ no_opt $ batch $ max_runtime
           $ epoch_deadline $ on_worker_crash $ inject_faults $ fault_seed $ metrics_out_arg
-          $ trace_out_arg $ coverage_csv_arg $ html_out $ log_out_arg $ log_level_arg)
+          $ trace_out_arg $ coverage_csv_arg $ html_out $ log_out_arg $ log_level_arg $ hybrid
+          $ solver_budget $ solver_rounds)
 
 let emit_c_cmd =
   let run model_path branchless =

@@ -14,6 +14,37 @@ type crash_policy =
 
 exception Worker_crashed of { worker : int; epoch : int; message : string }
 
+module Symexec = Cftcg_symexec.Symexec
+
+(* Hybrid concolic phase (ROADMAP item 2; the BMC+CGF alternation of
+   arXiv 2211.04712): at a coverage plateau the campaign hands the
+   still-uncovered probes to the bounded AVM solver instead of
+   stopping, and resumes fuzzing from whatever the solver closed. *)
+type hybrid = {
+  solver_execs : int;  (** solver exec budget per phase (a virtual clock, never wall time) *)
+  solver_rounds : int;  (** maximum solver phases per campaign *)
+  solver : Symexec.config;  (** bounds/moves; [seed] is re-derived per phase *)
+}
+
+let default_hybrid =
+  { solver_execs = 10_000; solver_rounds = 4; solver = Symexec.default_config }
+
+type stop_reason =
+  | Full_coverage
+  | Plateau
+  | Dead_workers
+  | Budget
+  | Epoch_cap
+  | Deadline
+
+let stop_reason_string = function
+  | Full_coverage -> "full_coverage"
+  | Plateau -> "plateau"
+  | Dead_workers -> "dead_workers"
+  | Budget -> "budget"
+  | Epoch_cap -> "epoch_cap"
+  | Deadline -> "deadline"
+
 type config = {
   jobs : int;
   seed : int64;
@@ -32,6 +63,7 @@ type config = {
   max_runtime : float option;
   epoch_deadline : float option;
   job : string option;
+  hybrid : hybrid option;
 }
 
 let default_config =
@@ -53,6 +85,7 @@ let default_config =
     max_runtime = None;
     epoch_deadline = None;
     job = None;
+    hybrid = None;
   }
 
 (* Correlation fields shared by every log line / dump of a campaign.
@@ -78,6 +111,10 @@ type result = {
   resumed : bool;
   plateaued : bool;
   worker_crashes : int;
+  solver_rounds : int;
+  solver_solved : int;
+  solver_executions : int;
+  stop_reason : stop_reason option;
 }
 
 (* Per-(epoch, worker) seed: one splitmix64 step over a slot derived
@@ -87,6 +124,27 @@ let derive_seed base ~epoch ~worker =
   let master = Rng.create base in
   let slot = Int64.logxor (Rng.next64 master) (Int64.of_int (((epoch + 1) * 65599) + worker)) in
   Rng.next64 (Rng.create slot)
+
+(* Per-(epoch, round) solver seed: the same splitmix derivation as
+   worker seeds, over a tagged master so the solver stream is disjoint
+   from every worker stream. Pure function of the campaign seed — a
+   solver phase is as deterministic as the epochs around it. *)
+let solver_seed base ~epoch ~round =
+  derive_seed (Int64.logxor base 0x5EEDC0DEL) ~epoch ~worker:round
+
+(* Process-global hybrid-phase health counters, snapshotted into
+   post-mortem dumps alongside the batched-VM and corpus-store
+   providers. *)
+let solver_phases_total = Atomic.make 0
+let solver_solved_total = Atomic.make 0
+let solver_execs_total = Atomic.make 0
+
+let () =
+  Flight.register_provider "campaign_solver" (fun () ->
+      Printf.sprintf "{\"phases\":%d,\"targets_closed\":%d,\"solver_executions\":%d}"
+        (Atomic.get solver_phases_total)
+        (Atomic.get solver_solved_total)
+        (Atomic.get solver_execs_total))
 
 (* Coordinator-side Algorithm-1 replay of one input: its probe-set
    bitmap (the dedup fingerprint) and its Iteration Difference
@@ -188,11 +246,20 @@ type state = {
   mutable st_stalled : int;
   mutable st_last_covered : int;
   mutable st_stop : bool;
+  mutable st_stop_reason : stop_reason option;
   mutable st_worker_crashes : int;
   mutable st_live_jobs : int;
   mutable st_dead_epochs : int;
+  mutable st_solver_rounds : int;
+  mutable st_solver_solved : int;
+  mutable st_solver_execs : int;
   st_deadline : float;  (* wall clock; infinity when max_runtime unset *)
 }
+
+(* Records why the campaign is stopping; the first reason wins. *)
+let stop_with st reason =
+  st.st_stop <- true;
+  if st.st_stop_reason = None then st.st_stop_reason <- Some reason
 
 let fully_covered st =
   st.st_prog.Ir.n_probes > 0 && count_covered st.st_coverage >= st.st_prog.Ir.n_probes
@@ -249,9 +316,13 @@ let start ?(config = default_config) (prog : Ir.program) =
       st_stalled = 0;
       st_last_covered = 0;
       st_stop = false;
+      st_stop_reason = None;
       st_worker_crashes = 0;
       st_live_jobs = config.jobs;
       st_dead_epochs = 0;
+      st_solver_rounds = 0;
+      st_solver_solved = 0;
+      st_solver_execs = 0;
       st_deadline =
         (match config.max_runtime with
         | None -> Float.infinity
@@ -281,7 +352,7 @@ let start ?(config = default_config) (prog : Ir.program) =
   List.iter (absorb st) config.fuzzer.Fuzzer.seeds;
   st.st_epoch <- st.st_epoch0;
   st.st_last_covered <- count_covered st.st_coverage;
-  if config.stop_on_full && fully_covered st then st.st_stop <- true;
+  if config.stop_on_full && fully_covered st then stop_with st Full_coverage;
   Log.info ~fields:(job_fields config)
     "campaign start: %d jobs, %d exec budget, seed %Ld%s" config.jobs
     config.total_execs config.seed
@@ -296,6 +367,71 @@ let finished st =
   || st.st_executions >= c.total_execs
   || (c.max_epochs > 0 && st.st_epoch - st.st_epoch0 >= c.max_epochs)
   || past_deadline st
+
+(* One hybrid solver phase: collect the still-uncovered probes from
+   the merged coverage map, run the bounded AVM solver against them
+   under a deterministic exec budget, and absorb whatever it closed
+   into the corpus — fingerprint-deduped exactly like an epoch merge,
+   so the solved inputs reach every worker as seeds at the next
+   epoch's redistribution. Returns how many probes the phase newly
+   covered (by the campaign's own replay).
+
+   Determinism: the phase runs on the coordinator (never in a worker
+   domain), its seed is a pure function of (campaign seed, epoch,
+   round), its budget is the execution counter (the solver never
+   reads the wall clock under [Exec_budget]), and the budget clip
+   against the remaining global allowance is exact integer
+   accounting — so a hybrid campaign keeps the same byte-identical
+   same-seed transcript discipline as its fuzzing epochs, at any
+   worker count and with observability on or off. Solver executions
+   land in [st_executions], so [step]'s return charges them against
+   the submitting tenant's DRR budget like any fuzzing exec. *)
+let solver_phase ?pool st (hy : hybrid) ~epoch =
+  let config = st.st_config in
+  let emit = st.st_emit in
+  let round = st.st_solver_rounds in
+  st.st_solver_rounds <- round + 1;
+  let covered_before = count_covered st.st_coverage in
+  let targets = st.st_prog.Ir.n_probes - covered_before in
+  let budget = min hy.solver_execs (max 0 (config.total_execs - st.st_executions)) in
+  emit (Telemetry.Solver_phase { epoch; round; targets; stalled_epochs = st.st_stalled });
+  Log.info "solver phase %d: %d uncovered targets after %d stalled epochs, %d exec budget"
+    round targets st.st_stalled budget;
+  let sym = { hy.solver with Symexec.seed = solver_seed config.seed ~epoch ~round } in
+  let solve () =
+    Trace.with_span "campaign.solver"
+      ~args:[ ("epoch", string_of_int epoch); ("round", string_of_int round) ]
+    @@ fun () ->
+    Symexec.run ~config:sym ~initial_coverage:st.st_coverage st.st_prog
+      (Symexec.Exec_budget budget)
+  in
+  (* borrow one pool slot so a scheduler's concurrency cap covers the
+     solver's CPU like it covers a worker's *)
+  let r =
+    match pool with
+    | None -> solve ()
+    | Some p -> Worker_pool.with_slots p (min 1 (Worker_pool.capacity p)) solve
+  in
+  st.st_executions <- st.st_executions + r.Symexec.executions;
+  st.st_solver_execs <- st.st_solver_execs + r.Symexec.executions;
+  List.iter (fun (tc : Symexec.test_case) -> absorb st tc.Symexec.data) r.Symexec.suite;
+  let covered = count_covered st.st_coverage in
+  let closed = covered - covered_before in
+  st.st_solver_solved <- st.st_solver_solved + closed;
+  Atomic.incr solver_phases_total;
+  ignore (Atomic.fetch_and_add solver_solved_total closed);
+  ignore (Atomic.fetch_and_add solver_execs_total r.Symexec.executions);
+  emit
+    (Telemetry.Solver_done
+       { epoch; round; targets; solved = closed; executions = r.Symexec.executions;
+         probes_covered = covered });
+  Log.info "solver phase %d done: closed %d/%d targets in %d execs" round closed targets
+    r.Symexec.executions;
+  (* restart stall detection from the post-solve coverage level: the
+     next plateau is measured against what the solver left behind *)
+  st.st_stalled <- 0;
+  st.st_last_covered <- covered;
+  closed
 
 (* One epoch: distribute budgets, run the workers (through the shared
    pool when given one), merge and persist. Returns the executions the
@@ -550,16 +686,46 @@ let step ?workers ?max_execs ?(should_stop = fun () -> false) ?pool st =
      all; two in a row means the failure is not transient — stop
      instead of spinning on a budget that can never be spent *)
   if results = [] then st.st_dead_epochs <- st.st_dead_epochs + 1 else st.st_dead_epochs <- 0;
-  if config.stop_on_full && fully_covered st then st.st_stop <- true
-  else if st.st_stalled >= config.plateau_epochs then begin
+  let plateau_stop () =
     st.st_plateaued <- true;
     Log.info "plateau: no new coverage for %d epochs, stopping" st.st_stalled;
     emit (Telemetry.Plateau { epoch = this_epoch; stalled_epochs = st.st_stalled });
-    st.st_stop <- true
+    stop_with st Plateau
+  in
+  if config.stop_on_full && fully_covered st then stop_with st Full_coverage
+  else if st.st_stalled >= config.plateau_epochs then begin
+    (* hybrid phase state machine: fuzz → (plateau) → solve → fuzz …
+       until the solver comes up dry or its rounds are spent, at
+       which point the plateau is final *)
+    match config.hybrid with
+    | Some hy when st.st_solver_rounds < hy.solver_rounds && not (fully_covered st) ->
+      let closed = solver_phase ?pool st hy ~epoch:this_epoch in
+      if closed = 0 then plateau_stop ()
+      else if config.stop_on_full && fully_covered st then stop_with st Full_coverage
+    | Some _ | None -> plateau_stop ()
   end
-  else if st.st_dead_epochs >= 2 then st.st_stop <- true;
+  else if st.st_dead_epochs >= 2 then begin
+    Log.error "stopping: %d consecutive epochs with every worker crashed" st.st_dead_epochs;
+    emit (Telemetry.Dead_workers { epoch = this_epoch; dead_epochs = st.st_dead_epochs });
+    stop_with st Dead_workers
+  end;
   st.st_epoch <- st.st_epoch + 1;
   st.st_executions - execs_before
+
+(* Why the campaign is over: an explicit stop records its reason when
+   it happens; the remaining loop conditions are re-derived here.
+   [None] means the campaign was abandoned mid-flight (a cancelled
+   served job). The deadline check only touches the wall clock when
+   [max_runtime] was set, so deterministic runs stay clock-free. *)
+let effective_stop_reason st =
+  match st.st_stop_reason with
+  | Some _ as r -> r
+  | None ->
+    let c = st.st_config in
+    if st.st_executions >= c.total_execs then Some Budget
+    else if c.max_epochs > 0 && st.st_epoch - st.st_epoch0 >= c.max_epochs then Some Epoch_cap
+    else if past_deadline st then Some Deadline
+    else None
 
 let finish st =
   let suite =
@@ -577,6 +743,10 @@ let finish st =
     resumed = st.st_resumed;
     plateaued = st.st_plateaued;
     worker_crashes = st.st_worker_crashes;
+    solver_rounds = st.st_solver_rounds;
+    solver_solved = st.st_solver_solved;
+    solver_executions = st.st_solver_execs;
+    stop_reason = effective_stop_reason st;
   }
 
 type progress = {
@@ -587,6 +757,8 @@ type progress = {
   pg_corpus_size : int;
   pg_worker_crashes : int;
   pg_plateaued : bool;
+  pg_solver_rounds : int;
+  pg_stop_reason : stop_reason option;
 }
 
 let progress st =
@@ -598,6 +770,8 @@ let progress st =
     pg_corpus_size = Hashtbl.length st.st_corpus;
     pg_worker_crashes = st.st_worker_crashes;
     pg_plateaued = st.st_plateaued;
+    pg_solver_rounds = st.st_solver_rounds;
+    pg_stop_reason = st.st_stop_reason;
   }
 
 let run ?(config = default_config) (prog : Ir.program) =

@@ -17,6 +17,17 @@
       when every probe is covered, or when coverage has plateaued for
       a configurable number of epochs.
 
+    {b Hybrid concolic phase.} With [hybrid] set, a plateau does not
+    stop the campaign: the coordinator hands the still-uncovered
+    probes to the bounded {!Cftcg_symexec.Symexec} solver under a
+    deterministic exec budget, absorbs the solved inputs into the
+    merged corpus (fingerprint-deduped like any epoch merge, so they
+    reach every worker as next-epoch seeds), resets the stall counter
+    and resumes fuzzing — alternating until the solver closes zero
+    targets, its rounds are spent, or the model is fully covered.
+    Solver executions are charged against [total_execs] (and a
+    scheduler grant) like fuzzing executions.
+
     With an optional {!Corpus_store} directory attached, the merged
     corpus and a manifest (coverage bitmap, cumulative executions,
     epoch counter) are persisted after every epoch, so a killed
@@ -57,6 +68,35 @@ exception Worker_crashed of { worker : int; epoch : int; message : string }
     joined and the telemetry sink closed before this escapes — no
     resources leak. *)
 
+type hybrid = {
+  solver_execs : int;
+      (** solver exec budget per phase, clipped to what is left of
+          [total_execs]; a {!Cftcg_symexec.Symexec.Exec_budget}, so
+          the phase never reads the wall clock *)
+  solver_rounds : int;  (** maximum solver phases per campaign *)
+  solver : Cftcg_symexec.Symexec.config;
+      (** unroll bounds and per-target move budget; [seed] is
+          re-derived per (epoch, round) from the campaign seed *)
+}
+
+val default_hybrid : hybrid
+(** 10k executions per phase, at most 4 phases,
+    {!Cftcg_symexec.Symexec.default_config} search parameters. *)
+
+type stop_reason =
+  | Full_coverage  (** every probe covered ([stop_on_full]) *)
+  | Plateau
+      (** coverage stalled for [plateau_epochs] epochs — and, on a
+          hybrid campaign, the solver phases are exhausted too *)
+  | Dead_workers  (** two consecutive epochs with every worker crashed *)
+  | Budget  (** [total_execs] spent *)
+  | Epoch_cap  (** [max_epochs] reached *)
+  | Deadline  (** [max_runtime] wall deadline passed *)
+
+val stop_reason_string : stop_reason -> string
+(** Stable lowercase identifier (["full_coverage"], ["plateau"], …)
+    for logs, status JSON and the CLI summary. *)
+
 type config = {
   jobs : int;  (** concurrent workers (>= 1) *)
   seed : int64;  (** campaign master seed; worker streams split from it *)
@@ -95,12 +135,16 @@ type config = {
           CLI runs mint a [fuzz-<pid>] id; [None] (the default) logs
           without a job field. Purely observational — never affects
           campaign results *)
+  hybrid : hybrid option;
+      (** [Some _] turns the plateau into a fuzz→solve→fuzz
+          alternation instead of a stop; [None] (the default) keeps
+          the classic plateau stop *)
 }
 
 val default_config : config
 (** 4 jobs, 20k total executions in epochs of 1k per worker, plateau
     window 3, seed 1, no persistence, no telemetry, crash policy
-    {!Degrade}, no deadlines, no job id. *)
+    {!Degrade}, no deadlines, no job id, no hybrid phase. *)
 
 type epoch_stat = {
   ep_epoch : int;
@@ -117,15 +161,23 @@ type result = {
   probes_covered : int;
   probes_total : int;
   executions : int;
-      (** cumulative, including resumed-from executions; may slightly
-          exceed [total_execs] because every worker replays the shared
-          seed corpus even when its last-epoch slice is smaller *)
+      (** cumulative, including resumed-from executions. Never exceeds
+          [total_execs] on a fresh run: workers clip even their seed
+          replay to the epoch slice *)
   epochs : epoch_stat list;  (** chronological, this run only *)
   resumed : bool;
-  plateaued : bool;  (** stopped by the plateau detector *)
+  plateaued : bool;
+      (** stopped by the plateau detector (hybrid campaigns: after the
+          solver phases ran dry as well) *)
   worker_crashes : int;
       (** worker domains that raised and were salvaged (under
           {!Degrade}; under {!Abort} the first crash raises) *)
+  solver_rounds : int;  (** hybrid solver phases run *)
+  solver_solved : int;  (** probes closed by those phases (campaign replay) *)
+  solver_executions : int;  (** executions spent inside solver phases *)
+  stop_reason : stop_reason option;
+      (** why the campaign ended; [None] only when the state was
+          abandoned mid-flight (a cancelled served job) *)
 }
 
 val run : ?config:config -> Ir.program -> result
@@ -189,6 +241,8 @@ type progress = {
   pg_corpus_size : int;
   pg_worker_crashes : int;
   pg_plateaued : bool;
+  pg_solver_rounds : int;
+  pg_stop_reason : stop_reason option;  (** set once a [step] decided to stop *)
 }
 
 val progress : state -> progress

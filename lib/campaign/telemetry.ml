@@ -4,6 +4,16 @@ type event =
   | Corpus_sync of { epoch : int; candidates : int; kept : int; probes_covered : int }
   | Epoch_end of { epoch : int; executions : int; probes_covered : int; probes_total : int; corpus_size : int }
   | Plateau of { epoch : int; stalled_epochs : int }
+  | Solver_phase of { epoch : int; round : int; targets : int; stalled_epochs : int }
+  | Solver_done of {
+      epoch : int;
+      round : int;
+      targets : int;
+      solved : int;
+      executions : int;
+      probes_covered : int;
+    }
+  | Dead_workers of { epoch : int; dead_epochs : int }
   | Failure of { worker : int; epoch : int; message : string }
   | Worker_crash of { worker : int; epoch : int; message : string }
   | Salvage of { message : string }
@@ -86,6 +96,15 @@ let to_json ?seq e =
         ("corpus_size", `I corpus_size) ]
     | Plateau { epoch; stalled_epochs } ->
       [ ("type", `S "plateau"); ("epoch", `I epoch); ("stalled_epochs", `I stalled_epochs) ]
+    | Solver_phase { epoch; round; targets; stalled_epochs } ->
+      [ ("type", `S "solver_phase"); ("epoch", `I epoch); ("round", `I round);
+        ("targets", `I targets); ("stalled_epochs", `I stalled_epochs) ]
+    | Solver_done { epoch; round; targets; solved; executions; probes_covered } ->
+      [ ("type", `S "solver_done"); ("epoch", `I epoch); ("round", `I round);
+        ("targets", `I targets); ("solved", `I solved); ("executions", `I executions);
+        ("probes_covered", `I probes_covered) ]
+    | Dead_workers { epoch; dead_epochs } ->
+      [ ("type", `S "dead_workers"); ("epoch", `I epoch); ("dead_epochs", `I dead_epochs) ]
     | Failure { worker; epoch; message } ->
       [ ("type", `S "failure"); ("worker", `I worker); ("epoch", `I epoch);
         ("message", `S message) ]
@@ -230,6 +249,16 @@ let metrics_bridge ?registry () =
   let plateaus = c "cftcg_campaign_plateaus_total" "Early stops due to a coverage plateau" in
   let crashes = c "cftcg_campaign_worker_crashes_total" "Worker domains that raised and were salvaged" in
   let salvages = c "cftcg_campaign_salvage_events_total" "Corpus-store recovery actions" in
+  let solver_phases = c "cftcg_campaign_solver_phases_total" "Hybrid solver phases started" in
+  let solver_solved =
+    c "cftcg_campaign_solver_solved_total" "Probes the hybrid solver phases closed"
+  in
+  let solver_execs =
+    c "cftcg_campaign_solver_executions_total" "Executions spent inside hybrid solver phases"
+  in
+  let dead_stops =
+    c "cftcg_campaign_dead_worker_stops_total" "Campaigns stopped after consecutive dead epochs"
+  in
   let emit = function
     | Epoch_end { executions; probes_covered; corpus_size; _ } ->
       M.inc epochs;
@@ -240,6 +269,11 @@ let metrics_bridge ?registry () =
     | Corpus_sync _ -> M.inc syncs
     | Failure _ -> M.inc failures
     | Plateau _ -> M.inc plateaus
+    | Solver_phase _ -> M.inc solver_phases
+    | Solver_done { solved; executions; _ } ->
+      M.add solver_solved solved;
+      M.add solver_execs executions
+    | Dead_workers _ -> M.inc dead_stops
     | Worker_crash _ -> M.inc crashes
     | Salvage _ -> M.inc salvages
     | Exec_batch _ -> ()
@@ -276,6 +310,19 @@ let progress oc =
       Printf.fprintf oc "\r%-78s\n%!"
         (Printf.sprintf "  plateau: no new coverage for %d epochs (stopping at epoch %d)"
            stalled_epochs epoch)
+    | Solver_phase { epoch; round; targets; stalled_epochs } ->
+      Printf.fprintf oc "\r%-78s\n%!"
+        (Printf.sprintf
+           "  solver phase %d: %d uncovered targets (plateau after %d epochs, at epoch %d)"
+           round targets stalled_epochs epoch)
+    | Solver_done { round; targets; solved; executions; probes_covered; _ } ->
+      Printf.fprintf oc "\r%-78s\n%!"
+        (Printf.sprintf "  solver phase %d done: closed %d/%d targets in %d execs (%d covered)"
+           round solved targets executions probes_covered)
+    | Dead_workers { epoch; dead_epochs } ->
+      Printf.fprintf oc "\r%-78s\n%!"
+        (Printf.sprintf "  DEAD WORKERS: %d epochs without a surviving worker (stopping at epoch %d)"
+           dead_epochs epoch)
     | Failure { worker; message; _ } ->
       Printf.fprintf oc "\r%-78s\n%!" (Printf.sprintf "  FAILURE (worker %d): %s" worker message)
     | Worker_crash { worker; message; _ } ->

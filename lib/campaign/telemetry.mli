@@ -37,7 +37,24 @@ type event =
     }
   | Plateau of { epoch : int; stalled_epochs : int }
       (** coverage has not grown for [stalled_epochs] epochs; the
-          campaign stops early *)
+          campaign stops early (hybrid campaigns only emit this once
+          the solver phases are exhausted too) *)
+  | Solver_phase of { epoch : int; round : int; targets : int; stalled_epochs : int }
+      (** a hybrid campaign hit the plateau and handed its [targets]
+          still-uncovered probes to the bounded solver ([round] counts
+          solver phases from 0) *)
+  | Solver_done of {
+      epoch : int;
+      round : int;
+      targets : int;
+      solved : int;  (** probes the phase newly covered (campaign replay) *)
+      executions : int;  (** executions charged by the phase *)
+      probes_covered : int;  (** global, after absorbing solved inputs *)
+    }  (** the solver phase finished; the campaign resumes fuzzing iff [solved > 0] *)
+  | Dead_workers of { epoch : int; dead_epochs : int }
+      (** [dead_epochs] consecutive epochs ended with every worker
+          crashed; the campaign stops rather than spin on a budget it
+          can never spend *)
   | Failure of { worker : int; epoch : int; message : string }
       (** an Assertion block was violated *)
   | Worker_crash of { worker : int; epoch : int; message : string }
@@ -98,7 +115,9 @@ val metrics_bridge : ?registry:Cftcg_obs.Metrics.t -> unit -> sink
     {!Cftcg_obs.Metrics.default}): campaign-level gauges
     (executions / probes covered / corpus size, updated at each
     [Epoch_end]) and counters (epochs, new-probe events, corpus
-    syncs, failures, plateaus). Updates the instruments regardless of
+    syncs, failures, plateaus, hybrid solver phases / probes solved /
+    solver executions, dead-worker stops). Updates the instruments
+    regardless of
     {!Cftcg_obs.Metrics.collecting} — attaching the sink is the
     opt-in. *)
 

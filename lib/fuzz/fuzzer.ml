@@ -677,7 +677,15 @@ let run ?(config = default_config) ?(on_test_case = fun _ -> ()) ?(on_progress =
               (List.init tuples (fun _ -> Layout.random_tuple_bytes layout rng)))
       in
       let all = Array.append seeds randoms in
-      process all (Array.make (Array.length all) (-1)) (Array.length all));
+      (* The seed draft respects the exec budget like the main loop
+         does: a campaign's redistributed corpus (solver-injected
+         seeds included) can be larger than a small scheduler grant,
+         and the accounting that charges tenants per epoch assumes
+         the budget is never overshot. Clipping changes only how many
+         seeds run, never the RNG stream — the random streams were
+         drawn above either way. *)
+      let n = min (Array.length all) (max 0 (deadline_execs - !executions)) in
+      process all (Array.make (Array.length all) (-1)) n);
   let max_len = config.max_tuples * layout.Layout.tuple_len in
   let should_continue () =
     !executions < deadline_execs

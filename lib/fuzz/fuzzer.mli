@@ -43,7 +43,10 @@ type config = {
           and generation stay inside them *)
   seeds : Bytes.t list;
       (** seed corpus executed before random exploration (existing
-          CSV test cases, previous campaigns) *)
+          CSV test cases, previous campaigns, a hybrid campaign's
+          solver-produced inputs). Seed replay is clipped to the exec
+          budget like the main loop, so a run never spends more than
+          its {!Exec_budget} even when the seed list is larger *)
   use_dictionary : bool;
       (** harvest comparison constants from the generated code and
           use them in value mutations (default true) *)

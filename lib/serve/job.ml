@@ -161,7 +161,12 @@ let status_json t =
         ("corpus_size", Wire.Num (float_of_int p.Campaign.pg_corpus_size));
         ("worker_crashes", Wire.Num (float_of_int p.Campaign.pg_worker_crashes));
         ("plateaued", Wire.Bool p.Campaign.pg_plateaued);
+        ("solver_rounds", Wire.Num (float_of_int p.Campaign.pg_solver_rounds));
       ]
+      @
+      (match p.Campaign.pg_stop_reason with
+      | Some r -> [ ("stop_reason", Wire.Str (Campaign.stop_reason_string r)) ]
+      | None -> [])
   in
   let outcome =
     match t.jb_status with

@@ -26,9 +26,26 @@ let submission_of_body body =
     | "closures" -> Fuzzer.Closures
     | other -> raise (Wire.Parse_error (Printf.sprintf "unknown backend %S" other))
   in
+  (* hybrid opt-in: "hybrid": true enables the plateau→solve→resume
+     phase; solver_execs / solver_rounds tune its budgets. Solver
+     executions are charged to the tenant like fuzzing executions
+     (they land in Campaign.step's return value). *)
+  let hybrid =
+    if Wire.get_bool ~default:false "hybrid" j then
+      Some
+        {
+          Campaign.default_hybrid with
+          Campaign.solver_execs =
+            Wire.get_int ~default:Campaign.default_hybrid.Campaign.solver_execs "solver_execs" j;
+          solver_rounds =
+            Wire.get_int ~default:Campaign.default_hybrid.Campaign.solver_rounds "solver_rounds" j;
+        }
+    else None
+  in
   let config =
     { Campaign.default_config with
       Campaign.jobs;
+      hybrid;
       seed = Int64.of_int (Wire.get_int ~default:1 "seed" j);
       total_execs = Wire.get_int ~default:Campaign.default_config.Campaign.total_execs "total_execs" j;
       execs_per_epoch =

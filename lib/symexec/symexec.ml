@@ -16,6 +16,10 @@ type test_case = {
   time : float;
 }
 
+type budget =
+  | Time_budget of float
+  | Exec_budget of int
+
 type result = {
   suite : test_case list;
   executions : int;
@@ -65,7 +69,7 @@ let fitness chains target obs probe_hit =
     walk 0 chain
   end
 
-let run ?(config = default_config) ?initial_coverage (prog : Ir.program) ~time_budget =
+let run ?(config = default_config) ?initial_coverage (prog : Ir.program) budget =
   let layout = Layout.of_program prog in
   if layout.Layout.tuple_len = 0 then invalid_arg "Symexec.run: model has no inports";
   let rng = Rng.create config.seed in
@@ -96,9 +100,28 @@ let run ?(config = default_config) ?initial_coverage (prog : Ir.program) ~time_b
     }
   in
   let compiled = Ir_compile.compile ~hooks prog in
-  let start = Unix.gettimeofday () in
-  let deadline = start +. time_budget in
   let executions = ref 0 in
+  (* Exec-budget runs pace themselves on the execution counter — a
+     virtual clock — and never read the wall clock, so same-seed runs
+     are byte-identical, timestamps included (the discipline
+     Fuzzer.run follows). Only a time budget touches gettimeofday. *)
+  let start, deadline =
+    match budget with
+    | Time_budget s ->
+      let now = Unix.gettimeofday () in
+      (now, now +. s)
+    | Exec_budget _ -> (0.0, 0.0)
+  in
+  let budget_ok () =
+    match budget with
+    | Time_budget _ -> Unix.gettimeofday () < deadline
+    | Exec_budget n -> !executions < n
+  in
+  let elapsed_now () =
+    match budget with
+    | Time_budget _ -> Unix.gettimeofday () -. start
+    | Exec_budget _ -> float_of_int !executions
+  in
   let suite = ref [] in
   let record_new_coverage data =
     (* fold this execution's probes into the global set; emit a test
@@ -110,8 +133,7 @@ let run ?(config = default_config) ?initial_coverage (prog : Ir.program) ~time_b
         fresh := true
       end
     done;
-    if !fresh then
-      suite := { data = Bytes.copy data; time = Unix.gettimeofday () -. start } :: !suite
+    if !fresh then suite := { data = Bytes.copy data; time = elapsed_now () } :: !suite
   in
   (* Execute [data]; returns whether [target] was hit this run. *)
   let execute data target =
@@ -168,26 +190,25 @@ let run ?(config = default_config) ?initial_coverage (prog : Ir.program) ~time_b
     let hit = execute data target in
     fitness chains target obs hit
   in
-  let time_ok () = Unix.gettimeofday () < deadline in
   (* Alternating-variable search for one target at one unrolling bound. *)
   let solve_target target bound =
     let matrix = ref (Array.init bound (fun _ -> random_row ())) in
     let best = ref (eval_candidate !matrix target) in
     let moves = ref 0 in
     let improved_once = ref true in
-    while !best > 0.0 && !moves < config.moves_per_target && time_ok () && !improved_once do
+    while !best > 0.0 && !moves < config.moves_per_target && budget_ok () && !improved_once do
       improved_once := false;
       (* sweep dimensions; exponential pattern moves on improvement *)
       let dims = Array.init (bound * n_fields) (fun i -> i) in
       Rng.shuffle_in_place rng dims;
       Array.iter
         (fun dim ->
-          if !best > 0.0 && !moves < config.moves_per_target && time_ok () then begin
+          if !best > 0.0 && !moves < config.moves_per_target && budget_ok () then begin
             let s = dim / n_fields and f = dim mod n_fields in
             let try_dir dir =
               let delta = ref dir in
               let continue_ = ref true in
-              while !continue_ && !best > 0.0 && !moves < config.moves_per_target && time_ok () do
+              while !continue_ && !best > 0.0 && !moves < config.moves_per_target && budget_ok () do
                 let cand = nudge !matrix s f !delta in
                 incr moves;
                 let fit = eval_candidate cand target in
@@ -205,7 +226,9 @@ let run ?(config = default_config) ?initial_coverage (prog : Ir.program) ~time_b
           end)
         dims;
       (* random restart of one step row when stuck *)
-      if !best > 0.0 && not !improved_once && bound > 0 && !moves < config.moves_per_target then begin
+      if !best > 0.0 && not !improved_once && bound > 0 && !moves < config.moves_per_target
+         && budget_ok ()
+      then begin
         let cand = Array.copy !matrix in
         cand.(Rng.int rng bound) <- random_row ();
         incr moves;
@@ -232,14 +255,21 @@ let run ?(config = default_config) ?initial_coverage (prog : Ir.program) ~time_b
       let rec try_bounds = function
         | [] -> ()
         | bound :: rest ->
-          if time_ok () && Bytes.get g_total target = '\000' then begin
+          (* A target can become covered between bounds (an escalating
+             search executes inputs that fire other probes too); that
+             still counts as solved — the guard used to stop the
+             escalation here without crediting it, leaving
+             [targets_solved] in disagreement with [probes_covered]
+             over the very same targets. *)
+          if Bytes.get g_total target <> '\000' then incr solved
+          else if budget_ok () then begin
             if solve_target target bound then incr solved else try_bounds rest
           end
       in
       try_bounds config.unroll_bounds
     end
   in
-  List.iter (fun t -> if time_ok () then consider t) targets;
+  List.iter (fun t -> if budget_ok () then consider t) targets;
   let covered = ref 0 in
   Bytes.iter (fun c -> if c <> '\000' then incr covered) g_total;
   {
@@ -249,3 +279,6 @@ let run ?(config = default_config) ?initial_coverage (prog : Ir.program) ~time_b
     targets_solved = !solved;
     probes_covered = !covered;
   }
+
+let run_timed ?config ?initial_coverage prog ~time_budget =
+  run ?config ?initial_coverage prog (Time_budget time_budget)

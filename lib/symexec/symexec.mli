@@ -30,20 +30,38 @@ val default_config : config
 
 type test_case = {
   data : Bytes.t;
-  time : float;  (** seconds since campaign start *)
+  time : float;
+      (** under {!Time_budget}: wall seconds since solver start; under
+          {!Exec_budget}: the execution index on the virtual clock *)
 }
+
+type budget =
+  | Time_budget of float  (** wall-clock seconds — paced on [gettimeofday] *)
+  | Exec_budget of int
+      (** maximum [execute] calls. The solver never reads the wall
+          clock under this budget: pacing, escalation and timestamps
+          all run off the execution counter, so same-seed runs are
+          byte-identical — the determinism discipline campaigns pin. *)
 
 type result = {
   suite : test_case list;  (** chronological *)
   executions : int;
   targets_total : int;
   targets_solved : int;
+      (** targets observed covered by the time the solver finished
+          considering them — solved directly, covered incidentally by
+          another target's search, or already in [initial_coverage] *)
   probes_covered : int;
 }
 
-val run :
-  ?config:config -> ?initial_coverage:Bytes.t -> Ir.program -> time_budget:float -> result
+val run : ?config:config -> ?initial_coverage:Bytes.t -> Ir.program -> budget -> result
 (** Runs on a fully instrumented program ([Codegen.Full]).
     [initial_coverage] (a probe bitmap, nonzero = already covered)
     removes objectives another generator already hit — the hook the
-    hybrid CFTCG+solver pipeline uses. *)
+    hybrid campaign phase and the CFTCG+solver baseline use. *)
+
+val run_timed :
+  ?config:config -> ?initial_coverage:Bytes.t -> Ir.program -> time_budget:float -> result
+(** [run] under a {!Time_budget} — the wall-clock wrapper kept for the
+    standalone/baseline path, where runs race a human deadline rather
+    than a reproducible exec budget. *)

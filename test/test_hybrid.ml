@@ -74,8 +74,145 @@ let test_hybrid_timestamps_ordered () =
   in
   Alcotest.(check bool) "chronological" true (ordered r.Hybrid.suite)
 
+(* --- Hybrid concolic campaigns: plateau → solve → resume --- *)
+
+module Campaign = Cftcg_campaign.Campaign
+
+(* The example's rolling-code protocol: the unlock path needs
+   Response = Challenge + 0x2F1A6B3C exactly, and the lockout states
+   behind it need the unlock to happen (or fail) across iterations —
+   coverage pure fuzzing never reaches. *)
+let rolling_code_model () =
+  let b = B.create "RollingCode" in
+  let challenge = B.inport b "Challenge" Dtype.Int32 in
+  let response = B.inport b "Response" Dtype.Int32 in
+  let expected = B.bias b (float_of_int 0x2F1A6B3C) (B.convert b Dtype.Float64 challenge) in
+  let ok = B.relational b ~name:"KeyCheck" Graph.R_eq (B.convert b Dtype.Float64 response) expected in
+  let attempts = B.counter b ~name:"Lockout" 5 (B.not_ b ok) in
+  let locked = B.compare_const b ~name:"Locked" Graph.R_ge 5.0 attempts in
+  let state =
+    B.multiport_switch b ~name:"DoorState"
+      (B.sum b
+         [ B.const_f b 1.; B.convert b Dtype.Float64 ok;
+           B.gain b 2. (B.convert b Dtype.Float64 locked) ])
+      [ B.const_i b Dtype.Int32 0; B.const_i b Dtype.Int32 1; B.const_i b Dtype.Int32 2;
+        B.const_i b Dtype.Int32 2 ]
+  in
+  B.outport b "DoorState" state;
+  B.finish b
+
+(* which decision blocks a merged suite leaves uncovered *)
+let uncovered_blocks prog suite =
+  let recorder = Recorder.create prog in
+  let compiled = Cftcg_ir.Ir_compile.compile ~hooks:(Recorder.hooks recorder) prog in
+  let layout = Cftcg_fuzz.Layout.of_program prog in
+  List.iter
+    (fun data ->
+      Cftcg_ir.Ir_compile.reset compiled;
+      let n = min (Cftcg_fuzz.Layout.n_tuples layout data) 4096 in
+      for tuple = 0 to n - 1 do
+        Cftcg_fuzz.Layout.load_tuple layout data ~tuple compiled;
+        Cftcg_ir.Ir_compile.step compiled
+      done)
+    suite;
+  List.map (fun (block, _, _) -> block) (Recorder.uncovered recorder)
+
+let campaign_config ?(jobs = 2) ?(stop_on_full = true) ~hybrid () =
+  { Campaign.default_config with
+    Campaign.jobs;
+    seed = 9L;
+    total_execs = 30_000;
+    execs_per_epoch = 500;
+    plateau_epochs = 2;
+    stop_on_full;
+    hybrid =
+      (if hybrid then Some { Campaign.default_hybrid with Campaign.solver_execs = 15_000 }
+       else None)
+  }
+
+let test_campaign_plateau_solve_resume () =
+  let prog = Codegen.lower (rolling_code_model ()) in
+  (* classic plateau stop: the KeyCheck equality (and the lockout
+     states behind it) stay uncovered *)
+  let fuzz_only = Campaign.run ~config:(campaign_config ~hybrid:false ()) prog in
+  Alcotest.(check bool) "fuzz-only plateaus" true
+    (fuzz_only.Campaign.stop_reason = Some Campaign.Plateau);
+  Alcotest.(check int) "fuzz-only ran no solver phase" 0 fuzz_only.Campaign.solver_rounds;
+  Alcotest.(check bool) "fuzz-only leaves KeyCheck uncovered" true
+    (List.mem "KeyCheck" (uncovered_blocks prog fuzz_only.Campaign.suite));
+  (* hybrid: the plateau becomes a solve-and-resume *)
+  let hybrid = Campaign.run ~config:(campaign_config ~hybrid:true ()) prog in
+  Alcotest.(check bool) "solver phase ran" true (hybrid.Campaign.solver_rounds > 0);
+  Alcotest.(check bool) "solver closed probes" true (hybrid.Campaign.solver_solved > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid (%d) covers strictly more than fuzz-only (%d)"
+       hybrid.Campaign.probes_covered fuzz_only.Campaign.probes_covered)
+    true
+    (hybrid.Campaign.probes_covered > fuzz_only.Campaign.probes_covered);
+  Alcotest.(check (list string)) "hybrid covers every decision" []
+    (uncovered_blocks prog hybrid.Campaign.suite);
+  Alcotest.(check bool) "hybrid stops on full coverage" true
+    (hybrid.Campaign.stop_reason = Some Campaign.Full_coverage);
+  (* solver executions were charged against the campaign budget *)
+  Alcotest.(check bool) "solver execs counted" true (hybrid.Campaign.solver_executions > 0);
+  Alcotest.(check bool) "budget respected" true
+    (hybrid.Campaign.executions <= (campaign_config ~hybrid:true ()).Campaign.total_execs)
+
+let test_campaign_hybrid_deterministic () =
+  (* stop_on_full off: the documented strictly-deterministic regime.
+     Same seed, same worker count -> byte-identical results, including
+     the solver phases' seeds, rounds and suite contributions. *)
+  let prog = Codegen.lower (cross_constraint_model ()) in
+  List.iter
+    (fun jobs ->
+      let config = campaign_config ~jobs ~stop_on_full:false ~hybrid:true () in
+      let r1 = Campaign.run ~config prog and r2 = Campaign.run ~config prog in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d: solver phase ran" jobs)
+        true (r1.Campaign.solver_rounds > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d: identical results" jobs)
+        true (r1 = r2))
+    [ 1; 2 ]
+
+let test_campaign_hybrid_obs_parity () =
+  (* enabling the whole observability surface must not change what a
+     hybrid campaign finds: instrumentation is observation-only *)
+  let module Metrics = Cftcg_obs.Metrics in
+  let module Trace = Cftcg_obs.Trace in
+  let module Log = Cftcg_obs.Log in
+  let module Flight = Cftcg_obs.Flight in
+  let prog = Codegen.lower (cross_constraint_model ()) in
+  let run ~jobs ~obs =
+    Metrics.set_collect obs;
+    Trace.set_enabled obs;
+    Log.set_level (if obs then Some Log.Debug else None);
+    Flight.set_enabled obs;
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.set_collect false;
+        Trace.set_enabled false;
+        Trace.clear ();
+        Log.set_level None;
+        Flight.set_enabled false;
+        Flight.clear ())
+      (fun () ->
+        Campaign.run ~config:(campaign_config ~jobs ~stop_on_full:false ~hybrid:true ()) prog)
+  in
+  List.iter
+    (fun jobs ->
+      let off = run ~jobs ~obs:false and on = run ~jobs ~obs:true in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d: obs on/off byte-identical" jobs)
+        true (off = on))
+    [ 1; 2 ]
+
 let suites =
   [ ( "baselines.hybrid",
       [ Alcotest.test_case "solves cross-inport constraint" `Slow test_hybrid_solves_cross_constraint;
         Alcotest.test_case "not worse than fuzzing" `Slow test_hybrid_not_worse_than_fuzzing;
-        Alcotest.test_case "timestamps ordered" `Quick test_hybrid_timestamps_ordered ] ) ]
+        Alcotest.test_case "timestamps ordered" `Quick test_hybrid_timestamps_ordered ] );
+    ( "campaign.hybrid",
+      [ Alcotest.test_case "plateau, solve, resume" `Slow test_campaign_plateau_solve_resume;
+        Alcotest.test_case "same-seed runs byte-identical" `Slow test_campaign_hybrid_deterministic;
+        Alcotest.test_case "observability parity" `Slow test_campaign_hybrid_obs_parity ] ) ]
